@@ -1,0 +1,1 @@
+bench/experiments.ml: Algebra Cobj Core Engine Fmt Fun Harness Lang List Option Printf String Workload

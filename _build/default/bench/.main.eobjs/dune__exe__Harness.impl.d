@@ -1,0 +1,1 @@
+bench/harness.ml: Analyze Bechamel Benchmark Char Filename Float Hashtbl Int64 List Measure Monotonic_clock Printf String Sys Test Time Toolkit

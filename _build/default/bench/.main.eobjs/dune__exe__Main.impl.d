@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Core Engine Experiments Fun Harness Lazy List Printf Staged String Sys Test Workload

@@ -1,0 +1,105 @@
+(* Measurement helpers shared by all experiments.
+
+   Two layers:
+   - [bechamel_table]: proper OLS-fitted ns/run for the headline
+     micro-benchmarks (one [Bechamel.Test.make] per experiment);
+   - [measure_ms]: adaptive one-shot wall-clock timing for parameter sweeps
+     (a sweep point runs the workload a handful of times; the OLS machinery
+     would make wide sweeps too slow). *)
+
+let clock = Monotonic_clock.now
+
+let time_once f =
+  let t0 = clock () in
+  let result = f () in
+  let t1 = clock () in
+  (Int64.to_float (Int64.sub t1 t0), result)
+
+(* Median-of-runs milliseconds; adapts the repetition count to the cost of
+   one run so that cheap points are measured several times and expensive
+   points only once. *)
+let measure_ms ?(budget_ns = 2e8) f =
+  let first, _ = time_once f in
+  let reps = max 1 (min 9 (int_of_float (budget_ns /. Float.max first 1.0))) in
+  let samples =
+    first :: List.init (reps - 1) (fun _ -> fst (time_once f))
+  in
+  let sorted = List.sort Float.compare samples in
+  List.nth sorted (List.length sorted / 2) /. 1e6
+
+(* Run a bechamel suite and return [(name, ns_per_run)] pairs. *)
+let bechamel_table tests =
+  let open Bechamel in
+  let cfg =
+    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:None
+      ~stabilize:false ()
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw = Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"" tests) in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0
+      ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name result acc ->
+      match Analyze.OLS.estimates result with
+      | Some [ ns ] -> (name, ns) :: acc
+      | _ -> (name, Float.nan) :: acc)
+    results []
+  |> List.sort compare
+
+(* --- table rendering ----------------------------------------------------- *)
+
+let print_rule width = print_endline (String.make width '-')
+
+(* Optional CSV mirror: set NESTQL_BENCH_CSV=<dir> to also write every
+   table as <dir>/<slug-of-title>.csv (for plotting). *)
+let csv_mirror ~title ~header rows =
+  match Sys.getenv_opt "NESTQL_BENCH_CSV" with
+  | None -> ()
+  | Some dir ->
+    let slug =
+      String.map
+        (fun c ->
+          if (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') then c
+          else if c >= 'A' && c <= 'Z' then Char.lowercase_ascii c
+          else '-')
+        title
+    in
+    let path = Filename.concat dir (slug ^ ".csv") in
+    let oc = open_out path in
+    let quote s =
+      if String.exists (fun c -> c = ',' || c = '"') s then
+        Printf.sprintf "\"%s\""
+          (String.concat "\"\"" (String.split_on_char '"' s))
+      else s
+    in
+    List.iter
+      (fun row ->
+        output_string oc (String.concat "," (List.map quote row));
+        output_char oc '\n')
+      (header :: rows);
+    close_out oc
+
+let print_table ~title ~header rows =
+  csv_mirror ~title ~header rows;
+  let all = header :: rows in
+  let ncols = List.length header in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let render row =
+    String.concat "  " (List.map2 (fun s w ->
+        s ^ String.make (w - String.length s) ' ') row widths)
+  in
+  Printf.printf "\n== %s ==\n" title;
+  let header_line = render header in
+  print_endline header_line;
+  print_rule (String.length header_line);
+  List.iter (fun row -> print_endline (render row)) rows
+
+let fms v = Printf.sprintf "%.2f" v
+let fint v = string_of_int v
+let fratio v = Printf.sprintf "%.1fx" v

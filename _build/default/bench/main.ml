@@ -1,0 +1,156 @@
+(* Benchmark driver.
+
+   Usage:
+     dune exec bench/main.exe              # everything
+     dune exec bench/main.exe table2 bugs  # selected experiments
+     dune exec bench/main.exe headline     # bechamel micro-suite only
+
+   The headline suite holds one [Bechamel.Test.make] per experiment id
+   (OLS-fitted ns/run at a fixed medium size); the experiment functions in
+   [Experiments] print the per-table parameter sweeps. *)
+
+module Pipeline = Core.Pipeline
+
+let fixed_catalog =
+  lazy
+    (Workload.Gen.xy
+       { Workload.Gen.default_xy with
+         nx = 200; ny = 200; key_dom = 50; dangling = 0.1; seed = 77 })
+
+let fixed_xyz =
+  lazy
+    (Workload.Gen.xyz
+       {
+         base =
+           { Workload.Gen.default_xy with
+             nx = 80; ny = 80; key_dom = 20; val_dom = 8; seed = 77 };
+         nz = 80;
+         z_key_dom = 20;
+       })
+
+let compiled ?options strategy catalog query =
+  match Pipeline.compile_string ?options strategy catalog query with
+  | Ok c -> c
+  | Error msg -> failwith msg
+
+let headline () =
+  let open Bechamel in
+  let xy = Lazy.force fixed_catalog in
+  let xyz = Lazy.force fixed_xyz in
+  let exec catalog c () = ignore (Pipeline.execute catalog c) in
+  let t name f = Test.make ~name (Staged.stage f) in
+  let semijoin_q =
+    "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+  in
+  let nest_q =
+    "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x"
+  in
+  let count_q =
+    "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) \
+     = 0"
+  in
+  let s8_q =
+    "SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = \
+     y.b AND y.c SUBSETEQ (SELECT z.c FROM Z z WHERE y.d = z.d))"
+  in
+  let unnest_q =
+    "UNNEST(SELECT (SELECT (i = x.id, a = y.a) FROM Y y WHERE x.b = y.b) \
+     FROM X x)"
+  in
+  let memo_opts =
+    { Core.Planner.default_options with Core.Planner.memo_applies = true }
+  in
+  let table1_cat = Workload.Gen.table1 () in
+  let table1_compiled =
+    compiled Pipeline.Decorrelated table1_cat
+      "SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x"
+  in
+  let tests =
+    [
+      t "T1-nestjoin-table1" (exec table1_cat table1_compiled);
+      t "T2-classify-catalog" (fun () ->
+          List.iter
+            (fun row ->
+              ignore
+                (Core.Classify.classify ~z:"z" (Core.Table2.predicate row)))
+            Core.Table2.rows);
+      t "E1-flatten-semijoin"
+        (exec xy (compiled Pipeline.Decorrelated xy semijoin_q));
+      t "E2-hash-nestjoin" (exec xy (compiled Pipeline.Decorrelated xy nest_q));
+      t "E3-section8-decorrelated"
+        (exec xyz (compiled Pipeline.Decorrelated xyz s8_q));
+      t "E4-ganski-wong-count"
+        (exec xy (compiled Pipeline.Ganski_wong xy count_q));
+      t "E5-nestjoin-outerjoin-encoding"
+        (exec xy (compiled Pipeline.Decorrelated_outerjoin xy nest_q));
+      t "E6-memoized-apply"
+        (exec xy (compiled ~options:memo_opts Pipeline.Naive xy count_q));
+      t "E7-unnest-collapse"
+        (exec xy (compiled Pipeline.Decorrelated xy unnest_q));
+      t "E8-multi-subquery"
+        (exec xy
+           (compiled Pipeline.Decorrelated xy
+              "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE \
+               x.b = y.b) AND x.a NOT IN (SELECT w.a FROM Y w WHERE w.b = \
+               x.b + 1)"));
+      t "E9-no-rewrite"
+        (exec xy
+           (match
+              Pipeline.compile_string ~rewrite:false Pipeline.Decorrelated xy
+                semijoin_q
+            with
+           | Ok c -> c
+           | Error msg -> failwith msg));
+      t "E10-index-semijoin"
+        (exec xy
+           (compiled Pipeline.Decorrelated xy
+              "SELECT x.id FROM X x WHERE EXISTS v IN (SELECT y.a FROM Y y \
+               WHERE x.b = y.b) (v > x.a)"));
+      t "E11-interpreted"
+        (fun () ->
+          Engine.Compile.enabled := false;
+          Fun.protect
+            ~finally:(fun () -> Engine.Compile.enabled := true)
+            (exec xy (compiled Pipeline.Decorrelated xy nest_q)));
+      t "E12-reordered-nestjoin"
+        (exec xy
+           (compiled Pipeline.Decorrelated xy
+              "SELECT (i = x.id, j = y.id, n = COUNT(SELECT w.id FROM Y w \
+               WHERE w.a = x.a)) FROM X x, Y y WHERE x.b = y.b"));
+      t "E13-shop-mix"
+        (let shop =
+           Workload.Gen.shop
+             { Workload.Gen.default_shop with ncustomers = 80; norders = 240 }
+         in
+         exec shop
+           (compiled Pipeline.Decorrelated shop
+              "SELECT c.name FROM CUSTOMERS c WHERE FORALL o IN (SELECT o \
+               FROM ORDERS o WHERE o.cust = c.id) (o.status = \"done\")"));
+    ]
+  in
+  let rows = Harness.bechamel_table tests in
+  Harness.print_table ~title:"headline micro-benchmarks (OLS ns/run)"
+    ~header:[ "experiment"; "ns/run" ]
+    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows)
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let known = List.map fst Experiments.all in
+  match args with
+  | [] ->
+    headline ();
+    List.iter (fun (_, f) -> f ()) Experiments.all
+  | [ "headline" ] -> headline ()
+  | names ->
+    List.iter
+      (fun name ->
+        if name = "headline" then headline ()
+        else
+          match List.assoc_opt name Experiments.all with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %s (known: headline, %s)\n"
+              name
+              (String.concat ", " known);
+            exit 1)
+      names

@@ -1,0 +1,348 @@
+(* nestql — CLI for the nested-query optimizer.
+
+   Subcommands:
+     run      execute a query against a built-in generated catalog
+     explain  show logical + physical plans under a strategy
+     table2   print the predicate classification table (paper Table 2)
+     catalog  print a generated catalog
+     demo     run the paper's flagship queries end to end *)
+
+let strategies = Core.Pipeline.all_strategies
+
+let strategy_conv =
+  let parse s =
+    match
+      List.find_opt
+        (fun st -> String.equal (Core.Pipeline.strategy_name st) s)
+        strategies
+    with
+    | Some st -> Ok st
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown strategy %s (try: %s)" s
+             (String.concat ", "
+                (List.map Core.Pipeline.strategy_name strategies))))
+  in
+  let print ppf st = Fmt.string ppf (Core.Pipeline.strategy_name st) in
+  Cmdliner.Arg.conv (parse, print)
+
+let catalog_of_name name seed scale =
+  let xy =
+    { Workload.Gen.default_xy with
+      nx = scale;
+      ny = scale;
+      key_dom = max 1 (scale / 4);
+      seed }
+  in
+  match name with
+  | "xy" -> Ok (Workload.Gen.xy xy)
+  | "xyz" ->
+    Ok
+      (Workload.Gen.xyz
+         { base = xy; nz = scale; z_key_dom = max 1 (scale / 4) })
+  | "company" ->
+    Ok
+      (Workload.Gen.company
+         { Workload.Gen.default_company with
+           ndepts = max 1 (scale / 10);
+           company_seed = seed })
+  | "table1" -> Ok (Workload.Gen.table1 ())
+  | other ->
+    Error
+      (Printf.sprintf "unknown catalog %s (try: xy, xyz, company, table1)"
+         other)
+
+open Cmdliner
+
+let catalog_arg =
+  Arg.(
+    value & opt string "xy"
+    & info [ "c"; "catalog" ] ~docv:"NAME"
+        ~doc:"Built-in catalog: xy, xyz, company or table1.")
+
+let file_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "f"; "file" ] ~docv:"FILE"
+        ~doc:
+          "Load the catalog from a definition file (see examples/movies.nql) \
+           instead of generating one.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.")
+
+let scale_arg =
+  Arg.(
+    value & opt int 100
+    & info [ "n"; "scale" ] ~docv:"N" ~doc:"Table cardinality.")
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv Core.Pipeline.Decorrelated
+    & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+        ~doc:
+          "Execution strategy: interp, naive, decorrelated, \
+           decorrelated-outerjoin, kim, ganski-wong or muralikrishna.")
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Trace the optimizer (naive plan and each rewrite round).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  if verbose then Logs.set_level (Some Logs.Debug)
+  else Logs.set_level (Some Logs.Warning)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let with_catalog ?file name seed scale f =
+  let loaded =
+    match file with
+    | Some path -> Lang.Schema.catalog (read_file path)
+    | None -> catalog_of_name name seed scale
+  in
+  match loaded with
+  | Error msg ->
+    Fmt.epr "error: %s@." msg;
+    1
+  | Ok catalog -> f catalog
+
+let run_cmd =
+  let run name file seed scale strategy show_stats verbose query =
+    setup_logs verbose;
+    with_catalog ?file name seed scale (fun catalog ->
+        let stats = Engine.Stats.create () in
+        match Core.Pipeline.run ~stats strategy catalog query with
+        | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          1
+        | Ok v ->
+          Fmt.pr "%a@." Cobj.Value.pp v;
+          if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
+          0)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute a query against a generated catalog.")
+    Term.(
+      const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
+      $ stats_arg $ verbose_arg $ query_arg)
+
+let explain_cmd =
+  let explain name file seed scale strategy verbose query =
+    setup_logs verbose;
+    with_catalog ?file name seed scale (fun catalog ->
+        match Lang.Parser.expr_result query with
+        | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          1
+        | Ok expr -> (
+          match Core.Pipeline.compile strategy catalog expr with
+          | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+          | Ok compiled ->
+            print_string (Core.Pipeline.explain ~costs:true catalog compiled);
+            0))
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show the logical and physical plans.")
+    Term.(
+      const explain $ catalog_arg $ file_arg $ seed_arg $ scale_arg
+      $ strategy_arg $ verbose_arg $ query_arg)
+
+let check_cmd =
+  let check name file seed scale query =
+    with_catalog ?file name seed scale (fun catalog ->
+        match Lang.Parser.expr_result query with
+        | Error msg ->
+          Fmt.epr "error: %s@." msg;
+          1
+        | Ok expr -> (
+          match Lang.Types.check_query catalog expr with
+          | Ok (_, t) ->
+            Fmt.pr "%a@." Cobj.Ctype.pp t;
+            0
+          | Error err ->
+            Fmt.epr "%a@." Lang.Types.pp_error err;
+            1))
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Type-check a query and print its type.")
+    Term.(
+      const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ query_arg)
+
+let table2_cmd =
+  let table2 () =
+    Fmt.pr "%-26s %-42s %-10s %s@." "name" "P(x, z)" "verdict" "rewritten";
+    Fmt.pr "%s@." (String.make 110 '-');
+    List.iter
+      (fun row ->
+        let p = Core.Table2.predicate row in
+        let verdict = Core.Classify.classify ~z:"z" p in
+        let rewritten =
+          match Core.Classify.to_expr ~z:"z" verdict with
+          | Some e -> Lang.Pretty.to_math_string e
+          | None -> "(grouping required → nest join)"
+        in
+        Fmt.pr "%-26s %-42s %-10s %s@." row.Core.Table2.name
+          row.Core.Table2.source
+          (Core.Table2.expected_to_string (Core.Table2.kind verdict))
+          rewritten)
+      Core.Table2.rows;
+    0
+  in
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Print the predicate classification (Table 2).")
+    Term.(const table2 $ const ())
+
+let catalog_cmd =
+  let show name file seed scale dump =
+    with_catalog ?file name seed scale (fun catalog ->
+        if dump then print_string (Lang.Schema.render catalog)
+        else Fmt.pr "%a@." Cobj.Catalog.pp catalog;
+        0)
+  in
+  let dump_arg =
+    Arg.(
+      value & flag
+      & info [ "dump" ]
+          ~doc:
+            "Emit the catalog in the definition language (reloadable with \
+             --file) instead of the pretty grid.")
+  in
+  Cmd.v
+    (Cmd.info "catalog" ~doc:"Print (or dump) a catalog.")
+    Term.(const show $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ dump_arg)
+
+let repl_cmd =
+  let repl name file seed scale strategy =
+    setup_logs false;
+    with_catalog ?file name seed scale (fun catalog ->
+        let strategy = ref strategy in
+        let explain = ref false in
+        Fmt.pr
+          "nestql repl — tables: %s@.commands: .tables  .strategy NAME             .explain on|off  .quit@."
+          (String.concat ", " (Cobj.Catalog.names catalog));
+        let rec loop () =
+          Fmt.pr "> %!";
+          match In_channel.input_line stdin with
+          | None -> 0
+          | Some line -> (
+            let line = String.trim line in
+            match String.split_on_char ' ' line with
+            | [ "" ] -> loop ()
+            | [ ".quit" ] | [ ".exit" ] -> 0
+            | [ ".tables" ] ->
+              List.iter
+                (fun t ->
+                  Fmt.pr "%-12s %5d rows : %a@." (Cobj.Table.name t)
+                    (Cobj.Table.cardinality t) Cobj.Ctype.pp (Cobj.Table.elt t))
+                (Cobj.Catalog.tables catalog);
+              loop ()
+            | [ ".explain"; "on" ] ->
+              explain := true;
+              loop ()
+            | [ ".explain"; "off" ] ->
+              explain := false;
+              loop ()
+            | [ ".strategy"; s ] -> (
+              match
+                List.find_opt
+                  (fun st -> Core.Pipeline.strategy_name st = s)
+                  strategies
+              with
+              | Some st ->
+                strategy := st;
+                loop ()
+              | None ->
+                Fmt.pr "unknown strategy %s@." s;
+                loop ())
+            | _ -> (
+              match
+                Core.Pipeline.compile_string !strategy catalog line
+              with
+              | Error msg ->
+                Fmt.pr "error: %s@." msg;
+                loop ()
+              | Ok compiled -> (
+                if !explain then
+                  print_string (Core.Pipeline.explain catalog compiled);
+                match Core.Pipeline.execute catalog compiled with
+                | v ->
+                  Fmt.pr "%a@." Cobj.Value.pp v;
+                  loop ()
+                | exception Cobj.Value.Type_error msg ->
+                  Fmt.pr "runtime error: %s@." msg;
+                  loop ()
+                | exception Lang.Interp.Undefined msg ->
+                  Fmt.pr "undefined: %s@." msg;
+                  loop ())))
+        in
+        loop ())
+  in
+  Cmd.v
+    (Cmd.info "repl" ~doc:"Interactive query loop against a catalog.")
+    Term.(
+      const repl $ catalog_arg $ file_arg $ seed_arg $ scale_arg
+      $ strategy_arg)
+
+let demo_cmd =
+  let demo () =
+    let company = Workload.Gen.company Workload.Gen.default_company in
+    let q2 =
+      "SELECT (dname = d.name, emps = (SELECT e.name FROM EMP e WHERE \
+       e.address.city = d.address.city)) FROM DEPT d"
+    in
+    Fmt.pr "== Q2 (nesting in the SELECT clause) ==@.%s@.@." q2;
+    (match
+       Core.Pipeline.compile_string Core.Pipeline.Decorrelated company q2
+     with
+    | Ok compiled ->
+      print_string (Core.Pipeline.explain company compiled);
+      let v = Core.Pipeline.execute company compiled in
+      Fmt.pr "@.%d result tuples@.@." (Cobj.Value.set_card v)
+    | Error msg -> Fmt.epr "error: %s@." msg);
+    let cat = Workload.Gen.xy Workload.Gen.default_xy in
+    let count_q =
+      "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = \
+       y.b) = 0"
+    in
+    Fmt.pr "== the COUNT bug ==@.%s@.@." count_q;
+    List.iter
+      (fun strategy ->
+        match Core.Pipeline.run strategy cat count_q with
+        | Ok v ->
+          Fmt.pr "%-24s %d rows@."
+            (Core.Pipeline.strategy_name strategy)
+            (Cobj.Value.set_card v)
+        | Error msg ->
+          Fmt.pr "%-24s error: %s@."
+            (Core.Pipeline.strategy_name strategy)
+            msg)
+      strategies;
+    0
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the paper's flagship queries.")
+    Term.(const demo $ const ())
+
+let () =
+  let doc = "nested-query optimization in a complex object model" in
+  let info = Cmd.info "nestql" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info
+       [ run_cmd; explain_cmd; check_cmd; table2_cmd; catalog_cmd; repl_cmd;
+         demo_cmd ]))

@@ -1,0 +1,14 @@
+  $ ../bin/nestql.exe table2 | head -6
+  $ ../bin/nestql.exe run -c table1 "SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x"
+  $ ../bin/nestql.exe explain -c table1 "SELECT x.e FROM X x WHERE x.d IN (SELECT y.b FROM Y y WHERE y.a = x.e)"
+  $ ../bin/nestql.exe run --file ../examples/movies.nql "SELECT m.title FROM MOVIES m WHERE \"De Niro\" IN m.cast"
+  $ ../bin/nestql.exe run -c xy --seed 42 -n 50 -s kim "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) = 0"
+  $ ../bin/nestql.exe run -c xy --seed 42 -n 50 -s decorrelated "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) = 0" | head -1
+  $ ../bin/nestql.exe run -c table1 "SELECT"
+  $ ../bin/nestql.exe run -c table1 "SELECT q.nope FROM X q"
+  $ ../bin/nestql.exe catalog -c table1 --dump > t1.nql
+  $ ../bin/nestql.exe run --file t1.nql "SELECT x.e FROM X x WHERE x.d = 1"
+  $ ../bin/nestql.exe run --file ../examples/shapes.nql "SELECT d.id FROM DRAWINGS d WHERE d.shape IS circle"
+  $ ../bin/nestql.exe check -c table1 "SELECT (e = x.e, ys = (SELECT y.a FROM Y y WHERE y.b = x.d)) FROM X x"
+  $ ../bin/nestql.exe check -c table1 "SELECT x.nope FROM X x"
+  $ printf '.tables\nSELECT x.e FROM X x WHERE x.d < 3\n.strategy interp\nX\n.quit\n' | ../bin/nestql.exe repl -c table1

@@ -1,0 +1,91 @@
+The classification table (paper Table 2) is deterministic:
+
+  $ ../bin/nestql.exe table2 | head -6
+  name                       P(x, z)                                    verdict    rewritten
+  --------------------------------------------------------------------------------------------------------------
+  z = ∅                    z = {}                                     antijoin   ¬∃v ∈ z (true)
+  z ≠ ∅                  z <> {}                                    semijoin   ∃v ∈ z (true)
+  count(z) = 0               COUNT(z) = 0                               antijoin   ¬∃v ∈ z (true)
+  count(z) ≠ 0             COUNT(z) <> 0                              semijoin   ∃v ∈ z (true)
+
+Running a query against the deterministic table1 catalog:
+
+  $ ../bin/nestql.exe run -c table1 "SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x"
+  {(e = 1, s = {(a = 1, b = 1), (a = 2, b = 1)}), (e = 2, s = {}),
+   (e = 3, s = {(a = 3, b = 3)})}
+
+EXPLAIN shows both plans:
+
+  $ ../bin/nestql.exe explain -c table1 "SELECT x.e FROM X x WHERE x.d IN (SELECT y.b FROM Y y WHERE y.a = x.e)"
+  strategy: decorrelated
+  query: SELECT x.e FROM X x WHERE x.d IN (SELECT y.b FROM Y y WHERE y.a = x.e)
+  
+  logical plan:
+  result x.e
+  └─ semijoin [y.a = x.e AND y.b = x.d]
+         ├─ table X x
+         └─ table Y y
+  
+  physical plan:
+  result x.e
+  └─ nl-semijoin [y.a = x.e AND y.b = x.d]
+         ├─ scan X x
+         └─ scan Y y
+  
+  estimated: 2 result rows, 12 cost units (see Core.Cost)
+
+Loading a catalog from a definition file:
+
+  $ ../bin/nestql.exe run --file ../examples/movies.nql "SELECT m.title FROM MOVIES m WHERE \"De Niro\" IN m.cast"
+  {"Heat", "Ronin"}
+
+Kim's plan reproduces the COUNT bug (loses every dangling row):
+
+  $ ../bin/nestql.exe run -c xy --seed 42 -n 50 -s kim "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) = 0"
+  {}
+
+  $ ../bin/nestql.exe run -c xy --seed 42 -n 50 -s decorrelated "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) = 0" | head -1
+  {1, 5, 9, 11, 13, 14, 17, 26, 30, 39, 40, 43, 45, 46, 48}
+
+Errors are reported, not crashed on:
+
+  $ ../bin/nestql.exe run -c table1 "SELECT"
+  error: parse error at offset 6: expected an expression (found <eof>)
+  [1]
+
+  $ ../bin/nestql.exe run -c table1 "SELECT q.nope FROM X q"
+  error: type error: type (d : INT, e : INT) has no field nope
+  in: q.nope
+  [1]
+
+Catalogs dump to the definition language and reload:
+
+  $ ../bin/nestql.exe catalog -c table1 --dump > t1.nql
+  $ ../bin/nestql.exe run --file t1.nql "SELECT x.e FROM X x WHERE x.d = 1"
+  {1}
+
+Variant types work through the CLI:
+
+  $ ../bin/nestql.exe run --file ../examples/shapes.nql "SELECT d.id FROM DRAWINGS d WHERE d.shape IS circle"
+  {1, 3, 5}
+
+Type checking without execution:
+
+  $ ../bin/nestql.exe check -c table1 "SELECT (e = x.e, ys = (SELECT y.a FROM Y y WHERE y.b = x.d)) FROM X x"
+  P (e : INT, ys : P INT)
+
+  $ ../bin/nestql.exe check -c table1 "SELECT x.nope FROM X x"
+  type error: type (d : INT, e : INT) has no field nope
+  in: x.nope
+  [1]
+
+The REPL processes commands from stdin:
+
+  $ printf '.tables\nSELECT x.e FROM X x WHERE x.d < 3\n.strategy interp\nX\n.quit\n' | ../bin/nestql.exe repl -c table1
+  nestql repl — tables: X, Y
+  commands: .tables  .strategy NAME             .explain on|off  .quit
+  > X                3 rows : (d : INT, e : INT)
+  Y                3 rows : (a : INT, b : INT)
+  > {1, 2}
+  > > {(d = 1, e = 1), (d = 2, e = 2), (d = 3, e = 3)}
+  > 

@@ -1,0 +1,1 @@
+examples/company_queries.ml: Cobj Core Engine Fmt List Workload

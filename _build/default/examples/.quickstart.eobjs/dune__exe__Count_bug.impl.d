@@ -1,0 +1,1 @@
+examples/count_bug.ml: Cobj Core Fmt List Workload

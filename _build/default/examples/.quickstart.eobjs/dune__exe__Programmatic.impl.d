@@ -1,0 +1,1 @@
+examples/programmatic.ml: Cobj Core Fmt Lang List

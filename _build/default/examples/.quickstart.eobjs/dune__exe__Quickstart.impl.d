@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cobj Core Engine Fmt List

@@ -1,0 +1,1 @@
+examples/section8_pipeline.ml: Cobj Core Engine Fmt List Workload

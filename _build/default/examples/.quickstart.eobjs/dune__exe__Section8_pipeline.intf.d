@@ -1,0 +1,1 @@
+examples/section8_pipeline.mli:

@@ -1,0 +1,1 @@
+lib/algebra/plan.ml: Fmt Format Lang List String

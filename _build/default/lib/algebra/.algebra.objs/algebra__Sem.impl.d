@@ -1,0 +1,1 @@
+lib/algebra/sem.ml: Cobj Hashtbl Lang List Plan

@@ -1,0 +1,1 @@
+lib/algebra/sem.mli: Cobj Plan

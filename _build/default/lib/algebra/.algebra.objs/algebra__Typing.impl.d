@@ -1,0 +1,1 @@
+lib/algebra/typing.ml: Cobj Fmt Lang List Plan Result

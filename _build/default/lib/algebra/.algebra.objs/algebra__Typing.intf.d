@@ -1,0 +1,1 @@
+lib/algebra/typing.mli: Cobj Fmt Plan

@@ -1,0 +1,259 @@
+module Ast = Lang.Ast
+
+type query = {
+  plan : plan;
+  result : Ast.expr;
+}
+
+and plan =
+  | Unit
+  | Table of { name : string; var : string }
+  | Select of { pred : Ast.expr; input : plan }
+  | Join of { pred : Ast.expr; left : plan; right : plan }
+  | Semijoin of { pred : Ast.expr; left : plan; right : plan }
+  | Antijoin of { pred : Ast.expr; left : plan; right : plan }
+  | Outerjoin of { pred : Ast.expr; left : plan; right : plan }
+  | Nestjoin of {
+      pred : Ast.expr;
+      func : Ast.expr;
+      label : string;
+      left : plan;
+      right : plan;
+    }
+  | Unnest of { expr : Ast.expr; var : string; input : plan }
+  | Nest of {
+      by : string list;
+      label : string;
+      func : Ast.expr;
+      nulls : string list;
+      input : plan;
+    }
+  | Extend of { var : string; expr : Ast.expr; input : plan }
+  | Project of { vars : string list; input : plan }
+  | Apply of { var : string; subquery : query; input : plan }
+  | Union of { left : plan; right : plan }
+
+module Sset = Ast.String_set
+
+let rec vars_of = function
+  | Unit -> []
+  | Table { var; _ } -> [ var ]
+  | Select { input; _ } -> vars_of input
+  | Join { left; right; _ } | Outerjoin { left; right; _ } ->
+    vars_of left @ vars_of right
+  | Semijoin { left; _ } | Antijoin { left; _ } -> vars_of left
+  | Nestjoin { left; label; _ } -> vars_of left @ [ label ]
+  | Unnest { var; input; _ } -> vars_of input @ [ var ]
+  | Nest { by; label; _ } -> by @ [ label ]
+  | Extend { var; input; _ } -> vars_of input @ [ var ]
+  | Project { vars; _ } -> vars
+  | Apply { var; input; _ } -> vars_of input @ [ var ]
+  | Union { left; _ } -> vars_of left
+
+let rec free_vars plan =
+  let expr_free bound e = Sset.diff (Ast.free_vars e) bound in
+  match plan with
+  | Unit | Table _ -> Sset.empty
+  | Select { pred; input } ->
+    Sset.union (free_vars input)
+      (expr_free (Sset.of_list (vars_of input)) pred)
+  | Join { pred; left; right }
+  | Semijoin { pred; left; right }
+  | Antijoin { pred; left; right }
+  | Outerjoin { pred; left; right } ->
+    let bound = Sset.of_list (vars_of left @ vars_of right) in
+    Sset.union
+      (Sset.union (free_vars left) (free_vars right))
+      (expr_free bound pred)
+  | Nestjoin { pred; func; left; right; _ } ->
+    let bound = Sset.of_list (vars_of left @ vars_of right) in
+    Sset.union
+      (Sset.union (free_vars left) (free_vars right))
+      (Sset.union (expr_free bound pred) (expr_free bound func))
+  | Unnest { expr; input; _ } ->
+    Sset.union (free_vars input)
+      (expr_free (Sset.of_list (vars_of input)) expr)
+  | Nest { func; input; _ } ->
+    Sset.union (free_vars input)
+      (expr_free (Sset.of_list (vars_of input)) func)
+  | Extend { expr; input; _ } ->
+    Sset.union (free_vars input)
+      (expr_free (Sset.of_list (vars_of input)) expr)
+  | Project { input; _ } -> free_vars input
+  | Apply { subquery; input; _ } ->
+    Sset.union (free_vars input)
+      (Sset.diff (query_free_vars subquery)
+         (Sset.of_list (vars_of input)))
+  | Union { left; right } -> Sset.union (free_vars left) (free_vars right)
+
+and query_free_vars { plan; result } =
+  Sset.union (free_vars plan)
+    (Sset.diff (Ast.free_vars result) (Sset.of_list (vars_of plan)))
+
+let rec plan_free_expr e =
+  match e with
+  | Ast.Sfw _ -> false
+  | Ast.Const _ | Ast.Var _ | Ast.TableRef _ -> true
+  | Ast.Field (e1, _) | Ast.Unop (_, e1) | Ast.Agg (_, e1) | Ast.UnnestE e1
+  | Ast.VariantE (_, e1) | Ast.IsTag (e1, _) | Ast.AsTag (e1, _) ->
+    plan_free_expr e1
+  | Ast.If (c, a, b) ->
+    plan_free_expr c && plan_free_expr a && plan_free_expr b
+  | Ast.TupleE fields -> List.for_all (fun (_, e1) -> plan_free_expr e1) fields
+  | Ast.SetE es | Ast.ListE es -> List.for_all plan_free_expr es
+  | Ast.Binop (_, a, b) -> plan_free_expr a && plan_free_expr b
+  | Ast.Quant (_, _, s, p) -> plan_free_expr s && plan_free_expr p
+  | Ast.Let (_, d, b) -> plan_free_expr d && plan_free_expr b
+
+let well_formed plan =
+  let err fmt = Format.kasprintf (fun s -> Error s) fmt in
+  let check_expr what e k =
+    if plan_free_expr e then k ()
+    else err "%s contains an SFW block: %s" what (Lang.Pretty.to_string e)
+  in
+  let rec go plan =
+    let dup_free vars =
+      let sorted = List.sort String.compare vars in
+      let rec dup = function
+        | a :: b :: _ when String.equal a b -> Some a
+        | _ :: rest -> dup rest
+        | [] -> None
+      in
+      dup sorted
+    in
+    match dup_free (vars_of plan) with
+    | Some v -> err "variable %s bound twice in %s" v "plan"
+    | None -> (
+      match plan with
+      | Unit | Table _ -> Ok ()
+      | Select { pred; input } -> check_expr "selection" pred (fun () -> go input)
+      | Join { pred; left; right }
+      | Semijoin { pred; left; right }
+      | Antijoin { pred; left; right }
+      | Outerjoin { pred; left; right } ->
+        check_expr "join predicate" pred (fun () ->
+            match go left with Ok () -> go right | Error _ as e -> e)
+      | Nestjoin { pred; func; left; right; _ } ->
+        check_expr "nest join predicate" pred (fun () ->
+            check_expr "nest join function" func (fun () ->
+                match go left with Ok () -> go right | Error _ as e -> e))
+      | Unnest { expr; input; _ } ->
+        check_expr "unnest expression" expr (fun () -> go input)
+      | Nest { by; func; input; _ } ->
+        let bound = vars_of input in
+        let missing = List.filter (fun v -> not (List.mem v bound)) by in
+        if missing <> [] then
+          err "nest groups by unbound variables %s"
+            (String.concat ", " missing)
+        else check_expr "nest function" func (fun () -> go input)
+      | Extend { expr; input; _ } ->
+        check_expr "extend expression" expr (fun () -> go input)
+      | Project { vars; input } ->
+        let bound = vars_of input in
+        let missing = List.filter (fun v -> not (List.mem v bound)) vars in
+        if missing <> [] then
+          err "projection on unbound variables %s" (String.concat ", " missing)
+        else go input
+      | Apply { subquery; input; _ } ->
+        check_expr "apply result" subquery.result (fun () ->
+            match go subquery.plan with
+            | Ok () -> go input
+            | Error _ as e -> e)
+      | Union { left; right } ->
+        let lv = List.sort String.compare (vars_of left) in
+        let rv = List.sort String.compare (vars_of right) in
+        if lv <> rv then
+          err "union operands bind different variables: {%s} vs {%s}"
+            (String.concat ", " lv) (String.concat ", " rv)
+        else begin
+          match go left with Ok () -> go right | Error _ as e -> e
+        end)
+  in
+  go plan
+
+let map_children f plan =
+  match plan with
+  | Unit | Table _ -> plan
+  | Select r -> Select { r with input = f r.input }
+  | Join r -> Join { r with left = f r.left; right = f r.right }
+  | Semijoin r -> Semijoin { r with left = f r.left; right = f r.right }
+  | Antijoin r -> Antijoin { r with left = f r.left; right = f r.right }
+  | Outerjoin r -> Outerjoin { r with left = f r.left; right = f r.right }
+  | Nestjoin r -> Nestjoin { r with left = f r.left; right = f r.right }
+  | Unnest r -> Unnest { r with input = f r.input }
+  | Nest r -> Nest { r with input = f r.input }
+  | Extend r -> Extend { r with input = f r.input }
+  | Project r -> Project { r with input = f r.input }
+  | Apply r ->
+    Apply
+      {
+        r with
+        input = f r.input;
+        subquery = { r.subquery with plan = f r.subquery.plan };
+      }
+  | Union r -> Union { left = f r.left; right = f r.right }
+
+let rec fold f acc plan =
+  let acc = f acc plan in
+  match plan with
+  | Unit | Table _ -> acc
+  | Select { input; _ }
+  | Unnest { input; _ }
+  | Nest { input; _ }
+  | Extend { input; _ }
+  | Project { input; _ } ->
+    fold f acc input
+  | Join { left; right; _ }
+  | Semijoin { left; right; _ }
+  | Antijoin { left; right; _ }
+  | Outerjoin { left; right; _ }
+  | Nestjoin { left; right; _ } ->
+    fold f (fold f acc left) right
+  | Apply { subquery; input; _ } -> fold f (fold f acc subquery.plan) input
+  | Union { left; right } -> fold f (fold f acc left) right
+
+let size plan = fold (fun n _ -> n + 1) 0 plan
+
+let rec pp ppf plan =
+  let e = Lang.Pretty.pp in
+  match plan with
+  | Unit -> Fmt.pf ppf "unit"
+  | Table { name; var } -> Fmt.pf ppf "table %s %s" name var
+  | Select { pred; input } ->
+    Fmt.pf ppf "@[<v>select [%a]@,%a@]" e pred pp_child_last input
+  | Join { pred; left; right } -> pp_binary ppf "join" pred left right
+  | Semijoin { pred; left; right } -> pp_binary ppf "semijoin" pred left right
+  | Antijoin { pred; left; right } -> pp_binary ppf "antijoin" pred left right
+  | Outerjoin { pred; left; right } ->
+    pp_binary ppf "outerjoin" pred left right
+  | Nestjoin { pred; func; label; left; right } ->
+    Fmt.pf ppf "@[<v>nestjoin [%a] func=%a label=%s@,%a@,%a@]" e pred e func
+      label pp_child_mid left pp_child_last right
+  | Unnest { expr; var; input } ->
+    Fmt.pf ppf "@[<v>unnest %s in %a@,%a@]" var e expr pp_child_last input
+  | Nest { by; label; func; nulls; input } ->
+    let star = if nulls = [] then "" else "*" in
+    Fmt.pf ppf "@[<v>nest%s by=[%s] label=%s func=%a@,%a@]" star
+      (String.concat ", " by) label e func pp_child_last input
+  | Extend { var; expr; input } ->
+    Fmt.pf ppf "@[<v>extend %s = %a@,%a@]" var e expr pp_child_last input
+  | Project { vars; input } ->
+    Fmt.pf ppf "@[<v>project [%s]@,%a@]" (String.concat ", " vars)
+      pp_child_last input
+  | Apply { var; subquery; input } ->
+    Fmt.pf ppf "@[<v>apply %s = (result %a)@,%a@,%a@]" var e subquery.result
+      pp_child_mid subquery.plan pp_child_last input
+  | Union { left; right } ->
+    Fmt.pf ppf "@[<v>union@,%a@,%a@]" pp_child_mid left pp_child_last right
+
+and pp_child_mid ppf child = Fmt.pf ppf "├─ @[<v>%a@]" pp child
+and pp_child_last ppf child = Fmt.pf ppf "└─ @[<v>%a@]" pp child
+
+and pp_binary ppf name pred left right =
+  Fmt.pf ppf "@[<v>%s [%a]@,%a@,%a@]" name Lang.Pretty.pp pred pp_child_mid
+    left pp_child_last right
+
+let pp_query ppf { plan; result } =
+  Fmt.pf ppf "@[<v>result %a@,%a@]" Lang.Pretty.pp result pp_child_last plan
+
+let to_string plan = Fmt.str "%a" pp plan

@@ -1,0 +1,100 @@
+(** Logical algebra for complex objects (the paper's ADL, restricted to what
+    the unnesting development needs).
+
+    Rows are environments binding query variables to complex values
+    ({!Cobj.Env}); scalar expressions inside operators are plan-free
+    {!Lang.Ast} expressions evaluated under the row environment. A complete
+    query pairs a plan with a result expression: the query's value is
+    [{ result(env) | env ∈ plan }].
+
+    The naive translation of a correlated subquery produces {!plan.Apply}
+    (a dependent join, re-evaluating the subquery per row); the whole point
+    of the paper — and of [Core.Decorrelate] — is to remove Apply in favour
+    of [Join]/[Semijoin]/[Antijoin]/[Nestjoin]. *)
+
+type query = {
+  plan : plan;
+  result : Lang.Ast.expr;  (** evaluated under each row environment *)
+}
+
+and plan =
+  | Unit  (** one row binding nothing: the ambient environment; identity of
+              the (dependent) product — FROM clauses over expressions start
+              from it *)
+  | Table of { name : string; var : string }
+      (** scan extension [name], binding [var] to each element *)
+  | Select of { pred : Lang.Ast.expr; input : plan }
+  | Join of { pred : Lang.Ast.expr; left : plan; right : plan }
+      (** [pred = true] gives the cartesian product *)
+  | Semijoin of { pred : Lang.Ast.expr; left : plan; right : plan }
+  | Antijoin of { pred : Lang.Ast.expr; left : plan; right : plan }
+  | Outerjoin of { pred : Lang.Ast.expr; left : plan; right : plan }
+      (** left outer join: dangling left rows keep the right-hand variables
+          bound to [Null] *)
+  | Nestjoin of {
+      pred : Lang.Ast.expr;
+      func : Lang.Ast.expr;  (** G, applied to matching row environments *)
+      label : string;        (** fresh variable receiving the grouped set *)
+      left : plan;
+      right : plan;
+    }  (** the paper's Δ: [x ++ (label = { func(x,y) | y, pred(x,y) })] *)
+  | Unnest of { expr : Lang.Ast.expr; var : string; input : plan }
+      (** dependent iteration μ: for each row, bind [var] to every element
+          of [expr] (set- or list-valued); rows with an empty collection
+          produce nothing *)
+  | Nest of {
+      by : string list;      (** grouping variables, kept in the output *)
+      label : string;        (** variable receiving the grouped set *)
+      func : Lang.Ast.expr;  (** applied to each member row *)
+      nulls : string list;
+          (** ν* (the paper's NULL-aware nest): member rows in which all
+              these variables are [Null] contribute nothing, so an
+              outerjoin-padded group nests to ∅. Empty list = plain ν. *)
+      input : plan;
+    }
+  | Extend of { var : string; expr : Lang.Ast.expr; input : plan }
+      (** bind [var := expr(row)] (the WITH clause) *)
+  | Project of { vars : string list; input : plan }
+      (** keep only [vars]; set semantics — duplicates collapse *)
+  | Apply of { var : string; subquery : query; input : plan }
+      (** dependent join: bind [var] to the (set) value of [subquery]
+          evaluated under the current row — the naive, nested-loop form of a
+          correlated subquery *)
+  | Union of { left : plan; right : plan }
+      (** set union of rows; both operands must bind the same variables *)
+
+(** {1 Schemas and scoping} *)
+
+val vars_of : plan -> string list
+(** Variables bound in rows produced by the plan, outermost binding last. *)
+
+val free_vars : plan -> Lang.Ast.String_set.t
+(** Variables a plan needs from an enclosing scope (correlation variables).
+    A closed (decorrelated) plan has none. *)
+
+val query_free_vars : query -> Lang.Ast.String_set.t
+
+val plan_free_expr : Lang.Ast.expr -> bool
+(** No [Sfw] node inside: the expression is a legal operator argument. *)
+
+val well_formed : plan -> (unit, string) result
+(** Checks operator arguments are plan-free, bound variables are unique along
+    each path, and [Project]/[Nest] reference bound variables. *)
+
+(** {1 Traversal} *)
+
+val map_children : (plan -> plan) -> plan -> plan
+(** Apply a function to immediate sub-plans (including Apply subquery). *)
+
+val fold : ('a -> plan -> 'a) -> 'a -> plan -> 'a
+(** Pre-order fold over all nodes, descending into Apply subqueries. *)
+
+val size : plan -> int
+
+(** {1 Pretty printing} *)
+
+val pp : plan Fmt.t
+(** Indented operator tree (used by EXPLAIN). *)
+
+val pp_query : query Fmt.t
+val to_string : plan -> string

@@ -1,0 +1,17 @@
+(** Denotational semantics of the logical algebra — the test oracle.
+
+    Deliberately simple list-based evaluation with no implementation choices;
+    every physical operator in [Engine] and every rewrite in [Core] is tested
+    against it. Rows extend the ambient environment, so that an [Apply]
+    subquery (which references correlation variables of the outer row) can be
+    evaluated by passing the outer row as the ambient environment. *)
+
+val rows :
+  Cobj.Catalog.t -> Cobj.Env.t -> Plan.plan -> Cobj.Env.t list
+(** The rows produced by a plan under an ambient environment, in a canonical
+    (sorted) order, duplicate-free. *)
+
+val run : Cobj.Catalog.t -> Plan.query -> Cobj.Value.t
+(** The (set) value of a closed query. *)
+
+val run_under : Cobj.Catalog.t -> Cobj.Env.t -> Plan.query -> Cobj.Value.t

@@ -1,0 +1,148 @@
+module Ctype = Cobj.Ctype
+
+type schema = (string * Ctype.t) list
+
+let pp_schema ppf schema =
+  Fmt.pf ppf "(@[%a@])"
+    (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (v, t) ->
+         Fmt.pf ppf "%s : %a" v Ctype.pp t))
+    schema
+
+let ( let* ) = Result.bind
+
+(* Bindings added by a plan shadow ambient ones; within a plan path variable
+   names are unique (checked by [Plan.well_formed]). *)
+let extend ambient additions =
+  additions @ List.filter (fun (v, _) -> not (List.mem_assoc v additions)) ambient
+
+let infer_expr catalog tenv e =
+  Result.map_error
+    (fun err -> Fmt.str "%a" Lang.Types.pp_error err)
+    (Lang.Types.infer catalog tenv e)
+
+let check_bool catalog tenv what e =
+  let* t = infer_expr catalog tenv e in
+  match t with
+  | Ctype.TBool | Ctype.TAny -> Ok ()
+  | _ ->
+    Error
+      (Fmt.str "%s must be boolean, got %a: %s" what Ctype.pp t
+         (Lang.Pretty.to_string e))
+
+let rec schema_of catalog ambient plan =
+  match plan with
+  | Plan.Unit -> Ok ambient
+  | Plan.Table { name; var } -> begin
+    match Cobj.Catalog.find name catalog with
+    | Some table -> Ok (extend ambient [ (var, Cobj.Table.elt table) ])
+    | None -> Error (Fmt.str "unknown extension %s" name)
+  end
+  | Plan.Select { pred; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* () = check_bool catalog schema "selection predicate" pred in
+    Ok schema
+  | Plan.Join { pred; left; right }
+  | Plan.Outerjoin { pred; left; right } ->
+    let* ls = schema_of catalog ambient left in
+    let* rs = schema_of catalog ambient right in
+    let merged = extend ls (bindings_added ambient rs) in
+    let* () = check_bool catalog merged "join predicate" pred in
+    Ok merged
+  | Plan.Semijoin { pred; left; right } | Plan.Antijoin { pred; left; right }
+    ->
+    let* ls = schema_of catalog ambient left in
+    let* rs = schema_of catalog ambient right in
+    let merged = extend ls (bindings_added ambient rs) in
+    let* () = check_bool catalog merged "join predicate" pred in
+    Ok ls
+  | Plan.Nestjoin { pred; func; label; left; right } ->
+    let* ls = schema_of catalog ambient left in
+    let* rs = schema_of catalog ambient right in
+    let merged = extend ls (bindings_added ambient rs) in
+    let* () = check_bool catalog merged "nest join predicate" pred in
+    let* tf = infer_expr catalog merged func in
+    Ok (extend ls [ (label, Ctype.TSet tf) ])
+  | Plan.Unnest { expr; var; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* t = infer_expr catalog schema expr in
+    begin
+      match t with
+      | Ctype.TSet elt | Ctype.TList elt ->
+        Ok (extend schema [ (var, elt) ])
+      | Ctype.TAny -> Ok (extend schema [ (var, Ctype.TAny) ])
+      | _ ->
+        Error
+          (Fmt.str "unnest expects a collection, got %a: %s" Ctype.pp t
+             (Lang.Pretty.to_string expr))
+    end
+  | Plan.Nest { by; label; func; nulls; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* () =
+      List.fold_left
+        (fun acc v ->
+          let* () = acc in
+          if List.mem_assoc v schema then Ok ()
+          else Error (Fmt.str "nest: unbound variable %s" v))
+        (Ok ()) (by @ nulls)
+    in
+    let* tf = infer_expr catalog schema func in
+    let kept = List.filter (fun (v, _) -> List.mem v by) schema in
+    Ok (extend ambient (kept @ [ (label, Ctype.TSet tf) ]))
+  | Plan.Extend { var; expr; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* t = infer_expr catalog schema expr in
+    Ok (extend schema [ (var, t) ])
+  | Plan.Project { vars; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* kept =
+      List.fold_left
+        (fun acc v ->
+          let* kept = acc in
+          match List.assoc_opt v schema with
+          | Some t -> Ok ((v, t) :: kept)
+          | None -> Error (Fmt.str "project: unbound variable %s" v))
+        (Ok []) vars
+    in
+    Ok (extend ambient (List.rev kept))
+  | Plan.Apply { var; subquery; input } ->
+    let* schema = schema_of catalog ambient input in
+    let* t = query_type catalog schema subquery in
+    Ok (extend schema [ (var, t) ])
+  | Plan.Union { left; right } ->
+    let* ls = schema_of catalog ambient left in
+    let* rs = schema_of catalog ambient right in
+    (* join the operand schemas variable-wise *)
+    let* joined =
+      List.fold_left
+        (fun acc (v, lt) ->
+          let* acc = acc in
+          match List.assoc_opt v rs with
+          | None -> Error (Fmt.str "union: %s bound only on the left" v)
+          | Some rt -> (
+            match Ctype.join lt rt with
+            | Some t -> Ok ((v, t) :: acc)
+            | None ->
+              Error
+                (Fmt.str "union: %s has incompatible types %a and %a" v
+                   Ctype.pp lt Ctype.pp rt)))
+        (Ok []) ls
+    in
+    Ok (List.rev joined)
+
+(* The bindings [inner] adds on top of [ambient]. *)
+and bindings_added ambient inner =
+  List.filter (fun (v, t) ->
+      match List.assoc_opt v ambient with
+      | Some t' -> not (Ctype.equal t t')
+      | None -> true)
+    inner
+
+and query_type catalog ambient { Plan.plan; result } =
+  let* schema = schema_of catalog ambient plan in
+  let* t = infer_expr catalog schema result in
+  Ok (Ctype.TSet t)
+
+let query_type_exn catalog query =
+  match query_type catalog [] query with
+  | Ok t -> t
+  | Error msg -> invalid_arg ("Algebra.Typing: " ^ msg)

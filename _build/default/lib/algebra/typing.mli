@@ -1,0 +1,20 @@
+(** Schema inference for logical plans.
+
+    The schema of a plan is the typing environment of the rows it produces:
+    variable name to type, in binding order (see {!Plan.vars_of}). *)
+
+type schema = (string * Cobj.Ctype.t) list
+
+val pp_schema : schema Fmt.t
+
+val schema_of :
+  Cobj.Catalog.t -> schema -> Plan.plan -> (schema, string) result
+(** [schema_of catalog ambient plan] — [ambient] types the correlation
+    variables available from an enclosing scope (empty for closed plans). *)
+
+val query_type :
+  Cobj.Catalog.t -> schema -> Plan.query -> (Cobj.Ctype.t, string) result
+(** The (set) type of a query's value. *)
+
+val query_type_exn : Cobj.Catalog.t -> Plan.query -> Cobj.Ctype.t
+(** Closed query; raises [Invalid_argument] on type errors. *)

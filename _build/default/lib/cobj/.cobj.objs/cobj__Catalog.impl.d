@@ -1,0 +1,1 @@
+lib/cobj/catalog.ml: Fmt List Map String Table

@@ -1,0 +1,1 @@
+lib/cobj/catalog.mli: Fmt Table

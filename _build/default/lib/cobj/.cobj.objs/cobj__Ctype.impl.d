@@ -1,0 +1,1 @@
+lib/cobj/ctype.ml: Fmt List Option Printf Stdlib String Value

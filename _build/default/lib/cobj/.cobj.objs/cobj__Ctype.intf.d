@@ -1,0 +1,1 @@
+lib/cobj/ctype.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/cobj/env.ml: Fmt List String Value

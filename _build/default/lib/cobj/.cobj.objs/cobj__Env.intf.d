@@ -1,0 +1,1 @@
+lib/cobj/env.mli: Fmt Value

@@ -1,0 +1,1 @@
+lib/cobj/table.ml: Ctype Fmt Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/cobj/table.mli: Ctype Fmt Value

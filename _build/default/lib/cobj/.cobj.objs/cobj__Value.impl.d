@@ -1,0 +1,1 @@
+lib/cobj/value.ml: Bool Float Fmt Format Hashtbl Int List Printf String

@@ -1,0 +1,1 @@
+lib/cobj/value.mli: Fmt Format Seq

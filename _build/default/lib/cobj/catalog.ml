@@ -1,0 +1,17 @@
+module String_map = Map.Make (String)
+
+type t = Table.t String_map.t
+
+let empty = String_map.empty
+let add table cat = String_map.add (Table.name table) table cat
+let of_tables tables = List.fold_left (fun cat t -> add t cat) empty tables
+let find name cat = String_map.find_opt name cat
+let find_exn name cat = String_map.find name cat
+let mem name cat = String_map.mem name cat
+let names cat = List.map fst (String_map.bindings cat)
+let tables cat = List.map snd (String_map.bindings cat)
+
+let pp ppf cat =
+  Fmt.pf ppf "@[<v>%a@]"
+    (Fmt.list ~sep:(Fmt.any "@,@,") Table.pp)
+    (tables cat)

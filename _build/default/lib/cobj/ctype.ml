@@ -1,0 +1,190 @@
+type t =
+  | TAny
+  | TBool
+  | TInt
+  | TFloat
+  | TString
+  | TTuple of (string * t) list
+  | TSet of t
+  | TList of t
+  | TVariant of (string * t) list
+
+let sorted_unique what fields =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Ctype.%s: duplicate label %S" what a)
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  sorted
+
+let tvariant cases = TVariant (sorted_unique "tvariant" cases)
+
+let variant_case tag = function
+  | TVariant cases -> List.assoc_opt tag cases
+  | TAny | TBool | TInt | TFloat | TString | TTuple _ | TSet _ | TList _ ->
+    None
+
+let ttuple fields =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Ctype.ttuple: duplicate label %S" a)
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  TTuple sorted
+
+(* Structural compare is fine here: the representation contains no cycles or
+   functional values, and field lists are sorted. *)
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let equal a b = compare a b = 0
+
+let field l = function
+  | TTuple fields -> List.assoc_opt l fields
+  | TAny | TBool | TInt | TFloat | TString | TSet _ | TList _ | TVariant _ ->
+    None
+
+let element = function
+  | TSet t | TList t -> Some t
+  | TAny | TBool | TInt | TFloat | TString | TTuple _ | TVariant _ -> None
+
+let is_collection = function
+  | TSet _ | TList _ -> true
+  | TAny | TBool | TInt | TFloat | TString | TTuple _ | TVariant _ -> false
+
+let is_numeric = function
+  | TInt | TFloat -> true
+  | TAny | TBool | TString | TTuple _ | TSet _ | TList _ | TVariant _ -> false
+
+let rec conforms v t =
+  match v, t with
+  | Value.Null, _ -> true
+  | _, TAny -> true
+  | Value.Bool _, TBool -> true
+  | Value.Int _, TInt -> true
+  | Value.Float _, TFloat -> true
+  | Value.Int _, TFloat -> true
+  | Value.String _, TString -> true
+  | Value.Tuple fields, TTuple tfields ->
+    List.length fields = List.length tfields
+    && List.for_all2
+         (fun (l, v) (tl, tv) -> String.equal l tl && conforms v tv)
+         fields tfields
+  | Value.Set xs, TSet te | Value.List xs, TList te ->
+    List.for_all (fun x -> conforms x te) xs
+  | Value.Variant (tag, payload), TVariant cases -> begin
+    match List.assoc_opt tag cases with
+    | Some tp -> conforms payload tp
+    | None -> false
+  end
+  | ( Value.(
+        Bool _ | Int _ | Float _ | String _ | Tuple _ | Set _ | List _
+        | Variant _),
+      ( TBool | TInt | TFloat | TString | TTuple _ | TSet _ | TList _
+      | TVariant _ ) ) ->
+    false
+
+let rec join a b =
+  if equal a b then Some a
+  else
+    match a, b with
+    | TAny, t | t, TAny -> Some t
+    | TInt, TFloat | TFloat, TInt -> Some TFloat
+    | TTuple xs, TTuple ys when List.length xs = List.length ys ->
+      let rec fields xs ys =
+        match xs, ys with
+        | [], [] -> Some []
+        | (lx, tx) :: xs', (ly, ty) :: ys' when String.equal lx ly -> (
+          match join tx ty, fields xs' ys' with
+          | Some t, Some rest -> Some ((lx, t) :: rest)
+          | _, _ -> None)
+        | _, _ -> None
+      in
+      Option.map (fun fs -> TTuple fs) (fields xs ys)
+    | TSet x, TSet y -> Option.map (fun t -> TSet t) (join x y)
+    | TList x, TList y -> Option.map (fun t -> TList t) (join x y)
+    | TVariant xs, TVariant ys ->
+      (* width join: the union of alternatives; shared tags join payloads *)
+      let rec union xs ys =
+        match xs, ys with
+        | [], rest | rest, [] -> Some rest
+        | (tx, px) :: xs', (ty, py) :: ys' ->
+          let c = String.compare tx ty in
+          if c = 0 then
+            match join px py, union xs' ys' with
+            | Some p, Some rest -> Some ((tx, p) :: rest)
+            | _, _ -> None
+          else if c < 0 then
+            Option.map (fun rest -> (tx, px) :: rest) (union xs' ys)
+          else Option.map (fun rest -> (ty, py) :: rest) (union xs ys')
+      in
+      Option.map (fun cases -> TVariant cases) (union xs ys)
+    | _, _ -> None
+
+let rec infer v =
+  match v with
+  | Value.Null -> Some TAny
+  | Value.Bool _ -> Some TBool
+  | Value.Int _ -> Some TInt
+  | Value.Float _ -> Some TFloat
+  | Value.String _ -> Some TString
+  | Value.Tuple fields ->
+    let rec go = function
+      | [] -> Some []
+      | (l, x) :: rest -> (
+        match infer x, go rest with
+        | Some t, Some ts -> Some ((l, t) :: ts)
+        | _, _ -> None)
+    in
+    Option.map (fun fs -> TTuple fs) (go fields)
+  | Value.Set xs -> Option.map (fun t -> TSet t) (infer_elements xs)
+  | Value.List xs -> Option.map (fun t -> TList t) (infer_elements xs)
+  | Value.Variant (tag, payload) ->
+    Option.map (fun t -> TVariant [ (tag, t) ]) (infer payload)
+
+and infer_elements = function
+  | [] -> Some TAny
+  | x :: rest ->
+    List.fold_left
+      (fun acc y ->
+        match acc, infer y with
+        | Some t, Some ty -> join t ty
+        | _, _ -> None)
+      (infer x) rest
+
+let rec pp ppf = function
+  | TAny -> Fmt.string ppf "ANY"
+  | TBool -> Fmt.string ppf "BOOL"
+  | TInt -> Fmt.string ppf "INT"
+  | TFloat -> Fmt.string ppf "FLOAT"
+  | TString -> Fmt.string ppf "STRING"
+  | TTuple fields ->
+    Fmt.pf ppf "(@[%a@])"
+      (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (l, t) ->
+           Fmt.pf ppf "%s : %a" l pp t))
+      fields
+  | TSet t -> Fmt.pf ppf "P %a" pp_atom t
+  | TList t -> Fmt.pf ppf "L %a" pp_atom t
+  | TVariant cases ->
+    Fmt.pf ppf "V (@[%a@])"
+      (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (tag, t) ->
+           Fmt.pf ppf "%s : %a" tag pp t))
+      cases
+
+and pp_atom ppf t =
+  match t with
+  | TSet _ | TList _ -> Fmt.pf ppf "(%a)" pp t
+  | TAny | TBool | TInt | TFloat | TString | TTuple _ | TVariant _ -> pp ppf t
+
+let to_string t = Fmt.str "%a" pp t

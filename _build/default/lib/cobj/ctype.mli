@@ -1,0 +1,57 @@
+(** Types of complex-object values.
+
+    TM attribute types are built from basic types with the tuple, variant,
+    set and list constructors, arbitrarily nested — the full constructor
+    set of the paper's §3.1. *)
+
+type t =
+  | TAny  (** unknown type: the type of [Null] and of empty-set literals;
+              bottom of the [join] order — joins with every type *)
+  | TBool
+  | TInt
+  | TFloat
+  | TString
+  | TTuple of (string * t) list  (** fields sorted by label *)
+  | TSet of t
+  | TList of t
+  | TVariant of (string * t) list
+      (** tagged alternatives, sorted by tag; a value carries exactly one *)
+
+val ttuple : (string * t) list -> t
+(** Sorts fields; raises [Invalid_argument] on duplicate labels. *)
+
+val tvariant : (string * t) list -> t
+(** Sorts alternatives; raises [Invalid_argument] on duplicate tags. *)
+
+val variant_case : string -> t -> t option
+(** Payload type of a tag in a variant type. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val field : string -> t -> t option
+(** Field type of a tuple type. *)
+
+val element : t -> t option
+(** Element type of a set or list type. *)
+
+val is_collection : t -> bool
+val is_numeric : t -> bool
+
+val conforms : Value.t -> t -> bool
+(** [conforms v t] checks [v] deeply against [t]. [Null] conforms to every
+    type (it appears only as outerjoin padding). *)
+
+val infer : Value.t -> t option
+(** Best-effort type of a closed value. [None] for values containing [Null]
+    or empty collections in positions where the element type is unknown...
+    empty sets infer as [TSet TInt] by convention; heterogeneous collections
+    yield [None]. *)
+
+val join : t -> t -> t option
+(** Least common type of two types, if any (used to type set literals and
+    UNION): identical types join; [TInt]/[TFloat] join to [TFloat];
+    tuples join fieldwise. *)
+
+val pp : t Fmt.t
+val to_string : t -> string

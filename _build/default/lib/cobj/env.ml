@@ -1,0 +1,36 @@
+type t = (string * Value.t) list
+(* Invariant: variable names are unique; most recent binding first. *)
+
+let empty = []
+let lookup x env = List.assoc_opt x env
+
+let find x env =
+  match lookup x env with
+  | Some v -> v
+  | None -> Value.type_error "unbound variable %s" x
+
+let mem x env = List.mem_assoc x env
+let unbind x env = List.filter (fun (y, _) -> not (String.equal x y)) env
+let bind x v env = (x, v) :: unbind x env
+let vars env = List.map fst env
+let bindings env = env
+
+let of_bindings bs =
+  List.fold_left (fun env (x, v) -> bind x v env) empty (List.rev bs)
+
+let project xs env = List.map (fun x -> (x, find x env)) xs
+
+let append a b =
+  List.fold_left (fun env (x, v) -> bind x v env) b (List.rev a)
+
+let to_value env =
+  Value.tuple (List.map (fun (x, v) -> (x, v)) env)
+
+let compare a b = Value.compare (to_value a) (to_value b)
+let equal a b = compare a b = 0
+
+let pp ppf env =
+  Fmt.pf ppf "{@[%a@]}"
+    (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (x, v) ->
+         Fmt.pf ppf "%s ↦ %a" x Value.pp v))
+    env

@@ -1,0 +1,144 @@
+module Value_tbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+type t = {
+  name : string;
+  elt : Ctype.t;
+  rows : Value.t list;
+  key : string list option;
+  distinct_cache : (string, int option) Hashtbl.t;
+  index_cache : (string, Value.t list Value_tbl.t) Hashtbl.t;
+}
+
+let verify_key rows fields =
+  let seen = Hashtbl.create 64 in
+  List.for_all
+    (fun row ->
+      let k = Value.tuple (List.map (fun f -> (f, Value.field f row)) fields) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    rows
+
+let create ?key ~name ~elt values =
+  List.iter
+    (fun v ->
+      if not (Ctype.conforms v elt) then
+        invalid_arg
+          (Fmt.str "Table.create %s: row %a does not conform to %a" name
+             Value.pp v Ctype.pp elt))
+    values;
+  let rows = List.sort_uniq Value.compare values in
+  (match key with
+  | Some fields when not (verify_key rows fields) ->
+    invalid_arg
+      (Fmt.str "Table.create %s: declared key {%s} is not unique" name
+         (String.concat ", " fields))
+  | Some _ | None -> ());
+  {
+    name;
+    elt;
+    rows;
+    key;
+    distinct_cache = Hashtbl.create 4;
+    index_cache = Hashtbl.create 4;
+  }
+
+let name t = t.name
+let elt t = t.elt
+let rows t = t.rows
+let cardinality t = List.length t.rows
+let key t = t.key
+let to_value t = Value.Set t.rows
+
+let build_index field t =
+  let index = Value_tbl.create (max 16 (List.length t.rows)) in
+  List.iter
+    (fun row ->
+      match Value.field_opt field row with
+      | None -> ()
+      | Some v ->
+        let bucket = try Value_tbl.find index v with Not_found -> [] in
+        Value_tbl.replace index v (row :: bucket))
+    t.rows;
+  (* restore table order within buckets *)
+  Value_tbl.filter_map_inplace (fun _ bucket -> Some (List.rev bucket)) index;
+  index
+
+let index_lookup field t v =
+  let index =
+    match Hashtbl.find_opt t.index_cache field with
+    | Some index -> index
+    | None ->
+      let index = build_index field t in
+      Hashtbl.add t.index_cache field index;
+      index
+  in
+  match Value_tbl.find_opt index v with
+  | Some rows -> rows
+  | None -> []
+
+let has_index field t = Hashtbl.mem t.index_cache field
+
+let distinct_count field t =
+  match Hashtbl.find_opt t.distinct_cache field with
+  | Some cached -> cached
+  | None ->
+    let result =
+      let seen = Hashtbl.create 64 in
+      let rec count = function
+        | [] -> Some (Hashtbl.length seen)
+        | row :: rest -> (
+          match Value.field_opt field row with
+          | None -> None
+          | Some v ->
+            Hashtbl.replace seen v ();
+            count rest)
+      in
+      count t.rows
+    in
+    Hashtbl.add t.distinct_cache field result;
+    result
+
+(* Grid rendering for flat tuple rows; falls back to one value per line. *)
+let pp ppf t =
+  let flat_labels =
+    match t.elt with
+    | Ctype.TTuple fields -> Some (List.map fst fields)
+    | Ctype.(TAny | TBool | TInt | TFloat | TString | TSet _ | TList _
+             | TVariant _) ->
+      None
+  in
+  match flat_labels with
+  | None ->
+    Fmt.pf ppf "@[<v>%s (%d rows)@,%a@]" t.name (cardinality t)
+      (Fmt.list ~sep:Fmt.cut Value.pp)
+      t.rows
+  | Some labels ->
+    let cell row l = Value.to_string (Value.field l row) in
+    let widths =
+      List.map
+        (fun l ->
+          List.fold_left
+            (fun w row -> max w (String.length (cell row l)))
+            (String.length l) t.rows)
+        labels
+    in
+    let pad s w = s ^ String.make (max 0 (w - String.length s)) ' ' in
+    let render_row cells =
+      String.concat " | " (List.map2 pad cells widths)
+    in
+    let header = render_row labels in
+    let rule = String.make (String.length header) '-' in
+    Fmt.pf ppf "@[<v>%s (%d rows)@,%s@,%s" t.name (cardinality t) header rule;
+    List.iter
+      (fun row ->
+        Fmt.pf ppf "@,%s" (render_row (List.map (cell row) labels)))
+      t.rows;
+    Fmt.pf ppf "@]"

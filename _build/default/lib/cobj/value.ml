@@ -1,0 +1,229 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | Tuple of (string * t) list
+  | Set of t list
+  | List of t list
+  | Variant of string * t
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* Constructor rank for the total order across constructors. [Int] and
+   [Float] share a rank so that they compare numerically. *)
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | String _ -> 3
+  | Tuple _ -> 4
+  | Set _ -> 5
+  | List _ -> 6
+  | Variant _ -> 7
+
+let rec compare a b =
+  match a, b with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | String x, String y -> String.compare x y
+  | Tuple xs, Tuple ys -> compare_fields xs ys
+  | Set xs, Set ys | List xs, List ys -> compare_lists xs ys
+  | Variant (t1, v1), Variant (t2, v2) ->
+    let c = String.compare t1 t2 in
+    if c <> 0 then c else compare v1 v2
+  | ( ( Null | Bool _ | Int _ | Float _ | String _ | Tuple _ | Set _ | List _
+      | Variant _ ),
+      _ ) ->
+    Int.compare (rank a) (rank b)
+
+and compare_lists xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | x :: xs', y :: ys' ->
+    let c = compare x y in
+    if c <> 0 then c else compare_lists xs' ys'
+
+and compare_fields xs ys =
+  match xs, ys with
+  | [], [] -> 0
+  | [], _ :: _ -> -1
+  | _ :: _, [] -> 1
+  | (lx, x) :: xs', (ly, y) :: ys' ->
+    let c = String.compare lx ly in
+    if c <> 0 then c
+    else
+      let c = compare x y in
+      if c <> 0 then c else compare_fields xs' ys'
+
+let equal a b = compare a b = 0
+
+let rec hash v =
+  match v with
+  | Null -> 17
+  | Bool b -> if b then 3 else 5
+  | Int i -> Hashtbl.hash (float_of_int i)
+  | Float f -> Hashtbl.hash f
+  | String s -> Hashtbl.hash s
+  | Tuple fields ->
+    List.fold_left
+      (fun acc (l, x) -> (acc * 31) + Hashtbl.hash l + hash x)
+      7 fields
+  | Set xs -> List.fold_left (fun acc x -> (acc * 37) + hash x) 11 xs
+  | List xs -> List.fold_left (fun acc x -> (acc * 41) + hash x) 13 xs
+  | Variant (tag, v) -> (Hashtbl.hash tag * 43) + hash v
+
+let tuple fields =
+  let sorted =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) fields
+  in
+  let rec check = function
+    | (a, _) :: ((b, _) :: _ as rest) ->
+      if String.equal a b then
+        invalid_arg (Printf.sprintf "Value.tuple: duplicate label %S" a)
+      else check rest
+    | [ _ ] | [] -> ()
+  in
+  check sorted;
+  Tuple sorted
+
+let set elems = Set (List.sort_uniq compare elems)
+let set_of_seq seq = set (List.of_seq seq)
+
+let field_opt l = function
+  | Tuple fields -> List.assoc_opt l fields
+  | Null | Bool _ | Int _ | Float _ | String _ | Set _ | List _ | Variant _ ->
+    None
+
+let rec pp ppf v =
+  match v with
+  | Null -> Fmt.string ppf "null"
+  | Bool b -> Fmt.bool ppf b
+  | Int i -> Fmt.int ppf i
+  | Float f -> Fmt.pf ppf "%F" f
+  | String s -> Fmt.pf ppf "%S" s
+  | Tuple fields ->
+    Fmt.pf ppf "(@[%a@])"
+      (Fmt.list ~sep:(Fmt.any ",@ ") pp_field)
+      fields
+  | Set xs -> Fmt.pf ppf "{@[%a@]}" (Fmt.list ~sep:(Fmt.any ",@ ") pp) xs
+  | List xs -> Fmt.pf ppf "[@[%a@]]" (Fmt.list ~sep:(Fmt.any ",@ ") pp) xs
+  | Variant (tag, v) -> Fmt.pf ppf "%s!(%a)" tag pp v
+
+and pp_field ppf (l, v) = Fmt.pf ppf "%s = %a" l pp v
+
+let to_string v = Fmt.str "%a" pp v
+
+let field l v =
+  match field_opt l v with
+  | Some x -> x
+  | None -> type_error "no field %S in %s" l (to_string v)
+
+let elements = function
+  | Set xs | List xs -> xs
+  | (Null | Bool _ | Int _ | Float _ | String _ | Tuple _ | Variant _) as v ->
+    type_error "expected a collection, got %s" (to_string v)
+
+let variant_tag = function
+  | Variant (tag, _) -> tag
+  | v -> type_error "expected a variant, got %s" (to_string v)
+
+let variant_payload tag = function
+  | Variant (t, payload) when String.equal t tag -> payload
+  | Variant (t, _) -> type_error "variant tagged %s, expected %s" t tag
+  | v -> type_error "expected a variant, got %s" (to_string v)
+
+let as_bool = function
+  | Bool b -> b
+  | v -> type_error "expected a boolean, got %s" (to_string v)
+
+let as_int = function
+  | Int i -> i
+  | v -> type_error "expected an integer, got %s" (to_string v)
+
+let as_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | v -> type_error "expected a number, got %s" (to_string v)
+
+let as_string = function
+  | String s -> s
+  | v -> type_error "expected a string, got %s" (to_string v)
+
+let as_set = function
+  | Set xs -> xs
+  | v -> type_error "expected a set, got %s" (to_string v)
+
+(* Set operations exploit the sortedness invariant for linear merges. *)
+
+let set_mem x s =
+  let rec mem = function
+    | [] -> false
+    | y :: rest ->
+      let c = compare x y in
+      if c = 0 then true else if c < 0 then false else mem rest
+  in
+  mem (as_set s)
+
+let set_union a b =
+  let rec merge xs ys =
+    match xs, ys with
+    | [], rest | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then x :: merge xs' ys'
+      else if c < 0 then x :: merge xs' ys
+      else y :: merge xs ys'
+  in
+  Set (merge (as_set a) (as_set b))
+
+let set_inter a b =
+  let rec inter xs ys =
+    match xs, ys with
+    | [], _ | _, [] -> []
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then x :: inter xs' ys'
+      else if c < 0 then inter xs' ys
+      else inter xs ys'
+  in
+  Set (inter (as_set a) (as_set b))
+
+let set_diff a b =
+  let rec diff xs ys =
+    match xs, ys with
+    | [], _ -> []
+    | rest, [] -> rest
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then diff xs' ys
+      else if c < 0 then x :: diff xs' ys
+      else diff xs ys'
+  in
+  Set (diff (as_set a) (as_set b))
+
+let set_subseteq a b =
+  let rec sub xs ys =
+    match xs, ys with
+    | [], _ -> true
+    | _ :: _, [] -> false
+    | x :: xs', y :: ys' ->
+      let c = compare x y in
+      if c = 0 then sub xs' ys' else if c < 0 then false else sub xs ys'
+  in
+  sub (as_set a) (as_set b)
+
+let set_card s = List.length (as_set s)
+let set_is_empty s = as_set s = []
+
+let set_subset a b =
+  set_subseteq a b && set_card a < set_card b

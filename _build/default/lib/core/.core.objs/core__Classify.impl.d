@@ -1,0 +1,1 @@
+lib/core/classify.ml: Cobj Fmt Format Lang List Option String

@@ -1,0 +1,1 @@
+lib/core/cost.ml: Algebra Cobj Engine Float Lang String

@@ -1,0 +1,1 @@
+lib/core/decorrelate.ml: Algebra Classify Cobj Fun Lang List String

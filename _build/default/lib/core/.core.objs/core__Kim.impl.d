@@ -1,0 +1,1 @@
+lib/core/kim.ml: Algebra Classify Cobj Decorrelate Lang List

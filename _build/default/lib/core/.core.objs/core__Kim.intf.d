@@ -1,0 +1,1 @@
+lib/core/kim.mli: Algebra Lang

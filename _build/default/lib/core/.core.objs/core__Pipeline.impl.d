@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Algebra Buffer Cobj Cost Decorrelate Engine Fmt Format Kim Lang Logs Option Planner Reorder Result Rewrite Simplify Translate

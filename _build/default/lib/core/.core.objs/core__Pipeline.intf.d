@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Algebra Cobj Engine Lang Planner

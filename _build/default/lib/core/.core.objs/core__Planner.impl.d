@@ -1,0 +1,1 @@
+lib/core/planner.ml: Algebra Cobj Cost Engine Kim Lang List Printf String

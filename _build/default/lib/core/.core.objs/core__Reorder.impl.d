@@ -1,0 +1,1 @@
+lib/core/reorder.ml: Algebra Cost Lang Option

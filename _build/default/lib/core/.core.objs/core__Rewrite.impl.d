@@ -1,0 +1,1 @@
+lib/core/rewrite.ml: Algebra Cobj Lang List

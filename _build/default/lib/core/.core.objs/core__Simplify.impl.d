@@ -1,0 +1,1 @@
+lib/core/simplify.ml: Algebra Cobj Lang List Option String

@@ -1,0 +1,1 @@
+lib/core/simplify.mli: Algebra Cobj Lang

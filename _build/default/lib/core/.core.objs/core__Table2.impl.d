@@ -1,0 +1,1 @@
+lib/core/table2.ml: Classify Lang

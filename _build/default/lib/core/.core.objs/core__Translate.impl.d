@@ -1,0 +1,1 @@
+lib/core/translate.ml: Algebra Classify Cobj Fmt Lang List Option

@@ -1,0 +1,285 @@
+module Ast = Lang.Ast
+
+type verdict =
+  | Exists of { var : string; body : Ast.expr }
+  | Not_exists of { var : string; body : Ast.expr }
+  | Needs_grouping of string
+
+let negate = function
+  | Exists { var; body } -> Not_exists { var; body }
+  | Not_exists { var; body } -> Exists { var; body }
+  | Needs_grouping _ as v -> v
+
+(* All identifiers occurring in an expression, free or bound — used to pick
+   capture-proof fresh variables. *)
+let rec all_vars acc e =
+  match e with
+  | Ast.Const _ | Ast.TableRef _ -> acc
+  | Ast.Var x -> Ast.String_set.add x acc
+  | Ast.Field (e1, _) | Ast.Unop (_, e1) | Ast.Agg (_, e1) | Ast.UnnestE e1
+  | Ast.VariantE (_, e1) | Ast.IsTag (e1, _) | Ast.AsTag (e1, _) ->
+    all_vars acc e1
+  | Ast.If (c, a, b) -> all_vars (all_vars (all_vars acc c) a) b
+  | Ast.TupleE fields ->
+    List.fold_left (fun acc (_, e1) -> all_vars acc e1) acc fields
+  | Ast.SetE es | Ast.ListE es -> List.fold_left all_vars acc es
+  | Ast.Binop (_, a, b) -> all_vars (all_vars acc a) b
+  | Ast.Quant (_, v, s, p) ->
+    all_vars (all_vars (Ast.String_set.add v acc) s) p
+  | Ast.Let (v, d, b) -> all_vars (all_vars (Ast.String_set.add v acc) d) b
+  | Ast.Sfw { select; from; where } ->
+    let acc = all_vars acc select in
+    let acc =
+      List.fold_left
+        (fun acc (v, op) -> all_vars (Ast.String_set.add v acc) op)
+        acc from
+    in
+    Option.fold ~none:acc ~some:(all_vars acc) where
+
+let flip_cmp = function
+  | Ast.Lt -> Ast.Gt
+  | Ast.Le -> Ast.Ge
+  | Ast.Gt -> Ast.Lt
+  | Ast.Ge -> Ast.Le
+  | (Ast.Eq | Ast.Ne) as op -> op
+  | op -> op
+
+let is_empty_set = function
+  | Ast.SetE [] | Ast.Const (Cobj.Value.Set []) -> true
+  | _ -> false
+
+let vtrue = Ast.vbool true
+
+let classify ~z p =
+  let used = ref (Ast.String_set.add z (all_vars Ast.String_set.empty p)) in
+  let fresh () =
+    let v = Ast.fresh !used "v" in
+    used := Ast.String_set.add v !used;
+    v
+  in
+  let free e = Ast.occurs_free z e in
+  let is_z e = match e with Ast.Var x -> String.equal x z | _ -> false in
+  let ng fmt = Format.kasprintf (fun s -> Needs_grouping s) fmt in
+  let enot e = Ast.Unop (Ast.Not, e) in
+  let emem a b = Ast.Binop (Ast.Mem, a, b) in
+
+  (* [S = ∅] for a set expression [S] containing z, unfolded to a predicate
+     classified recursively. Returns the predicate, or None if the shape is
+     out of scope. *)
+  let rec emptiness s =
+    if is_z s then Some (Not_exists { var = fresh (); body = vtrue })
+    else
+      match s with
+      | Ast.Binop (Ast.Inter, a, b) when is_z a && not (free b) ->
+        (* z ∩ b = ∅  ≡  ¬∃v ∈ z (v ∈ b) *)
+        let v = fresh () in
+        Some (Not_exists { var = v; body = emem (Ast.Var v) b })
+      | Ast.Binop (Ast.Inter, a, b) when is_z b && not (free a) ->
+        let v = fresh () in
+        Some (Not_exists { var = v; body = emem (Ast.Var v) a })
+      | Ast.Binop (Ast.Union, a, b) ->
+        (* a ∪ b = ∅  ≡  a = ∅ ∧ b = ∅ *)
+        Some
+          (go
+             (Ast.Binop
+                ( Ast.And,
+                  Ast.Binop (Ast.Eq, a, Ast.SetE []),
+                  Ast.Binop (Ast.Eq, b, Ast.SetE []) )))
+      | Ast.Binop (Ast.Diff, a, b) when is_z a && not (free b) ->
+        (* z ∖ b = ∅  ≡  z ⊆ b  ≡  ¬∃v ∈ z (v ∉ b) *)
+        let v = fresh () in
+        Some (Not_exists { var = v; body = enot (emem (Ast.Var v) b) })
+      | _ -> None
+
+  and go p =
+    if not (free p) then ng "z not free in predicate"
+    else
+      match p with
+      | Ast.Unop (Ast.Not, p1) -> negate (go p1)
+      | Ast.Let (v, def, body) -> go (Ast.subst v def body)
+      (* --- membership ------------------------------------------------ *)
+      | Ast.Binop (Ast.Mem, e, s) when free s && not (free e) ->
+        membership e s
+      | Ast.Binop (Ast.Mem, _, _) -> ng "z on the element side of ∈"
+      (* --- quantifiers ------------------------------------------------ *)
+      | Ast.Quant (Ast.Forall, v, s, body) ->
+        (* ∀v ∈ s (B) ≡ ¬∃v ∈ s (¬B) *)
+        negate (go (Ast.Quant (Ast.Exists, v, s, enot body)))
+      | Ast.Quant (Ast.Exists, v, s, body) when is_z s ->
+        if free body then ng "z occurs both as range and in body of ∃"
+        else Exists { var = v; body }
+      | Ast.Quant (Ast.Exists, v, s, body) when free s ->
+        (* unfold set operators in the range *)
+        begin
+          match s with
+          | Ast.Binop (Ast.Inter, a, b) ->
+            go
+              (Ast.Quant
+                 ( Ast.Exists,
+                   v,
+                   a,
+                   Ast.Binop (Ast.And, body, emem (Ast.Var v) b) ))
+          | Ast.Binop (Ast.Diff, a, b) ->
+            go
+              (Ast.Quant
+                 ( Ast.Exists,
+                   v,
+                   a,
+                   Ast.Binop (Ast.And, body, enot (emem (Ast.Var v) b)) ))
+          | Ast.Binop (Ast.Union, a, b) ->
+            go
+              (Ast.Binop
+                 ( Ast.Or,
+                   Ast.Quant (Ast.Exists, v, a, body),
+                   Ast.Quant (Ast.Exists, v, b, body) ))
+          | _ -> ng "quantifier over a complex z-expression"
+        end
+      | Ast.Quant (Ast.Exists, w, s, body) ->
+        (* z occurs in the body only; if the body is an ∃-over-z, the
+           quantifiers commute: ∃w ∈ s ∃v ∈ z (B) ≡ ∃v ∈ z ∃w ∈ s (B). *)
+        begin
+          match go body with
+          | Exists { var; body = inner } ->
+            Exists { var; body = Ast.Quant (Ast.Exists, w, s, inner) }
+          | Not_exists _ -> ng "¬∃ under an existential quantifier"
+          | Needs_grouping _ as v -> v
+        end
+      (* --- boolean connectives ---------------------------------------- *)
+      | Ast.Binop (Ast.And, p1, p2) when free p1 && free p2 ->
+        ng "z occurs in both conjuncts"
+      | Ast.Binop (Ast.And, p1, p2) ->
+        let zpart, rest = if free p1 then (p1, p2) else (p2, p1) in
+        begin
+          match go zpart with
+          | Exists { var; body } ->
+            Exists { var; body = Ast.Binop (Ast.And, body, rest) }
+          | Not_exists _ -> ng "¬∃ conjoined with a z-free predicate"
+          | Needs_grouping _ as v -> v
+        end
+      | Ast.Binop (Ast.Or, p1, p2) when free p1 && free p2 ->
+        ng "z occurs in both disjuncts"
+      | Ast.Binop (Ast.Or, p1, p2) ->
+        let zpart, rest = if free p1 then (p1, p2) else (p2, p1) in
+        begin
+          match go zpart with
+          | Not_exists { var; body } ->
+            Not_exists { var; body = Ast.Binop (Ast.And, body, enot rest) }
+          | Exists _ -> ng "∃ disjoined with a z-free predicate"
+          | Needs_grouping _ as v -> v
+        end
+      (* --- emptiness -------------------------------------------------- *)
+      | Ast.Binop (Ast.Eq, s, e) when is_empty_set e && free s -> begin
+        match emptiness s with
+        | Some v -> v
+        | None -> ng "= ∅ on a complex z-expression"
+      end
+      | Ast.Binop (Ast.Eq, e, s) when is_empty_set e && free s -> begin
+        match emptiness s with
+        | Some v -> v
+        | None -> ng "= ∅ on a complex z-expression"
+      end
+      | Ast.Binop (Ast.Ne, s, e) when is_empty_set e && free s ->
+        negate (go (Ast.Binop (Ast.Eq, s, e)))
+      | Ast.Binop (Ast.Ne, e, s) when is_empty_set e && free s ->
+        negate (go (Ast.Binop (Ast.Eq, e, s)))
+      (* --- aggregates -------------------------------------------------- *)
+      | Ast.Binop (op, Ast.Agg (agg, s), e) when is_z s && not (free e) ->
+        aggregate op agg e
+      | Ast.Binop (op, e, Ast.Agg (agg, s)) when is_z s && not (free e) ->
+        aggregate (flip_cmp op) agg e
+      (* --- set comparisons --------------------------------------------- *)
+      | Ast.Binop (Ast.Subseteq, s, e) when is_z s && not (free e) ->
+        (* z ⊆ e ≡ ¬∃v ∈ z (v ∉ e) *)
+        let v = fresh () in
+        Not_exists { var = v; body = enot (emem (Ast.Var v) e) }
+      | Ast.Binop (Ast.Supseteq, e, s) when is_z s && not (free e) ->
+        go (Ast.Binop (Ast.Subseteq, s, e))
+      | Ast.Binop (Ast.Subseteq, e, s) when is_z s && not (free e) ->
+        ng "e ⊆ z requires the whole subquery result"
+      | Ast.Binop (Ast.Supseteq, s, e) when is_z s && not (free e) ->
+        ng "z ⊇ e requires the whole subquery result"
+      | Ast.Binop ((Ast.Subset | Ast.Supset), a, b)
+        when (free a || free b) && not (free a && free b) ->
+        ng "strict set inclusion needs cardinalities"
+      | Ast.Binop (Ast.Eq, a, b) when free a || free b ->
+        (* set equality z = e (emptiness handled above) *)
+        ng "set equality with z"
+      | Ast.Binop (Ast.Ne, a, b) when free a || free b -> begin
+        (* z ≠ e ≡ ¬(z = e): try emptiness through negation first. *)
+        match go (enot (Ast.Binop (Ast.Eq, a, b))) with
+        | Needs_grouping _ -> ng "set inequality with z"
+        | v -> v
+      end
+      | _ -> ng "unrecognized use of z"
+
+  and membership e s =
+    if is_z s then
+      let v = fresh () in
+      Exists { var = v; body = Ast.Binop (Ast.Eq, Ast.Var v, e) }
+    else
+      match s with
+      | Ast.Binop (Ast.Inter, a, b) ->
+        go (Ast.Binop (Ast.And, emem e a, emem e b))
+      | Ast.Binop (Ast.Union, a, b) ->
+        go (Ast.Binop (Ast.Or, emem e a, emem e b))
+      | Ast.Binop (Ast.Diff, a, b) ->
+        go (Ast.Binop (Ast.And, emem e a, enot (emem e b)))
+      | _ -> Needs_grouping "membership in a complex z-expression"
+
+  and aggregate op agg e =
+    let ng reason = Needs_grouping reason in
+    match agg, op, e with
+    (* count(z) compared with the constant 0 or 1 *)
+    | Ast.Count, Ast.Eq, Ast.Const (Cobj.Value.Int 0) ->
+      Not_exists { var = fresh (); body = vtrue }
+    | Ast.Count, Ast.Ne, Ast.Const (Cobj.Value.Int 0)
+    | Ast.Count, Ast.Gt, Ast.Const (Cobj.Value.Int 0)
+    | Ast.Count, Ast.Ge, Ast.Const (Cobj.Value.Int 1) ->
+      Exists { var = fresh (); body = vtrue }
+    | Ast.Count, Ast.Lt, Ast.Const (Cobj.Value.Int 1)
+    | Ast.Count, Ast.Le, Ast.Const (Cobj.Value.Int 0) ->
+      Not_exists { var = fresh (); body = vtrue }
+    | Ast.Count, _, _ -> ng "count(z) comparison needs the cardinality"
+    (* MIN/MAX one-sided bounds (extension): sound under the
+       undefined-aggregate-is-false reading — both sides false on z = ∅.
+       The opposite directions (max(z) < e etc.) would assert a bound on
+       every member AND non-emptiness, which is not a pure ∃/¬∃ form. *)
+    | Ast.Max, Ast.Gt, e ->
+      let v = fresh () in
+      Exists { var = v; body = Ast.Binop (Ast.Gt, Ast.Var v, e) }
+    | Ast.Max, Ast.Ge, e ->
+      let v = fresh () in
+      Exists { var = v; body = Ast.Binop (Ast.Ge, Ast.Var v, e) }
+    | Ast.Min, Ast.Lt, e ->
+      let v = fresh () in
+      Exists { var = v; body = Ast.Binop (Ast.Lt, Ast.Var v, e) }
+    | Ast.Min, Ast.Le, e ->
+      let v = fresh () in
+      Exists { var = v; body = Ast.Binop (Ast.Le, Ast.Var v, e) }
+    | (Ast.Max | Ast.Min), _, _ ->
+      ng "MIN/MAX comparison in a direction needing the whole set"
+    | (Ast.Sum | Ast.Avg), _, _ -> ng "SUM/AVG comparison needs the whole set"
+
+  in
+  match go p with
+  | (Exists { body; _ } | Not_exists { body; _ }) as v ->
+    if Ast.occurs_free z body then
+      Needs_grouping "internal: residual z in rewritten body"
+    else v
+  | Needs_grouping _ as v -> v
+
+let to_expr ~z = function
+  | Exists { var; body } ->
+    Some (Ast.Quant (Ast.Exists, var, Ast.Var z, body))
+  | Not_exists { var; body } ->
+    Some (Ast.Unop (Ast.Not, Ast.Quant (Ast.Exists, var, Ast.Var z, body)))
+  | Needs_grouping _ -> None
+
+let pp_verdict ppf = function
+  | Exists { var; body } ->
+    Fmt.pf ppf "∃%s ∈ z (%a)" var Lang.Pretty.pp_math body
+  | Not_exists { var; body } ->
+    Fmt.pf ppf "¬∃%s ∈ z (%a)" var Lang.Pretty.pp_math body
+  | Needs_grouping reason -> Fmt.pf ppf "needs grouping — %s" reason
+
+let all_vars_of e = all_vars Ast.String_set.empty e

@@ -1,0 +1,51 @@
+(** Predicate classification — Theorem 1 and Table 2 of the paper.
+
+    Given the predicate [P(x, z)] between two query blocks, where [z] names
+    the (set-valued) subquery result, decide whether grouping of the inner
+    operand is necessary:
+
+    - [P] rewritable to [∃v ∈ z (P'(x, v))] — no grouping; the nested query
+      flattens to a {b semijoin};
+    - [P] rewritable to [¬∃v ∈ z (P'(x, v))] — no grouping; it flattens to an
+      {b antijoin};
+    - otherwise the subquery result must be available as a whole — grouping
+      is required and the {b nest join} applies.
+
+    The classifier is a normalizing rewriter, not a pattern table: it pushes
+    negations, converts universal quantification over [z]
+    ([∀v ∈ z P ≡ ¬∃v ∈ z ¬P]), unfolds set operators applied to [z]
+    ([e ∈ z ∩ w ≡ e ∈ z ∧ e ∈ w] …), recognizes emptiness and count-bound
+    tests, and combines partial verdicts through the absorption laws
+    [∃v(B) ∧ C ≡ ∃v(B ∧ C)] and [¬∃v(B) ∨ C ≡ ¬∃v(B ∧ ¬C)] for [z]-free [C].
+    Every row of the paper's Table 2 is covered (see {!Table2}); the
+    MIN/MAX comparison rewrites ([e < max(z) ≡ ∃v ∈ z (e < v)] etc.) are an
+    extension beyond the paper, valid under the partial-aggregate semantics
+    of {!Lang.Interp.truth} (an undefined aggregate makes a predicate false).
+
+    Soundness is established empirically by qcheck tests: for every
+    classified predicate, the rewritten form agrees with the original on
+    randomized instances including [z = ∅]. *)
+
+type verdict =
+  | Exists of { var : string; body : Lang.Ast.expr }
+      (** [P ≡ ∃var ∈ z (body)]; [z] is not free in [body] *)
+  | Not_exists of { var : string; body : Lang.Ast.expr }
+      (** [P ≡ ¬∃var ∈ z (body)] *)
+  | Needs_grouping of string
+      (** no rewrite found; the payload says which subterm blocked it *)
+
+val classify : z:string -> Lang.Ast.expr -> verdict
+(** [classify ~z p] — [p] must be a boolean predicate; [z] the subquery
+    variable. If [z] is not free in [p] the verdict is
+    [Needs_grouping "z not free"] (the caller should not have asked). *)
+
+val to_expr : z:string -> verdict -> Lang.Ast.expr option
+(** The rewritten predicate ([∃v ∈ z (body)] or [NOT ∃v ∈ z (body)]),
+    [None] for [Needs_grouping]. Useful for printing Table 2 and for
+    equivalence tests. *)
+
+val pp_verdict : verdict Fmt.t
+
+val all_vars_of : Lang.Ast.expr -> Lang.Ast.String_set.t
+(** Every identifier occurring in the expression, free or bound — used by
+    callers that must invent fresh variable names. *)

@@ -1,0 +1,165 @@
+module Plan = Algebra.Plan
+module P = Engine.Physical
+
+(* Fixed selectivity constants: coarse but stable across benches. *)
+let sel_filter = 0.33
+let sel_equi = 0.1
+let sel_semi = 0.5
+let avg_set = 4.0
+
+let table_card catalog name =
+  match Cobj.Catalog.find name catalog with
+  | Some t -> float_of_int (Cobj.Table.cardinality t)
+  | None -> 1000.0
+
+(* Selectivity of an equi-join keyed by [rkey] against the right operand:
+   1 / distinct(rkey) when the right side is a base-table scan and the key
+   is a plain field — the classic System-R estimate; [sel_equi] otherwise. *)
+let equi_selectivity catalog right rkey =
+  match right, rkey with
+  | P.Scan { table; var }, Lang.Ast.Field (Lang.Ast.Var v, f)
+    when String.equal var v -> begin
+    match Cobj.Catalog.find table catalog with
+    | Some t -> begin
+      match Cobj.Table.distinct_count f t with
+      | Some d when d > 0 -> 1.0 /. float_of_int d
+      | _ -> sel_equi
+    end
+    | None -> sel_equi
+  end
+  | _, _ -> sel_equi
+
+let rec card catalog plan =
+  match plan with
+  | Plan.Unit -> 1.0
+  | Plan.Table { name; _ } -> table_card catalog name
+  | Plan.Select { input; _ } -> sel_filter *. card catalog input
+  | Plan.Join { pred; left; right } ->
+    let l = card catalog left and r = card catalog right in
+    let sel =
+      match pred with
+      | Lang.Ast.Const (Cobj.Value.Bool true) -> 1.0
+      | _ -> sel_equi
+    in
+    l *. r *. sel
+  | Plan.Semijoin { left; _ } | Plan.Antijoin { left; _ } ->
+    sel_semi *. card catalog left
+  | Plan.Outerjoin { left; right; _ } ->
+    Float.max (card catalog left) (card catalog left *. card catalog right *. sel_equi)
+  | Plan.Nestjoin { left; _ } -> card catalog left
+  | Plan.Unnest { input; _ } -> avg_set *. card catalog input
+  | Plan.Nest { input; _ } -> 0.5 *. card catalog input
+  | Plan.Extend { input; _ } | Plan.Apply { input; _ } -> card catalog input
+  | Plan.Project { input; _ } -> 0.8 *. card catalog input
+  | Plan.Union { left; right } -> card catalog left +. card catalog right
+
+let log2 x = if x < 2.0 then 1.0 else Float.log x /. Float.log 2.0
+
+(* Estimated output cardinality of a physical plan (mirrors [card]). *)
+let rec pcard catalog plan =
+  match plan with
+  | P.Unit_row -> 1.0
+  | P.Scan { table; _ } -> table_card catalog table
+  | P.Filter { input; _ } -> sel_filter *. pcard catalog input
+  | P.Nl_join { left; right; _ } ->
+    pcard catalog left *. pcard catalog right *. sel_equi
+  | P.Hash_join { left; right; rkey; _ }
+  | P.Merge_join { left; right; rkey; _ } ->
+    pcard catalog left *. pcard catalog right
+    *. equi_selectivity catalog right rkey
+  | P.Nl_semijoin { left; _ } | P.Hash_semijoin { left; _ }
+  | P.Merge_semijoin { left; _ } ->
+    sel_semi *. pcard catalog left
+  | P.Nl_outerjoin { left; right; _ }
+  | P.Hash_outerjoin { left; right; _ }
+  | P.Merge_outerjoin { left; right; _ } ->
+    Float.max (pcard catalog left)
+      (pcard catalog left *. pcard catalog right *. sel_equi)
+  | P.Nl_nestjoin { left; _ }
+  | P.Hash_nestjoin { left; _ }
+  | P.Hash_nestjoin_left { left; _ }
+  | P.Merge_nestjoin { left; _ } ->
+    pcard catalog left
+  | P.Unnest_op { input; _ } -> avg_set *. pcard catalog input
+  | P.Nest_op { input; _ } -> 0.5 *. pcard catalog input
+  | P.Extend_op { input; _ } | P.Apply_op { input; _ } -> pcard catalog input
+  | P.Project_op { input; _ } -> 0.8 *. pcard catalog input
+  | P.Union_op { left; right } -> pcard catalog left +. pcard catalog right
+  | P.Index_join { table; field; left; _ } ->
+    let sel =
+      match Cobj.Catalog.find table catalog with
+      | Some t -> begin
+        match Cobj.Table.distinct_count field t with
+        | Some d when d > 0 -> 1.0 /. float_of_int d
+        | _ -> sel_equi
+      end
+      | None -> sel_equi
+    in
+    pcard catalog left *. table_card catalog table *. sel
+  | P.Index_semijoin { left; _ } -> sel_semi *. pcard catalog left
+  | P.Index_nestjoin { left; _ } -> pcard catalog left
+
+let rec cost catalog plan =
+  let c = cost catalog and n = pcard catalog in
+  match plan with
+  | P.Unit_row -> 1.0
+  | P.Scan { table; _ } -> table_card catalog table
+  | P.Filter { pred = _; input } -> c input +. n input
+  | P.Nl_join { left; right; _ } -> c left +. c right +. (n left *. n right)
+  | P.Hash_join { left; right; _ } ->
+    c left +. c right +. n left +. n right +. n plan
+  | P.Merge_join { left; right; _ } ->
+    c left +. c right
+    +. (n left *. log2 (n left))
+    +. (n right *. log2 (n right))
+    +. n plan
+  | P.Nl_semijoin { left; right; _ } ->
+    c left +. c right +. (0.5 *. n left *. n right)
+  | P.Hash_semijoin { left; right; _ } -> c left +. c right +. n left +. n right
+  | P.Merge_semijoin { left; right; _ } ->
+    c left +. c right
+    +. (n left *. log2 (n left))
+    +. (n right *. log2 (n right))
+  | P.Nl_outerjoin { left; right; _ } ->
+    c left +. c right +. (n left *. n right)
+  | P.Hash_outerjoin { left; right; _ } ->
+    c left +. c right +. n left +. n right +. n plan
+  | P.Merge_outerjoin { left; right; _ } ->
+    c left +. c right
+    +. (n left *. log2 (n left))
+    +. (n right *. log2 (n right))
+    +. n plan
+  | P.Nl_nestjoin { left; right; _ } -> c left +. c right +. (n left *. n right)
+  | P.Hash_nestjoin { left; right; _ } | P.Hash_nestjoin_left { left; right; _ }
+    ->
+    c left +. c right +. n left +. n right +. n plan
+  | P.Merge_nestjoin { left; right; _ } ->
+    c left +. c right
+    +. (n left *. log2 (n left))
+    +. (n right *. log2 (n right))
+    +. n plan
+  | P.Unnest_op { input; _ } -> c input +. n plan
+  | P.Nest_op { input; _ } -> c input +. n input
+  | P.Extend_op { input; _ } | P.Project_op { input; _ } -> c input +. n input
+  | P.Apply_op { subquery; memo; input; _ } ->
+    let per = query_cost_aux catalog subquery in
+    let evaluations = if memo then Float.min (n input) 64.0 else n input in
+    c input +. (evaluations *. per)
+  | P.Union_op { left; right } ->
+    c left +. c right +. n plan
+  | P.Index_join { table; field; left; _ }
+  | P.Index_semijoin { table; field; left; _ }
+  | P.Index_nestjoin { table; field; left; _ } ->
+    (* probing is O(1) per left row; a cold index pays one build pass *)
+    let build =
+      match Cobj.Catalog.find table catalog with
+      | Some t when Cobj.Table.has_index field t -> 0.0
+      | _ -> table_card catalog table
+    in
+    c left +. n left +. build +. n plan
+
+and query_cost_aux catalog { P.plan; _ } = cost catalog plan +. pcard catalog plan
+
+let query_cost = query_cost_aux
+
+let query_card catalog { P.plan; _ } = pcard catalog plan

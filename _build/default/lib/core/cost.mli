@@ -1,0 +1,16 @@
+(** Cardinality estimation and a simple cost model.
+
+    Deliberately coarse — its only job is to rank physical alternatives
+    (nested-loop vs hash vs sort-merge vs memoized apply), and the benches
+    validate the ranking empirically. Estimates use true base-table
+    cardinalities from the catalog and fixed selectivity constants. *)
+
+val card : Cobj.Catalog.t -> Algebra.Plan.plan -> float
+(** Estimated output cardinality of a logical plan. *)
+
+val cost : Cobj.Catalog.t -> Engine.Physical.t -> float
+(** Estimated total work of a physical plan (rows touched). *)
+
+val query_cost : Cobj.Catalog.t -> Engine.Physical.query -> float
+val query_card : Cobj.Catalog.t -> Engine.Physical.query -> float
+(** Estimated result cardinality. *)

@@ -1,0 +1,334 @@
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Sset = Ast.String_set
+
+
+let split_conjuncts pred =
+  let rec go acc = function
+    | Ast.Binop (Ast.And, a, b) -> go (go acc b) a
+    | p -> p :: acc
+  in
+  match pred with
+  | Ast.Const (Cobj.Value.Bool true) -> []
+  | _ -> go [] pred
+
+(* --- variable renaming inside a query ---------------------------------- *)
+
+let binders_of_plan plan =
+  Plan.fold
+    (fun acc node ->
+      match node with
+      | Plan.Table { var; _ }
+      | Plan.Unnest { var; _ }
+      | Plan.Extend { var; _ }
+      | Plan.Apply { var; _ } ->
+        var :: acc
+      | Plan.Nestjoin { label; _ } | Plan.Nest { label; _ } -> label :: acc
+      | Plan.Unit | Plan.Select _ | Plan.Join _ | Plan.Semijoin _
+      | Plan.Antijoin _ | Plan.Outerjoin _ | Plan.Project _ | Plan.Union _ ->
+        acc)
+    [] plan
+
+let rename_everywhere v v' query =
+  let sub e = Ast.subst v (Ast.Var v') e in
+  let rb x = if String.equal x v then v' else x in
+  let rec rp plan =
+    match plan with
+    | Plan.Unit -> plan
+    | Plan.Table r -> Plan.Table { r with var = rb r.var }
+    | Plan.Select r -> Plan.Select { pred = sub r.pred; input = rp r.input }
+    | Plan.Join r ->
+      Plan.Join { pred = sub r.pred; left = rp r.left; right = rp r.right }
+    | Plan.Semijoin r ->
+      Plan.Semijoin { pred = sub r.pred; left = rp r.left; right = rp r.right }
+    | Plan.Antijoin r ->
+      Plan.Antijoin { pred = sub r.pred; left = rp r.left; right = rp r.right }
+    | Plan.Outerjoin r ->
+      Plan.Outerjoin
+        { pred = sub r.pred; left = rp r.left; right = rp r.right }
+    | Plan.Nestjoin r ->
+      Plan.Nestjoin
+        {
+          pred = sub r.pred;
+          func = sub r.func;
+          label = rb r.label;
+          left = rp r.left;
+          right = rp r.right;
+        }
+    | Plan.Unnest r ->
+      Plan.Unnest { expr = sub r.expr; var = rb r.var; input = rp r.input }
+    | Plan.Nest r ->
+      Plan.Nest
+        {
+          by = List.map rb r.by;
+          label = rb r.label;
+          func = sub r.func;
+          nulls = List.map rb r.nulls;
+          input = rp r.input;
+        }
+    | Plan.Extend r ->
+      Plan.Extend { var = rb r.var; expr = sub r.expr; input = rp r.input }
+    | Plan.Project r ->
+      Plan.Project { vars = List.map rb r.vars; input = rp r.input }
+    | Plan.Apply r ->
+      Plan.Apply
+        {
+          var = rb r.var;
+          subquery =
+            { plan = rp r.subquery.Plan.plan; result = sub r.subquery.result };
+          input = rp r.input;
+        }
+    | Plan.Union r -> Plan.Union { left = rp r.left; right = rp r.right }
+  in
+  { Plan.plan = rp query.Plan.plan; result = sub query.Plan.result }
+
+(* Rename subquery binders clashing with [avoid]. Renaming [v] globally is
+   only sound when [v] is bound exactly once in the subquery and is not also
+   a free (correlation) reference of it; otherwise give up. *)
+let freshen_clashes avoid query =
+  let binders = binders_of_plan query.Plan.plan in
+  let clashes = List.filter (fun v -> Sset.mem v avoid) binders in
+  let all_used =
+    ref
+      (Sset.union avoid
+         (Sset.union
+            (Sset.of_list binders)
+            (Sset.union
+               (Plan.query_free_vars query)
+               (Classify.all_vars_of query.Plan.result))))
+  in
+  let rec go query = function
+    | [] -> Some query
+    | v :: rest ->
+      let occurrences =
+        List.length (List.filter (String.equal v) binders)
+      in
+      if occurrences <> 1 || Sset.mem v (Plan.query_free_vars query) then None
+      else begin
+        let v' = Ast.fresh !all_used v in
+        all_used := Sset.add v' !all_used;
+        go (rename_everywhere v v' query) rest
+      end
+  in
+  go query clashes
+
+(* --- subquery splitting ------------------------------------------------- *)
+
+(* Split a subquery into an uncorrelated base plan plus the conjunction of
+   correlation predicates referencing [outer] variables.
+
+   Peeling passes through selections and through row-preserving,
+   outer-independent wrappers (Apply for a residual inner subquery, Extend,
+   Unnest) — re-wrapping them onto the reduced base. Moving the collected
+   selections above those wrappers is sound: Apply and Extend preserve rows
+   1:1, and a conjunct that does not mention the unnest variable commutes
+   with Unnest. *)
+let split_subquery outer query =
+  let avoid = outer in
+  match freshen_clashes avoid query with
+  | None -> None
+  | Some query ->
+    let outer_free e =
+      not (Sset.is_empty (Sset.inter (Ast.free_vars e) outer))
+    in
+    let rec peel conjs wrap plan =
+      match plan with
+      | Plan.Select { pred; input } ->
+        peel (split_conjuncts pred @ conjs) wrap input
+      | Plan.Apply r
+        when Sset.is_empty
+               (Sset.inter (Plan.query_free_vars r.subquery) outer) ->
+        peel conjs
+          (fun base -> wrap (Plan.Apply { r with input = base }))
+          r.input
+      | Plan.Extend r when not (outer_free r.expr) ->
+        peel conjs
+          (fun base -> wrap (Plan.Extend { r with input = base }))
+          r.input
+      | Plan.Unnest r when not (outer_free r.expr) ->
+        (* conjuncts gathered so far may not mention the unnest variable if
+           they are to move above it — they cannot: they were collected
+           above this node, where [r.var] was already in scope… conjuncts
+           mentioning it simply stay in [conjs] and end up either in the
+           join predicate (fine: merged rows bind it) or in the top
+           selection over the wrapped base (also fine). *)
+        peel conjs
+          (fun base -> wrap (Plan.Unnest { r with input = base }))
+          r.input
+      | _ -> (conjs, wrap, plan)
+    in
+    let conjs, wrap, core = peel [] Fun.id query.Plan.plan in
+    let base = wrap core in
+    if not (Sset.is_empty (Sset.inter (Plan.free_vars base) outer)) then
+      None (* deep correlation inside the base plan *)
+    else begin
+      let corr, uncorr = List.partition outer_free conjs in
+      let base =
+        match uncorr with
+        | [] -> base
+        | _ :: _ -> Plan.Select { pred = Ast.conj uncorr; input = base }
+      in
+      Some (base, Ast.conj corr, query.Plan.result)
+    end
+
+(* --- the rewrite -------------------------------------------------------- *)
+
+(* Live variables a node's own expressions contribute for its children. *)
+let node_expr_vars = function
+  | Plan.Unit | Plan.Table _ -> Sset.empty
+  | Plan.Select { pred; _ } -> Ast.free_vars pred
+  | Plan.Join { pred; _ }
+  | Plan.Semijoin { pred; _ }
+  | Plan.Antijoin { pred; _ }
+  | Plan.Outerjoin { pred; _ } ->
+    Ast.free_vars pred
+  | Plan.Nestjoin { pred; func; _ } ->
+    Sset.union (Ast.free_vars pred) (Ast.free_vars func)
+  | Plan.Unnest { expr; _ } | Plan.Extend { expr; _ } -> Ast.free_vars expr
+  | Plan.Nest { func; by; _ } ->
+    Sset.union (Ast.free_vars func) (Sset.of_list by)
+  | Plan.Project { vars; _ } -> Sset.of_list vars
+  | Plan.Apply { subquery; _ } -> Plan.query_free_vars subquery
+  | Plan.Union _ -> Sset.empty
+
+let rec rewrite live plan =
+  match plan with
+  | Plan.Select { pred; input = Plan.Apply _ as chain } ->
+    (* A WHERE clause above one or more hoisted subqueries. [consume] walks
+       the Apply chain outermost-first, dispatching to each subquery the
+       conjuncts that mention its variable; leftover conjuncts (z-free
+       ones, and those whose nest join keeps the variable bound) are
+       re-applied on top. Handling the whole chain at once supports
+       multiple subqueries per WHERE clause (future work in the paper). *)
+    let flattened, leftover = consume live (split_conjuncts pred) chain in
+    let plan' =
+      match leftover with
+      | [] -> flattened
+      | _ :: _ -> Plan.Select { pred = Ast.conj leftover; input = flattened }
+    in
+    rewrite_children live plan'
+  | Plan.Unnest { expr = Ast.Var zv; var = v; input = Plan.Apply { var = z; subquery; input } }
+    when String.equal zv z && not (Sset.mem z live) ->
+    (* UNNEST over a subquery result: §5's collapsible case — join+extend. *)
+    let outer = Sset.of_list (Plan.vars_of input) in
+    begin
+      match split_subquery outer subquery with
+      | Some (base, corr, result) ->
+        rewrite_children live
+          (Plan.Extend
+             {
+               var = v;
+               expr = result;
+               input = Plan.Join { pred = corr; left = input; right = base };
+             })
+      | None -> rewrite_children live plan
+    end
+  | Plan.Apply { var = z; subquery; input } ->
+    let outer = Sset.of_list (Plan.vars_of input) in
+    if Sset.is_empty (Sset.inter (Plan.query_free_vars subquery) outer) then
+      (* Uncorrelated: a constant per ambient environment; the planner
+         memoizes it into one evaluation. *)
+      rewrite_children live plan
+    else begin
+      match split_subquery outer subquery with
+      | Some (base, corr, result) ->
+        rewrite_children live
+          (Plan.Nestjoin
+             { pred = corr; func = result; label = z; left = input; right = base })
+      | None -> rewrite_children live plan
+    end
+  | _ -> rewrite_children live plan
+
+(* Walk an Apply chain under a selection. Returns the flattened plan and
+   the conjuncts that must remain as a selection above it. *)
+and consume live conjs plan =
+  match plan with
+  | Plan.Apply { var = z; subquery; input } ->
+    let z_conjs, rest = List.partition (fun c -> Ast.occurs_free z c) conjs in
+    let outer = Sset.of_list (Plan.vars_of input) in
+    let correlated =
+      not
+        (Sset.is_empty
+           (Sset.inter (Plan.query_free_vars subquery) outer))
+    in
+    let grouping_form split_result =
+      (* nest join keeps [z] bound: its conjuncts stay above *)
+      match split_result with
+      | Some (base, corr, result) ->
+        let inner, leftover = consume live rest input in
+        ( Plan.Nestjoin
+            { pred = corr; func = result; label = z; left = inner;
+              right = base },
+          z_conjs @ leftover )
+      | None ->
+        let inner, leftover = consume live rest input in
+        (Plan.Apply { var = z; subquery; input = inner }, z_conjs @ leftover)
+    in
+    if not correlated then
+      (* constant subquery: leave the Apply (memoized by the planner) —
+         unless its predicate still flattens it into a join below *)
+      match z_conjs, split_subquery outer subquery with
+      | [ zpred ], (Some _ as split_result) when not (Sset.mem z live) ->
+        flatten_one live z zpred rest input split_result grouping_form
+      | _, _ ->
+        let inner, leftover = consume live rest input in
+        (Plan.Apply { var = z; subquery; input = inner }, z_conjs @ leftover)
+    else begin
+      match z_conjs, split_subquery outer subquery with
+      | [ zpred ], (Some _ as split_result) when not (Sset.mem z live) ->
+        flatten_one live z zpred rest input split_result grouping_form
+      | _, split_result -> grouping_form split_result
+    end
+  | _ -> (rewrite live plan, conjs)
+
+and flatten_one live z zpred rest input split_result grouping_form =
+  match split_result with
+  | None -> grouping_form None
+  | Some (base, corr, result) -> begin
+    match Classify.classify ~z zpred with
+    | Classify.Needs_grouping _ -> grouping_form split_result
+    | (Classify.Exists { var; body } | Classify.Not_exists { var; body }) as
+      verdict ->
+      (* the join predicate may reference variables of deeper applies in
+         the chain; keep them alive for the recursion below *)
+      let extra_live = Sset.remove z (Ast.free_vars body) in
+      let inner, leftover = consume (Sset.union live extra_live) rest input in
+      let joinpred =
+        Ast.conj (split_conjuncts corr @ [ Ast.subst var result body ])
+      in
+      let join =
+        match verdict with
+        | Classify.Exists _ ->
+          Plan.Semijoin { pred = joinpred; left = inner; right = base }
+        | Classify.Not_exists _ ->
+          Plan.Antijoin { pred = joinpred; left = inner; right = base }
+        | Classify.Needs_grouping _ -> assert false
+      in
+      (join, leftover)
+  end
+
+and rewrite_children live plan =
+  let child_live = Sset.union live (node_expr_vars plan) in
+  match plan with
+  | Plan.Apply r ->
+    (* The subquery is its own scope: its applies see liveness from its
+       result expression only. *)
+    Plan.Apply
+      {
+        r with
+        input = rewrite child_live r.input;
+        subquery =
+          {
+            plan =
+              rewrite (Ast.free_vars r.subquery.Plan.result) r.subquery.Plan.plan;
+            result = r.subquery.result;
+          };
+      }
+  | _ -> Plan.map_children (rewrite child_live) plan
+
+let plan_with_live ~live plan = rewrite live plan
+
+let query { Plan.plan; result } =
+  { Plan.plan = rewrite (Ast.free_vars result) plan; result }
+
+let split_subquery_for_baselines = split_subquery

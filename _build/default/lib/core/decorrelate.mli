@@ -1,0 +1,40 @@
+(** Decorrelation: turning Apply (naive correlated evaluation) into joins.
+
+    This is the paper's transformation pipeline (§§4–8), applied
+    innermost-first as in the §8 example:
+
+    - [Select (P) ∘ Apply (z = subquery)] where the subquery splits into an
+      uncorrelated base [Y] plus correlation conjuncts [Q(x,y)], and [z] is
+      not referenced elsewhere:
+      {ul
+      {- [P] classified [∃v ∈ z (P')] → {b semijoin} on [Q ∧ P'[v := G]];}
+      {- [P] classified [¬∃v ∈ z (P')] → {b antijoin} on the same predicate;}
+      {- otherwise → {b nest join} on [Q] with function [G], the original
+         [P] remaining as a residual selection over the grouped attribute.}}
+    - A bare [Apply] (nesting in the SELECT clause, or [z] still live
+      upstream) → {b nest join} (§5: SELECT-clause nesting always groups).
+    - [Unnest (z) ∘ Apply (z = subquery)] with [z] dead elsewhere → plain
+      {b join} + extend (§5's special collapsible case).
+    - Fully uncorrelated subqueries are left as [Apply]: they are constants;
+      the physical planner memoizes them into a single evaluation.
+
+    Splitting renames subquery-bound variables that clash with outer
+    variables; when renaming cannot be done safely (a name is bound more
+    than once inside the subquery, or doubles as a correlation reference)
+    the Apply is conservatively left in place — correct, just unoptimized. *)
+
+val query : Algebra.Plan.query -> Algebra.Plan.query
+
+val plan_with_live :
+  live:Lang.Ast.String_set.t -> Algebra.Plan.plan -> Algebra.Plan.plan
+(** Decorrelate a plan whose output rows feed expressions referencing [live]
+    variables (used recursively and by tests). *)
+
+val split_subquery_for_baselines :
+  Lang.Ast.String_set.t ->
+  Algebra.Plan.query ->
+  (Algebra.Plan.plan * Lang.Ast.expr * Lang.Ast.expr) option
+(** [split_subquery_for_baselines outer q] splits [q] into an uncorrelated
+    base plan, the conjunction of correlation conjuncts referencing [outer],
+    and the result expression — renaming clashing subquery variables first.
+    Shared with the Kim / Ganski–Wong baselines. *)

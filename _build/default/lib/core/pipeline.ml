@@ -1,0 +1,140 @@
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+
+let log_src = Logs.Src.create "nestql.optimizer" ~doc:"query optimization"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type strategy =
+  | Interp
+  | Naive
+  | Decorrelated
+  | Decorrelated_outerjoin
+  | Kim_baseline
+  | Ganski_wong
+  | Muralikrishna
+
+let strategy_name = function
+  | Interp -> "interp"
+  | Naive -> "naive"
+  | Decorrelated -> "decorrelated"
+  | Decorrelated_outerjoin -> "decorrelated-outerjoin"
+  | Kim_baseline -> "kim"
+  | Ganski_wong -> "ganski-wong"
+  | Muralikrishna -> "muralikrishna"
+
+let all_strategies =
+  [
+    Interp; Naive; Decorrelated; Decorrelated_outerjoin; Kim_baseline;
+    Ganski_wong; Muralikrishna;
+  ]
+
+type compiled = {
+  source : Ast.expr;
+  logical : Plan.query option;
+  physical : Engine.Physical.query option;
+  strategy : strategy;
+}
+
+let ( let* ) = Result.bind
+
+let logical_of ~rewrite ~reorder strategy catalog resolved =
+  match strategy with
+  | Interp -> Ok None
+  | Naive ->
+    let* q = Translate.query catalog resolved in
+    Ok (Some q)
+  | Decorrelated | Decorrelated_outerjoin ->
+    let* naive = Translate.query catalog resolved in
+    (* Iterate decorrelation and rewriting to a fixpoint: pushing a
+       selection below a join can expose the Select-over-Apply pattern of a
+       second subquery in the same WHERE clause (multiple subqueries per
+       block — listed as future work in the paper, handled here). *)
+    let step q =
+      let q = Decorrelate.query q in
+      let q = if rewrite then Rewrite.query (Simplify.query catalog q) else q in
+      if reorder then Reorder.query catalog q else q
+    in
+    let rec fixpoint n q =
+      if n = 0 then q
+      else
+        let q' = step q in
+        if q' = q then q
+        else begin
+          Log.debug (fun m ->
+              m "optimization round %d:@.%a" (6 - n) Plan.pp_query q');
+          fixpoint (n - 1) q'
+        end
+    in
+    Log.debug (fun m -> m "naive translation:@.%a" Plan.pp_query naive);
+    let q = fixpoint 5 naive in
+    let q =
+      if strategy = Decorrelated_outerjoin then
+        { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan }
+      else q
+    in
+    Ok (Some q)
+  | Kim_baseline ->
+    let* naive = Translate.query catalog resolved in
+    Ok (Some (Result.value (Kim.kim naive) ~default:naive))
+  | Ganski_wong ->
+    let* naive = Translate.query catalog resolved in
+    Ok (Some (Result.value (Kim.ganski_wong naive) ~default:naive))
+  | Muralikrishna ->
+    let* naive = Translate.query catalog resolved in
+    Ok (Some (Result.value (Kim.muralikrishna naive) ~default:naive))
+
+let compile ?options ?(rewrite = true) ?(reorder = true) strategy catalog
+    expr =
+  let options =
+    match options, strategy with
+    | Some options, _ -> options
+    | None, (Decorrelated | Decorrelated_outerjoin) ->
+      (* a residual Apply after decorrelation (deep / non-neighbour
+         correlation, set-valued operands) is at least memoized: the cache
+         key is the correlation columns, so duplicate outer values share
+         one evaluation *)
+      { Planner.default_options with Planner.memo_applies = true }
+    | None, _ -> Planner.default_options
+  in
+  match Lang.Types.check_query catalog expr with
+  | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
+  | Ok (resolved, _ty) ->
+    let* logical = logical_of ~rewrite ~reorder strategy catalog resolved in
+    let physical = Option.map (Planner.query ~options catalog) logical in
+    Ok { source = resolved; logical; physical; strategy }
+
+let compile_string ?options ?rewrite ?reorder strategy catalog src =
+  let* expr = Lang.Parser.expr_result src in
+  compile ?options ?rewrite ?reorder strategy catalog expr
+
+let execute ?stats catalog compiled =
+  match compiled.physical with
+  | Some pq -> Engine.Exec.run ?stats catalog pq
+  | None -> Lang.Interp.run catalog compiled.source
+
+let run ?options ?rewrite ?reorder ?stats strategy catalog src =
+  let* compiled = compile_string ?options ?rewrite ?reorder strategy catalog src in
+  match execute ?stats catalog compiled with
+  | v -> Ok v
+  | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
+  | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
+
+let explain ?(costs = false) catalog compiled =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  Fmt.pf ppf "strategy: %s@." (strategy_name compiled.strategy);
+  Fmt.pf ppf "query: %a@." Lang.Pretty.pp compiled.source;
+  (match compiled.logical with
+  | Some lq -> Fmt.pf ppf "@.logical plan:@.%a@." Plan.pp_query lq
+  | None -> Fmt.pf ppf "@.(no algebraic plan: reference interpreter)@.");
+  (match compiled.physical with
+  | Some pq ->
+    Fmt.pf ppf "@.physical plan:@.%a@." Engine.Physical.pp_query pq;
+    if costs then
+      Fmt.pf ppf
+        "@.estimated: %.0f result rows, %.0f cost units (see Core.Cost)@."
+        (Cost.query_card catalog pq) (Cost.query_cost catalog pq)
+  | None -> ());
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,79 @@
+(** End-to-end query processing: parse → typecheck → translate → optimize →
+    plan → execute, with selectable strategies for the benches and the CLI.
+
+    Strategies:
+    - [Interp] — the reference interpreter (pure nested-loop semantics, no
+      algebra at all);
+    - [Naive] — translate to the algebra, keep Apply nodes, execute (the
+      algebraic image of nested-loop processing);
+    - [Decorrelated] — the paper's approach: Apply removal into semijoin /
+      antijoin / nest join, logical rewrites, cost-based physical planning;
+    - [Decorrelated_outerjoin] — like [Decorrelated] but nest joins are
+      executed as ν* ∘ outerjoin (the relational encoding of §6; for the
+      equivalence benches);
+    - [Kim_baseline] — Kim's algorithm ({b intentionally exhibits the COUNT
+      bug} on dangling tuples; falls back to [Naive] when inapplicable);
+    - [Ganski_wong] — outerjoin + ν* fix (falls back likewise);
+    - [Muralikrishna] — group-first plan with an antijoin predicate for the
+      dangling tuples, expressed as a union of a matched and a dangling
+      branch (falls back likewise). *)
+
+type strategy =
+  | Interp
+  | Naive
+  | Decorrelated
+  | Decorrelated_outerjoin
+  | Kim_baseline
+  | Ganski_wong
+  | Muralikrishna
+
+val strategy_name : strategy -> string
+val all_strategies : strategy list
+
+type compiled = {
+  source : Lang.Ast.expr;        (** resolved input expression *)
+  logical : Algebra.Plan.query option;  (** [None] for [Interp] *)
+  physical : Engine.Physical.query option;
+  strategy : strategy;
+}
+
+val compile :
+  ?options:Planner.options ->
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  strategy ->
+  Cobj.Catalog.t ->
+  Lang.Ast.expr ->
+  (compiled, string) result
+(** [rewrite] (default true) applies simplification and the logical rewriter
+    after each decorrelation round; [reorder] (default true) additionally
+    applies the §6 join-reordering equivalences. Both exist for the
+    ablation benches. *)
+
+val compile_string :
+  ?options:Planner.options ->
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  strategy ->
+  Cobj.Catalog.t ->
+  string ->
+  (compiled, string) result
+
+val execute :
+  ?stats:Engine.Stats.t -> Cobj.Catalog.t -> compiled -> Cobj.Value.t
+
+val run :
+  ?options:Planner.options ->
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  ?stats:Engine.Stats.t ->
+  strategy ->
+  Cobj.Catalog.t ->
+  string ->
+  (Cobj.Value.t, string) result
+(** Parse, compile and execute a query string. *)
+
+val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
+(** Logical and physical plans, pretty-printed. With [costs] (default
+    false), each physical operator is annotated with the cost model's
+    estimated output cardinality and cumulative cost. *)

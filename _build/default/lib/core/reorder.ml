@@ -1,0 +1,68 @@
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Sset = Ast.String_set
+
+(* The free variables a dangling-preserving operator's own expressions use. *)
+let op_vars = function
+  | `Nestjoin (pred, func) ->
+    Sset.union (Ast.free_vars pred) (Ast.free_vars func)
+  | `Semi pred | `Anti pred -> Ast.free_vars pred
+
+(* Rebuild the operator over a new left operand. *)
+let rebuild op left right =
+  match op with
+  | `Nestjoin (pred, func), label ->
+    Plan.Nestjoin { pred; func; label = Option.get label; left; right }
+  | `Semi pred, _ -> Plan.Semijoin { pred; left; right }
+  | `Anti pred, _ -> Plan.Antijoin { pred; left; right }
+
+(* Sink [op] (over operand [z]) below the join [A ⋈_jp B] when the
+   operator's expressions touch only one side, and that side is estimated
+   smaller than the join output. *)
+let sink catalog op label jp a b z =
+  let fv = op_vars op in
+  let zvars = Sset.of_list (Plan.vars_of z) in
+  let needed = Sset.diff fv zvars in
+  let avars = Sset.of_list (Plan.vars_of a) in
+  let bvars = Sset.of_list (Plan.vars_of b) in
+  let join_card =
+    Cost.card catalog (Plan.Join { pred = jp; left = a; right = b })
+  in
+  if Sset.subset needed avars && Cost.card catalog a < join_card then
+    Some
+      (Plan.Join { pred = jp; left = rebuild (op, label) a z; right = b })
+  else if Sset.subset needed bvars && Cost.card catalog b < join_card then
+    Some
+      (Plan.Join { pred = jp; left = a; right = rebuild (op, label) b z })
+  else None
+
+let rec pass catalog plan =
+  let plan = Plan.map_children (pass catalog) plan in
+  match plan with
+  | Plan.Nestjoin
+      { pred; func; label; left = Plan.Join { pred = jp; left = a; right = b };
+        right = z } -> begin
+    match sink catalog (`Nestjoin (pred, func)) (Some label) jp a b z with
+    | Some p -> pass catalog p
+    | None -> plan
+  end
+  | Plan.Semijoin
+      { pred; left = Plan.Join { pred = jp; left = a; right = b }; right = z }
+    -> begin
+    match sink catalog (`Semi pred) None jp a b z with
+    | Some p -> pass catalog p
+    | None -> plan
+  end
+  | Plan.Antijoin
+      { pred; left = Plan.Join { pred = jp; left = a; right = b }; right = z }
+    -> begin
+    match sink catalog (`Anti pred) None jp a b z with
+    | Some p -> pass catalog p
+    | None -> plan
+  end
+  | _ -> plan
+
+let plan = pass
+
+let query catalog { Plan.plan = p; result } =
+  { Plan.plan = pass catalog p; result }

@@ -1,0 +1,20 @@
+(** Cost-guided join reordering using the paper's §6 equivalences.
+
+    The paper lists (and warns about the scarcity of) algebraic laws for the
+    nest join; the two usable ones let a nest join commute with a regular
+    join when its predicate and function touch only one join operand:
+
+    - [(A ⋈_J B) Δ_{P,G} Z ≡ (A Δ_{P,G} Z) ⋈_J B]  when [P, G] touch only
+      [A] (and [Z]) — the paper's second listed equivalence;
+    - [(A ⋈_J B) Δ_{P,G} Z ≡ A ⋈_J (B Δ_{P,G} Z)]  when they touch only
+      [B] — the third.
+
+    The same shape is sound for semijoins and antijoins. Sinking the
+    grouped/filtered operator below the join is applied when the cost model
+    estimates the join operand to be smaller than the join output (an
+    expanding join) — grouping fewer rows, building smaller tables. Both
+    equivalences are independently verified on random instances in
+    [test/test_algebra.ml] and [test/test_reorder.ml]. *)
+
+val plan : Cobj.Catalog.t -> Algebra.Plan.plan -> Algebra.Plan.plan
+val query : Cobj.Catalog.t -> Algebra.Plan.query -> Algebra.Plan.query

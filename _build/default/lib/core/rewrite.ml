@@ -1,0 +1,171 @@
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Sset = Ast.String_set
+
+let split_conjuncts pred =
+  let rec go acc = function
+    | Ast.Binop (Ast.And, a, b) -> go (go acc b) a
+    | p -> p :: acc
+  in
+  match pred with
+  | Ast.Const (Cobj.Value.Bool true) -> []
+  | _ -> go [] pred
+
+let is_true = function
+  | Ast.Const (Cobj.Value.Bool true) -> true
+  | _ -> false
+
+(* Partition conjuncts of [pred] by which operand's variables they touch.
+   Conjuncts touching neither side go [`Left] (cheapest: filter early). *)
+let partition_pred left_vars right_vars pred =
+  let lset = Sset.of_list left_vars and rset = Sset.of_list right_vars in
+  List.fold_left
+    (fun (ls, rs, both) c ->
+      let fv = Ast.free_vars c in
+      let uses_l = not (Sset.is_empty (Sset.inter fv lset)) in
+      let uses_r = not (Sset.is_empty (Sset.inter fv rset)) in
+      match uses_l, uses_r with
+      | _, false -> (c :: ls, rs, both)
+      | false, true -> (ls, c :: rs, both)
+      | true, true -> (ls, rs, c :: both))
+    ([], [], []) (List.rev (split_conjuncts pred))
+
+let select pred input =
+  match split_conjuncts pred with
+  | [] -> input
+  | conjs -> Plan.Select { pred = Ast.conj conjs; input }
+
+(* One bottom-up pass; [live] = variables referenced above this node. *)
+let rec pass live plan =
+  let plan = pass_children live plan in
+  match plan with
+  (* selection fusion *)
+  | Plan.Select { pred = p; input = Plan.Select { pred = q; input } } ->
+    pass live (Plan.Select { pred = Ast.Binop (Ast.And, q, p); input })
+  (* selection pushdown *)
+  | Plan.Select { pred; input = Plan.Join { pred = jp; left; right } } ->
+    let ls, rs, both =
+      partition_pred (Plan.vars_of left) (Plan.vars_of right) pred
+    in
+    if ls = [] && rs = [] && both = [] then
+      Plan.Join { pred = jp; left; right }
+    else if ls = [] && rs = [] then
+      (* merge two-sided conjuncts into the join predicate *)
+      Plan.Join { pred = Ast.conj (split_conjuncts jp @ both); left; right }
+    else
+      pass live
+        (Plan.Select
+           {
+             pred = Ast.conj both;
+             input =
+               Plan.Join
+                 { pred = jp; left = select (Ast.conj ls) left;
+                   right = select (Ast.conj rs) right };
+           })
+  | Plan.Select { pred; input = Plan.Semijoin jr }
+    when pushable_left pred jr.left ->
+    push_into_left live pred (fun left -> Plan.Semijoin { jr with left })
+      jr.left
+  | Plan.Select { pred; input = Plan.Antijoin jr }
+    when pushable_left pred jr.left ->
+    push_into_left live pred (fun left -> Plan.Antijoin { jr with left })
+      jr.left
+  | Plan.Select { pred; input = Plan.Outerjoin jr }
+    when pushable_left pred jr.left ->
+    push_into_left live pred (fun left -> Plan.Outerjoin { jr with left })
+      jr.left
+  | Plan.Select { pred; input = Plan.Nestjoin jr }
+    when pushable_left pred jr.left ->
+    push_into_left live pred (fun left -> Plan.Nestjoin { jr with left })
+      jr.left
+  (* dead nest join elimination: π_X (X Δ Y) = X *)
+  | Plan.Nestjoin { label; left; _ } when not (Sset.mem label live) -> left
+  (* unit elimination *)
+  | Plan.Join { pred; left = Plan.Unit; right } when is_true pred -> right
+  | Plan.Join { pred; left; right = Plan.Unit } when is_true pred -> left
+  | _ -> plan
+
+and pushable_left pred left =
+  (* at least one conjunct references only left-side variables *)
+  let lset = Sset.of_list (Plan.vars_of left) in
+  List.exists
+    (fun c -> Sset.subset (Ast.free_vars c) lset)
+    (split_conjuncts pred)
+
+and push_into_left live pred rebuild left =
+  let lset = Sset.of_list (Plan.vars_of left) in
+  let ls, rest =
+    List.partition
+      (fun c -> Sset.subset (Ast.free_vars c) lset)
+      (split_conjuncts pred)
+  in
+  let pushed = rebuild (pass live (select (Ast.conj ls) left)) in
+  select (Ast.conj rest) pushed
+
+and pass_children live plan =
+  let child_live v = Sset.union live v in
+  match plan with
+  | Plan.Unit | Plan.Table _ -> plan
+  | Plan.Select r ->
+    Plan.Select
+      { r with input = pass (child_live (Ast.free_vars r.pred)) r.input }
+  | Plan.Join r ->
+    let l = child_live (Ast.free_vars r.pred) in
+    Plan.Join { r with left = pass l r.left; right = pass l r.right }
+  | Plan.Semijoin r ->
+    let l = child_live (Ast.free_vars r.pred) in
+    Plan.Semijoin { r with left = pass l r.left; right = pass l r.right }
+  | Plan.Antijoin r ->
+    let l = child_live (Ast.free_vars r.pred) in
+    Plan.Antijoin { r with left = pass l r.left; right = pass l r.right }
+  | Plan.Outerjoin r ->
+    let l = child_live (Ast.free_vars r.pred) in
+    Plan.Outerjoin { r with left = pass l r.left; right = pass l r.right }
+  | Plan.Nestjoin r ->
+    let l =
+      child_live
+        (Sset.union (Ast.free_vars r.pred) (Ast.free_vars r.func))
+    in
+    Plan.Nestjoin { r with left = pass l r.left; right = pass l r.right }
+  | Plan.Unnest r ->
+    Plan.Unnest
+      { r with input = pass (child_live (Ast.free_vars r.expr)) r.input }
+  | Plan.Nest r ->
+    let l =
+      child_live
+        (Sset.union (Ast.free_vars r.func)
+           (Sset.of_list (r.by @ r.nulls)))
+    in
+    Plan.Nest { r with input = pass l r.input }
+  | Plan.Extend r ->
+    Plan.Extend
+      { r with input = pass (child_live (Ast.free_vars r.expr)) r.input }
+  | Plan.Project r ->
+    Plan.Project { r with input = pass (child_live (Sset.of_list r.vars)) r.input }
+  | Plan.Apply r ->
+    Plan.Apply
+      {
+        r with
+        input = pass (child_live (Plan.query_free_vars r.subquery)) r.input;
+        subquery =
+          {
+            plan =
+              pass (Ast.free_vars r.subquery.Plan.result) r.subquery.Plan.plan;
+            result = r.subquery.result;
+          };
+      }
+  | Plan.Union r -> Plan.Union { left = pass live r.left; right = pass live r.right }
+
+let plan ~live p =
+  (* Iterate to a small fixpoint; each pass only shrinks or reshuffles, so a
+     few rounds suffice. *)
+  let rec iterate n p =
+    if n = 0 then p
+    else
+      let p' = pass live p in
+      if p' = p then p else iterate (n - 1) p'
+  in
+  iterate 8 p
+
+let query { Plan.plan = p; result } =
+  { Plan.plan = plan ~live:(Ast.free_vars result) p; result }

@@ -1,0 +1,20 @@
+(** Logical rewrites applied after decorrelation.
+
+    A small fixpoint rewriter:
+
+    - selection fusion: [σ_p ∘ σ_q → σ_{p∧q}];
+    - selection pushdown into join operands: conjuncts referencing only the
+      left (resp. right) operand's variables move below the join — including
+      below the {b left} operand of semijoin, antijoin, outerjoin and nest
+      join (pushing into their right operand or predicate is unsound for the
+      dangling-preserving operators, cf. the paper's remark that the nest
+      join has fewer pleasant algebraic properties);
+    - two-sided conjuncts over a plain [Join] merge into the join predicate
+      (where the planner can recognize equi-keys);
+    - dead nest join elimination: [π_X (X Δ Y) = X] — a nest join whose
+      label is referenced nowhere upstream is dropped (first equivalence of
+      §6's list);
+    - unit elimination: [Join (true, p, Unit) → p] and symmetric. *)
+
+val plan : live:Lang.Ast.String_set.t -> Algebra.Plan.plan -> Algebra.Plan.plan
+val query : Algebra.Plan.query -> Algebra.Plan.query

@@ -1,0 +1,194 @@
+module Ast = Lang.Ast
+module Value = Cobj.Value
+module Plan = Algebra.Plan
+
+let vtrue = Ast.vbool true
+let vfalse = Ast.vbool false
+
+let is_const = function Ast.Const _ -> true | _ -> false
+
+let is_empty_set = function
+  | Ast.SetE [] | Ast.Const (Value.Set []) -> true
+  | _ -> false
+
+(* Foldable: closed, no table references (folding would inline table
+   contents), no SFW blocks (evaluation could be expensive). *)
+let rec foldable e =
+  match e with
+  | Ast.Const _ -> true
+  | Ast.Var _ | Ast.TableRef _ | Ast.Sfw _ -> false
+  | Ast.Field (e1, _) | Ast.Unop (_, e1) | Ast.Agg (_, e1) | Ast.UnnestE e1
+  | Ast.VariantE (_, e1) | Ast.IsTag (e1, _) | Ast.AsTag (e1, _) ->
+    foldable e1
+  | Ast.If (c, a, b) -> foldable c && foldable a && foldable b
+  | Ast.TupleE fields -> List.for_all (fun (_, e1) -> foldable e1) fields
+  | Ast.SetE es | Ast.ListE es -> List.for_all foldable es
+  | Ast.Binop (_, a, b) -> foldable a && foldable b
+  | Ast.Quant (_, v, s, p) ->
+    foldable s && Ast.String_set.subset (Ast.free_vars p)
+                    (Ast.String_set.singleton v)
+    && plain p
+  | Ast.Let (v, d, b) ->
+    foldable d
+    && Ast.String_set.subset (Ast.free_vars b) (Ast.String_set.singleton v)
+    && plain b
+
+(* Sub-binder bodies must still avoid tables/SFW to stay cheap. *)
+and plain e =
+  match e with
+  | Ast.TableRef _ | Ast.Sfw _ -> false
+  | Ast.Const _ | Ast.Var _ -> true
+  | Ast.Field (e1, _) | Ast.Unop (_, e1) | Ast.Agg (_, e1) | Ast.UnnestE e1
+  | Ast.VariantE (_, e1) | Ast.IsTag (e1, _) | Ast.AsTag (e1, _) ->
+    plain e1
+  | Ast.If (c, a, b) -> plain c && plain a && plain b
+  | Ast.TupleE fields -> List.for_all (fun (_, e1) -> plain e1) fields
+  | Ast.SetE es | Ast.ListE es -> List.for_all plain es
+  | Ast.Binop (_, a, b) -> plain a && plain b
+  | Ast.Quant (_, _, s, p) -> plain s && plain p
+  | Ast.Let (_, d, b) -> plain d && plain b
+
+(* [total e]: evaluation cannot raise under a well-typed binding — used to
+   guard identities that would discard a possibly-raising operand (e.g.
+   [p AND false → false] must not hide an Undefined aggregate in [p]).
+   Excluded: partial aggregates, division, field access (Null padding),
+   table references and SFW blocks (cost), unbound-variable risk is covered
+   by well-formedness. *)
+let rec total e =
+  match e with
+  | Ast.Const _ | Ast.Var _ -> true
+  | Ast.TableRef _ | Ast.Sfw _ -> false
+  | Ast.Field (e1, _) ->
+    (* sound for well-typed rows; a NULL-padded binding (outerjoin
+       internals) could make this raise, but no plan we build evaluates
+       fields of padded rows — see the mli caveat *)
+    total e1
+  | Ast.Agg ((Ast.Min | Ast.Max | Ast.Avg), _) -> false
+  | Ast.Agg ((Ast.Count | Ast.Sum), e1) -> total e1
+  | Ast.Binop ((Ast.Div | Ast.Mod), _, _) -> false
+  | Ast.Unop (_, e1) | Ast.UnnestE e1 | Ast.VariantE (_, e1) -> total e1
+  | Ast.IsTag (e1, _) -> total e1 (* raises on non-variants only *)
+  | Ast.AsTag _ -> false (* raises on a different tag *)
+  | Ast.If (c, a, b) -> total c && total a && total b
+  | Ast.TupleE fields -> List.for_all (fun (_, e1) -> total e1) fields
+  | Ast.SetE es | Ast.ListE es -> List.for_all total es
+  | Ast.Binop (_, a, b) -> total a && total b
+  | Ast.Quant (_, _, s, p) -> total s && total p
+  | Ast.Let (_, d, b) -> total d && total b
+
+let try_fold catalog e =
+  if is_const e || not (foldable e) then e
+  else
+    match Lang.Interp.eval catalog Cobj.Env.empty e with
+    | v -> Ast.Const v
+    | exception Lang.Interp.Undefined _ -> e (* preserve the partial reading *)
+    | exception Value.Type_error _ -> e
+
+let rec expr catalog e =
+  let e = map_children catalog e in
+  let simplified =
+    match e with
+    (* boolean identities *)
+    | Ast.Binop (Ast.And, Ast.Const (Value.Bool true), p)
+    | Ast.Binop (Ast.And, p, Ast.Const (Value.Bool true)) ->
+      p
+    | Ast.Binop (Ast.And, (Ast.Const (Value.Bool false) as f), _) -> f
+    | Ast.Binop (Ast.And, p, (Ast.Const (Value.Bool false) as f))
+      when total p ->
+      f
+    | Ast.Binop (Ast.Or, (Ast.Const (Value.Bool true) as t), _) -> t
+    | Ast.Binop (Ast.Or, p, (Ast.Const (Value.Bool true) as t))
+      when total p ->
+      t
+    | Ast.Binop (Ast.Or, Ast.Const (Value.Bool false), p)
+    | Ast.Binop (Ast.Or, p, Ast.Const (Value.Bool false)) ->
+      p
+    | Ast.Unop (Ast.Not, Ast.Unop (Ast.Not, p)) -> p
+    | Ast.Unop (Ast.Not, Ast.Const (Value.Bool b)) -> Ast.vbool (not b)
+    (* set identities *)
+    | Ast.Binop (Ast.Union, s, e1) when is_empty_set e1 -> s
+    | Ast.Binop (Ast.Union, e1, s) when is_empty_set e1 -> s
+    | Ast.Binop (Ast.Inter, s, (e1 as empty))
+      when is_empty_set e1 && total s ->
+      empty
+    | Ast.Binop (Ast.Inter, (e1 as empty), s)
+      when is_empty_set e1 && total s ->
+      empty
+    | Ast.Binop (Ast.Diff, s, e1) when is_empty_set e1 -> s
+    | Ast.Binop (Ast.Mem, x, e1) when is_empty_set e1 && total x -> vfalse
+    | Ast.Binop (Ast.Subseteq, e1, s) when is_empty_set e1 && total s -> vtrue
+    (* self-comparison: only on effect-free atoms (a raising subterm must
+       keep raising) *)
+    | Ast.Binop (Ast.Eq, (Ast.Var _ as a), b) when Ast.equal a b -> vtrue
+    | Ast.Binop (Ast.Ne, (Ast.Var _ as a), b) when Ast.equal a b -> vfalse
+    (* conditionals on constant conditions: the untaken branch was never
+       evaluated, dropping it is safe *)
+    | Ast.If (Ast.Const (Value.Bool true), a, _) -> a
+    | Ast.If (Ast.Const (Value.Bool false), _, b) -> b
+    (* tag test/projection on a syntactic construction *)
+    | Ast.IsTag (Ast.VariantE (t, e1), tag) when total e1 ->
+      Ast.vbool (String.equal t tag)
+    | Ast.AsTag (Ast.VariantE (t, e1), tag) when String.equal t tag -> e1
+    (* quantifiers over the empty set (the body never runs, safe to drop) *)
+    | Ast.Quant (Ast.Exists, _, e1, _) when is_empty_set e1 -> vfalse
+    | Ast.Quant (Ast.Forall, _, e1, _) when is_empty_set e1 -> vtrue
+    | _ -> e
+  in
+  try_fold catalog simplified
+
+and map_children catalog e =
+  let recur = expr catalog in
+  match e with
+  | Ast.Const _ | Ast.Var _ | Ast.TableRef _ -> e
+  | Ast.Field (e1, l) -> Ast.Field (recur e1, l)
+  | Ast.TupleE fields ->
+    Ast.TupleE (List.map (fun (l, e1) -> (l, recur e1)) fields)
+  | Ast.SetE es -> Ast.SetE (List.map recur es)
+  | Ast.ListE es -> Ast.ListE (List.map recur es)
+  | Ast.Unop (op, e1) -> Ast.Unop (op, recur e1)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, recur a, recur b)
+  | Ast.Agg (a, e1) -> Ast.Agg (a, recur e1)
+  | Ast.UnnestE e1 -> Ast.UnnestE (recur e1)
+  | Ast.If (c, a, b) -> Ast.If (recur c, recur a, recur b)
+  | Ast.VariantE (tag, e1) -> Ast.VariantE (tag, recur e1)
+  | Ast.IsTag (e1, tag) -> Ast.IsTag (recur e1, tag)
+  | Ast.AsTag (e1, tag) -> Ast.AsTag (recur e1, tag)
+  | Ast.Quant (q, v, s, p) -> Ast.Quant (q, v, recur s, recur p)
+  | Ast.Let (v, d, b) -> Ast.Let (v, recur d, recur b)
+  | Ast.Sfw { select; from; where } ->
+    Ast.Sfw
+      {
+        select = recur select;
+        from = List.map (fun (v, op) -> (v, recur op)) from;
+        where = Option.map recur where;
+      }
+
+let rec plan catalog p =
+  let p = Plan.map_children (plan catalog) p in
+  match p with
+  | Plan.Select { pred; input } -> begin
+    match expr catalog pred with
+    | Ast.Const (Value.Bool true) -> input
+    | pred -> Plan.Select { pred; input }
+  end
+  | Plan.Join r -> Plan.Join { r with pred = expr catalog r.pred }
+  | Plan.Semijoin r -> Plan.Semijoin { r with pred = expr catalog r.pred }
+  | Plan.Antijoin r -> Plan.Antijoin { r with pred = expr catalog r.pred }
+  | Plan.Outerjoin r -> Plan.Outerjoin { r with pred = expr catalog r.pred }
+  | Plan.Nestjoin r ->
+    Plan.Nestjoin
+      { r with pred = expr catalog r.pred; func = expr catalog r.func }
+  | Plan.Unnest r -> Plan.Unnest { r with expr = expr catalog r.expr }
+  | Plan.Nest r -> Plan.Nest { r with func = expr catalog r.func }
+  | Plan.Extend r -> Plan.Extend { r with expr = expr catalog r.expr }
+  | Plan.Apply r ->
+    Plan.Apply
+      {
+        r with
+        subquery =
+          { r.subquery with Plan.result = expr catalog r.subquery.Plan.result };
+      }
+  | Plan.Unit | Plan.Table _ | Plan.Project _ | Plan.Union _ -> p
+
+let query catalog { Plan.plan = p; result } =
+  { Plan.plan = plan catalog p; result = expr catalog result }

@@ -1,0 +1,36 @@
+(** Expression simplification: constant folding and algebraic identities.
+
+    Decorrelation substitutes subquery results into predicates
+    ([P'(x, G(x,y))]) and the baselines substitute [z := ∅]; both leave
+    foldable residue like [COUNT({}) = 0], [true AND p] or [¬¬p]. The
+    simplifier normalizes plans before physical planning:
+
+    - constant subexpressions evaluate at compile time (when total: a
+      folding step that would raise is left in place);
+    - boolean identities: [true ∧ p → p], [false ∧ p → false],
+      [true ∨ p → true], [false ∨ p → p], [¬¬p → p], [¬true → false];
+    - set identities: [s ∪ ∅ → s], [s ∩ ∅ → ∅], [s ∖ ∅ → s],
+      [e ∈ ∅ → false], [∅ ⊆ s → true];
+    - comparison of an expression with itself: [e = e → true],
+      [e ≠ e → false] (safe: expressions are pure);
+    - quantifiers over ∅: [∃v ∈ ∅ (p) → false], [∀v ∈ ∅ (p) → true].
+
+    Semantic preservation is property-tested ([test/test_simplify.ml]),
+    including the partial-aggregate reading: folding never turns an
+    [Undefined]-raising predicate into a defined one or vice versa in
+    [truth] position — MIN/MAX/AVG of possibly-empty operands are only
+    folded when the operand is a non-empty constant, and identities that
+    discard an operand require the discarded expression to be total (no
+    partial aggregates, no division). Caveat: field access counts as total,
+    which is sound for well-typed rows; it would not be for NULL-padded
+    rows, but no plan produced by this library evaluates fields of padded
+    rows (ν* filters them first). *)
+
+val expr : Cobj.Catalog.t -> Lang.Ast.expr -> Lang.Ast.expr
+
+val plan : Cobj.Catalog.t -> Algebra.Plan.plan -> Algebra.Plan.plan
+(** Simplify every expression in a plan; a selection whose predicate folds
+    to [true] is dropped, to [false] the selection is kept (emptying the
+    input cheaply at run time). *)
+
+val query : Cobj.Catalog.t -> Algebra.Plan.query -> Algebra.Plan.query

@@ -1,0 +1,76 @@
+type expected =
+  | Semijoin
+  | Antijoin
+  | Grouping
+
+type row = {
+  name : string;
+  source : string;
+  expected : expected;
+  in_paper : bool;
+}
+
+let paper name source expected = { name; source; expected; in_paper = true }
+let ext name source expected = { name; source; expected; in_paper = false }
+
+(* [x.b] scalar INT, [x.a] set of INT, [z] set of INT. *)
+let rows =
+  [
+    (* --- relational (SQL-expressible) rows --------------------------- *)
+    paper "z = ∅" "z = {}" Antijoin;
+    ext "z ≠ ∅" "z <> {}" Semijoin;
+    paper "count(z) = 0" "COUNT(z) = 0" Antijoin;
+    ext "count(z) ≠ 0" "COUNT(z) <> 0" Semijoin;
+    ext "count(z) > 0" "COUNT(z) > 0" Semijoin;
+    paper "x.b = count(z)" "x.b = COUNT(z)" Grouping;
+    paper "x.b ∈ z" "x.b IN z" Semijoin;
+    paper "x.b ∉ z" "x.b NOT IN z" Antijoin;
+    ext "x.b < max(z)" "x.b < MAX(z)" Semijoin;
+    ext "x.b <= max(z)" "x.b <= MAX(z)" Semijoin;
+    ext "x.b > min(z)" "x.b > MIN(z)" Semijoin;
+    ext "x.b >= max(z)" "x.b >= MAX(z)" Grouping;
+    ext "x.b = max(z)" "x.b = MAX(z)" Grouping;
+    ext "x.b = sum(z)" "x.b = SUM(z)" Grouping;
+    (* --- complex-object rows (set-valued attribute x.a) -------------- *)
+    paper "x.a ⊆ z" "x.a SUBSETEQ z" Grouping;
+    paper "x.a ⊇ z" "x.a SUPSETEQ z" Antijoin;
+    paper "x.a ⊂ z" "x.a SUBSET z" Grouping;
+    paper "x.a ⊃ z" "x.a SUPSET z" Grouping;
+    paper "x.a = z" "x.a = z" Grouping;
+    paper "x.a ≠ z" "x.a <> z" Grouping;
+    paper "x.a ∩ z = ∅" "x.a INTERSECT z = {}" Antijoin;
+    paper "x.a ∩ z ≠ ∅" "x.a INTERSECT z <> {}" Semijoin;
+    paper "∀w ∈ x.a (w ∈ z)" "FORALL w IN x.a (w IN z)" Grouping;
+    paper "∀w ∈ x.a (w ∉ z)" "FORALL w IN x.a (w NOT IN z)" Antijoin;
+    paper "∃v ∈ z (true)" "EXISTS v IN z (true)" Semijoin;
+    paper "¬∃v ∈ z (true)" "NOT EXISTS v IN z (true)" Antijoin;
+    paper "∃v ∈ z (v = x.b)" "EXISTS v IN z (v = x.b)" Semijoin;
+    paper "¬∃v ∈ z (v = x.b)" "NOT EXISTS v IN z (v = x.b)" Antijoin;
+    paper "∃v ∈ z (v ∈ x.a)" "EXISTS v IN z (v IN x.a)" Semijoin;
+    paper "¬∃v ∈ z (v ∈ x.a)" "NOT EXISTS v IN z (v IN x.a)" Antijoin;
+    ext "∃w ∈ x.a (w ∈ z)" "EXISTS w IN x.a (w IN z)" Semijoin;
+    ext "z ⊆ x.a" "z SUBSETEQ x.a" Antijoin;
+    ext "z ∖ x.a = ∅" "z EXCEPT x.a = {}" Antijoin;
+    ext "x.b ∈ z ∩ x.a" "x.b IN z INTERSECT x.a" Semijoin;
+    ext "x.b ∈ z ∖ x.a" "x.b IN z EXCEPT x.a" Semijoin;
+    ext "x.b ∈ z ∪ x.a" "x.b IN z UNION x.a" Grouping;
+    ext "x.b ∈ z ∧ C" "x.b IN z AND x.b > 0" Semijoin;
+    ext "x.b ∉ z ∨ C" "x.b NOT IN z OR x.b > 0" Antijoin;
+    ext "x.b ∈ z ∨ C" "x.b IN z OR x.b > 0" Grouping;
+    ext "count(z) = count(x.a)" "COUNT(z) = COUNT(x.a)" Grouping;
+    (* variant-valued members behave like any other complex value *)
+    ext "num!x.b ∈ z" "num!x.b IN z" Semijoin;
+    ext "num!x.b ∉ z" "num!x.b NOT IN z" Antijoin;
+  ]
+
+let predicate row = Lang.Parser.expr row.source
+
+let kind = function
+  | Classify.Exists _ -> Semijoin
+  | Classify.Not_exists _ -> Antijoin
+  | Classify.Needs_grouping _ -> Grouping
+
+let expected_to_string = function
+  | Semijoin -> "semijoin"
+  | Antijoin -> "antijoin"
+  | Grouping -> "grouping"

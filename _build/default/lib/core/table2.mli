@@ -1,0 +1,35 @@
+(** The paper's Table 2 ("Rewriting TM predicates") as an executable catalog.
+
+    Each row pairs a predicate between query blocks — written over the outer
+    variable [x] and the subquery result [z] — with the classification the
+    paper assigns (or that follows from its Theorem 1). The OCR of the
+    original table is partially garbled; the row set below is reconstructed
+    from the prose semantics (§4.1, §7) and extended with derived forms,
+    every one of which is verified against the reference interpreter by the
+    test suite. Rows marked [extension] go beyond the paper (MIN/MAX bounds,
+    connective absorption, set-operator unfolding).
+
+    [x] is a tuple with [a : P INT] (set-valued), [b : INT] (scalar) — rows
+    use whichever field has the right type. *)
+
+type expected =
+  | Semijoin  (** rewritable to ∃v ∈ z (P') *)
+  | Antijoin  (** rewritable to ¬∃v ∈ z (P') *)
+  | Grouping  (** whole subquery result required — nest join *)
+
+type row = {
+  name : string;
+  source : string;      (** concrete syntax, parseable by [Lang.Parser] *)
+  expected : expected;
+  in_paper : bool;      (** appears in (our reconstruction of) Table 2 *)
+}
+
+val rows : row list
+
+val predicate : row -> Lang.Ast.expr
+(** Parsed [source]. *)
+
+val kind : Classify.verdict -> expected
+(** Collapse a classifier verdict to the Table 2 column. *)
+
+val expected_to_string : expected -> string

@@ -1,0 +1,162 @@
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Sset = Ast.String_set
+
+type state = { mutable used : Sset.t }
+
+let fresh st base =
+  let v = Ast.fresh st.used base in
+  st.used <- Sset.add v st.used;
+  v
+
+(* Replace the [Unit] leaves of [plan] by [base] — used to put a WITH-bound
+   context under a translated body. Does not descend into Apply subqueries:
+   their Unit roots denote their own ambient context. *)
+let rec graft base plan =
+  match plan with
+  | Plan.Unit -> base
+  | Plan.Table _ -> plan
+  | Plan.Select r -> Plan.Select { r with input = graft base r.input }
+  | Plan.Join r ->
+    Plan.Join { r with left = graft base r.left; right = graft base r.right }
+  | Plan.Semijoin r ->
+    Plan.Semijoin
+      { r with left = graft base r.left; right = graft base r.right }
+  | Plan.Antijoin r ->
+    Plan.Antijoin
+      { r with left = graft base r.left; right = graft base r.right }
+  | Plan.Outerjoin r ->
+    Plan.Outerjoin
+      { r with left = graft base r.left; right = graft base r.right }
+  | Plan.Nestjoin r ->
+    Plan.Nestjoin
+      { r with left = graft base r.left; right = graft base r.right }
+  | Plan.Unnest r -> Plan.Unnest { r with input = graft base r.input }
+  | Plan.Nest r -> Plan.Nest { r with input = graft base r.input }
+  | Plan.Extend r -> Plan.Extend { r with input = graft base r.input }
+  | Plan.Project r -> Plan.Project { r with input = graft base r.input }
+  | Plan.Apply r -> Plan.Apply { r with input = graft base r.input }
+  | Plan.Union r ->
+    Plan.Union { left = graft base r.left; right = graft base r.right }
+
+let rec translate_query st e =
+  match e with
+  | Ast.Sfw { select; from; where } -> translate_sfw st select from where
+  | Ast.UnnestE inner ->
+    (* UNNEST(q): iterate the (set-valued) result of q — §5's collapsible
+       SELECT-nesting arrives here as [Unnest] over the inner result. *)
+    let q = translate_query st inner in
+    let v = fresh st "u" in
+    {
+      Plan.plan = Plan.Unnest { expr = q.Plan.result; var = v; input = q.plan };
+      result = Ast.Var v;
+    }
+  | Ast.Let (v, def, body) ->
+    let base, def' = hoist st Plan.Unit def in
+    let q = translate_query st body in
+    {
+      q with
+      Plan.plan = graft (Plan.Extend { var = v; expr = def'; input = base }) q.Plan.plan;
+    }
+  | other ->
+    (* Generic set-valued expression: hoist its subqueries, then iterate. *)
+    let plan, e' = hoist st Plan.Unit other in
+    let v = fresh st "u" in
+    {
+      Plan.plan = Plan.Unnest { expr = e'; var = v; input = plan };
+      result = Ast.Var v;
+    }
+
+and translate_sfw st select from where =
+  let plan =
+    List.fold_left
+      (fun plan (v, operand) ->
+        match operand, plan with
+        | Ast.TableRef name, None -> Some (Plan.Table { name; var = v })
+        | Ast.TableRef name, Some p ->
+          Some
+            (Plan.Join
+               {
+                 pred = Ast.vbool true;
+                 left = p;
+                 right = Plan.Table { name; var = v };
+               })
+        | e, prev ->
+          let base = Option.value prev ~default:Plan.Unit in
+          let p', e' = hoist st base e in
+          Some (Plan.Unnest { expr = e'; var = v; input = p' }))
+      None from
+  in
+  let plan = Option.value plan ~default:Plan.Unit in
+  let plan =
+    match where with
+    | None -> plan
+    | Some w ->
+      let p', w' = hoist st plan w in
+      Plan.Select { pred = w'; input = p' }
+  in
+  let plan, select' = hoist st plan select in
+  { Plan.plan; result = select' }
+
+(* Hoist every SFW block out of [e] into Apply nodes stacked on [plan],
+   provided the block does not capture a variable bound locally within [e]
+   (by a quantifier, WITH, or an enclosing FROM inside [e] itself). *)
+and hoist st plan e =
+  let plan = ref plan in
+  let rec go bound e =
+    match e with
+    | Ast.Sfw _ when Sset.is_empty (Sset.inter (Ast.free_vars e) bound) ->
+      let q = translate_query st e in
+      let z = fresh st "q" in
+      plan := Plan.Apply { var = z; subquery = q; input = !plan };
+      Ast.Var z
+    | Ast.Sfw { select; from; where } ->
+      (* Captures a local binder: stays inline, but still hoist deeper
+         independent blocks inside its operands. *)
+      let bound' =
+        List.fold_left (fun b (v, _) -> Sset.add v b) bound from
+      in
+      Ast.Sfw
+        {
+          select = go bound' select;
+          from = List.map (fun (v, op) -> (v, go bound op)) from;
+          where = Option.map (go bound') where;
+        }
+    | Ast.Const _ | Ast.Var _ | Ast.TableRef _ -> e
+    | Ast.Field (e1, l) -> Ast.Field (go bound e1, l)
+    | Ast.TupleE fields ->
+      Ast.TupleE (List.map (fun (l, e1) -> (l, go bound e1)) fields)
+    | Ast.SetE es -> Ast.SetE (List.map (go bound) es)
+    | Ast.ListE es -> Ast.ListE (List.map (go bound) es)
+    | Ast.Unop (op, e1) -> Ast.Unop (op, go bound e1)
+    | Ast.Binop (op, a, b) -> Ast.Binop (op, go bound a, go bound b)
+    | Ast.Agg (a, e1) -> Ast.Agg (a, go bound e1)
+    | Ast.UnnestE e1 -> Ast.UnnestE (go bound e1)
+    | Ast.If (c, a, b) -> Ast.If (go bound c, go bound a, go bound b)
+    | Ast.VariantE (tag, e1) -> Ast.VariantE (tag, go bound e1)
+    | Ast.IsTag (e1, tag) -> Ast.IsTag (go bound e1, tag)
+    | Ast.AsTag (e1, tag) -> Ast.AsTag (go bound e1, tag)
+    | Ast.Quant (q, v, s, p) ->
+      Ast.Quant (q, v, go bound s, go (Sset.add v bound) p)
+    | Ast.Let (v, d, b) -> Ast.Let (v, go bound d, go (Sset.add v bound) b)
+  in
+  let e' = go Sset.empty e in
+  (!plan, e')
+
+let query catalog e =
+  match Lang.Types.check_query catalog e with
+  | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
+  | Ok (resolved, ty) -> (
+    match ty with
+    | Cobj.Ctype.TSet _ | Cobj.Ctype.TAny ->
+      let st = { used = Classify.all_vars_of resolved } in
+      Ok (translate_query st resolved)
+    | t ->
+      Error
+        (Fmt.str "not a set-valued query (type %a): %s" Cobj.Ctype.pp t
+           (Lang.Pretty.to_string resolved)))
+
+let query_exn catalog e =
+  match query catalog e with
+  | Ok q -> q
+  | Error msg -> invalid_arg ("Core.Translate: " ^ msg)

@@ -1,0 +1,20 @@
+(** Naive translation of TM queries into the algebra.
+
+    Produces the direct, nested-loop-shaped plan: FROM clauses become scans,
+    joins (independent table operands) and unnests (operands depending on
+    earlier variables); every hoistable subquery in the WHERE or SELECT
+    clause becomes an {!Algebra.Plan.plan.Apply} binding a fresh variable —
+    the algebraic image of correlated re-evaluation. No optimization happens
+    here; [Decorrelate] turns the Applies into joins.
+
+    A subquery is hoistable when it does not reference variables bound by an
+    enclosing quantifier within the same expression; non-hoistable subqueries
+    stay inline in the expression (the engine's expression evaluator handles
+    them by nested iteration). *)
+
+val query :
+  Cobj.Catalog.t -> Lang.Ast.expr -> (Algebra.Plan.query, string) result
+(** Translate a resolved, well-typed, set-valued expression (an SFW block,
+    [UNNEST (...)], a WITH-bound block, or any other set-valued form). *)
+
+val query_exn : Cobj.Catalog.t -> Lang.Ast.expr -> Algebra.Plan.query

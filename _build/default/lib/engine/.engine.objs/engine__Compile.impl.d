@@ -1,0 +1,1 @@
+lib/engine/compile.ml: Cobj Lang Lazy List String

@@ -1,0 +1,1 @@
+lib/engine/exec.ml: Cobj Compile Hashtbl Lang List Option Physical Stats String

@@ -1,0 +1,1 @@
+lib/engine/exec.mli: Cobj Lang Physical Stats

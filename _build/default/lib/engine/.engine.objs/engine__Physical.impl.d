@@ -1,0 +1,1 @@
+lib/engine/physical.ml: Fmt Lang String

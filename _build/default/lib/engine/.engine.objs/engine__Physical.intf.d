@@ -1,0 +1,1 @@
+lib/engine/physical.mli: Fmt Lang

@@ -1,0 +1,680 @@
+module Value = Cobj.Value
+module Env = Cobj.Env
+module Ast = Lang.Ast
+module Interp = Lang.Interp
+module P = Physical
+
+module Vtbl = Hashtbl.Make (struct
+  type t = Value.t
+
+  let equal = Value.equal
+  let hash = Value.hash
+end)
+
+module Sset = Ast.String_set
+
+(* Free (correlation) variables of physical plans, mirroring
+   [Algebra.Plan.free_vars]. *)
+let rec free_vars plan =
+  let expr_free bound e = Sset.diff (Ast.free_vars e) bound in
+  let bound_of p = Sset.of_list (P.vars_of p) in
+  let binary_keys left right lkey rkey residual =
+    let lb = bound_of left and rb = bound_of right in
+    let both = Sset.union lb rb in
+    Sset.union
+      (Sset.union (free_vars left) (free_vars right))
+      (Sset.union
+         (Sset.union (expr_free lb lkey) (expr_free rb rkey))
+         (match residual with
+         | None -> Sset.empty
+         | Some r -> expr_free both r))
+  in
+  match plan with
+  | P.Unit_row | P.Scan _ -> Sset.empty
+  | P.Filter { pred; input } ->
+    Sset.union (free_vars input) (expr_free (bound_of input) pred)
+  | P.Nl_join { pred; left; right }
+  | P.Nl_semijoin { pred; left; right; _ }
+  | P.Nl_outerjoin { pred; left; right } ->
+    Sset.union
+      (Sset.union (free_vars left) (free_vars right))
+      (expr_free (Sset.union (bound_of left) (bound_of right)) pred)
+  | P.Hash_join { lkey; rkey; residual; left; right }
+  | P.Merge_join { lkey; rkey; residual; left; right }
+  | P.Hash_semijoin { lkey; rkey; residual; left; right; _ }
+  | P.Merge_semijoin { lkey; rkey; residual; left; right; _ }
+  | P.Hash_outerjoin { lkey; rkey; residual; left; right }
+  | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
+    binary_keys left right lkey rkey residual
+  | P.Nl_nestjoin { pred; func; left; right; _ } ->
+    let both = Sset.union (bound_of left) (bound_of right) in
+    Sset.union
+      (Sset.union (free_vars left) (free_vars right))
+      (Sset.union (expr_free both pred) (expr_free both func))
+  | P.Hash_nestjoin { lkey; rkey; residual; func; left; right; _ }
+  | P.Hash_nestjoin_left { lkey; rkey; residual; func; left; right; _ }
+  | P.Merge_nestjoin { lkey; rkey; residual; func; left; right; _ } ->
+    let both = Sset.union (bound_of left) (bound_of right) in
+    Sset.union
+      (binary_keys left right lkey rkey residual)
+      (expr_free both func)
+  | P.Unnest_op { expr; input; _ } ->
+    Sset.union (free_vars input) (expr_free (bound_of input) expr)
+  | P.Nest_op { func; input; _ } ->
+    Sset.union (free_vars input) (expr_free (bound_of input) func)
+  | P.Extend_op { expr; input; _ } ->
+    Sset.union (free_vars input) (expr_free (bound_of input) expr)
+  | P.Project_op { input; _ } -> free_vars input
+  | P.Apply_op { subquery; input; _ } ->
+    Sset.union (free_vars input)
+      (Sset.diff (query_free_vars subquery) (bound_of input))
+  | P.Union_op { left; right } ->
+    Sset.union (free_vars left) (free_vars right)
+  | P.Index_join { lkey; residual; left; var; _ }
+  | P.Index_semijoin { lkey; residual; left; var; _ } ->
+    let lb = bound_of left in
+    Sset.union (free_vars left)
+      (Sset.union (expr_free lb lkey)
+         (match residual with
+         | None -> Sset.empty
+         | Some r -> expr_free (Sset.add var lb) r))
+  | P.Index_nestjoin { lkey; residual; func; left; var; _ } ->
+    let lb = bound_of left in
+    let both = Sset.add var lb in
+    Sset.union (free_vars left)
+      (Sset.union (expr_free lb lkey)
+         (Sset.union (expr_free both func)
+            (match residual with
+            | None -> Sset.empty
+            | Some r -> expr_free both r)))
+
+and query_free_vars { P.plan; result } =
+  Sset.union (free_vars plan)
+    (Sset.diff (Ast.free_vars result) (Sset.of_list (P.vars_of plan)))
+
+let no_stats = Stats.create ()
+
+let pad_nulls rvars l =
+  List.fold_left (fun acc v -> Env.bind v Value.Null acc) l rvars
+
+(* All scalar expressions appearing in a physical query (preds, keys,
+   residuals, functions, results — including nested applies). *)
+let rec exprs_of_plan plan acc =
+  match plan with
+  | P.Unit_row | P.Scan _ -> acc
+  | P.Filter { pred; input } -> exprs_of_plan input (pred :: acc)
+  | P.Nl_join { pred; left; right }
+  | P.Nl_semijoin { pred; left; right; _ }
+  | P.Nl_outerjoin { pred; left; right } ->
+    exprs_of_plan left (exprs_of_plan right (pred :: acc))
+  | P.Hash_join { lkey; rkey; residual; left; right }
+  | P.Merge_join { lkey; rkey; residual; left; right }
+  | P.Hash_semijoin { lkey; rkey; residual; left; right; _ }
+  | P.Merge_semijoin { lkey; rkey; residual; left; right; _ }
+  | P.Hash_outerjoin { lkey; rkey; residual; left; right }
+  | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
+    let acc = lkey :: rkey :: Option.to_list residual @ acc in
+    exprs_of_plan left (exprs_of_plan right acc)
+  | P.Nl_nestjoin { pred; func; left; right; _ } ->
+    exprs_of_plan left (exprs_of_plan right (pred :: func :: acc))
+  | P.Hash_nestjoin { lkey; rkey; residual; func; left; right; _ }
+  | P.Hash_nestjoin_left { lkey; rkey; residual; func; left; right; _ }
+  | P.Merge_nestjoin { lkey; rkey; residual; func; left; right; _ } ->
+    let acc = lkey :: rkey :: func :: Option.to_list residual @ acc in
+    exprs_of_plan left (exprs_of_plan right acc)
+  | P.Unnest_op { expr; input; _ } | P.Extend_op { expr; input; _ } ->
+    exprs_of_plan input (expr :: acc)
+  | P.Nest_op { func; input; _ } -> exprs_of_plan input (func :: acc)
+  | P.Project_op { input; _ } -> exprs_of_plan input acc
+  | P.Apply_op { subquery; input; _ } ->
+    exprs_of_plan input
+      (exprs_of_plan subquery.P.plan (subquery.P.result :: acc))
+  | P.Union_op { left; right } -> exprs_of_plan left (exprs_of_plan right acc)
+  | P.Index_join { lkey; residual; left; _ }
+  | P.Index_semijoin { lkey; residual; left; _ } ->
+    exprs_of_plan left ((lkey :: Option.to_list residual) @ acc)
+  | P.Index_nestjoin { lkey; residual; func; left; _ } ->
+    exprs_of_plan left ((lkey :: func :: Option.to_list residual) @ acc)
+
+let exprs_of_query { P.plan; result } = exprs_of_plan plan [ result ]
+
+(* Correlation-column analysis for apply memoization: the cache key should
+   be the values of the field paths through which the subquery reads the
+   outer row (e.g. [x.b]), not the whole outer tuple — otherwise a cache
+   keyed on distinct rows never hits. For each correlation variable we
+   collect the maximal [Field] chains rooted at it; a bare occurrence
+   forces keying on the whole variable. Occurrences shadowed by inner
+   binders are collected too — that only refines the key, which is safe. *)
+let correlation_key_exprs corr query =
+  let bare = Hashtbl.create 8 in
+  let paths = Hashtbl.create 8 in
+  let rec root_chain e =
+    match e with
+    | Ast.Var v -> Some (v, "")
+    | Ast.Field (e1, l) ->
+      Option.map (fun (v, c) -> (v, c ^ "." ^ l)) (root_chain e1)
+    | _ -> None
+  in
+  let rec collect e =
+    match e with
+    | Ast.Var v -> if Sset.mem v corr then Hashtbl.replace bare v ()
+    | Ast.Field (e1, _) -> begin
+      match root_chain e with
+      | Some (v, chain) when Sset.mem v corr ->
+        Hashtbl.replace paths (v, chain) e
+      | Some _ -> ()
+      | None -> collect e1
+    end
+    | Ast.Const _ | Ast.TableRef _ -> ()
+    | Ast.TupleE fields -> List.iter (fun (_, e1) -> collect e1) fields
+    | Ast.SetE es | Ast.ListE es -> List.iter collect es
+    | Ast.Unop (_, e1) | Ast.Agg (_, e1) | Ast.UnnestE e1
+    | Ast.VariantE (_, e1) | Ast.IsTag (e1, _) | Ast.AsTag (e1, _) ->
+      collect e1
+    | Ast.If (c, a, b) ->
+      collect c;
+      collect a;
+      collect b
+    | Ast.Binop (_, a, b) ->
+      collect a;
+      collect b
+    | Ast.Quant (_, _, s, p) ->
+      collect s;
+      collect p
+    | Ast.Let (_, d, b) ->
+      collect d;
+      collect b
+    | Ast.Sfw { select; from; where } ->
+      collect select;
+      List.iter (fun (_, op) -> collect op) from;
+      Option.iter collect where
+  in
+  List.iter collect (exprs_of_query query);
+  Sset.elements corr
+  |> List.concat_map (fun v ->
+         if Hashtbl.mem bare v then [ Ast.Var v ]
+         else begin
+           let own =
+             Hashtbl.fold
+               (fun (v', _) e acc -> if String.equal v v' then e :: acc else acc)
+               paths []
+           in
+           match own with [] -> [ Ast.Var v ] | _ :: _ -> own
+         end)
+
+let rec rows ?(stats = no_stats) catalog env plan =
+  let out =
+    match plan with
+    | P.Unit_row -> [ env ]
+    | P.Scan { table; var } ->
+      let t = Cobj.Catalog.find_exn table catalog in
+      List.map (fun v -> Env.bind var v env) (Cobj.Table.rows t)
+    | P.Filter { pred; input } ->
+      let predfn = Compile.pred catalog pred in
+      rows ~stats catalog env input
+      |> List.filter (fun r ->
+             stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
+             predfn r)
+    | P.Nl_join { pred; left; right } ->
+      let predfn = Compile.pred catalog pred in
+      let rrows = rows ~stats catalog env right in
+      rows ~stats catalog env left
+      |> List.concat_map (fun l ->
+             List.filter_map
+               (fun r ->
+                 stats.Stats.predicate_evals <-
+                   stats.Stats.predicate_evals + 1;
+                 let merged = Env.append r l in
+                 if predfn merged then Some merged else None)
+               rrows)
+    | P.Hash_join { lkey; rkey; residual; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let table = build ~stats catalog env right rkey in
+      rows ~stats catalog env left
+      |> List.concat_map (fun l ->
+             probe ~stats table (lkeyfn l)
+             |> List.filter_map (fun r ->
+                    let merged = Env.append r l in
+                    if rok merged then Some merged else None))
+    | P.Merge_join { lkey; rkey; residual; left; right } ->
+      let rok = compile_residual ~stats catalog residual in
+      let lgroups = sorted_groups ~stats catalog env left lkey in
+      let rgroups = sorted_groups ~stats catalog env right rkey in
+      merge_groups lgroups rgroups
+      |> List.concat_map (fun (ls, rs) ->
+             List.concat_map
+               (fun l ->
+                 List.filter_map
+                   (fun r ->
+                     let merged = Env.append r l in
+                     if rok merged then Some merged else None)
+                   rs)
+               ls)
+    | P.Nl_semijoin { pred; anti; left; right } ->
+      let predfn = Compile.pred catalog pred in
+      let rrows = rows ~stats catalog env right in
+      rows ~stats catalog env left
+      |> List.filter (fun l ->
+             let found =
+               List.exists
+                 (fun r ->
+                   stats.Stats.predicate_evals <-
+                     stats.Stats.predicate_evals + 1;
+                   predfn (Env.append r l))
+                 rrows
+             in
+             if anti then not found else found)
+    | P.Hash_semijoin { lkey; rkey; residual; anti; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let table = build ~stats catalog env right rkey in
+      rows ~stats catalog env left
+      |> List.filter (fun l ->
+             let found =
+               probe ~stats table (lkeyfn l)
+               |> List.exists (fun r -> rok (Env.append r l))
+             in
+             if anti then not found else found)
+    | P.Merge_semijoin { lkey; rkey; residual; anti; left; right } ->
+      let rok = compile_residual ~stats catalog residual in
+      let lgroups = sorted_groups ~stats catalog env left lkey in
+      let rgroups = sorted_groups ~stats catalog env right rkey in
+      (* march the two sorted group lists; every left group is emitted or
+         dropped depending on whether a matching right member exists *)
+      let rec go ls rs acc =
+        match ls with
+        | [] -> List.rev acc
+        | (lk, lrows) :: ls' ->
+          let rec advance rs =
+            match rs with
+            | (rk, _) :: rs' when Value.compare rk lk < 0 -> advance rs'
+            | _ -> rs
+          in
+          let rs = advance rs in
+          let rrows =
+            match rs with
+            | (rk, rrows) :: _ when Value.compare rk lk = 0 -> rrows
+            | _ -> []
+          in
+          let keep l =
+            let matched = List.exists (fun r -> rok (Env.append r l)) rrows in
+            if anti then not matched else matched
+          in
+          go ls' rs (List.rev_append (List.filter keep lrows) acc)
+      in
+      go lgroups rgroups []
+    | P.Nl_outerjoin { pred; left; right } ->
+      let predfn = Compile.pred catalog pred in
+      let rrows = rows ~stats catalog env right in
+      let rvars = P.vars_of right in
+      rows ~stats catalog env left
+      |> List.concat_map (fun l ->
+             let matches =
+               List.filter_map
+                 (fun r ->
+                   stats.Stats.predicate_evals <-
+                     stats.Stats.predicate_evals + 1;
+                   let merged = Env.append r l in
+                   if predfn merged then Some merged else None)
+                 rrows
+             in
+             match matches with [] -> [ pad_nulls rvars l ] | _ :: _ -> matches)
+    | P.Hash_outerjoin { lkey; rkey; residual; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let table = build ~stats catalog env right rkey in
+      let rvars = P.vars_of right in
+      rows ~stats catalog env left
+      |> List.concat_map (fun l ->
+             let matches =
+               probe ~stats table (lkeyfn l)
+               |> List.filter_map (fun r ->
+                      let merged = Env.append r l in
+                      if rok merged then Some merged else None)
+             in
+             match matches with [] -> [ pad_nulls rvars l ] | _ :: _ -> matches)
+    | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
+      let rok = compile_residual ~stats catalog residual in
+      let rvars = P.vars_of right in
+      let lgroups = sorted_groups ~stats catalog env left lkey in
+      let rgroups = sorted_groups ~stats catalog env right rkey in
+      (* every left row survives: matched rows merge, the rest pad *)
+      let rec go ls rs acc =
+        match ls, rs with
+        | [], _ -> List.rev acc
+        | (_, lrows) :: ls', [] ->
+          go ls' []
+            (List.rev_append (List.map (pad_nulls rvars) lrows) acc)
+        | (lk, lrows) :: ls', (rk, rrows) :: rs' ->
+          let c = Value.compare lk rk in
+          if c = 0 then
+            let out =
+              List.concat_map
+                (fun l ->
+                  let matches =
+                    List.filter_map
+                      (fun r ->
+                        let merged = Env.append r l in
+                        if rok merged then Some merged else None)
+                      rrows
+                  in
+                  match matches with
+                  | [] -> [ pad_nulls rvars l ]
+                  | _ :: _ -> matches)
+                lrows
+            in
+            go ls' rs' (List.rev_append out acc)
+          else if c < 0 then
+            go ls' rs
+              (List.rev_append (List.map (pad_nulls rvars) lrows) acc)
+          else go ls rs' acc
+      in
+      go lgroups rgroups []
+    | P.Nl_nestjoin { pred; func; label; left; right } ->
+      let predfn = Compile.pred catalog pred in
+      let funcfn = Compile.expr catalog func in
+      let rrows = rows ~stats catalog env right in
+      rows ~stats catalog env left
+      |> List.map (fun l ->
+             let members =
+               List.filter_map
+                 (fun r ->
+                   stats.Stats.predicate_evals <-
+                     stats.Stats.predicate_evals + 1;
+                   let merged = Env.append r l in
+                   if predfn merged then Some (funcfn merged) else None)
+                 rrows
+             in
+             Env.bind label (Value.set members) l)
+    | P.Hash_nestjoin { lkey; rkey; residual; func; label; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let funcfn = Compile.expr catalog func in
+      let table = build ~stats catalog env right rkey in
+      rows ~stats catalog env left
+      |> List.map (fun l ->
+             let members =
+               probe ~stats table (lkeyfn l)
+               |> List.filter_map (fun r ->
+                      let merged = Env.append r l in
+                      if rok merged then Some (funcfn merged) else None)
+             in
+             Env.bind label (Value.set members) l)
+    | P.Hash_nestjoin_left { lkey; rkey; residual; func; label; left; right }
+      ->
+      (* Streaming right against a left build table: emits a group as soon
+         as a right row matches, so it is only correct when [rkey] is unique
+         on the right input (§6). Dangling left rows flush at the end. *)
+      let lkeyfn = Compile.expr catalog lkey in
+      let rkeyfn = Compile.expr catalog rkey in
+      let rok = compile_residual ~stats catalog residual in
+      let funcfn = Compile.expr catalog func in
+      let lrows = rows ~stats catalog env left in
+      let table = Vtbl.create 256 in
+      List.iter
+        (fun l ->
+          stats.Stats.hash_builds <- stats.Stats.hash_builds + 1;
+          let k = lkeyfn l in
+          Vtbl.replace table k
+            (l :: (try Vtbl.find table k with Not_found -> [])))
+        lrows;
+      let matched : (Env.t * Env.t list) list ref = ref [] in
+      let matched_keys = Vtbl.create 256 in
+      rows ~stats catalog env right
+      |> List.iter (fun r ->
+             let k = rkeyfn r in
+             stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+             match Vtbl.find_opt table k with
+             | None -> ()
+             | Some ls ->
+               List.iter
+                 (fun l ->
+                   let merged = Env.append r l in
+                   if rok merged then begin
+                     matched := (l, [ merged ]) :: !matched;
+                     Vtbl.replace matched_keys (Env.to_value l) ()
+                   end)
+                 ls);
+      let emitted =
+        List.rev_map
+          (fun (l, merged) ->
+            Env.bind label (Value.set (List.map funcfn merged)) l)
+          !matched
+      in
+      let dangling =
+        List.filter_map
+          (fun l ->
+            if Vtbl.mem matched_keys (Env.to_value l) then None
+            else Some (Env.bind label (Value.Set []) l))
+          lrows
+      in
+      emitted @ dangling
+    | P.Merge_nestjoin { lkey; rkey; residual; func; label; left; right } ->
+      let rok = compile_residual ~stats catalog residual in
+      let funcfn = Compile.expr catalog func in
+      let lgroups = sorted_groups ~stats catalog env left lkey in
+      let rgroups = sorted_groups ~stats catalog env right rkey in
+      (* Unlike merge join, every left group survives (possibly with ∅). *)
+      let rec go ls rs acc =
+        match ls, rs with
+        | [], _ -> List.rev acc
+        | (lk, lrows) :: ls', [] ->
+          let out = List.map (emit_group []) lrows in
+          ignore lk;
+          go ls' [] (List.rev_append out acc)
+        | (lk, lrows) :: ls', (rk, rrows) :: rs' ->
+          let c = Value.compare lk rk in
+          if c = 0 then
+            go ls' rs'
+              (List.rev_append (List.map (emit_group rrows) lrows) acc)
+          else if c < 0 then
+            go ls' rs (List.rev_append (List.map (emit_group []) lrows) acc)
+          else go ls rs' acc
+      and emit_group rrows l =
+        let members =
+          List.filter_map
+            (fun r ->
+              let merged = Env.append r l in
+              if rok merged then Some (funcfn merged) else None)
+            rrows
+        in
+        Env.bind label (Value.set members) l
+      in
+      go lgroups rgroups []
+    | P.Unnest_op { expr; var; input } ->
+      let exprfn = Compile.expr catalog expr in
+      rows ~stats catalog env input
+      |> List.concat_map (fun r ->
+             Value.elements (exprfn r)
+             |> List.map (fun x -> Env.bind var x r))
+    | P.Nest_op { by; label; func; nulls; input } ->
+      let input_rows = rows ~stats catalog env input in
+      let groups = Vtbl.create 64 in
+      let order = ref [] in
+      List.iter
+        (fun r ->
+          stats.Stats.hash_builds <- stats.Stats.hash_builds + 1;
+          let k = Env.to_value (Env.project by r) in
+          match Vtbl.find_opt groups k with
+          | Some members -> Vtbl.replace groups k (r :: members)
+          | None ->
+            order := (k, r) :: !order;
+            Vtbl.add groups k [ r ])
+        input_rows;
+      let funcfn = Compile.expr catalog func in
+      let padded r =
+        nulls <> []
+        && List.for_all (fun v -> Value.equal (Env.find v r) Value.Null) nulls
+      in
+      List.rev_map
+        (fun (k, representative) ->
+          let members = Vtbl.find groups k in
+          let set =
+            Value.set
+              (List.filter_map
+                 (fun r -> if padded r then None else Some (funcfn r))
+                 members)
+          in
+          let base =
+            List.fold_left
+              (fun acc v -> Env.bind v (Env.find v representative) acc)
+              env by
+          in
+          Env.bind label set base)
+        !order
+    | P.Extend_op { var; expr; input } ->
+      let exprfn = Compile.expr catalog expr in
+      rows ~stats catalog env input
+      |> List.map (fun r -> Env.bind var (exprfn r) r)
+    | P.Project_op { vars; input } ->
+      rows ~stats catalog env input
+      |> List.map (fun r -> Env.append (Env.project vars r) env)
+      |> List.sort_uniq Env.compare
+    | P.Apply_op { var; subquery; memo; input } ->
+      let input_rows = rows ~stats catalog env input in
+      if not memo then
+        List.map
+          (fun r ->
+            stats.Stats.applies <- stats.Stats.applies + 1;
+            Env.bind var (run_under ~stats catalog r subquery) r)
+          input_rows
+      else begin
+        let corr =
+          Sset.inter (query_free_vars subquery)
+            (Sset.of_list (P.vars_of input))
+        in
+        let key_exprs = correlation_key_exprs corr subquery in
+        let cache = Vtbl.create 64 in
+        let key_fns = List.map (Compile.expr catalog) key_exprs in
+        List.map
+          (fun r ->
+            let k = Value.List (List.map (fun f -> f r) key_fns) in
+            let v =
+              match Vtbl.find_opt cache k with
+              | Some v ->
+                stats.Stats.apply_hits <- stats.Stats.apply_hits + 1;
+                v
+              | None ->
+                stats.Stats.applies <- stats.Stats.applies + 1;
+                let v = run_under ~stats catalog r subquery in
+                Vtbl.add cache k v;
+                v
+            in
+            Env.bind var v r)
+          input_rows
+      end
+    | P.Index_join { lkey; table; var; field; residual; left } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let t = Cobj.Catalog.find_exn table catalog in
+      rows ~stats catalog env left
+      |> List.concat_map (fun l ->
+             stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+             Cobj.Table.index_lookup field t (lkeyfn l)
+             |> List.filter_map (fun rv ->
+                    let merged = Env.bind var rv l in
+                    if rok merged then Some merged else None))
+    | P.Index_semijoin { lkey; table; var; field; residual; anti; left } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let t = Cobj.Catalog.find_exn table catalog in
+      rows ~stats catalog env left
+      |> List.filter (fun l ->
+             stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+             let found =
+               Cobj.Table.index_lookup field t (lkeyfn l)
+               |> List.exists (fun rv -> rok (Env.bind var rv l))
+             in
+             if anti then not found else found)
+    | P.Index_nestjoin { lkey; table; var; field; residual; func; label; left }
+      ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rok = compile_residual ~stats catalog residual in
+      let funcfn = Compile.expr catalog func in
+      let t = Cobj.Catalog.find_exn table catalog in
+      rows ~stats catalog env left
+      |> List.map (fun l ->
+             stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+             let members =
+               Cobj.Table.index_lookup field t (lkeyfn l)
+               |> List.filter_map (fun rv ->
+                      let merged = Env.bind var rv l in
+                      if rok merged then Some (funcfn merged) else None)
+             in
+             Env.bind label (Value.set members) l)
+    | P.Union_op { left; right } ->
+      List.sort_uniq Env.compare
+        (rows ~stats catalog env left @ rows ~stats catalog env right)
+  in
+  stats.Stats.rows_out <- stats.Stats.rows_out + List.length out;
+  out
+
+(* [rok] below is the residual check compiled once per operator; [keyfn]
+   likewise for key expressions. *)
+and compile_residual ~stats catalog residual =
+  match residual with
+  | None -> fun _ -> true
+  | Some pred ->
+    let f = Compile.pred catalog pred in
+    fun merged ->
+      stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
+      f merged
+
+and build ~stats catalog env plan key_expr =
+  let keyfn = Compile.expr catalog key_expr in
+  let table = Vtbl.create 256 in
+  let rrows = rows ~stats catalog env plan in
+  (* Preserve input order within buckets. *)
+  List.iter
+    (fun r ->
+      stats.Stats.hash_builds <- stats.Stats.hash_builds + 1;
+      let k = keyfn r in
+      match Vtbl.find_opt table k with
+      | Some bucket -> Vtbl.replace table k (r :: bucket)
+      | None -> Vtbl.add table k [ r ])
+    rrows;
+  table
+
+and probe ~stats table k =
+  stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+  match Vtbl.find_opt table k with
+  | Some bucket -> List.rev bucket
+  | None -> []
+
+and sorted_groups ~stats catalog env plan key_expr =
+  let keyfn = Compile.expr catalog key_expr in
+  let produced = rows ~stats catalog env plan in
+  stats.Stats.sorts <- stats.Stats.sorts + List.length produced;
+  let keyed = List.map (fun r -> (keyfn r, r)) produced in
+  let sorted =
+    List.sort (fun (k1, _) (k2, _) -> Value.compare k1 k2) keyed
+  in
+  (* Linear pass over the sorted list, grouping equal adjacent keys. *)
+  let rec group = function
+    | [] -> []
+    | (k, r) :: rest ->
+      let rec take acc = function
+        | (k', r') :: more when Value.equal k k' -> take (r' :: acc) more
+        | remaining -> (List.rev acc, remaining)
+      in
+      let same, others = take [ r ] rest in
+      (k, same) :: group others
+  in
+  group sorted
+
+and merge_groups ls rs =
+  match ls, rs with
+  | [], _ | _, [] -> []
+  | (lk, lrows) :: ls', (rk, rrows) :: rs' ->
+    let c = Value.compare lk rk in
+    if c = 0 then (lrows, rrows) :: merge_groups ls' rs'
+    else if c < 0 then merge_groups ls' rs
+    else merge_groups ls rs'
+
+and run_under ?stats catalog env { P.plan; result } =
+  let resultfn = Compile.expr catalog result in
+  let produced = rows ?stats catalog env plan in
+  Value.set (List.map resultfn produced)
+
+let run ?stats catalog query = run_under ?stats catalog Env.empty query

@@ -1,0 +1,37 @@
+(** Executor for physical plans.
+
+    Evaluation is oracle-faithful: for every physical plan [p] obtained from
+    a logical plan [l], [rows] agrees with [Algebra.Sem.rows] on [l] up to
+    row order (tests enforce this). Work counters are collected into an
+    optional {!Stats.t}.
+
+    {b Caveat} (§6 of the paper, exercised by the build-side bench):
+    [Hash_nestjoin_left] streams the right operand against a left-side build
+    table and is only correct when the right key expression is unique on the
+    right input — the planner enforces this; calling it directly without the
+    precondition produces un-grouped (wrong) output, which is the point of
+    the experiment. *)
+
+val rows :
+  ?stats:Stats.t ->
+  Cobj.Catalog.t ->
+  Cobj.Env.t ->
+  Physical.t ->
+  Cobj.Env.t list
+(** Rows produced under an ambient environment (for correlation variables),
+    in implementation order (not canonicalized). *)
+
+val run :
+  ?stats:Stats.t -> Cobj.Catalog.t -> Physical.query -> Cobj.Value.t
+(** Set value of a closed physical query. *)
+
+val run_under :
+  ?stats:Stats.t ->
+  Cobj.Catalog.t ->
+  Cobj.Env.t ->
+  Physical.query ->
+  Cobj.Value.t
+
+val query_free_vars : Physical.query -> Lang.Ast.String_set.t
+(** Correlation variables a physical query needs from its enclosing scope
+    (used for apply memoization). *)

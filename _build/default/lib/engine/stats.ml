@@ -1,0 +1,40 @@
+type t = {
+  mutable rows_out : int;
+  mutable predicate_evals : int;
+  mutable hash_builds : int;
+  mutable hash_probes : int;
+  mutable sorts : int;
+  mutable applies : int;
+  mutable apply_hits : int;
+}
+
+let create () =
+  {
+    rows_out = 0;
+    predicate_evals = 0;
+    hash_builds = 0;
+    hash_probes = 0;
+    sorts = 0;
+    applies = 0;
+    apply_hits = 0;
+  }
+
+let reset t =
+  t.rows_out <- 0;
+  t.predicate_evals <- 0;
+  t.hash_builds <- 0;
+  t.hash_probes <- 0;
+  t.sorts <- 0;
+  t.applies <- 0;
+  t.apply_hits <- 0
+
+let total_work t =
+  t.rows_out + t.predicate_evals + t.hash_builds + t.hash_probes + t.sorts
+  + t.applies
+
+let pp ppf t =
+  Fmt.pf ppf
+    "rows=%d pred-evals=%d builds=%d probes=%d sorts=%d applies=%d \
+     apply-hits=%d"
+    t.rows_out t.predicate_evals t.hash_builds t.hash_probes t.sorts
+    t.applies t.apply_hits

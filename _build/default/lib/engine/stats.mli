@@ -1,0 +1,20 @@
+(** Work counters collected during execution — machine-independent cost
+    evidence for the benches (tuple comparisons, hash activity, subquery
+    re-evaluations). *)
+
+type t = {
+  mutable rows_out : int;     (** rows emitted by all operators *)
+  mutable predicate_evals : int;  (** join/filter predicate evaluations *)
+  mutable hash_builds : int;  (** rows inserted into hash tables *)
+  mutable hash_probes : int;
+  mutable sorts : int;        (** rows passed through sort operators *)
+  mutable applies : int;      (** correlated subquery evaluations *)
+  mutable apply_hits : int;   (** memoized apply cache hits *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val total_work : t -> int
+(** A single scalar summary: sum of all counters. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,1 @@
+lib/lang/ast.ml: Cobj List Option Set String

@@ -1,0 +1,1 @@
+lib/lang/interp.ml: Ast Cobj List String

@@ -1,0 +1,1 @@
+lib/lang/parser.ml: Ast Cobj Fmt Lexer Printf

@@ -1,0 +1,1 @@
+lib/lang/schema.ml: Ast Buffer Cobj Fmt Format Interp Lexer List Parser Printf String

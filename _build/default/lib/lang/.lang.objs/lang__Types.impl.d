@@ -1,0 +1,1 @@
+lib/lang/types.ml: Ast Cobj Fmt Format List Option Pretty

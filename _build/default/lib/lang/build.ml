@@ -1,0 +1,120 @@
+type expr = Ast.expr
+
+(* Fresh binder names: a per-process counter keeps names unique within a
+   build; operand expressions are additionally scanned so that an embedded
+   variable can never be captured. *)
+let counter = ref 0
+
+let fresh_name avoid hint =
+  incr counter;
+  let candidate = Printf.sprintf "%s%d" hint !counter in
+  Ast.fresh avoid candidate
+
+let int i = Ast.vint i
+let float f = Ast.Const (Cobj.Value.Float f)
+let str s = Ast.vstr s
+let bool b = Ast.vbool b
+let table name = Ast.TableRef name
+let value v = Ast.Const v
+let tuple fields = Ast.TupleE fields
+let set es = Ast.SetE es
+let list es = Ast.ListE es
+let ( $. ) e l = Ast.Field (e, l)
+
+let binop op a b = Ast.Binop (op, a, b)
+let ( =: ) a b = binop Ast.Eq a b
+let ( <>: ) a b = binop Ast.Ne a b
+let ( <: ) a b = binop Ast.Lt a b
+let ( <=: ) a b = binop Ast.Le a b
+let ( >: ) a b = binop Ast.Gt a b
+let ( >=: ) a b = binop Ast.Ge a b
+let ( &&: ) a b = binop Ast.And a b
+let ( ||: ) a b = binop Ast.Or a b
+let not_ e = Ast.Unop (Ast.Not, e)
+let ( +: ) a b = binop Ast.Add a b
+let ( -: ) a b = binop Ast.Sub a b
+let ( *: ) a b = binop Ast.Mul a b
+let ( /: ) a b = binop Ast.Div a b
+let ( %: ) a b = binop Ast.Mod a b
+let ( @: ) a b = binop Ast.Mem a b
+let union a b = binop Ast.Union a b
+let inter a b = binop Ast.Inter a b
+let diff a b = binop Ast.Diff a b
+let subset a b = binop Ast.Subset a b
+let subseteq a b = binop Ast.Subseteq a b
+let supset a b = binop Ast.Supset a b
+let supseteq a b = binop Ast.Supseteq a b
+let count e = Ast.Agg (Ast.Count, e)
+let sum e = Ast.Agg (Ast.Sum, e)
+let min_ e = Ast.Agg (Ast.Min, e)
+let max_ e = Ast.Agg (Ast.Max, e)
+let avg e = Ast.Agg (Ast.Avg, e)
+let unnest e = Ast.UnnestE e
+
+let quant q ?(hint = "v") s body =
+  let v = fresh_name (Ast.all_vars s) hint in
+  Ast.Quant (q, v, s, body (Ast.Var v))
+
+let exists ?hint s body = quant Ast.Exists ?hint s body
+let forall ?hint s body = quant Ast.Forall ?hint s body
+
+let let_ ?(hint = "w") def body =
+  let v = fresh_name (Ast.all_vars def) hint in
+  Ast.Let (v, def, body (Ast.Var v))
+
+type binding = {
+  hint : string;
+  operand : expr;
+}
+
+let from ?hint operand =
+  let hint =
+    match hint, operand with
+    | Some h, _ -> h
+    | None, Ast.TableRef n -> String.lowercase_ascii (String.sub n 0 1)
+    | None, _ -> "v"
+  in
+  { hint; operand }
+
+let select ~from ?where f =
+  let avoid =
+    List.fold_left
+      (fun acc b -> Ast.String_set.union acc (Ast.all_vars b.operand))
+      Ast.String_set.empty from
+  in
+  let bindings =
+    List.map (fun b -> (fresh_name avoid b.hint, b.operand)) from
+  in
+  let vars = List.map (fun (v, _) -> Ast.Var v) bindings in
+  let apply name g =
+    match g vars with
+    | e -> e
+    | exception Match_failure _ ->
+      invalid_arg
+        (Printf.sprintf
+           "Lang.Build.select: the %s callback must accept %d binder(s)" name
+           (List.length bindings))
+  in
+  let select_e = apply "select" f in
+  let where_e = Option.map (fun w -> apply "where" w) where in
+  Ast.Sfw { select = select_e; from = bindings; where = where_e }
+
+let subquery = select
+
+let select1 ~from:b ?where f =
+  select
+    ~from:[ b ]
+    ?where:(Option.map (fun w vars -> w (List.nth vars 0)) where)
+    (fun vars -> f (List.nth vars 0))
+
+let select2 ~from:(b1, b2) ?where f =
+  select
+    ~from:[ b1; b2 ]
+    ?where:
+      (Option.map (fun w vars -> w (List.nth vars 0) (List.nth vars 1)) where)
+    (fun vars -> f (List.nth vars 0) (List.nth vars 1))
+
+let if_ c a b = Ast.If (c, a, b)
+let variant tag e = Ast.VariantE (tag, e)
+let is_tag e tag = Ast.IsTag (e, tag)
+let as_tag e tag = Ast.AsTag (e, tag)

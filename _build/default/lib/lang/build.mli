@@ -1,0 +1,134 @@
+(** Combinators for building queries programmatically.
+
+    A thin, capture-aware layer over {!Ast} for library users who construct
+    queries in OCaml rather than parsing concrete syntax. Binding forms
+    (quantifiers, FROM clauses, WITH) take OCaml functions, so variable
+    scoping mirrors host-language scoping:
+
+    {[
+      let open Lang.Build in
+      select
+        ~from:[ from (table "X") "x" ]
+        (fun [ x ] -> x $. "id")
+        ~where:(fun [ x ] ->
+          (x $. "a") @: subquery ~from:[ from (table "Y") "y" ]
+            (fun [ y ] -> y $. "a")
+            ~where:(fun [ y ] -> (x $. "b") =: (y $. "b")))
+    ]}
+
+    The list-of-binders interface is dynamically checked: the callback
+    receives exactly as many variables as there are FROM bindings. *)
+
+type expr = Ast.expr
+
+(** {1 Atoms} *)
+
+val int : int -> expr
+val float : float -> expr
+val str : string -> expr
+val bool : bool -> expr
+val table : string -> expr
+(** A catalog extension (use inside {!from}). *)
+
+val value : Cobj.Value.t -> expr
+
+(** {1 Structure} *)
+
+val tuple : (string * expr) list -> expr
+val set : expr list -> expr
+val list : expr list -> expr
+val ( $. ) : expr -> string -> expr
+(** Field projection: [x $. "a"] is [x.a]. *)
+
+(** {1 Operators} *)
+
+val ( =: ) : expr -> expr -> expr
+val ( <>: ) : expr -> expr -> expr
+val ( <: ) : expr -> expr -> expr
+val ( <=: ) : expr -> expr -> expr
+val ( >: ) : expr -> expr -> expr
+val ( >=: ) : expr -> expr -> expr
+val ( &&: ) : expr -> expr -> expr
+val ( ||: ) : expr -> expr -> expr
+val not_ : expr -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val ( %: ) : expr -> expr -> expr
+
+val ( @: ) : expr -> expr -> expr
+(** Membership: [e @: s] is [e IN s]. *)
+
+val union : expr -> expr -> expr
+val inter : expr -> expr -> expr
+val diff : expr -> expr -> expr
+val subset : expr -> expr -> expr
+val subseteq : expr -> expr -> expr
+val supset : expr -> expr -> expr
+val supseteq : expr -> expr -> expr
+
+(** {1 Aggregates and set functions} *)
+
+val count : expr -> expr
+val sum : expr -> expr
+val min_ : expr -> expr
+val max_ : expr -> expr
+val avg : expr -> expr
+val unnest : expr -> expr
+
+(** {1 Binding forms}
+
+    Fresh variable names are derived from the given hints, avoiding capture
+    of any name already used in the operand expressions. *)
+
+val exists : ?hint:string -> expr -> (expr -> expr) -> expr
+(** [exists s body] is [∃v ∈ s (body v)]. *)
+
+val forall : ?hint:string -> expr -> (expr -> expr) -> expr
+
+val let_ : ?hint:string -> expr -> (expr -> expr) -> expr
+(** [let_ def body] is [body v WITH v = def]. *)
+
+type binding
+(** One FROM binding. *)
+
+val from : ?hint:string -> expr -> binding
+(** [from (table "X")], [from (x $. "emps")], … *)
+
+val select :
+  from:binding list ->
+  ?where:(expr list -> expr) ->
+  (expr list -> expr) ->
+  expr
+(** [select ~from ~where f] — [f] and [where] receive the bound variables in
+    FROM order. Raises [Invalid_argument] if the callbacks are applied to a
+    different number of binders than declared — use complete patterns like
+    [fun [ x; y ] -> …] (the compiler's partial-match warning is expected
+    and can be silenced locally). *)
+
+val subquery :
+  from:binding list ->
+  ?where:(expr list -> expr) ->
+  (expr list -> expr) ->
+  expr
+(** Alias of {!select} for readability at nested positions. *)
+
+val select1 :
+  from:binding -> ?where:(expr -> expr) -> (expr -> expr) -> expr
+(** Single-binding convenience: no list patterns needed. *)
+
+val select2 :
+  from:binding * binding ->
+  ?where:(expr -> expr -> expr) ->
+  (expr -> expr -> expr) ->
+  expr
+
+(** {1 Conditionals and variants} *)
+
+val if_ : expr -> expr -> expr -> expr
+val variant : string -> expr -> expr
+(** [variant "circle" (float 1.5)] is [circle!1.5]. *)
+
+val is_tag : expr -> string -> expr
+val as_tag : expr -> string -> expr

@@ -1,0 +1,184 @@
+module Value = Cobj.Value
+module Env = Cobj.Env
+
+exception Undefined of string
+
+let num_binop op_int op_float a b =
+  match a, b with
+  | Value.Int x, Value.Int y -> Value.Int (op_int x y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    Value.Float (op_float (Value.as_float a) (Value.as_float b))
+  | _, _ ->
+    Value.type_error "arithmetic on non-numbers %s and %s"
+      (Value.to_string a) (Value.to_string b)
+
+let add = num_binop ( + ) ( +. )
+let sub = num_binop ( - ) ( -. )
+let mul = num_binop ( * ) ( *. )
+
+let div a b =
+  match a, b with
+  | Value.Int x, Value.Int y ->
+    if y = 0 then Value.type_error "division by zero" else Value.Int (x / y)
+  | (Value.Int _ | Value.Float _), (Value.Int _ | Value.Float _) ->
+    Value.Float (Value.as_float a /. Value.as_float b)
+  | _, _ ->
+    Value.type_error "division on non-numbers %s and %s" (Value.to_string a)
+      (Value.to_string b)
+
+let aggregate agg v =
+  let elems = Value.elements v in
+  match agg with
+  | Ast.Count -> Value.Int (List.length elems)
+  | Ast.Sum -> List.fold_left add (Value.Int 0) elems
+  | Ast.Min -> begin
+    match elems with
+    | [] -> raise (Undefined "MIN of empty collection")
+    | x :: rest ->
+      List.fold_left (fun m y -> if Value.compare y m < 0 then y else m) x rest
+  end
+  | Ast.Max -> begin
+    match elems with
+    | [] -> raise (Undefined "MAX of empty collection")
+    | x :: rest ->
+      List.fold_left (fun m y -> if Value.compare y m > 0 then y else m) x rest
+  end
+  | Ast.Avg -> begin
+    match elems with
+    | [] -> raise (Undefined "AVG of empty collection")
+    | _ :: _ ->
+      let total =
+        List.fold_left (fun acc x -> acc +. Value.as_float x) 0. elems
+      in
+      Value.Float (total /. float_of_int (List.length elems))
+  end
+
+let compare_binop op a b =
+  let c = Value.compare a b in
+  let r =
+    match op with
+    | Ast.Eq -> c = 0
+    | Ast.Ne -> c <> 0
+    | Ast.Lt -> c < 0
+    | Ast.Le -> c <= 0
+    | Ast.Gt -> c > 0
+    | Ast.Ge -> c >= 0
+    | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Mod | Ast.And | Ast.Or
+    | Ast.Mem | Ast.Union | Ast.Inter | Ast.Diff | Ast.Subset | Ast.Subseteq
+    | Ast.Supset | Ast.Supseteq ->
+      Value.type_error "compare_binop: not a comparison"
+  in
+  Value.Bool r
+
+let rec eval catalog env e =
+  let recur = eval catalog in
+  match e with
+  | Ast.Const v -> v
+  | Ast.Var x -> Env.find x env
+  | Ast.TableRef name -> begin
+    match Cobj.Catalog.find name catalog with
+    | Some table -> Cobj.Table.to_value table
+    | None -> Value.type_error "unknown extension %s" name
+  end
+  | Ast.Field (e1, l) -> Value.field l (recur env e1)
+  | Ast.TupleE fields ->
+    Value.tuple (List.map (fun (l, e1) -> (l, recur env e1)) fields)
+  | Ast.SetE es -> Value.set (List.map (recur env) es)
+  | Ast.ListE es -> Value.List (List.map (recur env) es)
+  | Ast.Unop (Ast.Not, e1) -> Value.Bool (not (Value.as_bool (recur env e1)))
+  | Ast.Unop (Ast.Neg, e1) -> sub (Value.Int 0) (recur env e1)
+  | Ast.Binop (Ast.And, a, b) ->
+    (* Short-circuit, so that e.g. [x.zs <> {} AND MIN(x.zs) > 3] never
+       touches the undefined aggregate. *)
+    if Value.as_bool (recur env a) then recur env b else Value.Bool false
+  | Ast.Binop (Ast.Or, a, b) ->
+    if Value.as_bool (recur env a) then Value.Bool true else recur env b
+  | Ast.Binop (op, a, b) -> eval_binop catalog env op a b
+  | Ast.Agg (agg, e1) -> aggregate agg (recur env e1)
+  | Ast.Quant (q, v, s, p) -> begin
+    let elems = Value.elements (recur env s) in
+    let holds x = Value.as_bool (recur (Env.bind v x env) p) in
+    match q with
+    | Ast.Exists -> Value.Bool (List.exists holds elems)
+    | Ast.Forall -> Value.Bool (List.for_all holds elems)
+  end
+  | Ast.Let (v, def, body) ->
+    let dv = recur env def in
+    recur (Env.bind v dv env) body
+  | Ast.UnnestE e1 ->
+    let sets = Value.elements (recur env e1) in
+    List.fold_left Value.set_union (Value.Set []) sets
+  | Ast.If (c, a, b) ->
+    if Value.as_bool (recur env c) then recur env a else recur env b
+  | Ast.VariantE (tag, e1) -> Value.Variant (tag, recur env e1)
+  | Ast.IsTag (e1, tag) ->
+    Value.Bool (String.equal (Value.variant_tag (recur env e1)) tag)
+  | Ast.AsTag (e1, tag) -> Value.variant_payload tag (recur env e1)
+  | Ast.Sfw { select; from; where } ->
+    (* Nested-loop semantics: extend the environment left to right, filter,
+       then map the SELECT expression. *)
+    let envs =
+      List.fold_left
+        (fun envs (v, operand) ->
+          List.concat_map
+            (fun env' ->
+              let elems = Value.elements (recur env' operand) in
+              List.map (fun x -> Env.bind v x env') elems)
+            envs)
+        [ env ] from
+    in
+    let envs =
+      match where with
+      | None -> envs
+      | Some w -> List.filter (fun env' -> truth_env catalog env' w) envs
+    in
+    Value.set (List.map (fun env' -> recur env' select) envs)
+
+and eval_binop catalog env op a b =
+  let recur = eval catalog env in
+  match op with
+  | Ast.Add -> add (recur a) (recur b)
+  | Ast.Sub -> sub (recur a) (recur b)
+  | Ast.Mul -> mul (recur a) (recur b)
+  | Ast.Div -> div (recur a) (recur b)
+  | Ast.Mod ->
+    let x = Value.as_int (recur a) and y = Value.as_int (recur b) in
+    if y = 0 then Value.type_error "MOD by zero" else Value.Int (x mod y)
+  | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    compare_binop op (recur a) (recur b)
+  | Ast.Mem -> begin
+    let x = recur a in
+    match recur b with
+    | Value.Set _ as s -> Value.Bool (Value.set_mem x s)
+    | Value.List elems -> Value.Bool (List.exists (Value.equal x) elems)
+    | v -> Value.type_error "IN expects a collection, got %s" (Value.to_string v)
+  end
+  | Ast.Union -> Value.set_union (recur a) (recur b)
+  | Ast.Inter -> Value.set_inter (recur a) (recur b)
+  | Ast.Diff -> Value.set_diff (recur a) (recur b)
+  | Ast.Subseteq -> Value.Bool (Value.set_subseteq (recur a) (recur b))
+  | Ast.Subset -> Value.Bool (Value.set_subset (recur a) (recur b))
+  | Ast.Supseteq -> Value.Bool (Value.set_subseteq (recur b) (recur a))
+  | Ast.Supset -> Value.Bool (Value.set_subset (recur b) (recur a))
+  | Ast.And | Ast.Or -> Value.type_error "eval_binop: And/Or handled above"
+
+and truth_env catalog env p =
+  match Value.as_bool (eval catalog env p) with
+  | b -> b
+  | exception Undefined _ -> false
+
+let truth = truth_env
+let run catalog e = eval catalog Env.empty e
+
+module Prim = struct
+  let add = add
+  let sub = sub
+  let mul = mul
+  let div = div
+
+  let modulo a b =
+    let x = Value.as_int a and y = Value.as_int b in
+    if y = 0 then Value.type_error "MOD by zero" else Value.Int (x mod y)
+
+  let aggregate = aggregate
+end

@@ -1,0 +1,39 @@
+(** Reference interpreter: naive nested-loop semantics.
+
+    This is the denotational meaning of the language from §3.1 of the paper
+    ("the operand expression is evaluated; a variable is iterated over the
+    resulting set; for each value of the variable it is determined whether
+    the predicate holds, and if so, the result expression is evaluated and
+    this value is included in the resulting set"). Correlated subqueries are
+    re-evaluated for every outer binding — precisely the nested-loop
+    processing the paper sets out to beat. It serves as (a) the semantic
+    oracle for all optimizer tests and (b) the naive baseline in benches. *)
+
+exception Undefined of string
+(** Raised when an aggregate is undefined: MIN/MAX/AVG of the empty set. *)
+
+val eval : Cobj.Catalog.t -> Cobj.Env.t -> Ast.expr -> Cobj.Value.t
+(** Raises [Cobj.Value.Type_error] on dynamic type errors and {!Undefined}
+    on undefined aggregates. *)
+
+val run : Cobj.Catalog.t -> Ast.expr -> Cobj.Value.t
+(** [eval] with an empty environment (closed, table-resolved queries). *)
+
+val truth : Cobj.Catalog.t -> Cobj.Env.t -> Ast.expr -> bool
+(** Evaluate a predicate. An {!Undefined} aggregate makes the predicate
+    false rather than failing the query — the partial-function reading
+    documented in DESIGN.md (genuine type errors still propagate). *)
+
+(**/**)
+
+(** Value-level primitives shared with the engine's expression compiler —
+    guaranteed to match the interpreter's semantics because they {e are}
+    the interpreter's semantics. *)
+module Prim : sig
+  val add : Cobj.Value.t -> Cobj.Value.t -> Cobj.Value.t
+  val sub : Cobj.Value.t -> Cobj.Value.t -> Cobj.Value.t
+  val mul : Cobj.Value.t -> Cobj.Value.t -> Cobj.Value.t
+  val div : Cobj.Value.t -> Cobj.Value.t -> Cobj.Value.t
+  val modulo : Cobj.Value.t -> Cobj.Value.t -> Cobj.Value.t
+  val aggregate : Ast.agg -> Cobj.Value.t -> Cobj.Value.t
+end

@@ -1,0 +1,196 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KSELECT | KFROM | KWHERE | KWITH
+  | KIN | KNOT | KAND | KOR
+  | KEXISTS | KFORALL
+  | KUNION | KINTERSECT | KEXCEPT
+  | KSUBSET | KSUBSETEQ | KSUPSET | KSUPSETEQ
+  | KCOUNT | KSUM | KMIN | KMAX | KAVG
+  | KUNNEST | KTRUE | KFALSE | KNULL | KMOD
+  | KIF | KTHEN | KELSE | KIS | KAS
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | SEMI
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | BANG
+  | EOF
+
+exception Lex_error of string * int
+
+let keyword s =
+  match String.uppercase_ascii s with
+  | "SELECT" -> Some KSELECT
+  | "FROM" -> Some KFROM
+  | "WHERE" -> Some KWHERE
+  | "WITH" -> Some KWITH
+  | "IN" -> Some KIN
+  | "NOT" -> Some KNOT
+  | "AND" -> Some KAND
+  | "OR" -> Some KOR
+  | "EXISTS" -> Some KEXISTS
+  | "FORALL" -> Some KFORALL
+  | "UNION" -> Some KUNION
+  | "INTERSECT" -> Some KINTERSECT
+  | "EXCEPT" -> Some KEXCEPT
+  | "SUBSET" -> Some KSUBSET
+  | "SUBSETEQ" -> Some KSUBSETEQ
+  | "SUPSET" -> Some KSUPSET
+  | "SUPSETEQ" -> Some KSUPSETEQ
+  | "COUNT" -> Some KCOUNT
+  | "SUM" -> Some KSUM
+  | "MIN" -> Some KMIN
+  | "MAX" -> Some KMAX
+  | "AVG" -> Some KAVG
+  | "UNNEST" -> Some KUNNEST
+  | "TRUE" -> Some KTRUE
+  | "FALSE" -> Some KFALSE
+  | "NULL" -> Some KNULL
+  | "MOD" -> Some KMOD
+  | "IF" -> Some KIF
+  | "THEN" -> Some KTHEN
+  | "ELSE" -> Some KELSE
+  | "IS" -> Some KIS
+  | "AS" -> Some KAS
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '\''
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let emit tok pos = toks := (tok, pos) :: !toks in
+  let rec skip_line i = if i < n && src.[i] <> '\n' then skip_line (i + 1) else i in
+  let rec go i =
+    if i >= n then emit EOF n
+    else
+      let c = src.[i] in
+      if c = ' ' || c = '\t' || c = '\n' || c = '\r' then go (i + 1)
+      else if c = '-' && i + 1 < n && src.[i + 1] = '-' then go (skip_line i)
+      else if is_ident_start c then begin
+        let j = ref (i + 1) in
+        while !j < n && is_ident_char src.[!j] do incr j done;
+        let word = String.sub src i (!j - i) in
+        (match keyword word with
+        | Some kw -> emit kw i
+        | None -> emit (IDENT word) i);
+        go !j
+      end
+      else if is_digit c then begin
+        let j = ref i in
+        while !j < n && is_digit src.[!j] do incr j done;
+        let is_float = ref false in
+        if !j + 1 < n && src.[!j] = '.' && is_digit src.[!j + 1] then begin
+          is_float := true;
+          incr j;
+          while !j < n && is_digit src.[!j] do incr j done
+        end
+        else if
+          (* trailing-dot float ("2.") — printed by the pretty-printer; a
+             dot followed by an identifier stays a field access *)
+          !j < n
+          && src.[!j] = '.'
+          && (!j + 1 >= n || not (is_ident_start src.[!j + 1]))
+        then begin
+          is_float := true;
+          incr j
+        end;
+        if !j < n && (src.[!j] = 'e' || src.[!j] = 'E') then begin
+          let k = ref (!j + 1) in
+          if !k < n && (src.[!k] = '+' || src.[!k] = '-') then incr k;
+          if !k < n && is_digit src.[!k] then begin
+            is_float := true;
+            j := !k;
+            while !j < n && is_digit src.[!j] do incr j done
+          end
+        end;
+        let text = String.sub src i (!j - i) in
+        if !is_float then emit (FLOAT (float_of_string text)) i
+        else emit (INT (int_of_string text)) i;
+        go !j
+      end
+      else if c = '"' then begin
+        let buf = Buffer.create 16 in
+        let rec str j =
+          if j >= n then raise (Lex_error ("unterminated string", i))
+          else if src.[j] = '"' then j + 1
+          else if src.[j] = '\\' && j + 1 < n then begin
+            (match src.[j + 1] with
+            | 'n' -> Buffer.add_char buf '\n'
+            | 't' -> Buffer.add_char buf '\t'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '"' -> Buffer.add_char buf '"'
+            | other -> raise (Lex_error (Printf.sprintf "bad escape \\%c" other, j)));
+            str (j + 2)
+          end
+          else begin
+            Buffer.add_char buf src.[j];
+            str (j + 1)
+          end
+        in
+        let j = str (i + 1) in
+        emit (STRING (Buffer.contents buf)) i;
+        go j
+      end
+      else begin
+        let two tok = emit tok i; go (i + 2) in
+        let one tok = emit tok i; go (i + 1) in
+        match c with
+        | '<' when i + 1 < n && src.[i + 1] = '>' -> two NE
+        | '<' when i + 1 < n && src.[i + 1] = '=' -> two LE
+        | '>' when i + 1 < n && src.[i + 1] = '=' -> two GE
+        | '!' when i + 1 < n && src.[i + 1] = '=' -> two NE
+        | '!' -> one BANG
+        | '<' -> one LT
+        | '>' -> one GT
+        | '=' -> one EQ
+        | '(' -> one LPAREN
+        | ')' -> one RPAREN
+        | '{' -> one LBRACE
+        | '}' -> one RBRACE
+        | '[' -> one LBRACKET
+        | ']' -> one RBRACKET
+        | ',' -> one COMMA
+        | ':' -> one COLON
+        | ';' -> one SEMI
+        | '.' -> one DOT
+        | '+' -> one PLUS
+        | '-' -> one MINUS
+        | '*' -> one STAR
+        | '/' -> one SLASH
+        | other ->
+          raise (Lex_error (Printf.sprintf "unexpected character %C" other, i))
+      end
+  in
+  go 0;
+  List.rev !toks
+
+let pp_token ppf tok =
+  let s =
+    match tok with
+    | INT i -> string_of_int i
+    | FLOAT f -> string_of_float f
+    | STRING s -> Printf.sprintf "%S" s
+    | IDENT s -> s
+    | KSELECT -> "SELECT" | KFROM -> "FROM" | KWHERE -> "WHERE"
+    | KWITH -> "WITH" | KIN -> "IN" | KNOT -> "NOT" | KAND -> "AND"
+    | KOR -> "OR" | KEXISTS -> "EXISTS" | KFORALL -> "FORALL"
+    | KUNION -> "UNION" | KINTERSECT -> "INTERSECT" | KEXCEPT -> "EXCEPT"
+    | KSUBSET -> "SUBSET" | KSUBSETEQ -> "SUBSETEQ" | KSUPSET -> "SUPSET"
+    | KSUPSETEQ -> "SUPSETEQ" | KCOUNT -> "COUNT" | KSUM -> "SUM"
+    | KMIN -> "MIN" | KMAX -> "MAX" | KAVG -> "AVG" | KUNNEST -> "UNNEST"
+    | KTRUE -> "TRUE" | KFALSE -> "FALSE" | KNULL -> "NULL" | KMOD -> "MOD"
+    | KIF -> "IF" | KTHEN -> "THEN" | KELSE -> "ELSE" | KIS -> "IS"
+    | KAS -> "AS"
+    | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+    | LBRACKET -> "[" | RBRACKET -> "]" | COMMA -> "," | DOT -> "."
+    | COLON -> ":" | SEMI -> ";"
+    | EQ -> "=" | NE -> "<>" | LT -> "<" | LE -> "<=" | GT -> ">" | GE -> ">="
+    | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/"
+    | BANG -> "!"
+    | EOF -> "<eof>"
+  in
+  Fmt.string ppf s

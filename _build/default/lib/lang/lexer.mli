@@ -1,0 +1,30 @@
+(** Lexer for the TM-like concrete syntax. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | KSELECT | KFROM | KWHERE | KWITH
+  | KIN | KNOT | KAND | KOR
+  | KEXISTS | KFORALL
+  | KUNION | KINTERSECT | KEXCEPT
+  | KSUBSET | KSUBSETEQ | KSUPSET | KSUPSETEQ
+  | KCOUNT | KSUM | KMIN | KMAX | KAVG
+  | KUNNEST | KTRUE | KFALSE | KNULL | KMOD
+  | KIF | KTHEN | KELSE | KIS | KAS
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | DOT | COLON | SEMI
+  | EQ | NE | LT | LE | GT | GE
+  | PLUS | MINUS | STAR | SLASH | BANG
+  | EOF
+
+exception Lex_error of string * int
+(** Message and byte offset. *)
+
+val tokenize : string -> (token * int) list
+(** Tokens with their byte offsets, ending in [EOF]. Keywords are
+    case-insensitive; identifiers are case-sensitive; [--] starts a
+    line comment. *)
+
+val pp_token : token Fmt.t

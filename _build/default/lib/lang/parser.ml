@@ -1,0 +1,357 @@
+open Lexer
+
+exception Parse_error of string * int
+
+type state = { mutable toks : (token * int) list }
+
+let peek st = match st.toks with [] -> (EOF, 0) | t :: _ -> t
+let peek2 st = match st.toks with _ :: t :: _ -> fst t | _ -> EOF
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let error st msg =
+  let tok, pos = peek st in
+  raise (Parse_error (Fmt.str "%s (found %a)" msg Lexer.pp_token tok, pos))
+
+let expect st tok msg =
+  if fst (peek st) = tok then advance st else error st msg
+
+let ident st =
+  match peek st with
+  | IDENT x, _ ->
+    advance st;
+    x
+  | _ -> error st "expected an identifier"
+
+(* expr ::= orexpr (WITH ident '=' orexpr)* *)
+let rec p_expr st =
+  let body = p_or st in
+  let rec withs acc =
+    match peek st with
+    | KWITH, _ ->
+      advance st;
+      let v = ident st in
+      expect st EQ "expected '=' after WITH variable";
+      let def = p_or st in
+      withs (Ast.Let (v, def, acc))
+    | _ -> acc
+  in
+  withs body
+
+and p_or st =
+  let lhs = p_and st in
+  let rec go acc =
+    match peek st with
+    | KOR, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Or, acc, p_and st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_and st =
+  let lhs = p_not st in
+  let rec go acc =
+    match peek st with
+    | KAND, _ ->
+      advance st;
+      go (Ast.Binop (Ast.And, acc, p_not st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_not st =
+  match peek st with
+  | KNOT, _ ->
+    advance st;
+    Ast.Unop (Ast.Not, p_not st)
+  | _ -> p_cmp st
+
+and p_cmp st =
+  let lhs = p_setexpr st in
+  let binop op =
+    advance st;
+    Ast.Binop (op, lhs, p_setexpr st)
+  in
+  match peek st with
+  | EQ, _ -> binop Ast.Eq
+  | NE, _ -> binop Ast.Ne
+  | LT, _ -> binop Ast.Lt
+  | LE, _ -> binop Ast.Le
+  | GT, _ -> binop Ast.Gt
+  | GE, _ -> binop Ast.Ge
+  | KIN, _ -> binop Ast.Mem
+  | KSUBSET, _ -> binop Ast.Subset
+  | KSUBSETEQ, _ -> binop Ast.Subseteq
+  | KSUPSET, _ -> binop Ast.Supset
+  | KSUPSETEQ, _ -> binop Ast.Supseteq
+  | KNOT, _ when peek2 st = KIN ->
+    advance st;
+    advance st;
+    Ast.Unop (Ast.Not, Ast.Binop (Ast.Mem, lhs, p_setexpr st))
+  | KIS, _ ->
+    advance st;
+    Ast.IsTag (lhs, ident st)
+  | _ -> lhs
+
+and p_setexpr st =
+  let lhs = p_inter st in
+  let rec go acc =
+    match peek st with
+    | KUNION, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Union, acc, p_inter st))
+    | KEXCEPT, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Diff, acc, p_inter st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_inter st =
+  let lhs = p_add st in
+  let rec go acc =
+    match peek st with
+    | KINTERSECT, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Inter, acc, p_add st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_add st =
+  let lhs = p_mul st in
+  let rec go acc =
+    match peek st with
+    | PLUS, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Add, acc, p_mul st))
+    | MINUS, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Sub, acc, p_mul st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_mul st =
+  let lhs = p_unary st in
+  let rec go acc =
+    match peek st with
+    | STAR, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Mul, acc, p_unary st))
+    | SLASH, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Div, acc, p_unary st))
+    | KMOD, _ ->
+      advance st;
+      go (Ast.Binop (Ast.Mod, acc, p_unary st))
+    | _ -> acc
+  in
+  go lhs
+
+and p_unary st =
+  match peek st with
+  | MINUS, _ ->
+    advance st;
+    Ast.Unop (Ast.Neg, p_unary st)
+  | _ -> p_postfix st
+
+and p_postfix st =
+  let atom = p_atom st in
+  let rec go acc =
+    match peek st with
+    | DOT, _ ->
+      advance st;
+      go (Ast.Field (acc, ident st))
+    | KAS, _ ->
+      advance st;
+      go (Ast.AsTag (acc, ident st))
+    | _ -> acc
+  in
+  go atom
+
+and p_atom st =
+  match peek st with
+  | INT i, _ ->
+    advance st;
+    Ast.Const (Cobj.Value.Int i)
+  | FLOAT f, _ ->
+    advance st;
+    Ast.Const (Cobj.Value.Float f)
+  | STRING s, _ ->
+    advance st;
+    Ast.Const (Cobj.Value.String s)
+  | KTRUE, _ ->
+    advance st;
+    Ast.vbool true
+  | KFALSE, _ ->
+    advance st;
+    Ast.vbool false
+  | KNULL, _ ->
+    advance st;
+    Ast.Const Cobj.Value.Null
+  | IDENT x, _ when peek2 st = BANG ->
+    (* variant construction: tag!payload *)
+    advance st;
+    advance st;
+    Ast.VariantE (x, p_unary st)
+  | IDENT x, _ ->
+    advance st;
+    Ast.Var x
+  | LPAREN, _ -> p_paren st
+  | LBRACE, _ ->
+    advance st;
+    let es = p_exprs_until st RBRACE in
+    expect st RBRACE "expected '}'";
+    Ast.SetE es
+  | LBRACKET, _ ->
+    advance st;
+    let es = p_exprs_until st RBRACKET in
+    expect st RBRACKET "expected ']'";
+    Ast.ListE es
+  | KIF, _ ->
+    advance st;
+    let c = p_expr st in
+    expect st KTHEN "expected THEN";
+    let a = p_expr st in
+    expect st KELSE "expected ELSE";
+    let b = p_expr st in
+    Ast.If (c, a, b)
+  | KSELECT, _ -> p_sfw st
+  | KEXISTS, _ -> p_quant st Ast.Exists
+  | KFORALL, _ -> p_quant st Ast.Forall
+  | KCOUNT, _ -> p_agg st Ast.Count
+  | KSUM, _ -> p_agg st Ast.Sum
+  | KMIN, _ -> p_agg st Ast.Min
+  | KMAX, _ -> p_agg st Ast.Max
+  | KAVG, _ -> p_agg st Ast.Avg
+  | KUNNEST, _ ->
+    advance st;
+    expect st LPAREN "expected '(' after UNNEST";
+    let e = p_expr st in
+    expect st RPAREN "expected ')'";
+    Ast.UnnestE e
+  | _ -> error st "expected an expression"
+
+(* '(' — either a parenthesized expression or a tuple literal. We parse a
+   full expression; a following comma turns it into the first tuple
+   component, which must then have the shape [label = value]. Singleton
+   tuples need a trailing comma: [(a = 1,)]; [(a = 1)] is a parenthesized
+   equality comparison. Field values whose top-level operator binds weaker
+   than '=' (AND, OR, WITH) must be parenthesized. *)
+and p_paren st =
+  advance st;
+  match peek st with
+  | RPAREN, _ ->
+    advance st;
+    Ast.TupleE []
+  | _ -> (
+    let e = p_expr st in
+    match peek st with
+    | RPAREN, _ ->
+      advance st;
+      e
+    | COMMA, _ -> begin
+      advance st;
+      match e with
+      | Ast.Binop (Ast.Eq, Ast.Var l, value) ->
+        let rest = p_tuple_fields st in
+        expect st RPAREN "expected ')' to close tuple";
+        Ast.TupleE ((l, value) :: rest)
+      | _ -> error st "tuple components must have the form label = expr"
+    end
+    | _ -> error st "expected ',' or ')'")
+
+and p_tuple_fields st =
+  match peek st with
+  | RPAREN, _ -> []
+  | IDENT l, _ when peek2 st = EQ ->
+    advance st;
+    advance st;
+    let e = p_expr st in
+    let rest =
+      match peek st with
+      | COMMA, _ ->
+        advance st;
+        p_tuple_fields st
+      | _ -> []
+    in
+    (l, e) :: rest
+  | _ -> error st "expected 'label = expr' in tuple"
+
+and p_exprs_until st closing =
+  if fst (peek st) = closing then []
+  else begin
+    let e = p_expr st in
+    match peek st with
+    | COMMA, _ ->
+      advance st;
+      e :: p_exprs_until st closing
+    | _ -> [ e ]
+  end
+
+and p_sfw st =
+  advance st;
+  let select = p_expr st in
+  expect st KFROM "expected FROM";
+  let rec bindings () =
+    let operand = p_postfix st in
+    let v = ident st in
+    match peek st with
+    | COMMA, _ ->
+      advance st;
+      (v, operand) :: bindings ()
+    | _ -> [ (v, operand) ]
+  in
+  let from = bindings () in
+  let where =
+    match peek st with
+    | KWHERE, _ ->
+      advance st;
+      Some (p_expr st)
+    | _ -> None
+  in
+  Ast.Sfw { select; from; where }
+
+and p_quant st q =
+  advance st;
+  let v = ident st in
+  expect st KIN "expected IN after quantified variable";
+  let s = p_setexpr st in
+  expect st LPAREN "expected '(' before quantifier body";
+  let p = p_expr st in
+  expect st RPAREN "expected ')' after quantifier body";
+  Ast.Quant (q, v, s, p)
+
+and p_agg st a =
+  advance st;
+  expect st LPAREN "expected '(' after aggregate";
+  let e = p_expr st in
+  expect st RPAREN "expected ')'";
+  Ast.Agg (a, e)
+
+let expr src =
+  let st = { toks = Lexer.tokenize src } in
+  let e = p_expr st in
+  (match peek st with
+  | EOF, _ -> ()
+  | _ -> error st "trailing input");
+  e
+
+let expr_result src =
+  match expr src with
+  | e -> Ok e
+  | exception Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+
+module Internal = struct
+  type nonrec state = state
+
+  let make toks = { toks }
+  let peek = peek
+  let advance = advance
+  let parse_expr = p_expr
+  let error st msg = error st msg
+end

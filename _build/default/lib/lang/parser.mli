@@ -1,0 +1,51 @@
+(** Recursive-descent parser for the TM-like concrete syntax.
+
+    Grammar sketch (low to high precedence):
+    {v
+    expr     ::= orexpr (WITH ident '=' orexpr)*
+    orexpr   ::= andexpr (OR andexpr)*
+    andexpr  ::= notexpr (AND notexpr)*
+    notexpr  ::= NOT notexpr | cmp
+    cmp      ::= setexpr (cmpop setexpr)?          -- non-associative
+    cmpop    ::= '=' '<>' '<' '<=' '>' '>=' IN | NOT IN
+               | SUBSET | SUBSETEQ | SUPSET | SUPSETEQ
+    setexpr  ::= inter ((UNION | EXCEPT) inter)*
+    inter    ::= addexpr (INTERSECT addexpr)*
+    addexpr  ::= mulexpr (('+' | '-') mulexpr)*
+    mulexpr  ::= unary (('*' | '/' | MOD) unary)*
+    unary    ::= '-' unary | postfix
+    postfix  ::= atom ('.' ident)*
+    atom     ::= literal | ident | '(' expr ')' | tuple | '{' exprs '}'
+               | '[' exprs ']' | sfw | quant | agg '(' expr ')'
+               | UNNEST '(' expr ')'
+    tuple    ::= '(' ident '=' expr (',' ident '=' expr)* ','? ')'
+    sfw      ::= SELECT expr FROM postfix ident (',' postfix ident)*
+                 (WHERE expr)?
+    quant    ::= (EXISTS | FORALL) ident IN setexpr '(' expr ')'
+    v}
+
+    Ambiguity: ['(' ident '=' expr ')'] is parsed as a parenthesized equality
+    comparison; singleton tuples need a trailing comma: [(a = 1,)]. *)
+
+exception Parse_error of string * int
+(** Message and byte offset in the source. *)
+
+val expr : string -> Ast.expr
+(** Parse a complete expression (must consume all input). *)
+
+val expr_result : string -> (Ast.expr, string) result
+(** Like {!expr} but returns the error message instead of raising. *)
+
+(**/**)
+
+(** Internal entry points for embedding the expression parser into other
+    grammars (used by {!Schema}). *)
+module Internal : sig
+  type state
+
+  val make : (Lexer.token * int) list -> state
+  val peek : state -> Lexer.token * int
+  val advance : state -> unit
+  val parse_expr : state -> Ast.expr
+  val error : state -> string -> 'a
+end

@@ -1,0 +1,234 @@
+open Ast
+
+(* Precedence levels, mirroring the parser (higher binds tighter). *)
+let prec_with = 0
+let prec_or = 1
+let prec_and = 2
+let prec_not = 3
+let prec_cmp = 4
+let prec_union = 5
+let prec_inter = 6
+let prec_add = 7
+let prec_mul = 8
+let prec_neg = 9
+let prec_postfix = 10
+let prec_atom = 11
+
+let binop_prec = function
+  | Or -> prec_or
+  | And -> prec_and
+  | Eq | Ne | Lt | Le | Gt | Ge | Mem | Subset | Subseteq | Supset | Supseteq
+    -> prec_cmp
+  | Union | Diff -> prec_union
+  | Inter -> prec_inter
+  | Add | Sub -> prec_add
+  | Mul | Div | Mod -> prec_mul
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "MOD"
+  | Eq -> "=" | Ne -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | And -> "AND" | Or -> "OR" | Mem -> "IN"
+  | Union -> "UNION" | Inter -> "INTERSECT" | Diff -> "EXCEPT"
+  | Subset -> "SUBSET" | Subseteq -> "SUBSETEQ"
+  | Supset -> "SUPSET" | Supseteq -> "SUPSETEQ"
+
+let binop_math = function
+  | Add -> "+" | Sub -> "-" | Mul -> "·" | Div -> "/" | Mod -> "mod"
+  | Eq -> "=" | Ne -> "≠" | Lt -> "<" | Le -> "≤" | Gt -> ">" | Ge -> "≥"
+  | And -> "∧" | Or -> "∨" | Mem -> "∈"
+  | Union -> "∪" | Inter -> "∩" | Diff -> "∖"
+  | Subset -> "⊂" | Subseteq -> "⊆" | Supset -> "⊃" | Supseteq -> "⊇"
+
+let agg_name = function
+  | Count -> "COUNT" | Sum -> "SUM" | Min -> "MIN" | Max -> "MAX" | Avg -> "AVG"
+
+(* Comparison operators are non-associative in the grammar: operands of a
+   comparison must be printed strictly tighter. Left-associative operators
+   print the left operand at their own level and the right operand tighter. *)
+let rec pp_prec ctx ppf e =
+  let parens_if cond body =
+    if cond then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const v ->
+    (* a negative numeric literal prints with a leading minus, which only
+       parses at unary level — protect it in tighter contexts *)
+    let negative =
+      match v with
+      | Cobj.Value.Int n -> n < 0
+      | Cobj.Value.Float f -> f < 0.0
+      | _ -> false
+    in
+    parens_if (negative && prec_neg < ctx) (fun ppf -> Cobj.Value.pp ppf v)
+  | Var x | TableRef x -> Fmt.string ppf x
+  | Field (e1, l) ->
+    parens_if (prec_postfix < ctx) (fun ppf ->
+        Fmt.pf ppf "%a.%s" (pp_prec prec_postfix) e1 l)
+  | TupleE [] -> Fmt.string ppf "()"
+  | TupleE [ (l, v) ] ->
+    Fmt.pf ppf "(@[%s = %a,@])" l (pp_prec (prec_cmp + 1)) v
+  | TupleE fields ->
+    Fmt.pf ppf "(@[%a@])"
+      (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (l, v) ->
+           Fmt.pf ppf "%s = %a" l (pp_prec (prec_cmp + 1)) v))
+      fields
+  | SetE es ->
+    (* elements print at OR level: an unparenthesized SFW or WITH would
+       swallow the separating comma on reparse *)
+    Fmt.pf ppf "{@[%a@]}"
+      (Fmt.list ~sep:(Fmt.any ",@ ") (pp_prec prec_or))
+      es
+  | ListE es ->
+    Fmt.pf ppf "[@[%a@]]"
+      (Fmt.list ~sep:(Fmt.any ",@ ") (pp_prec prec_or))
+      es
+  | Unop (Not, e1) ->
+    parens_if (prec_not < ctx) (fun ppf ->
+        Fmt.pf ppf "NOT %a" (pp_prec prec_not) e1)
+  | Unop (Neg, e1) ->
+    (* keep a double negation from printing as "--", the comment marker *)
+    let starts_negative =
+      match e1 with
+      | Unop (Neg, _) -> true
+      | Const (Cobj.Value.Int n) -> n < 0
+      | Const (Cobj.Value.Float f) -> f < 0.0
+      | _ -> false
+    in
+    parens_if (prec_neg < ctx) (fun ppf ->
+        if starts_negative then
+          Fmt.pf ppf "-(%a)" (pp_prec prec_with) e1
+        else Fmt.pf ppf "-%a" (pp_prec prec_neg) e1)
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    let right_ctx = p + 1 in
+    let left_ctx = if p = prec_cmp then p + 1 else p in
+    parens_if (p < ctx) (fun ppf ->
+        Fmt.pf ppf "@[%a %s@ %a@]" (pp_prec left_ctx) a (binop_name op)
+          (pp_prec right_ctx) b)
+  | Agg (a, e1) -> Fmt.pf ppf "%s(@[%a@])" (agg_name a) (pp_prec prec_with) e1
+  | UnnestE e1 -> Fmt.pf ppf "UNNEST(@[%a@])" (pp_prec prec_with) e1
+  | If (c, a, b) ->
+    (* the ELSE branch extends greedily: protect in any tighter context *)
+    parens_if (prec_with < ctx) (fun ppf ->
+        Fmt.pf ppf "@[IF %a@ THEN %a@ ELSE %a@]" (pp_prec prec_or) c
+          (pp_prec prec_or) a (pp_prec prec_with) b)
+  | VariantE (tag, e1) ->
+    (* prefix construct swallowing unary level: protect under postfix *)
+    parens_if (prec_neg < ctx) (fun ppf ->
+        Fmt.pf ppf "%s!%a" tag (pp_prec prec_neg) e1)
+  | IsTag (e1, tag) ->
+    parens_if (prec_cmp < ctx) (fun ppf ->
+        Fmt.pf ppf "%a IS %s" (pp_prec (prec_cmp + 1)) e1 tag)
+  | AsTag (e1, tag) ->
+    parens_if (prec_postfix < ctx) (fun ppf ->
+        Fmt.pf ppf "%a AS %s" (pp_prec prec_postfix) e1 tag)
+  | Quant (q, v, s, p) ->
+    let kw = match q with Exists -> "EXISTS" | Forall -> "FORALL" in
+    parens_if (prec_atom < ctx) (fun ppf ->
+        Fmt.pf ppf "@[%s %s IN %a@ (%a)@]" kw v (pp_prec prec_union) s
+          (pp_prec prec_with) p)
+  | Let (v, def, body) ->
+    parens_if (prec_with < ctx) (fun ppf ->
+        Fmt.pf ppf "@[%a@ WITH %s = %a@]" (pp_prec prec_or) body v
+          (pp_prec prec_or) def)
+  | Sfw { select; from; where } ->
+    (* An SFW block extends greedily to the right (its WHERE would swallow
+       a following conjunct), so parenthesize in any non-top context. *)
+    parens_if (prec_with < ctx) (fun ppf ->
+        Fmt.pf ppf "@[<hv>SELECT %a@ FROM %a%a@]" (pp_prec prec_with) select
+          (Fmt.list ~sep:(Fmt.any ",@ ") pp_from_binding)
+          from pp_where where)
+
+and pp_from_binding ppf (v, operand) =
+  (* the parser reads FROM operands at postfix level; anything weaker — and
+     negative literals, whose minus sign is a separate token — needs parens *)
+  let needs_parens =
+    match operand with
+    | Var _ | TableRef _ | Field _ | Const _ | AsTag _ -> false
+    | TupleE _ | SetE _ | ListE _ | Unop _ | Binop _ | Agg _ | Quant _
+    | Let _ | UnnestE _ | If _ | VariantE _ | IsTag _ | Sfw _ ->
+      true
+  in
+  if needs_parens then
+    Fmt.pf ppf "(%a) %s" (pp_prec prec_with) operand v
+  else Fmt.pf ppf "%a %s" (pp_prec prec_postfix) operand v
+
+and pp_where ppf = function
+  | None -> ()
+  | Some w -> Fmt.pf ppf "@ WHERE %a" (pp_prec prec_with) w
+
+let pp ppf e = pp_prec prec_with ppf e
+let to_string e = Fmt.str "@[%a@]" pp e
+
+(* Mathematical notation (not re-parseable). *)
+let rec pp_math_prec ctx ppf e =
+  let parens_if cond body =
+    if cond then Fmt.pf ppf "(%t)" body else body ppf
+  in
+  match e with
+  | Const (Cobj.Value.Set []) -> Fmt.string ppf "∅"
+  | Const v -> Cobj.Value.pp ppf v
+  | Var x | TableRef x -> Fmt.string ppf x
+  | Field (e1, l) -> Fmt.pf ppf "%a.%s" (pp_math_prec prec_postfix) e1 l
+  | TupleE fields ->
+    Fmt.pf ppf "⟨%a⟩"
+      (Fmt.list ~sep:(Fmt.any ", ") (fun ppf (l, v) ->
+           Fmt.pf ppf "%s = %a" l (pp_math_prec prec_with) v))
+      fields
+  | SetE [] -> Fmt.string ppf "∅"
+  | SetE es ->
+    Fmt.pf ppf "{%a}"
+      (Fmt.list ~sep:(Fmt.any ", ") (pp_math_prec prec_with))
+      es
+  | ListE es ->
+    Fmt.pf ppf "[%a]"
+      (Fmt.list ~sep:(Fmt.any ", ") (pp_math_prec prec_with))
+      es
+  | Unop (Not, Binop (Mem, a, b)) ->
+    parens_if (prec_cmp < ctx) (fun ppf ->
+        Fmt.pf ppf "%a ∉ %a"
+          (pp_math_prec (prec_cmp + 1))
+          a
+          (pp_math_prec (prec_cmp + 1))
+          b)
+  | Unop (Not, Quant (Exists, v, s, p)) ->
+    parens_if (prec_not < ctx) (fun ppf ->
+        Fmt.pf ppf "¬∃%s ∈ %a (%a)" v
+          (pp_math_prec prec_union)
+          s (pp_math_prec prec_with) p)
+  | Unop (Not, e1) ->
+    parens_if (prec_not < ctx) (fun ppf ->
+        Fmt.pf ppf "¬%a" (pp_math_prec prec_not) e1)
+  | Unop (Neg, e1) -> Fmt.pf ppf "-%a" (pp_math_prec prec_neg) e1
+  | Binop (op, a, b) ->
+    let p = binop_prec op in
+    parens_if (p < ctx) (fun ppf ->
+        Fmt.pf ppf "%a %s %a" (pp_math_prec p) a (binop_math op)
+          (pp_math_prec (p + 1))
+          b)
+  | Agg (a, e1) ->
+    Fmt.pf ppf "%s(%a)"
+      (String.lowercase_ascii (agg_name a))
+      (pp_math_prec prec_with) e1
+  | UnnestE e1 -> Fmt.pf ppf "⋃(%a)" (pp_math_prec prec_with) e1
+  | If (c, a, b) ->
+    Fmt.pf ppf "if %a then %a else %a" (pp_math_prec prec_or) c
+      (pp_math_prec prec_or) a (pp_math_prec prec_with) b
+  | VariantE (tag, e1) -> Fmt.pf ppf "%s!%a" tag (pp_math_prec prec_neg) e1
+  | IsTag (e1, tag) ->
+    Fmt.pf ppf "%a is %s" (pp_math_prec (prec_cmp + 1)) e1 tag
+  | AsTag (e1, tag) ->
+    Fmt.pf ppf "%a as %s" (pp_math_prec prec_postfix) e1 tag
+  | Quant (q, v, s, p) ->
+    let sym = match q with Exists -> "∃" | Forall -> "∀" in
+    parens_if (prec_atom < ctx) (fun ppf ->
+        Fmt.pf ppf "%s%s ∈ %a (%a)" sym v
+          (pp_math_prec prec_union)
+          s (pp_math_prec prec_with) p)
+  | Let (v, def, body) ->
+    Fmt.pf ppf "%a where %s = %a" (pp_math_prec prec_or) body v
+      (pp_math_prec prec_or) def
+  | Sfw _ -> pp ppf e
+
+let pp_math ppf e = pp_math_prec prec_with ppf e
+let to_math_string e = Fmt.str "@[%a@]" pp_math e

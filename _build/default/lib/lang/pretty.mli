@@ -1,0 +1,11 @@
+(** Pretty-printing of expressions.
+
+    [pp] renders re-parseable concrete syntax ([Parser.expr (to_string e)]
+    is structurally equal to [e]); [pp_math] renders the paper's mathematical
+    notation (∃, ∈, ⊆, ¬, ∧ …) for reports such as the Table 2 bench. *)
+
+val pp : Ast.expr Fmt.t
+val to_string : Ast.expr -> string
+
+val pp_math : Ast.expr Fmt.t
+val to_math_string : Ast.expr -> string

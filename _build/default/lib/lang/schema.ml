@@ -1,0 +1,223 @@
+module Ctype = Cobj.Ctype
+module Value = Cobj.Value
+module I = Parser.Internal
+
+type env = {
+  sorts : (string * Ctype.t) list;  (* named types, most recent first *)
+  catalog : Cobj.Catalog.t;
+}
+
+let empty_env = { sorts = []; catalog = Cobj.Catalog.empty }
+
+(* Contextual (case-insensitive) keyword check on an identifier token. *)
+let is_word st word =
+  match I.peek st with
+  | Lexer.IDENT x, _ -> String.uppercase_ascii x = word
+  | _ -> false
+
+let expect_word st word =
+  if is_word st word then I.advance st
+  else I.error st (Printf.sprintf "expected %s" word)
+
+let ident st =
+  match I.peek st with
+  | Lexer.IDENT x, _ ->
+    I.advance st;
+    x
+  | _ -> I.error st "expected an identifier"
+
+let expect st tok what =
+  if fst (I.peek st) = tok then I.advance st
+  else I.error st (Printf.sprintf "expected %s" what)
+
+let skip_semi st =
+  match I.peek st with
+  | Lexer.SEMI, _ -> I.advance st
+  | _ -> ()
+
+let rec p_type env st =
+  match I.peek st with
+  | Lexer.IDENT x, _ -> begin
+    match String.uppercase_ascii x with
+    | "INT" ->
+      I.advance st;
+      Ctype.TInt
+    | "FLOAT" ->
+      I.advance st;
+      Ctype.TFloat
+    | "STRING" ->
+      I.advance st;
+      Ctype.TString
+    | "BOOL" ->
+      I.advance st;
+      Ctype.TBool
+    | "ANY" ->
+      I.advance st;
+      Ctype.TAny
+    | "P" ->
+      I.advance st;
+      Ctype.TSet (p_type env st)
+    | "L" ->
+      I.advance st;
+      Ctype.TList (p_type env st)
+    | "V" -> begin
+      I.advance st;
+      (* V (tag : type, …) — a variant type *)
+      match I.peek st with
+      | Lexer.LPAREN, _ -> begin
+        match p_type env st with
+        | Ctype.TTuple cases -> Ctype.tvariant cases
+        | _ -> I.error st "V expects (tag : type, ...)"
+      end
+      | _ -> I.error st "V expects (tag : type, ...)"
+    end
+    | _ -> begin
+      (* a sort name, matched case-sensitively *)
+      match List.assoc_opt x env.sorts with
+      | Some t ->
+        I.advance st;
+        t
+      | None -> I.error st (Printf.sprintf "unknown type or sort %s" x)
+    end
+  end
+  | Lexer.LPAREN, _ ->
+    I.advance st;
+    let rec fields () =
+      let l = ident st in
+      expect st Lexer.COLON "':' after field label";
+      let t = p_type env st in
+      match I.peek st with
+      | Lexer.COMMA, _ ->
+        I.advance st;
+        (l, t) :: fields ()
+      | _ -> [ (l, t) ]
+    in
+    let fs = fields () in
+    expect st Lexer.RPAREN "')' after tuple type";
+    Ctype.ttuple fs
+  | _ -> I.error st "expected a type"
+
+let p_key st =
+  if is_word st "KEY" then begin
+    I.advance st;
+    expect st Lexer.LPAREN "'(' after KEY";
+    let rec fields () =
+      let f = ident st in
+      match I.peek st with
+      | Lexer.COMMA, _ ->
+        I.advance st;
+        f :: fields ()
+      | _ -> [ f ]
+    in
+    let fs = fields () in
+    expect st Lexer.RPAREN "')' after key fields";
+    Some fs
+  end
+  else None
+
+(* Contents of a table/class: the element type, an optional key, '=' and a
+   row expression evaluated against the catalog built so far. *)
+let p_contents env st ~name =
+  let elt = p_type env st in
+  let key = p_key st in
+  expect st Lexer.EQ "'=' before table contents";
+  let rows_expr = I.parse_expr st in
+  let resolved = Ast.resolve_tables env.catalog rows_expr in
+  let rows_value = Interp.run env.catalog resolved in
+  let rows = Value.elements rows_value in
+  Cobj.Table.create ?key ~name ~elt rows
+
+let p_table env st =
+  expect_word st "TABLE";
+  let name = ident st in
+  let table = p_contents env st ~name in
+  skip_semi st;
+  { env with catalog = Cobj.Catalog.add table env.catalog }
+
+let p_sort env st =
+  expect_word st "SORT";
+  let name = ident st in
+  let t = p_type env st in
+  skip_semi st;
+  { env with sorts = (name, t) :: env.sorts }
+
+(* CLASS name WITH EXTENSION ext (ATTRIBUTES)? type key? '=' expr
+   (END name?)? — the paper's §3.1 concrete syntax; WITH is a query-language
+   keyword so it is matched as a token, the rest contextually. *)
+let p_class env st =
+  expect_word st "CLASS";
+  let class_name = ident st in
+  expect st Lexer.KWITH "WITH after the class name";
+  expect_word st "EXTENSION";
+  let ext = ident st in
+  if is_word st "ATTRIBUTES" then I.advance st;
+  let table = p_contents env st ~name:ext in
+  if is_word st "END" then begin
+    I.advance st;
+    match I.peek st with
+    | Lexer.IDENT x, _ when String.equal x class_name -> I.advance st
+    | _ -> ()
+  end;
+  skip_semi st;
+  { env with catalog = Cobj.Catalog.add table env.catalog }
+
+let parse_defs st =
+  let rec go env =
+    match I.peek st with
+    | Lexer.EOF, _ -> env.catalog
+    | _ ->
+      if is_word st "TABLE" then go (p_table env st)
+      else if is_word st "SORT" then go (p_sort env st)
+      else if is_word st "CLASS" then go (p_class env st)
+      else I.error st "expected TABLE, SORT or CLASS"
+  in
+  go empty_env
+
+let wrap f =
+  match f () with
+  | v -> Ok v
+  | exception Parser.Parse_error (msg, pos) ->
+    Error (Printf.sprintf "parse error at offset %d: %s" pos msg)
+  | exception Lexer.Lex_error (msg, pos) ->
+    Error (Printf.sprintf "lex error at offset %d: %s" pos msg)
+  | exception Value.Type_error msg -> Error ("type error: " ^ msg)
+  | exception Interp.Undefined msg -> Error ("undefined: " ^ msg)
+  | exception Invalid_argument msg -> Error msg
+
+let ctype src =
+  wrap (fun () ->
+      let st = I.make (Lexer.tokenize src) in
+      let t = p_type empty_env st in
+      match I.peek st with
+      | Lexer.EOF, _ -> t
+      | _ -> I.error st "trailing input after type")
+
+let catalog src =
+  wrap (fun () ->
+      let st = I.make (Lexer.tokenize src) in
+      parse_defs st)
+
+let render_type = Cobj.Ctype.to_string
+
+let render cat =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  List.iter
+    (fun table ->
+      let name = Cobj.Table.name table in
+      Fmt.pf ppf "@[<v 2>TABLE %s %s" name
+        (render_type (Cobj.Table.elt table));
+      (match Cobj.Table.key table with
+      | Some fields -> Fmt.pf ppf " KEY (%s)" (String.concat ", " fields)
+      | None -> ());
+      Fmt.pf ppf " =@ ";
+      (match Cobj.Table.rows table with
+      | [] -> Fmt.pf ppf "{}"
+      | rows ->
+        Fmt.pf ppf "{@[<v>%a@]}"
+          (Fmt.list ~sep:(Fmt.any ",@ ") Cobj.Value.pp)
+          rows);
+      Fmt.pf ppf ";@]@.@.")
+    (Cobj.Catalog.tables cat);
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf

@@ -1,0 +1,54 @@
+(** Catalog definition language: declare extensions (tables) textually,
+    in the style of the paper's §3 TM class definitions.
+
+    Grammar:
+    {v
+    defs   ::= def*
+    def    ::= TABLE name type key? '=' expr ';'?
+             | SORT name type ';'?
+             | CLASS name WITH EXTENSION ext (ATTRIBUTES)? type key?
+                 '=' expr (END name?)? ';'?
+    key    ::= KEY '(' field (',' field)* ')'
+    type   ::= INT | FLOAT | STRING | BOOL | ANY | sort-name
+             | P type | L type
+             | '(' label ':' type (',' label ':' type)* ')'
+    v}
+
+    All definition keywords ([TABLE], [SORT], [CLASS], [WITH], [EXTENSION],
+    [ATTRIBUTES], [KEY], [END]) are contextual and case-insensitive — except
+    [WITH], which is a query-language keyword and is recognized directly.
+    A [SORT] names a type for use in later definitions (the paper's
+    commonly-used types such as [Address]); a [CLASS] is a table whose
+    extension name is given explicitly, mirroring
+    [CLASS Employee WITH EXTENSION EMP … END Employee]. The row expression
+    after [=] is any closed, set-valued expression of the query language —
+    usually a set literal of tuples, but computed contents such as
+    [SELECT (i = v, s = {v}) FROM {1, 2, 3} v] work too (each definition
+    sees the tables defined before it). Line comments start with [--].
+
+    Example:
+    {v
+    SORT Address (street : STRING, nr : STRING, city : STRING);
+
+    CLASS Employee WITH EXTENSION EMP ATTRIBUTES
+      (name : STRING, address : Address, sal : INT,
+       children : P (name : STRING, age : INT))
+      KEY (name) =
+      { (name = "ada", address = (street = "s1", nr = "1", city = "c1"),
+         sal = 100, children = {}) }
+    END Employee;
+    v} *)
+
+val ctype : string -> (Cobj.Ctype.t, string) result
+(** Parse a type expression alone. *)
+
+val catalog : string -> (Cobj.Catalog.t, string) result
+(** Parse a sequence of table definitions into a catalog. Row values are
+    checked against the declared element type and declared keys are
+    verified. Each definition is evaluated against the catalog built so
+    far, so later tables may compute their contents from earlier ones. *)
+
+val render : Cobj.Catalog.t -> string
+(** Render a catalog as definition-language text. Round trip:
+    [catalog (render c)] succeeds and reproduces [c]'s tables exactly
+    (names, element types, declared keys, rows) — property-tested. *)

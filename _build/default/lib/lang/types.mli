@@ -1,0 +1,29 @@
+(** Type checking of TM expressions against a catalog.
+
+    The checker follows the orthogonality of the language: any correctly
+    typed expression is allowed in any position. It also resolves table
+    references (a free identifier naming a catalog extension denotes that
+    extension). *)
+
+type tenv = (string * Cobj.Ctype.t) list
+(** Typing environment for query variables, innermost first. *)
+
+type error = {
+  message : string;
+  context : Ast.expr;  (** the subexpression that failed *)
+}
+
+val pp_error : error Fmt.t
+
+val infer : Cobj.Catalog.t -> tenv -> Ast.expr -> (Cobj.Ctype.t, error) result
+(** Type of an expression under a typing environment. The expression must
+    already be table-resolved (see {!Ast.resolve_tables}); unresolved free
+    variables are errors. *)
+
+val check_query :
+  Cobj.Catalog.t -> Ast.expr -> (Ast.expr * Cobj.Ctype.t, error) result
+(** Resolve table references in a closed query and infer its type; returns
+    the resolved expression. *)
+
+val typecheck_exn : Cobj.Catalog.t -> Ast.expr -> Ast.expr * Cobj.Ctype.t
+(** Like {!check_query}; raises [Invalid_argument] with the rendered error. *)

@@ -1,0 +1,1 @@
+lib/workload/gen.ml: Cobj List Printf Prng

@@ -1,0 +1,319 @@
+module Value = Cobj.Value
+module Ctype = Cobj.Ctype
+module Table = Cobj.Table
+module Catalog = Cobj.Catalog
+
+type xy_spec = {
+  nx : int;
+  ny : int;
+  key_dom : int;
+  dangling : float;
+  set_max : int;
+  val_dom : int;
+  seed : int;
+}
+
+let default_xy =
+  {
+    nx = 100;
+    ny = 100;
+    key_dom = 25;
+    dangling = 0.2;
+    set_max = 4;
+    val_dom = 20;
+    seed = 42;
+  }
+
+let ints_upto rng dom k =
+  List.init k (fun _ -> Value.Int (Prng.int rng dom))
+
+(* Rows are generated with a distinct [id] component so that requested
+   cardinalities survive set deduplication, then the id is kept as part of
+   the tuple (a perfectly ordinary surrogate key). *)
+let x_elt =
+  Ctype.ttuple
+    [
+      ("id", Ctype.TInt);
+      ("a", Ctype.TInt);
+      ("b", Ctype.TInt);
+      ("s", Ctype.TSet Ctype.TInt);
+    ]
+
+let y_elt =
+  Ctype.ttuple [ ("id", Ctype.TInt); ("a", Ctype.TInt); ("b", Ctype.TInt) ]
+
+let xy spec =
+  let rng = Prng.create spec.seed in
+  let xrows =
+    List.init spec.nx (fun i ->
+        let dangling = Prng.bool rng spec.dangling in
+        let b =
+          if dangling then spec.key_dom + Prng.int rng (max spec.key_dom 1)
+          else Prng.int rng spec.key_dom
+        in
+        let set_card = Prng.int rng (spec.set_max + 1) in
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("a", Value.Int (Prng.int rng spec.val_dom));
+            ("b", Value.Int b);
+            ("s", Value.set (ints_upto rng spec.val_dom set_card));
+          ])
+  in
+  let yrows =
+    List.init spec.ny (fun i ->
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("a", Value.Int (Prng.int rng spec.val_dom));
+            ("b", Value.Int (Prng.int rng spec.key_dom));
+          ])
+  in
+  Catalog.of_tables
+    [
+      Table.create ~key:[ "id" ] ~name:"X" ~elt:x_elt xrows;
+      Table.create ~key:[ "id" ] ~name:"Y" ~elt:y_elt yrows;
+    ]
+
+type xyz_spec = {
+  base : xy_spec;
+  nz : int;
+  z_key_dom : int;
+}
+
+let default_xyz = { base = default_xy; nz = 100; z_key_dom = 25 }
+
+let xyz spec =
+  let b = spec.base in
+  let rng = Prng.create b.seed in
+  let x_elt =
+    Ctype.ttuple
+      [ ("id", Ctype.TInt); ("a", Ctype.TSet Ctype.TInt); ("b", Ctype.TInt) ]
+  in
+  let y_elt =
+    Ctype.ttuple
+      [
+        ("id", Ctype.TInt);
+        ("a", Ctype.TInt);
+        ("b", Ctype.TInt);
+        ("c", Ctype.TSet Ctype.TInt);
+        ("d", Ctype.TInt);
+      ]
+  in
+  let z_elt =
+    Ctype.ttuple [ ("id", Ctype.TInt); ("c", Ctype.TInt); ("d", Ctype.TInt) ]
+  in
+  let key dangling dom =
+    if Prng.bool rng dangling then dom + Prng.int rng (max dom 1)
+    else Prng.int rng dom
+  in
+  let xrows =
+    List.init b.nx (fun i ->
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("a", Value.set (ints_upto rng b.val_dom (Prng.int rng (b.set_max + 1))));
+            ("b", Value.Int (key b.dangling b.key_dom));
+          ])
+  in
+  let yrows =
+    List.init b.ny (fun i ->
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("a", Value.Int (Prng.int rng b.val_dom));
+            ("b", Value.Int (Prng.int rng b.key_dom));
+            ("c", Value.set (ints_upto rng b.val_dom (Prng.int rng (b.set_max + 1))));
+            ("d", Value.Int (key b.dangling spec.z_key_dom));
+          ])
+  in
+  let zrows =
+    List.init spec.nz (fun i ->
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("c", Value.Int (Prng.int rng b.val_dom));
+            ("d", Value.Int (Prng.int rng spec.z_key_dom));
+          ])
+  in
+  Catalog.of_tables
+    [
+      Table.create ~key:[ "id" ] ~name:"X" ~elt:x_elt xrows;
+      Table.create ~key:[ "id" ] ~name:"Y" ~elt:y_elt yrows;
+      Table.create ~key:[ "id" ] ~name:"Z" ~elt:z_elt zrows;
+    ]
+
+let table1 () =
+  let x_elt = Ctype.ttuple [ ("e", Ctype.TInt); ("d", Ctype.TInt) ] in
+  let y_elt = Ctype.ttuple [ ("a", Ctype.TInt); ("b", Ctype.TInt) ] in
+  let xrow e d = Value.tuple [ ("e", Value.Int e); ("d", Value.Int d) ] in
+  let yrow a b = Value.tuple [ ("a", Value.Int a); ("b", Value.Int b) ] in
+  Catalog.of_tables
+    [
+      Table.create ~name:"X" ~elt:x_elt [ xrow 1 1; xrow 2 2; xrow 3 3 ];
+      Table.create ~name:"Y" ~elt:y_elt [ yrow 1 1; yrow 2 1; yrow 3 3 ];
+    ]
+
+type company_spec = {
+  ndepts : int;
+  nemps_per_dept : int;
+  ncities : int;
+  nstreets : int;
+  max_children : int;
+  company_seed : int;
+}
+
+let default_company =
+  {
+    ndepts = 10;
+    nemps_per_dept = 20;
+    ncities = 5;
+    nstreets = 12;
+    max_children = 3;
+    company_seed = 7;
+  }
+
+let address_elt =
+  Ctype.ttuple
+    [ ("street", Ctype.TString); ("nr", Ctype.TString); ("city", Ctype.TString) ]
+
+let child_elt = Ctype.ttuple [ ("name", Ctype.TString); ("age", Ctype.TInt) ]
+
+let emp_elt =
+  Ctype.ttuple
+    [
+      ("name", Ctype.TString);
+      ("address", address_elt);
+      ("sal", Ctype.TInt);
+      ("children", Ctype.TSet child_elt);
+      ("dept", Ctype.TString);
+    ]
+
+let dept_elt =
+  Ctype.ttuple
+    [ ("name", Ctype.TString); ("address", address_elt); ("emps", Ctype.TSet emp_elt) ]
+
+let company spec =
+  let rng = Prng.create spec.company_seed in
+  let city i = Printf.sprintf "city%d" i in
+  let street i = Printf.sprintf "street%d" i in
+  let address () =
+    Value.tuple
+      [
+        ("street", Value.String (street (Prng.int rng spec.nstreets)));
+        ("nr", Value.String (string_of_int (1 + Prng.int rng 99)));
+        ("city", Value.String (city (Prng.int rng spec.ncities)));
+      ]
+  in
+  let emp dept_name i j =
+    let nchildren = Prng.int rng (spec.max_children + 1) in
+    let children =
+      List.init nchildren (fun k ->
+          Value.tuple
+            [
+              ("name", Value.String (Printf.sprintf "child%d_%d_%d" i j k));
+              ("age", Value.Int (Prng.int rng 18));
+            ])
+    in
+    Value.tuple
+      [
+        ("name", Value.String (Printf.sprintf "emp%d_%d" i j));
+        ("address", address ());
+        ("sal", Value.Int (20_000 + (1_000 * Prng.int rng 80)));
+        ("children", Value.set children);
+        ("dept", Value.String dept_name);
+      ]
+  in
+  let depts_with_emps =
+    List.init spec.ndepts (fun i ->
+        let dname = Printf.sprintf "dept%d" i in
+        let emps = List.init spec.nemps_per_dept (fun j -> emp dname i j) in
+        ( Value.tuple
+            [
+              ("name", Value.String dname);
+              ("address", address ());
+              ("emps", Value.set emps);
+            ],
+          emps ))
+  in
+  let dept_rows = List.map fst depts_with_emps in
+  let emp_rows = List.concat_map snd depts_with_emps in
+  Catalog.of_tables
+    [
+      Table.create ~key:[ "name" ] ~name:"DEPT" ~elt:dept_elt dept_rows;
+      Table.create ~key:[ "name" ] ~name:"EMP" ~elt:emp_elt emp_rows;
+    ]
+
+type shop_spec = {
+  ncustomers : int;
+  norders : int;
+  nskus : int;
+  max_items : int;
+  shop_seed : int;
+}
+
+let default_shop =
+  { ncustomers = 100; norders = 300; nskus = 25; max_items = 4; shop_seed = 13 }
+
+let customer_elt =
+  Ctype.ttuple
+    [
+      ("id", Ctype.TInt);
+      ("name", Ctype.TString);
+      ("city", Ctype.TString);
+      ("vip", Ctype.TBool);
+    ]
+
+let item_elt =
+  Ctype.ttuple
+    [ ("sku", Ctype.TString); ("qty", Ctype.TInt); ("price", Ctype.TInt) ]
+
+let order_elt =
+  Ctype.ttuple
+    [
+      ("id", Ctype.TInt);
+      ("cust", Ctype.TInt);
+      ("status", Ctype.TString);
+      ("items", Ctype.TSet item_elt);
+    ]
+
+let shop spec =
+  let rng = Prng.create spec.shop_seed in
+  let customers =
+    List.init spec.ncustomers (fun i ->
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("name", Value.String (Printf.sprintf "cust%d" i));
+            ("city", Value.String (Printf.sprintf "city%d" (Prng.int rng 8)));
+            ("vip", Value.Bool (Prng.bool rng 0.15));
+          ])
+  in
+  (* ~20% of customers never appear as an order's cust *)
+  let active = max 1 (spec.ncustomers * 4 / 5) in
+  let orders =
+    List.init spec.norders (fun i ->
+        let nitems = 1 + Prng.int rng spec.max_items in
+        let items =
+          List.init nitems (fun _ ->
+              Value.tuple
+                [
+                  ("sku", Value.String (Printf.sprintf "sku%d" (Prng.int rng spec.nskus)));
+                  ("qty", Value.Int (1 + Prng.int rng 9));
+                  ("price", Value.Int (5 + Prng.int rng 95));
+                ])
+        in
+        Value.tuple
+          [
+            ("id", Value.Int i);
+            ("cust", Value.Int (Prng.int rng active));
+            ( "status",
+              Value.String (Prng.pick rng [ "done"; "done"; "open"; "shipped" ]) );
+            ("items", Value.set items);
+          ])
+  in
+  Catalog.of_tables
+    [
+      Table.create ~key:[ "id" ] ~name:"CUSTOMERS" ~elt:customer_elt customers;
+      Table.create ~key:[ "id" ] ~name:"ORDERS" ~elt:order_elt orders;
+    ]

@@ -1,0 +1,82 @@
+(** Workload generators: catalogs with controlled join behaviour.
+
+    All generators are deterministic in their [seed]. The central knobs are
+    the join-key domain (which fixes the expected fan-out |Y| / dom) and the
+    fraction of dangling outer rows (rows whose key matches nothing — the
+    rows that COUNT-bug plans lose). *)
+
+type xy_spec = {
+  nx : int;          (** |X| *)
+  ny : int;          (** |Y| *)
+  key_dom : int;     (** join keys are drawn from [0, key_dom) *)
+  dangling : float;  (** fraction of X rows given a key outside Y's domain *)
+  set_max : int;     (** max cardinality of the set-valued attribute [x.s] *)
+  val_dom : int;     (** domain of the value attributes [x.a], [y.a] *)
+  seed : int;
+}
+
+val default_xy : xy_spec
+
+val xy : xy_spec -> Cobj.Catalog.t
+(** Two tables:
+    - [X (a : INT, b : INT, s : P INT)] — [b] is the join key;
+    - [Y (a : INT, b : INT)] — [b] is the join key, [a] the payload.
+    A dangling X row gets [b ≥ key_dom], unmatched in Y. *)
+
+type xyz_spec = {
+  base : xy_spec;
+  nz : int;
+  z_key_dom : int;   (** domain of the Y–Z join key [d] *)
+}
+
+val default_xyz : xyz_spec
+
+val xyz : xyz_spec -> Cobj.Catalog.t
+(** Three tables for §8-style linear queries:
+    - [X (a : P INT, b : INT)];
+    - [Y (a : INT, b : INT, c : P INT, d : INT)];
+    - [Z (c : INT, d : INT)]. *)
+
+val table1 : unit -> Cobj.Catalog.t
+(** The instances of the paper's Table 1. The OCR leaves the operand columns
+    partially garbled, but the printed nest-join result — per-row sets
+    [{(1,1), (2,1)}], [∅], [{(3,3)}] — pins them down uniquely:
+    [X (e, d)] = {(1,1), (2,2), (3,3)} and [Y (a, b)] = {(1,1), (2,1),
+    (3,3)}, nest-equijoined on the second attribute with the identity
+    function. *)
+
+type company_spec = {
+  ndepts : int;
+  nemps_per_dept : int;
+  ncities : int;
+  nstreets : int;
+  max_children : int;
+  company_seed : int;
+}
+
+val default_company : company_spec
+
+val company : company_spec -> Cobj.Catalog.t
+(** The paper's §3.2 schema: extensions [DEPT] and [EMP].
+    - [EMP (name, address (street, nr, city), sal, children : P (name, age),
+      dept : STRING)];
+    - [DEPT (name, address, emps : P <employee>)] — employees are embedded
+      as complex values (the conceptual materialized join the paper
+      mentions), and are consistent with the rows of [EMP]. *)
+
+type shop_spec = {
+  ncustomers : int;
+  norders : int;
+  nskus : int;
+  max_items : int;
+  shop_seed : int;
+}
+
+val default_shop : shop_spec
+
+val shop : shop_spec -> Cobj.Catalog.t
+(** An order-management schema for the application-mix benchmark:
+    - [CUSTOMERS (id : INT, name : STRING, city : STRING, vip : BOOL)];
+    - [ORDERS (id : INT, cust : INT, status : STRING,
+       items : P (sku : STRING, qty : INT, price : INT))] — items embedded
+      as complex values. Roughly 20% of customers have no orders. *)

@@ -1,0 +1,22 @@
+(** Deterministic splitmix64 PRNG — benches and property tests must be
+    reproducible across runs and machines, so no [Random] state leaks in. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator; equal seeds give equal streams. *)
+
+val int : t -> int -> int
+(** [int t n] — uniform in [0, n); [n] must be positive. *)
+
+val bool : t -> float -> bool
+(** [bool t p] — true with probability [p]. *)
+
+val pick : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val sample : t -> int -> 'a list -> 'a list
+(** [sample t k xs] — up to [k] elements drawn without replacement. *)
+
+val split : t -> t
+(** An independent generator (for parallel streams). *)

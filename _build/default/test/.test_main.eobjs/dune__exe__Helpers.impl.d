@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Algebra Cobj Core Lang List Printf QCheck2 QCheck_alcotest

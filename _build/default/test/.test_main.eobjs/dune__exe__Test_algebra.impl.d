@@ -1,0 +1,1 @@
+test/test_algebra.ml: Alcotest Algebra Cobj Fmt Helpers Lang List

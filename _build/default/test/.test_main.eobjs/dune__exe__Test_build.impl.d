@@ -1,0 +1,1 @@
+test/test_build.ml: Alcotest Cobj Core Helpers Lang List Printf

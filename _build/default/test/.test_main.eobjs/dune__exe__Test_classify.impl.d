@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Cobj Core Helpers Lang List Option Printf QCheck2

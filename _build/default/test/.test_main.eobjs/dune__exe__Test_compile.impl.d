@@ -1,0 +1,1 @@
+test/test_compile.ml: Alcotest Cobj Engine Fun Helpers Lang List Test_parser

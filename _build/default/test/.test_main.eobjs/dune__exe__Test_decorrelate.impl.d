@@ -1,0 +1,1 @@
+test/test_decorrelate.ml: Alcotest Algebra Cobj Core Helpers Lang List Printf QCheck2 Workload

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Algebra Astring Cobj Core Engine Helpers Lang List Printf Workload

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Algebra Cobj Core Engine Fmt Helpers List Printf QCheck2 Workload

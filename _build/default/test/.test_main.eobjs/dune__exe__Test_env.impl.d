@@ -1,0 +1,1 @@
+test/test_env.ml: Alcotest Cobj Helpers List

@@ -1,0 +1,1 @@
+test/test_equivalences.ml: Alcotest Algebra Cobj Core Helpers Lang List QCheck2 Workload

@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Cobj Helpers Lang List Printexc Printf QCheck2

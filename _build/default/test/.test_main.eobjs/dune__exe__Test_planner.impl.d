@@ -1,0 +1,1 @@
+test/test_planner.ml: Alcotest Algebra Cobj Core Engine Helpers Lang List Workload

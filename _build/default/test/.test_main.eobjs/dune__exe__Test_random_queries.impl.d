@@ -1,0 +1,1 @@
+test/test_random_queries.ml: Algebra Cobj Core Helpers List Printf QCheck2 Workload

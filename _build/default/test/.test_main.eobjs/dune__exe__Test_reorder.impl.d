@@ -1,0 +1,1 @@
+test/test_reorder.ml: Alcotest Algebra Cobj Core Helpers List QCheck2 Workload

@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Algebra Cobj Core Helpers Lang List QCheck2

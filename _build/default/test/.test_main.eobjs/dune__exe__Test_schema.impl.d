@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Cobj Core Helpers Lang List QCheck2 Workload

@@ -1,0 +1,1 @@
+test/test_simplify.ml: Alcotest Algebra Bool Cobj Core Helpers Lang List Test_parser Workload

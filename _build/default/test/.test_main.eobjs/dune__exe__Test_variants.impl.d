@@ -1,0 +1,1 @@
+test/test_variants.ml: Alcotest Cobj Core Engine Helpers Lang List Printf

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Cobj List Printf Workload

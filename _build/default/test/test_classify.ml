@@ -1,0 +1,143 @@
+(* Classifier tests — Theorem 1 / Table 2.
+
+   Two layers:
+   1. the verdict for every Table 2 row matches the paper's column;
+   2. soundness: whenever the classifier claims [P ≡ (¬)∃v ∈ z (P')], the
+      two predicates agree on randomized instances, with special attention
+      to z = ∅ (the dangling case that breaks Kim-style plans). *)
+
+open Helpers
+module Ast = Lang.Ast
+module Value = Cobj.Value
+
+let cat = Cobj.Catalog.empty
+
+let test_table2_verdicts () =
+  List.iter
+    (fun row ->
+      let verdict = Core.Classify.classify ~z:"z" (Core.Table2.predicate row) in
+      let got = Core.Table2.kind verdict in
+      if got <> row.Core.Table2.expected then
+        Alcotest.failf "%s (%s): expected %s, got %s (%a)"
+          row.Core.Table2.name row.Core.Table2.source
+          (Core.Table2.expected_to_string row.Core.Table2.expected)
+          (Core.Table2.expected_to_string got)
+          Core.Classify.pp_verdict verdict)
+    Core.Table2.rows
+
+let test_rewritten_body_z_free () =
+  List.iter
+    (fun row ->
+      match Core.Classify.classify ~z:"z" (Core.Table2.predicate row) with
+      | Core.Classify.Exists { body; _ } | Core.Classify.Not_exists { body; _ }
+        ->
+        Alcotest.check Alcotest.bool
+          (row.Core.Table2.name ^ ": no residual z")
+          false (Ast.occurs_free "z" body)
+      | Core.Classify.Needs_grouping _ -> ())
+    Core.Table2.rows
+
+let test_z_not_free () =
+  match Core.Classify.classify ~z:"z" (parse "x.a = 1") with
+  | Core.Classify.Needs_grouping _ -> ()
+  | v -> Alcotest.failf "expected needs-grouping, got %a"
+           Core.Classify.pp_verdict v
+
+let test_fresh_variable_no_capture () =
+  (* the predicate already uses [v]: the classifier must pick another *)
+  match Core.Classify.classify ~z:"z" (parse "EXISTS v IN x.a (v IN z)") with
+  | Core.Classify.Exists { var; _ } ->
+    Alcotest.check Alcotest.bool "fresh variable" true (var <> "v")
+  | v -> Alcotest.failf "unexpected %a" Core.Classify.pp_verdict v
+
+(* --- randomized semantic soundness -------------------------------------- *)
+
+(* Environments: x = (a : P INT, b : INT), z : P INT, over a small domain so
+   collisions (memberships, subset relations) actually happen. *)
+let env_gen =
+  let open QCheck2.Gen in
+  let small = int_range 0 5 in
+  let small_set = list_size (int_range 0 4) small in
+  map
+    (fun (a, b, z) ->
+      Cobj.Env.of_bindings
+        [
+          ( "x",
+            Value.tuple
+              [
+                ("a", Value.set (List.map (fun i -> Value.Int i) a));
+                ("b", Value.Int b);
+              ] );
+          ("z", Value.set (List.map (fun i -> Value.Int i) z));
+        ])
+    (triple small_set small small_set)
+
+let forced_empty_z env = Cobj.Env.bind "z" (Value.Set []) env
+
+let soundness_test row =
+  let p = Core.Table2.predicate row in
+  match Core.Classify.classify ~z:"z" p with
+  | Core.Classify.Needs_grouping _ ->
+    (* nothing to verify; covered by the verdict test *)
+    []
+  | verdict ->
+    let rewritten = Option.get (Core.Classify.to_expr ~z:"z" verdict) in
+    [
+      qcheck ~count:300
+        (Printf.sprintf "sound: %s" row.Core.Table2.source)
+        env_gen
+        (fun env ->
+          let check e = Lang.Interp.truth cat e p in
+          let check' e = Lang.Interp.truth cat e rewritten in
+          check env = check' env
+          && check (forced_empty_z env) = check' (forced_empty_z env));
+    ]
+
+let soundness_suite = List.concat_map soundness_test Core.Table2.rows
+
+(* Completeness spot-check: for a few rows the paper marks as grouping,
+   confirm the obvious ∃-rewrite would be WRONG (so grouping is not just a
+   classifier weakness). E.g. x.a ⊆ z is not ∃v ∈ z (x.a ⊆ {v}) etc.; the
+   canonical witness is z = ∅ with a true predicate. *)
+let test_grouping_rows_really_group () =
+  let env0 =
+    Cobj.Env.of_bindings
+      [
+        ( "x",
+          Value.tuple [ ("a", Value.Set []); ("b", Value.Int 0) ] );
+        ("z", Value.Set []);
+      ]
+  in
+  (* On z = ∅: any ∃-form is false and any ¬∃-form is true; a predicate
+     whose truth on z = ∅ depends on x cannot be either. *)
+  let env1 =
+    Cobj.Env.of_bindings
+      [
+        ( "x",
+          Value.tuple
+            [ ("a", Value.Set [ Value.Int 1 ]); ("b", Value.Int 1) ] );
+        ("z", Value.Set []);
+      ]
+  in
+  List.iter
+    (fun src ->
+      let p = parse src in
+      let t0 = Lang.Interp.truth cat env0 p in
+      let t1 = Lang.Interp.truth cat env1 p in
+      Alcotest.check Alcotest.bool
+        (src ^ ": truth on empty z depends on x — unrewritable")
+        true (t0 <> t1))
+    [ "x.a SUBSETEQ z"; "x.a = z"; "x.b = COUNT(z)" ]
+
+let suite =
+  [
+    Alcotest.test_case "Table 2 verdicts" `Quick test_table2_verdicts;
+    Alcotest.test_case "rewritten bodies are z-free" `Quick
+      test_rewritten_body_z_free;
+    Alcotest.test_case "z not free" `Quick test_z_not_free;
+    Alcotest.test_case "fresh variable avoids capture" `Quick
+      test_fresh_variable_no_capture;
+    Alcotest.test_case "grouping rows truly need grouping" `Quick
+      test_grouping_rows_really_group;
+  ]
+  @ soundness_suite

@@ -1,0 +1,82 @@
+(* Tests for the type algebra: conformance, join, inference. *)
+
+open Helpers
+module Ctype = Cobj.Ctype
+module Value = Cobj.Value
+
+let topt : Ctype.t option Alcotest.testable =
+  Alcotest.option ctype
+
+let test_conforms_basic () =
+  Alcotest.check Alcotest.bool "int conforms" true
+    (Ctype.conforms (vi 1) Ctype.TInt);
+  Alcotest.check Alcotest.bool "int conforms to float" true
+    (Ctype.conforms (vi 1) Ctype.TFloat);
+  Alcotest.check Alcotest.bool "string not int" false
+    (Ctype.conforms (vs "x") Ctype.TInt);
+  Alcotest.check Alcotest.bool "null conforms to anything" true
+    (Ctype.conforms Value.Null (Ctype.TSet Ctype.TString))
+
+let test_conforms_nested () =
+  let t =
+    Ctype.ttuple
+      [ ("a", Ctype.TInt); ("b", Ctype.TSet (Ctype.ttuple [ ("c", Ctype.TString) ])) ]
+  in
+  let good =
+    tup [ ("a", vi 1); ("b", vset [ tup [ ("c", vs "x") ] ]) ]
+  in
+  let bad = tup [ ("a", vi 1); ("b", vset [ tup [ ("c", vi 3) ] ]) ] in
+  Alcotest.check Alcotest.bool "nested ok" true (Ctype.conforms good t);
+  Alcotest.check Alcotest.bool "nested bad" false (Ctype.conforms bad t)
+
+let test_join () =
+  Alcotest.check topt "int join float" (Some Ctype.TFloat)
+    (Ctype.join Ctype.TInt Ctype.TFloat);
+  Alcotest.check topt "any joins" (Some Ctype.TInt)
+    (Ctype.join Ctype.TAny Ctype.TInt);
+  Alcotest.check topt "set covariant" (Some Ctype.(TSet TFloat))
+    (Ctype.join Ctype.(TSet TInt) Ctype.(TSet TFloat));
+  Alcotest.check topt "incompatible" None
+    (Ctype.join Ctype.TInt Ctype.TString);
+  Alcotest.check topt "tuple fieldwise"
+    (Some (Ctype.ttuple [ ("a", Ctype.TFloat) ]))
+    (Ctype.join
+       (Ctype.ttuple [ ("a", Ctype.TInt) ])
+       (Ctype.ttuple [ ("a", Ctype.TFloat) ]))
+
+let test_infer () =
+  Alcotest.check topt "empty set" (Some Ctype.(TSet TAny))
+    (Ctype.infer (vset []));
+  Alcotest.check topt "homogeneous set" (Some Ctype.(TSet TInt))
+    (Ctype.infer (vset [ vi 1; vi 2 ]));
+  Alcotest.check topt "mixed numeric set" (Some Ctype.(TSet TFloat))
+    (Ctype.infer (vset [ vi 1; Value.Float 2.5 ]));
+  Alcotest.check topt "heterogeneous" None
+    (Ctype.infer (vset [ vi 1; vs "x" ]))
+
+let prop_infer_conforms =
+  qcheck "inferred type admits the value" value_gen (fun v ->
+      match Ctype.infer v with
+      | None -> true (* heterogeneous collections have no type *)
+      | Some t -> Ctype.conforms v t)
+
+let prop_join_upper_bound =
+  qcheck "join is an upper bound for conformance"
+    QCheck2.Gen.(pair value_gen value_gen)
+    (fun (a, b) ->
+      match Ctype.infer a, Ctype.infer b with
+      | Some ta, Some tb -> (
+        match Ctype.join ta tb with
+        | None -> true
+        | Some t -> Ctype.conforms a t && Ctype.conforms b t)
+      | _, _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "conforms basic" `Quick test_conforms_basic;
+    Alcotest.test_case "conforms nested" `Quick test_conforms_nested;
+    Alcotest.test_case "join" `Quick test_join;
+    Alcotest.test_case "infer" `Quick test_infer;
+    prop_infer_conforms;
+    prop_join_upper_bound;
+  ]

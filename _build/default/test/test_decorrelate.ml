@@ -1,0 +1,304 @@
+(* Decorrelation tests: strategy agreement over a query corpus, plan-shape
+   assertions, and the COUNT / SUBSETEQ bug demonstrations. *)
+
+open Helpers
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Value = Cobj.Value
+
+let cat = xy_catalog ()
+
+(* Queries over the helpers schema: X(a, b, s : P INT), Y(c, d). All are
+   dangling-sensitive (X row with b = 5 matches nothing in Y). *)
+let corpus =
+  [
+    (* WHERE-clause nesting, flattenable *)
+    "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x.a FROM X x WHERE x.a NOT IN (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x FROM X x WHERE EXISTS v IN (SELECT y.c FROM Y y WHERE x.b = y.d) (v > x.a)";
+    "SELECT x FROM X x WHERE (SELECT y.c FROM Y y WHERE x.b = y.d) = {}";
+    "SELECT x FROM X x WHERE COUNT(SELECT y.c FROM Y y WHERE x.b = y.d) <> 0";
+    "SELECT x FROM X x WHERE x.a < MAX(SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x FROM X x WHERE x.s SUPSETEQ (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    (* z-free conjuncts mixed in *)
+    "SELECT x FROM X x WHERE x.a > 0 AND x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d) AND x.b < 9";
+    (* WHERE-clause nesting, grouping required *)
+    "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x FROM X x WHERE x.s SUBSETEQ (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x FROM X x WHERE x.s = (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT x FROM X x WHERE x.a >= MAX(SELECT y.c FROM Y y WHERE x.b = y.d)";
+    (* SELECT-clause nesting *)
+    "SELECT (a = x.a, zs = (SELECT y.c FROM Y y WHERE y.d = x.b)) FROM X x";
+    "SELECT (a = x.a, n = COUNT(SELECT y FROM Y y WHERE y.d = x.b)) FROM X x";
+    (* UNNEST collapse *)
+    "UNNEST(SELECT (SELECT (a = x.a, c = y.c) FROM Y y WHERE x.b = y.d) FROM X x)";
+    (* non-equi correlation *)
+    "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE y.d < x.b)";
+    (* uncorrelated subquery *)
+    "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE y.d = 3)";
+    (* subquery over set-valued attribute (not flattened, still correct) *)
+    "SELECT x FROM X x WHERE x.a IN (SELECT w + 0 FROM x.s w)";
+    (* correlated via a non-equi conjunct plus an equi one *)
+    "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d AND y.c <> x.a + 1)";
+    (* three-deep linear nesting *)
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d \
+     AND y.c IN (SELECT w.c FROM Y w WHERE w.d = y.d))";
+    (* shadowed variable name in the subquery *)
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT x.c FROM Y x WHERE x.d = 1)";
+    (* same table both sides with clashing binder *)
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT y.a FROM X y WHERE y.b = x.b \
+     AND y.a <> x.a)";
+    (* non-neighbour correlation: the innermost block references x two
+       levels up (a "cyclic" query in the paper's terminology) — the middle
+       block cannot split, the apply is kept, results stay correct *)
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE y.d IN \
+     (SELECT w.c FROM Y w WHERE w.d = x.b))";
+    (* subquery in the FROM clause — §3.2 says these "can be rewritten
+       easily"; we iterate the derived set *)
+    "SELECT v.c FROM (SELECT (c = y.c, d = y.d) FROM Y y WHERE y.d < 3) v \
+     WHERE v.d = 1";
+    (* FROM-clause subquery that is itself correlated with a later use *)
+    "SELECT (a = x.a, n = COUNT(SELECT w FROM x.s w)) FROM X x";
+    (* deeply nested SELECT-clause nesting (two levels of set results) *)
+    "SELECT (a = x.a, yss = (SELECT (c = y.c, zs = (SELECT w.c FROM Y w \
+     WHERE w.d = y.d)) FROM Y y WHERE y.d = x.b)) FROM X x";
+  ]
+
+let test_corpus_agreement () =
+  List.iter (fun src -> strategies_agree ~catalog:cat src) corpus
+
+let count_nodes pred q =
+  Plan.fold (fun n node -> if pred node then n + 1 else n) 0 q.Plan.plan
+
+let is_apply = function Plan.Apply _ -> true | _ -> false
+let is_semijoin = function Plan.Semijoin _ -> true | _ -> false
+let is_antijoin = function Plan.Antijoin _ -> true | _ -> false
+let is_nestjoin = function Plan.Nestjoin _ -> true | _ -> false
+
+let optimized src =
+  let q, _ = Lang.Types.typecheck_exn cat (parse src) in
+  let rec fixpoint n q =
+    if n = 0 then q
+    else
+      let q' = Core.Rewrite.query (Core.Decorrelate.query q) in
+      if q' = q then q else fixpoint (n - 1) q'
+  in
+  fixpoint 5 (Core.Translate.query_exn cat q)
+
+let shape_case name src pred expected =
+  Alcotest.test_case name `Quick (fun () ->
+      let q = optimized src in
+      Alcotest.check Alcotest.int
+        (Printf.sprintf "%s in %s" name src)
+        expected (count_nodes pred q))
+
+let shape_suite =
+  [
+    shape_case "IN becomes a semijoin"
+      "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d)"
+      is_semijoin 1;
+    shape_case "NOT IN becomes an antijoin"
+      "SELECT x FROM X x WHERE x.a NOT IN (SELECT y.c FROM Y y WHERE x.b = y.d)"
+      is_antijoin 1;
+    shape_case "COUNT comparison becomes a nest join"
+      "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = y.d)"
+      is_nestjoin 1;
+    shape_case "SUBSETEQ becomes a nest join"
+      "SELECT x FROM X x WHERE x.s SUBSETEQ (SELECT y.c FROM Y y WHERE x.b = y.d)"
+      is_nestjoin 1;
+    shape_case "SELECT-clause nesting becomes a nest join"
+      "SELECT (a = x.a, zs = (SELECT y.c FROM Y y WHERE y.d = x.b)) FROM X x"
+      is_nestjoin 1;
+    shape_case "flattenable query has no residual apply"
+      "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d)"
+      is_apply 0;
+    shape_case "three-deep nesting fully decorrelates"
+      "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d \
+       AND y.c IN (SELECT w.c FROM Y w WHERE w.d = y.d))"
+      is_apply 0;
+    shape_case "set-valued-attribute subquery keeps its apply"
+      "SELECT x FROM X x WHERE x.a IN (SELECT w + 0 FROM x.s w)" is_apply 1;
+    shape_case "uncorrelated WHERE subquery still flattens to a semijoin"
+      "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE y.d = 3)"
+      is_semijoin 1;
+    shape_case "uncorrelated SELECT subquery keeps its apply (memoized later)"
+      "SELECT (a = x.a, zs = (SELECT y.c FROM Y y WHERE y.d = 3)) FROM X x"
+      is_apply 1;
+  ]
+
+(* The decorrelated plan of a grouping query must preserve dangling rows:
+   direct witness on the COUNT query. *)
+let test_dangling_preserved () =
+  let src =
+    "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = y.d)"
+  in
+  let v = run_strategy Core.Pipeline.Decorrelated cat src in
+  let dangling =
+    tup [ ("a", vi 0); ("b", vi 5); ("s", vset []) ]
+  in
+  Alcotest.check Alcotest.bool "dangling row with a = 0 in result" true
+    (Value.set_mem dangling v)
+
+(* --- the bugs ------------------------------------------------------------ *)
+
+let bug_case name src =
+  Alcotest.test_case name `Quick (fun () ->
+      let reference = run_strategy Core.Pipeline.Interp cat src in
+      let kim = run_strategy Core.Pipeline.Kim_baseline cat src in
+      let gw = run_strategy Core.Pipeline.Ganski_wong cat src in
+      let mura = run_strategy Core.Pipeline.Muralikrishna cat src in
+      Alcotest.check Alcotest.bool
+        "Kim plan loses dangling rows (the bug reproduces)" true
+        (not (Value.equal reference kim)
+        && Value.set_subseteq kim reference);
+      Alcotest.check value "Ganski–Wong outerjoin fix is correct" reference gw;
+      Alcotest.check value "Muralikrishna antijoin-predicate fix is correct"
+        reference mura)
+
+let bug_suite =
+  [
+    bug_case "COUNT bug"
+      "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = y.d)";
+    bug_case "SUBSETEQ bug (the paper's §4 example)"
+      "SELECT x FROM X x WHERE x.s SUBSETEQ (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    bug_case "set-equality bug"
+      "SELECT x FROM X x WHERE x.s = (SELECT y.c FROM Y y WHERE x.b = y.d)";
+  ]
+
+(* Randomized cross-strategy agreement over generated catalogs. *)
+let random_catalog_agreement =
+  qcheck ~count:25 "strategies agree on random catalogs"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let catalog =
+        Workload.Gen.xy
+          { Workload.Gen.default_xy with nx = 25; ny = 25; key_dom = 6; seed }
+      in
+      List.for_all
+        (fun src ->
+          let reference = run_strategy Core.Pipeline.Interp catalog src in
+          List.for_all
+            (fun s -> Value.equal reference (run_strategy s catalog src))
+            Core.Pipeline.
+              [ Naive; Decorrelated; Decorrelated_outerjoin; Ganski_wong ])
+        [
+          "SELECT x FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+          "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.a FROM Y y WHERE x.b = y.b)";
+          "SELECT x FROM X x WHERE x.s SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b)";
+          "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x";
+        ])
+
+let suite =
+  [
+    Alcotest.test_case "corpus agreement across strategies" `Quick
+      test_corpus_agreement;
+  ]
+  @ shape_suite
+  @ [
+      Alcotest.test_case "dangling rows preserved" `Quick
+        test_dangling_preserved;
+    ]
+  @ bug_suite
+  @ [ random_catalog_agreement ]
+
+(* --- multiple subqueries per WHERE clause (paper's future work) --------- *)
+
+let multi_corpus =
+  [
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d) \
+     AND x.a NOT IN (SELECT w.c FROM Y w WHERE w.d = x.b + 2)";
+    "SELECT x.a FROM X x WHERE x.s SUBSETEQ (SELECT y.c FROM Y y WHERE x.b \
+     = y.d) AND x.a IN (SELECT w.c FROM Y w WHERE w.d = x.b)";
+    "SELECT x.a FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = \
+     y.d) AND x.a <> COUNT(SELECT w.c FROM Y w WHERE w.d = x.b + 2)";
+    "SELECT x.a FROM X x WHERE x.a > 0 AND x.a IN (SELECT y.c FROM Y y \
+     WHERE x.b = y.d) AND x.b < 9 AND EXISTS v IN (SELECT w.c FROM Y w \
+     WHERE w.d = x.b) (v = x.a)";
+  ]
+
+let test_multi_agreement () =
+  List.iter (fun src -> strategies_agree ~catalog:cat src) multi_corpus
+
+let test_multi_shapes () =
+  (* IN + NOT IN: one semijoin, one antijoin, no apply, no nest join *)
+  let q = optimized (List.nth multi_corpus 0) in
+  Alcotest.check Alcotest.int "semijoin" 1 (count_nodes is_semijoin q);
+  Alcotest.check Alcotest.int "antijoin" 1 (count_nodes is_antijoin q);
+  Alcotest.check Alcotest.int "no apply" 0 (count_nodes is_apply q);
+  Alcotest.check Alcotest.int "no nestjoin" 0 (count_nodes is_nestjoin q);
+  (* SUBSETEQ + IN: one nest join (for ⊆), one semijoin *)
+  let q = optimized (List.nth multi_corpus 1) in
+  Alcotest.check Alcotest.int "nestjoin" 1 (count_nodes is_nestjoin q);
+  Alcotest.check Alcotest.int "semijoin" 1 (count_nodes is_semijoin q);
+  Alcotest.check Alcotest.int "no apply" 0 (count_nodes is_apply q);
+  (* two COUNT comparisons: two nest joins *)
+  let q = optimized (List.nth multi_corpus 2) in
+  Alcotest.check Alcotest.int "two nestjoins" 2 (count_nodes is_nestjoin q);
+  Alcotest.check Alcotest.int "no apply" 0 (count_nodes is_apply q)
+
+let multi_suite =
+  [
+    Alcotest.test_case "multiple subqueries agree" `Quick test_multi_agreement;
+    Alcotest.test_case "multiple subqueries flatten fully" `Quick
+      test_multi_shapes;
+  ]
+
+let suite = suite @ multi_suite
+
+(* Kim's second form (join first, then GROUP BY) exhibits the same bug. *)
+let test_kim_join_first_bug () =
+  let src =
+    "SELECT x FROM X x WHERE x.a = COUNT(SELECT y.c FROM Y y WHERE x.b = y.d)"
+  in
+  let q, _ = Lang.Types.typecheck_exn cat (parse src) in
+  let naive = Core.Translate.query_exn cat q in
+  let kim2 =
+    match Core.Kim.kim_join_first naive with
+    | Ok q -> q
+    | Error msg -> Alcotest.fail msg
+  in
+  let reference = Lang.Interp.run cat q in
+  let got = Algebra.Sem.run cat kim2 in
+  Alcotest.check Alcotest.bool "join-first variant also loses dangling rows"
+    true
+    (not (Value.equal reference got) && Value.set_subseteq got reference);
+  (* and it agrees with group-first Kim — the two buggy forms coincide *)
+  let kim1 =
+    match Core.Kim.kim naive with Ok q -> q | Error m -> Alcotest.fail m
+  in
+  Alcotest.check value "both Kim forms compute the same (wrong) result"
+    (Algebra.Sem.run cat kim1) got
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "Kim join-first variant bug" `Quick
+        test_kim_join_first_bug;
+    ]
+
+(* The ablation modes must stay correct: decorrelation without the rewriter
+   or the reorderer gives the same answers. *)
+let test_ablation_modes_correct () =
+  List.iter
+    (fun src ->
+      let reference = run_strategy Core.Pipeline.Interp cat src in
+      List.iter
+        (fun (rewrite, reorder) ->
+          match
+            Core.Pipeline.run ~rewrite ~reorder Core.Pipeline.Decorrelated cat
+              src
+          with
+          | Ok v ->
+            Alcotest.check value
+              (Printf.sprintf "rewrite=%b reorder=%b on %s" rewrite reorder src)
+              reference v
+          | Error msg -> Alcotest.fail msg)
+        [ (false, false); (true, false); (false, true) ])
+    (corpus @ multi_corpus)
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "ablation modes stay correct" `Quick
+        test_ablation_modes_correct;
+    ]

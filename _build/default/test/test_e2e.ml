@@ -1,0 +1,256 @@
+(* End-to-end tests on the paper's own queries: Q1 and Q2 over the Company
+   schema (§3.2), the Table 1 nest join, and the §8 three-block pipeline. *)
+
+open Helpers
+module Value = Cobj.Value
+module Plan = Algebra.Plan
+
+let company = Workload.Gen.company Workload.Gen.default_company
+
+(* Q1: departments with an employee living in the department's street+city.
+   The subquery ranges over the set-valued attribute d.emps — the paper
+   notes such queries are NOT flattened (the set is already materialized
+   with the object); they must still execute correctly everywhere. *)
+let q1 =
+  "SELECT d FROM DEPT d WHERE (s = d.address.street, c = d.address.city) IN \
+   (SELECT (s = e.address.street, c = e.address.city) FROM d.emps e)"
+
+(* Q2: per-department names plus employees living in the department's city;
+   nesting in the SELECT clause over a distinct table — the nest join case. *)
+let q2 =
+  "SELECT (dname = d.name, emps = (SELECT e FROM EMP e WHERE \
+   e.address.city = d.address.city)) FROM DEPT d"
+
+let test_q1_strategies () = strategies_agree ~catalog:company q1
+let test_q2_strategies () = strategies_agree ~catalog:company q2
+
+let test_q2_uses_nestjoin () =
+  let q, _ = Lang.Types.typecheck_exn company (parse q2) in
+  let opt = Core.Decorrelate.query (Core.Translate.query_exn company q) in
+  let nestjoins =
+    Plan.fold
+      (fun n -> function Plan.Nestjoin _ -> n + 1 | _ -> n)
+      0 opt.Plan.plan
+  in
+  Alcotest.check Alcotest.int "one nest join" 1 nestjoins
+
+let test_q2_shape () =
+  let v = run_strategy Core.Pipeline.Decorrelated company q2 in
+  Alcotest.check Alcotest.int "one result tuple per department" 10
+    (Value.set_card v);
+  (* every tuple has dname and a set of employees all in the right city *)
+  List.iter
+    (fun t ->
+      let emps = Value.field "emps" t in
+      Alcotest.check Alcotest.bool "emps is a set" true
+        (match emps with Value.Set _ -> true | _ -> false))
+    (Value.elements v)
+
+(* --- Table 1 ------------------------------------------------------------- *)
+
+let test_table1 () =
+  let cat = Workload.Gen.table1 () in
+  (* nest equijoin of X and Y on the second attribute, identity function *)
+  let nj =
+    Plan.Nestjoin
+      {
+        pred = parse "x.d = y.b";
+        func = parse "y";
+        label = "s";
+        left = Plan.Table { name = "X"; var = "x" };
+        right = Plan.Table { name = "Y"; var = "y" };
+      }
+  in
+  let rows = Algebra.Sem.rows cat Cobj.Env.empty nj in
+  let expected =
+    [
+      ( (1, 1),
+        Value.set
+          [
+            tup [ ("a", vi 1); ("b", vi 1) ];
+            tup [ ("a", vi 2); ("b", vi 1) ];
+          ] );
+      ((2, 2), Value.set []);
+      ((3, 3), Value.set [ tup [ ("a", vi 3); ("b", vi 3) ] ]);
+    ]
+  in
+  Alcotest.check Alcotest.int "three result tuples" 3 (List.length rows);
+  List.iter
+    (fun ((e, d), s) ->
+      let row =
+        List.find
+          (fun r ->
+            Value.equal (Cobj.Env.find "x" r)
+              (tup [ ("e", vi e); ("d", vi d) ]))
+          rows
+      in
+      Alcotest.check value
+        (Printf.sprintf "group of (%d, %d)" e d)
+        s
+        (Cobj.Env.find "s" row))
+    expected
+
+(* --- §8: the three-block linear query ----------------------------------- *)
+
+let xyz =
+  Workload.Gen.xyz
+    {
+      base =
+        { Workload.Gen.default_xy with nx = 30; ny = 30; key_dom = 8;
+          val_dom = 6; seed = 17 };
+      nz = 30;
+      z_key_dom = 8;
+    }
+
+(* Both correlation predicates require grouping (⊆): two nest joins. *)
+let section8_grouping =
+  "SELECT x FROM X x WHERE x.a SUBSETEQ (SELECT y.a FROM Y y WHERE x.b = y.b \
+   AND y.c SUBSETEQ (SELECT z.c FROM Z z WHERE y.d = z.d))"
+
+(* The ∈ / ∉ variant: semijoin and antijoin replace the nest joins. *)
+let section8_flat =
+  "SELECT x FROM X x WHERE EXISTS w IN x.a (w IN (SELECT y.a FROM Y y WHERE \
+   x.b = y.b AND FORALL u IN y.c (u NOT IN (SELECT z.c FROM Z z WHERE y.d = \
+   z.d))))"
+
+let test_section8_agreement () =
+  strategies_agree ~catalog:xyz section8_grouping;
+  strategies_agree ~catalog:xyz section8_flat
+
+let count_op q pred =
+  Plan.fold (fun n node -> if pred node then n + 1 else n) 0 q.Plan.plan
+
+let optimized src =
+  let q, _ = Lang.Types.typecheck_exn xyz (parse src) in
+  Core.Rewrite.query (Core.Decorrelate.query (Core.Translate.query_exn xyz q))
+
+let test_section8_shapes () =
+  let grouping = optimized section8_grouping in
+  Alcotest.check Alcotest.int "two nest joins" 2
+    (count_op grouping (function Plan.Nestjoin _ -> true | _ -> false));
+  Alcotest.check Alcotest.int "no applies left" 0
+    (count_op grouping (function Plan.Apply _ -> true | _ -> false));
+  let flat = optimized section8_flat in
+  Alcotest.check Alcotest.int "one semijoin" 1
+    (count_op flat (function Plan.Semijoin _ -> true | _ -> false));
+  Alcotest.check Alcotest.int "one antijoin" 1
+    (count_op flat (function Plan.Antijoin _ -> true | _ -> false));
+  Alcotest.check Alcotest.int "no nest joins" 0
+    (count_op flat (function Plan.Nestjoin _ -> true | _ -> false))
+
+(* Full pipeline through the CLI-facing API. *)
+let test_pipeline_api () =
+  let compiled =
+    match
+      Core.Pipeline.compile_string Core.Pipeline.Decorrelated xyz
+        section8_grouping
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  let explain = Core.Pipeline.explain xyz compiled in
+  Alcotest.check Alcotest.bool "explain mentions nestjoin" true
+    (Astring.String.is_infix ~affix:"nestjoin" explain);
+  let stats = Engine.Stats.create () in
+  let v = Core.Pipeline.execute ~stats xyz compiled in
+  Alcotest.check Alcotest.bool "produces a set" true
+    (match v with Value.Set _ -> true | _ -> false);
+  Alcotest.check Alcotest.bool "did some work" true
+    (Engine.Stats.total_work stats > 0)
+
+let test_error_paths () =
+  (match Core.Pipeline.run Core.Pipeline.Decorrelated xyz "SELECT" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "parse error not reported");
+  match
+    Core.Pipeline.run Core.Pipeline.Decorrelated xyz
+      "SELECT q.nope FROM X q"
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "type error not reported"
+
+let suite =
+  [
+    Alcotest.test_case "Q1 strategies agree" `Quick test_q1_strategies;
+    Alcotest.test_case "Q2 strategies agree" `Quick test_q2_strategies;
+    Alcotest.test_case "Q2 uses a nest join" `Quick test_q2_uses_nestjoin;
+    Alcotest.test_case "Q2 result shape" `Quick test_q2_shape;
+    Alcotest.test_case "Table 1 reproduction" `Quick test_table1;
+    Alcotest.test_case "§8 strategies agree" `Quick test_section8_agreement;
+    Alcotest.test_case "§8 plan shapes" `Quick test_section8_shapes;
+    Alcotest.test_case "pipeline API" `Quick test_pipeline_api;
+    Alcotest.test_case "error paths" `Quick test_error_paths;
+  ]
+
+(* --- the application-mix queries (shop schema) --------------------------- *)
+
+let shop =
+  Workload.Gen.shop
+    { Workload.Gen.default_shop with ncustomers = 40; norders = 120 }
+
+let shop_queries =
+  [
+    "SELECT c.name FROM CUSTOMERS c WHERE COUNT(SELECT o FROM ORDERS o \
+     WHERE o.cust = c.id) = 0";
+    "SELECT c.name FROM CUSTOMERS c WHERE FORALL o IN (SELECT o FROM ORDERS \
+     o WHERE o.cust = c.id) (o.status = \"done\")";
+    "SELECT c.name FROM CUSTOMERS c WHERE EXISTS o IN (SELECT o FROM ORDERS \
+     o WHERE o.cust = c.id) (EXISTS i IN o.items (i.sku = \"sku0\"))";
+    "SELECT (n = c.name, k = COUNT(SELECT o.id FROM ORDERS o WHERE o.cust = \
+     c.id)) FROM CUSTOMERS c";
+    "SELECT (n = c.name, t = SUM(UNNEST(SELECT (SELECT i.qty * i.price FROM \
+     o.items i) FROM ORDERS o WHERE o.cust = c.id AND o.status = \"open\"))) \
+     FROM CUSTOMERS c";
+    "SELECT c.name FROM CUSTOMERS c WHERE c.vip = true AND COUNT(SELECT o \
+     FROM ORDERS o WHERE o.cust = c.id) > 0 AND c.id NOT IN (SELECT o.cust \
+     FROM ORDERS o WHERE o.status = \"open\")";
+  ]
+
+let test_shop_agreement () =
+  List.iter (fun src -> strategies_agree ~catalog:shop src) shop_queries
+
+(* The wrapper-peeling splitter: a subquery carrying an inner set-valued
+   Apply above its correlated selection must still flatten. *)
+let test_wrapped_subquery_flattens () =
+  let src = List.nth shop_queries 4 in
+  let q, _ = Lang.Types.typecheck_exn shop (parse src) in
+  match Core.Pipeline.compile Core.Pipeline.Decorrelated shop q with
+  | Error msg -> Alcotest.fail msg
+  | Ok { logical = Some lq; _ } ->
+    let correlated_applies =
+      Plan.fold
+        (fun n node ->
+          match node with
+          | Plan.Apply { subquery; input; _ } ->
+            let outer =
+              Lang.Ast.String_set.of_list (Plan.vars_of input)
+            in
+            if
+              Lang.Ast.String_set.is_empty
+                (Lang.Ast.String_set.inter
+                   (Plan.query_free_vars subquery)
+                   outer)
+            then n
+            else n + 1
+          | _ -> n)
+        0 lq.Plan.plan
+    in
+    (* the only correlated apply left is the set-valued-attribute one
+       (o.items), which the paper says not to flatten *)
+    Alcotest.check Alcotest.bool "at most one correlated apply" true
+      (correlated_applies <= 1);
+    let nestjoins =
+      Plan.fold
+        (fun n -> function Plan.Nestjoin _ -> n + 1 | _ -> n)
+        0 lq.Plan.plan
+    in
+    Alcotest.check Alcotest.int "outer nesting became a nest join" 1 nestjoins
+  | Ok { logical = None; _ } -> Alcotest.fail "no logical plan"
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "shop queries agree" `Quick test_shop_agreement;
+      Alcotest.test_case "wrapped subquery flattens" `Quick
+        test_wrapped_subquery_flattens;
+    ]

@@ -1,0 +1,52 @@
+(* Environment (row representation) tests. *)
+
+open Helpers
+module Env = Cobj.Env
+module Value = Cobj.Value
+
+let test_bind_shadow () =
+  let e = Env.bind "x" (vi 1) Env.empty in
+  let e = Env.bind "x" (vi 2) e in
+  Alcotest.check value "latest binding wins" (vi 2) (Env.find "x" e);
+  Alcotest.check Alcotest.int "no duplicate entries" 1
+    (List.length (Env.bindings e))
+
+let test_find_unbound () =
+  Alcotest.check_raises "unbound" (Value.Type_error "unbound variable q")
+    (fun () -> ignore (Env.find "q" Env.empty))
+
+let test_append_shadowing () =
+  let a = Env.bind "x" (vi 1) (Env.bind "y" (vi 2) Env.empty) in
+  let b = Env.bind "x" (vi 9) (Env.bind "z" (vi 3) Env.empty) in
+  let m = Env.append a b in
+  Alcotest.check value "a shadows b" (vi 1) (Env.find "x" m);
+  Alcotest.check value "b kept" (vi 3) (Env.find "z" m);
+  Alcotest.check value "a kept" (vi 2) (Env.find "y" m)
+
+let test_project_and_unbind () =
+  let e =
+    Env.of_bindings [ ("x", vi 1); ("y", vi 2); ("z", vi 3) ]
+  in
+  let p = Env.project [ "z"; "x" ] e in
+  Alcotest.(check (list string)) "projected vars" [ "z"; "x" ] (Env.vars p);
+  let u = Env.unbind "y" e in
+  Alcotest.check Alcotest.bool "y gone" false (Env.mem "y" u);
+  Alcotest.check Alcotest.bool "x kept" true (Env.mem "x" u)
+
+let test_to_value_and_compare () =
+  let a = Env.of_bindings [ ("x", vi 1); ("y", vi 2) ] in
+  let b = Env.of_bindings [ ("y", vi 2); ("x", vi 1) ] in
+  Alcotest.check Alcotest.bool "binding order irrelevant for equality" true
+    (Env.equal a b);
+  Alcotest.check value "as tuple"
+    (tup [ ("x", vi 1); ("y", vi 2) ])
+    (Env.to_value a)
+
+let suite =
+  [
+    Alcotest.test_case "bind shadows" `Quick test_bind_shadow;
+    Alcotest.test_case "find unbound" `Quick test_find_unbound;
+    Alcotest.test_case "append shadowing" `Quick test_append_shadowing;
+    Alcotest.test_case "project and unbind" `Quick test_project_and_unbind;
+    Alcotest.test_case "to_value / compare" `Quick test_to_value_and_compare;
+  ]

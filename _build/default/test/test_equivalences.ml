@@ -1,0 +1,171 @@
+(* Algebraic laws, verified on randomized catalogs.
+
+   The paper lists a handful of nest-join equivalences and warns that the
+   operator has "less pleasant algebraic properties"; this suite pins down
+   which classical laws do hold in the implementation, on generated
+   instances with danglings, duplicate keys, and empty operands. *)
+
+open Helpers
+module Plan = Algebra.Plan
+module Sem = Algebra.Sem
+module Env = Cobj.Env
+
+let x = Plan.Table { name = "X"; var = "x" }
+let y = Plan.Table { name = "Y"; var = "y" }
+let pred = parse "x.b = y.b"
+
+let catalog_of_seed seed =
+  Workload.Gen.xy
+    { Workload.Gen.default_xy with
+      nx = 15 + (seed mod 7);
+      ny = 15 + (seed mod 5);
+      key_dom = 4 + (seed mod 4);
+      dangling = float_of_int (seed mod 3) /. 4.0;
+      seed }
+
+let rows catalog p = Sem.rows catalog Env.empty p
+
+let equal_rows a b =
+  List.length a = List.length b && List.for_all2 Env.equal a b
+
+let law name check =
+  qcheck ~count:40 name
+    QCheck2.Gen.(int_range 0 5_000)
+    (fun seed -> check (catalog_of_seed seed))
+
+let law_semijoin_is_projected_join =
+  law "X ⋉ Y = π_x (X ⋈ Y)" (fun cat ->
+      equal_rows
+        (rows cat (Plan.Semijoin { pred; left = x; right = y }))
+        (rows cat
+           (Plan.Project
+              { vars = [ "x" ];
+                input = Plan.Join { pred; left = x; right = y } })))
+
+let law_semi_anti_partition =
+  law "⋉ and ▷ partition X" (fun cat ->
+      let semi = rows cat (Plan.Semijoin { pred; left = x; right = y }) in
+      let anti = rows cat (Plan.Antijoin { pred; left = x; right = y }) in
+      let all = rows cat x in
+      let merged = List.sort_uniq Env.compare (semi @ anti) in
+      equal_rows merged all
+      && List.for_all (fun r -> not (List.exists (Env.equal r) anti)) semi)
+
+let law_outerjoin_counts =
+  law "|X ⟗ Y| = |X ⋈ Y| + |X ▷ Y|" (fun cat ->
+      let oj = List.length (rows cat (Plan.Outerjoin { pred; left = x; right = y })) in
+      let j = List.length (rows cat (Plan.Join { pred; left = x; right = y })) in
+      let a = List.length (rows cat (Plan.Antijoin { pred; left = x; right = y })) in
+      oj = j + a)
+
+let nj =
+  Plan.Nestjoin { pred; func = parse "y.a"; label = "g"; left = x; right = y }
+
+let law_nestjoin_projects_to_left =
+  law "π_x (X Δ Y) = X" (fun cat ->
+      equal_rows
+        (rows cat (Plan.Project { vars = [ "x" ]; input = nj }))
+        (rows cat x))
+
+let law_nestjoin_as_outerjoin =
+  law "X Δ Y = ν*(X ⟗ Y) (§6)" (fun cat ->
+      equal_rows (rows cat nj)
+        (rows cat (Core.Kim.nestjoin_as_outerjoin nj)))
+
+let law_nestjoin_nonempty_unnest_is_semijoin =
+  (* unnesting the grouped attribute keeps exactly the matched left rows,
+     each paired with its match values: projecting back gives the semijoin *)
+  law "π_x (μ_g (X Δ Y)) = X ⋉ Y" (fun cat ->
+      equal_rows
+        (rows cat
+           (Plan.Project
+              { vars = [ "x" ];
+                input = Plan.Unnest { expr = parse "g"; var = "u"; input = nj } }))
+        (rows cat (Plan.Semijoin { pred; left = x; right = y })))
+
+let law_union_laws =
+  law "∪ is commutative, associative, idempotent" (fun cat ->
+      let sel p = Plan.Select { pred = parse p; input = x } in
+      let a = sel "x.b < 2" and b = sel "x.a > 2" and c = sel "x.id MOD 2 = 0" in
+      let u l r = Plan.Union { left = l; right = r } in
+      equal_rows (rows cat (u a b)) (rows cat (u b a))
+      && equal_rows (rows cat (u (u a b) c)) (rows cat (u a (u b c)))
+      && equal_rows (rows cat (u a a)) (rows cat a))
+
+let law_select_distributes_over_union =
+  law "σ_p (A ∪ B) = σ_p A ∪ σ_p B" (fun cat ->
+      let a = Plan.Select { pred = parse "x.b < 3"; input = x } in
+      let b = Plan.Select { pred = parse "x.a > 1"; input = x } in
+      let p = parse "x.id MOD 2 = 0" in
+      equal_rows
+        (rows cat
+           (Plan.Select { pred = p; input = Plan.Union { left = a; right = b } }))
+        (rows cat
+           (Plan.Union
+              { left = Plan.Select { pred = p; input = a };
+                right = Plan.Select { pred = p; input = b } })))
+
+let law_select_fusion =
+  law "σ_p (σ_q X) = σ_{q ∧ p} X" (fun cat ->
+      let p = parse "x.a > 1" and q = parse "x.b < 3" in
+      equal_rows
+        (rows cat
+           (Plan.Select { pred = p; input = Plan.Select { pred = q; input = x } }))
+        (rows cat
+           (Plan.Select { pred = Lang.Ast.Binop (Lang.Ast.And, q, p); input = x })))
+
+let law_join_commutes_mod_projection =
+  law "π(X ⋈ Y) = π(Y ⋈ X)" (fun cat ->
+      let proj p = Plan.Project { vars = [ "x"; "y" ]; input = p } in
+      equal_rows
+        (rows cat (proj (Plan.Join { pred; left = x; right = y })))
+        (rows cat (proj (Plan.Join { pred; left = y; right = x }))))
+
+let law_semijoin_idempotent =
+  law "(X ⋉ Y) ⋉ Y = X ⋉ Y" (fun cat ->
+      let semi = Plan.Semijoin { pred; left = x; right = y } in
+      equal_rows
+        (rows cat (Plan.Semijoin { pred; left = semi; right = y }))
+        (rows cat semi))
+
+(* A negative result: merging a selection on the OUTER side into an
+   antijoin's predicate is unsound — an x-row failing the filter then fails
+   the predicate against every y, counts as unmatched, and is wrongly kept.
+   (This is why [Core.Rewrite] only pushes such conjuncts below the left
+   operand.) Exhibit a witness instance. *)
+let antijoin_filter_merge_unsound () =
+  let differs seed =
+    let cat = catalog_of_seed seed in
+    let sound =
+      rows cat
+        (Plan.Select
+           { pred = parse "x.a > 2";
+             input = Plan.Antijoin { pred; left = x; right = y } })
+    in
+    let merged =
+      rows cat
+        (Plan.Antijoin
+           { pred = parse "x.b = y.b AND x.a > 2"; left = x; right = y })
+    in
+    not (equal_rows sound merged)
+  in
+  Alcotest.check Alcotest.bool
+    "a witness instance distinguishes the two plans" true
+    (List.exists differs (List.init 50 (fun i -> i)))
+
+let suite =
+  [
+    law_semijoin_is_projected_join;
+    law_semi_anti_partition;
+    law_outerjoin_counts;
+    law_nestjoin_projects_to_left;
+    law_nestjoin_as_outerjoin;
+    law_nestjoin_nonempty_unnest_is_semijoin;
+    law_union_laws;
+    law_select_distributes_over_union;
+    law_select_fusion;
+    law_join_commutes_mod_projection;
+    law_semijoin_idempotent;
+    Alcotest.test_case "antijoin filter-merge is unsound (witness)" `Quick
+      antijoin_filter_merge_unsound;
+  ]

@@ -1,0 +1,140 @@
+(* Reference interpreter tests: the denotational semantics of the language. *)
+
+open Helpers
+module Value = Cobj.Value
+
+let cat = xy_catalog ()
+
+let eval src = Lang.Interp.run cat (Lang.Ast.resolve_tables cat (parse src))
+
+let check_eval name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      Alcotest.check value src expected (eval src))
+
+let test_arith =
+  [
+    check_eval "int arithmetic" "1 + 2 * 3 - 4" (vi 3);
+    check_eval "mixed arithmetic" "1 + 0.5" (Value.Float 1.5);
+    check_eval "integer division" "7 / 2" (vi 3);
+    check_eval "float division" "7.0 / 2" (Value.Float 3.5);
+    check_eval "mod" "7 MOD 3" (vi 1);
+    check_eval "negation" "-(2 + 3)" (vi (-5));
+  ]
+
+let test_sets =
+  [
+    check_eval "set literal dedups" "{3, 1, 3, 2}" (vset [ vi 1; vi 2; vi 3 ]);
+    check_eval "union" "{1, 2} UNION {2, 3}" (vset [ vi 1; vi 2; vi 3 ]);
+    check_eval "except" "{1, 2, 3} EXCEPT {2}" (vset [ vi 1; vi 3 ]);
+    check_eval "membership" "2 IN {1, 2}" (Value.Bool true);
+    check_eval "subseteq" "{1} SUBSETEQ {1, 2}" (Value.Bool true);
+    check_eval "strict subset of self" "{1} SUBSET {1}" (Value.Bool false);
+    check_eval "supset" "{1, 2} SUPSET {1}" (Value.Bool true);
+    check_eval "unnest" "UNNEST({{1, 2}, {2, 3}, {}})"
+      (vset [ vi 1; vi 2; vi 3 ]);
+  ]
+
+let test_aggregates =
+  [
+    check_eval "count" "COUNT({4, 5, 6})" (vi 3);
+    check_eval "count empty" "COUNT({})" (vi 0);
+    check_eval "sum" "SUM({1, 2, 3})" (vi 6);
+    check_eval "sum empty" "SUM({})" (vi 0);
+    check_eval "min" "MIN({3, 1, 2})" (vi 1);
+    check_eval "max" "MAX({3, 1, 2})" (vi 3);
+    check_eval "avg" "AVG({1, 2, 3})" (Value.Float 2.0);
+  ]
+
+let test_min_empty_undefined () =
+  Alcotest.check_raises "MIN({}) undefined"
+    (Lang.Interp.Undefined "MIN of empty collection") (fun () ->
+      ignore (eval "MIN({})"))
+
+let test_truth_partiality () =
+  (* truth treats an undefined aggregate as false, both bare and negated *)
+  let p = parse "MIN({}) > 0" in
+  Alcotest.check Alcotest.bool "undefined is false" false
+    (Lang.Interp.truth cat Cobj.Env.empty p);
+  let q = parse "NOT (MIN({}) > 0)" in
+  Alcotest.check Alcotest.bool "negation of undefined is also false" false
+    (Lang.Interp.truth cat Cobj.Env.empty q)
+
+let test_quantifiers =
+  [
+    check_eval "exists true" "EXISTS v IN {1, 2} (v = 2)" (Value.Bool true);
+    check_eval "exists empty" "EXISTS v IN {} (true)" (Value.Bool false);
+    check_eval "forall empty" "FORALL v IN {} (false)" (Value.Bool true);
+    check_eval "forall" "FORALL v IN {2, 4} (v MOD 2 = 0)" (Value.Bool true);
+    check_eval "nested quantifiers"
+      "EXISTS v IN {{1}, {2}} (FORALL w IN v (w = 2))" (Value.Bool true);
+  ]
+
+let test_sfw =
+  [
+    check_eval "simple select" "SELECT y.c FROM Y y WHERE y.d = 1"
+      (vset [ vi 1; vi 2 ]);
+    check_eval "select over literal set" "SELECT v + 1 FROM {1, 2, 3} v"
+      (vset [ vi 2; vi 3; vi 4 ]);
+    check_eval "dependent from"
+      "SELECT w FROM X x, x.s w WHERE x.a = 1"
+      (vset [ vi 1; vi 2 ]);
+    check_eval "correlated subquery"
+      "SELECT x.a FROM X x WHERE x.b IN (SELECT y.d FROM Y y WHERE y.c = x.a)"
+      (vset [ vi 1; vi 2; vi 3 ]);
+    check_eval "with clause"
+      "SELECT x.a FROM X x WHERE x.s = z WITH z = {1, 2}" (vset [ vi 1 ]);
+  ]
+
+let test_shadowing () =
+  (* inner FROM binder shadows the outer one *)
+  Alcotest.check value "shadowed x"
+    (vset [ vi 0; vi 1; vi 2; vi 3 ])
+    (eval "SELECT x.a FROM X x WHERE COUNT(SELECT x FROM X x) = 5")
+
+let test_short_circuit () =
+  Alcotest.check value "AND short-circuits before undefined MIN"
+    (Value.Bool false)
+    (eval "{} <> {} AND MIN({}) > 0")
+
+let prop_set_literal_matches_model =
+  qcheck "SetE evaluation equals Value.set"
+    QCheck2.Gen.(list_size (int_range 0 6) value_gen)
+    (fun xs ->
+      let e = Lang.Ast.SetE (List.map (fun v -> Lang.Ast.Const v) xs) in
+      Value.equal (Lang.Interp.run cat e) (Value.set xs))
+
+let suite =
+  test_arith @ test_sets @ test_aggregates
+  @ [
+      Alcotest.test_case "MIN of empty is undefined" `Quick
+        test_min_empty_undefined;
+      Alcotest.test_case "truth is partial on undefined" `Quick
+        test_truth_partiality;
+    ]
+  @ test_quantifiers @ test_sfw
+  @ [
+      Alcotest.test_case "variable shadowing" `Quick test_shadowing;
+      Alcotest.test_case "AND short-circuit" `Quick test_short_circuit;
+      prop_set_literal_matches_model;
+    ]
+
+(* list values: iteration, membership, aggregation, order-sensitivity *)
+let test_lists () =
+  let check_eval name src expected =
+    Alcotest.check value name expected (eval src)
+  in
+  check_eval "list literal keeps duplicates and order"
+    "[2, 1, 2]"
+    (Value.List [ vi 2; vi 1; vi 2 ]);
+  check_eval "count over list counts duplicates" "COUNT([2, 1, 2])" (vi 3);
+  check_eval "membership in list" "1 IN [2, 1, 2]" (Value.Bool true);
+  check_eval "iteration over list dedups into the result set"
+    "SELECT v FROM [2, 1, 2] v" (vset [ vi 1; vi 2 ]);
+  check_eval "lists compare by position"
+    "[1, 2] = [2, 1]" (Value.Bool false);
+  check_eval "sum over list" "SUM([1, 1, 1])" (vi 3);
+  check_eval "quantifier over list" "EXISTS v IN [1, 2] (v = 2)"
+    (Value.Bool true)
+
+let suite =
+  suite @ [ Alcotest.test_case "list semantics" `Quick test_lists ]

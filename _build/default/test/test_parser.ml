@@ -1,0 +1,258 @@
+(* Parser and pretty-printer tests: shapes, precedence, round trips. *)
+
+open Helpers
+module Ast = Lang.Ast
+
+let parses_to src expected () =
+  Alcotest.check expr src expected (parse src)
+
+let test_precedence_arith =
+  parses_to "1 + 2 * 3"
+    Ast.(Binop (Add, vint 1, Binop (Mul, vint 2, vint 3)))
+
+let test_precedence_bool =
+  parses_to "a = 1 OR b = 2 AND c = 3"
+    Ast.(
+      Binop
+        ( Or,
+          Binop (Eq, Var "a", vint 1),
+          Binop (And, Binop (Eq, Var "b", vint 2), Binop (Eq, Var "c", vint 3))
+        ))
+
+let test_not_in =
+  parses_to "x NOT IN s" Ast.(Unop (Not, Binop (Mem, Var "x", Var "s")))
+
+let test_set_ops =
+  parses_to "a UNION b INTERSECT c"
+    Ast.(Binop (Union, Var "a", Binop (Inter, Var "b", Var "c")))
+
+let test_tuple_vs_comparison () =
+  Alcotest.check expr "(a = 1) is a comparison"
+    Ast.(Binop (Eq, Var "a", vint 1))
+    (parse "(a = 1)");
+  Alcotest.check expr "(a = 1,) is a singleton tuple"
+    Ast.(TupleE [ ("a", vint 1) ])
+    (parse "(a = 1,)");
+  Alcotest.check expr "(a = 1, b = 2) is a tuple"
+    Ast.(TupleE [ ("a", vint 1); ("b", vint 2) ])
+    (parse "(a = 1, b = 2)")
+
+let test_path =
+  parses_to "x.address.city" (Ast.path "x" [ "address"; "city" ])
+
+let test_quantifier =
+  parses_to "EXISTS v IN z (v = x.a)"
+    Ast.(Quant (Exists, "v", Var "z", Binop (Eq, Var "v", path "x" [ "a" ])))
+
+let test_with_clause =
+  parses_to "x.a IN z WITH z = {1, 2}"
+    Ast.(
+      Let
+        ( "z",
+          SetE [ vint 1; vint 2 ],
+          Binop (Mem, path "x" [ "a" ], Var "z") ))
+
+let test_sfw () =
+  match parse "SELECT x FROM X x, d.emps e WHERE x.a = 1" with
+  | Ast.Sfw { select = Ast.Var "x"; from; where = Some _ } ->
+    Alcotest.(check (list string))
+      "binders" [ "x"; "e" ] (List.map fst from)
+  | _ -> Alcotest.fail "unexpected shape"
+
+let test_comments_and_case () =
+  Alcotest.check expr "keywords case-insensitive, comments skipped"
+    (parse "SELECT x FROM X x")
+    (parse "select x -- comment\nfrom X x")
+
+let test_errors () =
+  let fails src =
+    match Lang.Parser.expr_result src with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error: %s" src
+  in
+  fails "SELECT";
+  fails "x +";
+  fails "(a = 1, b)";
+  fails "{1, 2";
+  fails "x IN IN y";
+  fails "EXISTS IN z (true)";
+  fails "1 = 2 = 3" (* comparisons are non-associative *)
+
+let test_string_escapes =
+  parses_to {|"a\"b\n"|} (Ast.vstr "a\"b\n")
+
+(* Round trip: parse → print → parse gives the same AST, on a corpus of
+   tricky expressions. *)
+let roundtrip_corpus =
+  [
+    "SELECT x FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE x.b = y.d)";
+    "SELECT (dn = d.name, es = (SELECT e FROM EMP e WHERE e.dept = d.name)) \
+     FROM DEPT d";
+    "x.a SUBSETEQ z AND NOT (x.b IN w) OR COUNT(z) = 0";
+    "UNNEST(SELECT (SELECT (a = x.a,) FROM Y y WHERE x.b = y.d) FROM X x)";
+    "FORALL w IN x.a (w IN z UNION {1, 2, 3})";
+    "(a = 1, b = {(c = [1, 2],)}, d = -3.5)";
+    "x.a + 2 * x.b - 1 <= MAX(z) - MIN(z)";
+    "(SELECT x FROM X x WHERE x.a = 1) UNION (SELECT y FROM Y y)";
+    "e IN z EXCEPT w INTERSECT v";
+    "x.a IN z WITH z = (SELECT y.a FROM Y y) WITH w = {1}";
+    "NOT NOT (a = 1)";
+    "- x.a";
+  ]
+
+let test_roundtrip () =
+  List.iter
+    (fun src ->
+      let e1 = parse src in
+      let printed = Lang.Pretty.to_string e1 in
+      let e2 =
+        try parse printed
+        with exn ->
+          Alcotest.failf "reparse of %S failed: %s" printed
+            (Printexc.to_string exn)
+      in
+      Alcotest.check expr (Printf.sprintf "%s ~ %s" src printed) e1 e2)
+    roundtrip_corpus
+
+let test_sfw_where_not_swallowed () =
+  (* The printer must protect an SFW-with-WHERE in operand position. *)
+  let e1 =
+    Ast.(
+      Binop
+        ( And,
+          Binop
+            ( Mem,
+              path "x" [ "a" ],
+              Ast.sfw ~select:(path "y" [ "c" ])
+                [ ("y", Var "Y") ]
+                ~where:(Binop (Eq, path "x" [ "b" ], path "y" [ "d" ])) ),
+          Binop (Eq, path "x" [ "e" ], vint 1) ))
+  in
+  let printed = Lang.Pretty.to_string e1 in
+  Alcotest.check expr printed e1 (parse printed)
+
+let suite =
+  [
+    Alcotest.test_case "arith precedence" `Quick test_precedence_arith;
+    Alcotest.test_case "bool precedence" `Quick test_precedence_bool;
+    Alcotest.test_case "NOT IN" `Quick test_not_in;
+    Alcotest.test_case "set operator precedence" `Quick test_set_ops;
+    Alcotest.test_case "tuple vs comparison" `Quick test_tuple_vs_comparison;
+    Alcotest.test_case "paths" `Quick test_path;
+    Alcotest.test_case "quantifiers" `Quick test_quantifier;
+    Alcotest.test_case "WITH clause" `Quick test_with_clause;
+    Alcotest.test_case "SFW with dependent FROM" `Quick test_sfw;
+    Alcotest.test_case "case and comments" `Quick test_comments_and_case;
+    Alcotest.test_case "parse errors" `Quick test_errors;
+    Alcotest.test_case "string escapes" `Quick test_string_escapes;
+    Alcotest.test_case "print/parse round trips" `Quick test_roundtrip;
+    Alcotest.test_case "WHERE not swallowed" `Quick test_sfw_where_not_swallowed;
+  ]
+
+(* property: parse ∘ print = identity on randomly generated expressions *)
+let expr_gen =
+  let open QCheck2.Gen in
+  let ident = oneofl [ "x"; "y"; "zz"; "Tbl" ] in
+  let label = oneofl [ "a"; "b"; "cc" ] in
+  let cmp = oneofl Ast.[ Eq; Ne; Lt; Le; Gt; Ge; Mem; Subseteq; Supset ] in
+  let arith = oneofl Ast.[ Add; Sub; Mul; Div; Mod ] in
+  let setop = oneofl Ast.[ Union; Inter; Diff ] in
+  let agg = oneofl Ast.[ Count; Sum; Min; Max; Avg ] in
+  sized @@ fix (fun self n ->
+      let leaf =
+        oneof
+          [
+            map Ast.vint (int_range (-9) 9);
+            map Ast.vstr (string_size ~gen:(char_range 'a' 'c') (int_range 0 2));
+            map (fun b -> Ast.vbool b) bool;
+            map (fun v -> Ast.Var v) ident;
+          ]
+      in
+      if n <= 1 then leaf
+      else
+        let sub = self (n / 2) in
+        oneof
+          [
+            leaf;
+            map2 (fun e l -> Ast.Field (e, l)) sub label;
+            map3 (fun op a b -> Ast.Binop (op, a, b)) cmp sub sub;
+            map3 (fun op a b -> Ast.Binop (op, a, b)) arith sub sub;
+            map3 (fun op a b -> Ast.Binop (op, a, b)) setop sub sub;
+            map2 (fun a b -> Ast.Binop (Ast.And, a, b)) sub sub;
+            map2 (fun a b -> Ast.Binop (Ast.Or, a, b)) sub sub;
+            map (fun e -> Ast.Unop (Ast.Not, e)) sub;
+            map (fun e -> Ast.Unop (Ast.Neg, e)) sub;
+            map2 (fun a e -> Ast.Agg (a, e)) agg sub;
+            map (fun e -> Ast.UnnestE e) sub;
+            map (fun es -> Ast.SetE es) (list_size (int_range 0 3) sub);
+            map (fun es -> Ast.ListE es) (list_size (int_range 0 3) sub);
+            map2
+              (fun l es -> Ast.TupleE [ (l, es) ])
+              label sub;
+            map3
+              (fun v s p -> Ast.Quant (Ast.Exists, v, s, p))
+              ident sub sub;
+            map3
+              (fun v s p -> Ast.Quant (Ast.Forall, v, s, p))
+              ident sub sub;
+            map3 (fun v d b -> Ast.Let (v, d, b)) ident sub sub;
+            map3 (fun c a b -> Ast.If (c, a, b)) sub sub sub;
+            map2 (fun tag e -> Ast.VariantE (tag, e)) label sub;
+            map2 (fun e tag -> Ast.IsTag (e, tag)) sub label;
+            map2 (fun e tag -> Ast.AsTag (e, tag)) sub label;
+            map3
+              (fun v op sel -> Ast.Sfw { select = sel; from = [ (v, op) ]; where = None })
+              ident sub sub;
+            map2
+              (fun (v, op) (sel, w) ->
+                Ast.Sfw { select = sel; from = [ (v, op) ]; where = Some w })
+              (pair ident sub) (pair sub sub);
+          ])
+
+let prop_random_roundtrip =
+  (* one canonicalization pass first: a generated [Const (-1)] reparses as
+     [Neg (Const 1)] — textually identical, structurally not. After that,
+     parse ∘ print must be the exact identity. *)
+  Helpers.qcheck ~count:500 "parse ∘ print = id on random expressions"
+    expr_gen
+    (fun e0 ->
+      match Lang.Parser.expr_result (Lang.Pretty.to_string e0) with
+      | Error msg ->
+        QCheck2.Test.fail_reportf "reparse failed on %S: %s"
+          (Lang.Pretty.to_string e0) msg
+      | Ok e -> (
+        let printed = Lang.Pretty.to_string e in
+        match Lang.Parser.expr_result printed with
+        | Error msg ->
+          QCheck2.Test.fail_reportf "reparse failed on %S: %s" printed msg
+        | Ok e' ->
+          Ast.equal e e'
+          || QCheck2.Test.fail_reportf "roundtrip differs:@.%S@.reparsed %S"
+               printed
+               (Lang.Pretty.to_string e')))
+
+let suite = suite @ [ prop_random_roundtrip ]
+
+(* lexer edge cases *)
+let test_lexer_edges () =
+  Alcotest.check Helpers.expr "trailing-dot float"
+    (Ast.Const (Cobj.Value.Float 2.0))
+    (parse "2.");
+  Alcotest.check Helpers.expr "field access on parenthesized int"
+    (Ast.Field (Ast.vint 2, "x"))
+    (parse "(2).x");
+  Alcotest.check Helpers.expr "bang vs not-equal"
+    (Ast.Binop (Ast.Ne, Ast.Var "a", Ast.VariantE ("t", Ast.vint 1)))
+    (parse "a != t!1");
+  Alcotest.check Helpers.expr "exponent float"
+    (Ast.Const (Cobj.Value.Float 1e3))
+    (parse "1e3");
+  Alcotest.check Helpers.expr "comment to end of line"
+    (parse "1 + 2")
+    (parse "1 + -- neg\n2");
+  (* '.' followed by an identifier is never a float *)
+  Alcotest.check Helpers.expr "int dot ident"
+    (Ast.Field (Ast.vint 2, "a"))
+    (parse "2 .a")
+
+let suite = suite @ [ Alcotest.test_case "lexer edges" `Quick test_lexer_edges ]

@@ -1,0 +1,243 @@
+(* Differential testing on randomly generated nested queries.
+
+   A generator assembles queries from the paper's shapes — WHERE-clause
+   nesting with every Table 2 predicate family, SELECT-clause nesting,
+   extra z-free conjuncts, multiple subqueries, two nesting levels — and
+   every strategy must agree with the reference interpreter. A second
+   property checks that the optimizer's output still type-checks against
+   the algebra's schema inference (no rewrite may produce an ill-formed
+   plan). *)
+
+open Helpers
+module Value = Cobj.Value
+
+let catalog =
+  (* the XY tables plus a variant-typed attribute table for the tagged
+     query templates *)
+  let base =
+    Workload.Gen.xy
+      { Workload.Gen.default_xy with
+        nx = 20; ny = 20; key_dom = 5; dangling = 0.25; val_dom = 5; seed = 99 }
+  in
+  let tag_elt =
+    Cobj.Ctype.ttuple
+      [
+        ("k", Cobj.Ctype.TInt);
+        ( "v",
+          Cobj.Ctype.tvariant
+            [ ("num", Cobj.Ctype.TInt); ("txt", Cobj.Ctype.TString) ] );
+      ]
+  in
+  let rng = Workload.Prng.create 7 in
+  let rows =
+    List.init 15 (fun i ->
+        let v =
+          if Workload.Prng.bool rng 0.5 then
+            Cobj.Value.Variant ("num", Cobj.Value.Int (Workload.Prng.int rng 5))
+          else
+            Cobj.Value.Variant
+              ("txt", Cobj.Value.String (Printf.sprintf "t%d" (Workload.Prng.int rng 3)))
+        in
+        Cobj.Value.tuple [ ("k", Cobj.Value.Int (i mod 6)); ("v", v) ])
+  in
+  Cobj.Catalog.add
+    (Cobj.Table.create ~name:"TAGS" ~elt:tag_elt rows)
+    base
+
+(* --- query generator ----------------------------------------------------- *)
+
+open QCheck2.Gen
+
+let inner_pred =
+  oneofl
+    [
+      "x.b = y.b";
+      "y.b = x.b";
+      "x.b = y.b AND y.a > 2";
+      "y.b < x.b";
+      "x.b + 1 = y.b";
+      "x.a = y.a AND x.b = y.b";
+      "y.b = 3";
+      (* uncorrelated *)
+    ]
+
+let inner_result = oneofl [ "y.a"; "y.b"; "y.a + y.b"; "y.id MOD 7" ]
+
+(* an inner subquery over Y, possibly with a second nesting level *)
+let subquery =
+  let flat =
+    map2
+      (fun result pred -> Printf.sprintf "SELECT %s FROM Y y WHERE %s" result pred)
+      inner_result inner_pred
+  in
+  let deep =
+    map2
+      (fun result pred ->
+        Printf.sprintf
+          "SELECT %s FROM Y y WHERE %s AND y.a IN (SELECT w.a FROM Y w WHERE \
+           w.b = y.b)"
+          result pred)
+      inner_result inner_pred
+  in
+  frequency [ (3, flat); (1, deep) ]
+
+let where_shape =
+  oneofl
+    [
+      Printf.sprintf "x.a IN (%s)";
+      Printf.sprintf "x.a NOT IN (%s)";
+      Printf.sprintf "COUNT(%s) = 0";
+      Printf.sprintf "COUNT(%s) <> 0";
+      Printf.sprintf "x.a = COUNT(%s)";
+      Printf.sprintf "x.s SUBSETEQ (%s)";
+      Printf.sprintf "x.s SUPSETEQ (%s)";
+      Printf.sprintf "x.s = (%s)";
+      Printf.sprintf "x.a < MAX(%s)";
+      Printf.sprintf "x.a > MIN(%s)";
+      Printf.sprintf "x.a >= MAX(%s)";
+      Printf.sprintf "EXISTS v IN (%s) (v = x.a)";
+      Printf.sprintf "FORALL v IN (%s) (v > x.a)";
+      Printf.sprintf "(%s) = {}";
+      Printf.sprintf "(%s) <> {}";
+      Printf.sprintf "x.s INTERSECT (%s) = {}";
+    ]
+
+let extra_conjunct =
+  oneofl [ ""; " AND x.a > 2"; " AND x.id MOD 2 = 0"; " AND x.b < 4" ]
+
+let select_clause = oneofl [ "x.id"; "x"; "(i = x.id, a = x.a)" ]
+
+let where_query =
+  map2
+    (fun (shape, sub) (extra, select) ->
+      Printf.sprintf "SELECT %s FROM X x WHERE %s%s" select (shape sub) extra)
+    (pair where_shape subquery)
+    (pair extra_conjunct select_clause)
+
+let double_where_query =
+  map2
+    (fun (s1, q1) (s2, q2) ->
+      Printf.sprintf "SELECT x.id FROM X x WHERE %s AND %s" (s1 q1) (s2 q2))
+    (pair where_shape subquery)
+    (pair where_shape subquery)
+
+let select_query =
+  map2
+    (fun sub agg ->
+      Printf.sprintf "SELECT (i = x.id, v = %s(%s)) FROM X x" agg sub)
+    subquery
+    (oneofl [ "COUNT"; "SUM" ])
+
+let unnest_query =
+  map
+    (fun sub ->
+      Printf.sprintf "UNNEST(SELECT (%s) FROM X x)" sub)
+    subquery
+
+(* templates exercising variants and conditionals through the optimizer *)
+let variant_query =
+  map2
+    (fun shape k ->
+      match shape with
+      | 0 ->
+        Printf.sprintf
+          "SELECT x.id FROM X x WHERE EXISTS t IN (SELECT t FROM TAGS t \
+           WHERE t.k = x.b) (t.v IS num)"
+      | 1 ->
+        Printf.sprintf
+          "SELECT x.id FROM X x WHERE %d IN (SELECT IF t.v IS num THEN t.v \
+           AS num ELSE 0 FROM TAGS t WHERE t.k = x.b)"
+          k
+      | _ ->
+        Printf.sprintf
+          "SELECT (i = x.id, vs = (SELECT t.v FROM TAGS t WHERE t.k = x.b \
+           AND t.v IS txt)) FROM X x")
+    (int_range 0 2) (int_range 0 4)
+
+let query_gen =
+  frequency
+    [ (5, where_query); (2, double_where_query); (2, select_query);
+      (1, unnest_query); (2, variant_query) ]
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_strategies_agree =
+  qcheck ~count:250 "all strategies agree with the interpreter on random queries"
+    query_gen
+    (fun src ->
+      match Core.Pipeline.run Core.Pipeline.Interp catalog src with
+      | Error msg -> QCheck2.Test.fail_reportf "interp failed on %s: %s" src msg
+      | Ok reference ->
+        List.for_all
+          (fun strategy ->
+            match Core.Pipeline.run strategy catalog src with
+            | Ok v ->
+              Value.equal reference v
+              || QCheck2.Test.fail_reportf "%s differs on %s:@.ref = %a@.got = %a"
+                   (Core.Pipeline.strategy_name strategy)
+                   src Value.pp reference Value.pp v
+            | Error msg ->
+              QCheck2.Test.fail_reportf "%s failed on %s: %s"
+                (Core.Pipeline.strategy_name strategy)
+                src msg)
+          Core.Pipeline.
+            [ Naive; Decorrelated; Decorrelated_outerjoin; Ganski_wong ])
+
+let prop_optimized_plans_typecheck =
+  qcheck ~count:250 "optimized logical plans type-check" query_gen (fun src ->
+      match
+        Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+      with
+      | Error msg -> QCheck2.Test.fail_reportf "compile failed on %s: %s" src msg
+      | Ok { logical = Some q; _ } -> begin
+        match Algebra.Typing.query_type catalog [] q with
+        | Ok _ -> true
+        | Error msg ->
+          QCheck2.Test.fail_reportf "ill-typed optimized plan for %s: %s" src
+            msg
+      end
+      | Ok { logical = None; _ } -> true)
+
+let prop_optimized_plans_well_formed =
+  qcheck ~count:250 "optimized logical plans are well-formed" query_gen
+    (fun src ->
+      match
+        Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+      with
+      | Error msg -> QCheck2.Test.fail_reportf "compile failed on %s: %s" src msg
+      | Ok { logical = Some q; _ } -> begin
+        match Algebra.Plan.well_formed q.Algebra.Plan.plan with
+        | Ok () -> true
+        | Error msg ->
+          QCheck2.Test.fail_reportf "ill-formed optimized plan for %s: %s" src
+            msg
+      end
+      | Ok { logical = None; _ } -> true)
+
+(* forced physical implementations agree too, on a smaller sample *)
+let prop_forced_impls_agree =
+  qcheck ~count:80 "forced physical implementations agree" query_gen
+    (fun src ->
+      let run force =
+        Core.Pipeline.run
+          ~options:{ Core.Planner.default_options with Core.Planner.force }
+          Core.Pipeline.Decorrelated catalog src
+      in
+      match run Core.Planner.Auto with
+      | Error msg -> QCheck2.Test.fail_reportf "auto failed on %s: %s" src msg
+      | Ok reference ->
+        List.for_all
+          (fun force ->
+            match run force with
+            | Ok v -> Value.equal reference v
+            | Error msg ->
+              QCheck2.Test.fail_reportf "forced impl failed on %s: %s" src msg)
+          Core.Planner.[ Force_nl; Force_hash; Force_merge ])
+
+let suite =
+  [
+    prop_strategies_agree;
+    prop_optimized_plans_typecheck;
+    prop_optimized_plans_well_formed;
+    prop_forced_impls_agree;
+  ]

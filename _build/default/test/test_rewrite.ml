@@ -1,0 +1,163 @@
+(* Logical rewriter tests: each rule, plus semantic preservation. *)
+
+open Helpers
+module Plan = Algebra.Plan
+module Ast = Lang.Ast
+module Sset = Ast.String_set
+
+let cat = xy_catalog ()
+let x = Plan.Table { name = "X"; var = "x" }
+let y = Plan.Table { name = "Y"; var = "y" }
+
+let rewrite ?(live = []) p =
+  Core.Rewrite.plan ~live:(Sset.of_list live) p
+
+let rows p = Algebra.Sem.rows cat Cobj.Env.empty p
+
+let semantics_preserved name before after =
+  let b = rows before and a = rows after in
+  if not (List.length b = List.length a && List.for_all2 Cobj.Env.equal b a)
+  then Alcotest.failf "%s changed semantics" name
+
+let test_select_fusion () =
+  let p =
+    Plan.Select
+      { pred = parse "x.a > 0";
+        input = Plan.Select { pred = parse "x.b < 9"; input = x } }
+  in
+  let r = rewrite ~live:[ "x" ] p in
+  (match r with
+  | Plan.Select { input = Plan.Table _; _ } -> ()
+  | _ -> Alcotest.failf "selects not fused: %s" (Plan.to_string r));
+  semantics_preserved "fusion" p r
+
+let test_pushdown_into_join () =
+  let p =
+    Plan.Select
+      { pred = parse "x.a > 0 AND y.c > 1 AND x.b = y.d";
+        input = Plan.Join { pred = parse "true"; left = x; right = y } }
+  in
+  let r = rewrite ~live:[ "x"; "y" ] p in
+  (* both one-sided conjuncts pushed below, two-sided merged into the join *)
+  (match r with
+  | Plan.Join { pred; left = Plan.Select _; right = Plan.Select _ } ->
+    Alcotest.check Alcotest.bool "join predicate got the equi conjunct" true
+      (Ast.occurs_free "y" pred && Ast.occurs_free "x" pred)
+  | _ -> Alcotest.failf "unexpected shape: %s" (Plan.to_string r));
+  semantics_preserved "pushdown" p r
+
+let test_pushdown_left_of_semijoin () =
+  let semi = Plan.Semijoin { pred = parse "x.b = y.d"; left = x; right = y } in
+  let p = Plan.Select { pred = parse "x.a > 1"; input = semi } in
+  let r = rewrite ~live:[ "x" ] p in
+  (match r with
+  | Plan.Semijoin { left = Plan.Select _; _ } -> ()
+  | _ -> Alcotest.failf "not pushed below semijoin: %s" (Plan.to_string r));
+  semantics_preserved "semijoin pushdown" p r
+
+let test_no_pushdown_into_right_of_antijoin () =
+  (* pushing a predicate into the right side of an antijoin would change
+     which rows count as matches — it must stay above *)
+  let anti = Plan.Antijoin { pred = parse "x.b = y.d"; left = x; right = y } in
+  let p = Plan.Select { pred = parse "x.a > 1"; input = anti } in
+  let r = rewrite ~live:[ "x" ] p in
+  (match r with
+  | Plan.Antijoin { right = Plan.Table _; left = Plan.Select _; _ } -> ()
+  | _ -> Alcotest.failf "unexpected shape: %s" (Plan.to_string r));
+  semantics_preserved "antijoin left pushdown" p r
+
+let test_dead_nestjoin_elimination () =
+  let nj =
+    Plan.Nestjoin
+      { pred = parse "x.b = y.d"; func = parse "y.c"; label = "g"; left = x;
+        right = y }
+  in
+  (* label not referenced above: the nest join disappears *)
+  let r = rewrite ~live:[ "x" ] nj in
+  (match r with
+  | Plan.Table _ -> ()
+  | _ -> Alcotest.failf "dead nest join kept: %s" (Plan.to_string r));
+  (* label referenced: kept *)
+  let r = rewrite ~live:[ "x"; "g" ] nj in
+  match r with
+  | Plan.Nestjoin _ -> ()
+  | _ -> Alcotest.failf "live nest join dropped: %s" (Plan.to_string r)
+
+let test_unit_elimination () =
+  let p = Plan.Join { pred = parse "true"; left = Plan.Unit; right = x } in
+  match rewrite ~live:[ "x" ] p with
+  | Plan.Table _ -> ()
+  | r -> Alcotest.failf "unit join kept: %s" (Plan.to_string r)
+
+let test_query_level () =
+  let q =
+    {
+      Plan.plan =
+        Plan.Select
+          { pred = parse "x.a > 0";
+            input =
+              Plan.Nestjoin
+                { pred = parse "x.b = y.d"; func = parse "y.c"; label = "g";
+                  left = x; right = y } };
+      result = parse "x.a";
+    }
+  in
+  (* result only uses x.a and the selection only x.a: nest join is dead *)
+  let r = Core.Rewrite.query q in
+  let has_nestjoin =
+    Plan.fold
+      (fun acc n -> acc || match n with Plan.Nestjoin _ -> true | _ -> false)
+      false r.Plan.plan
+  in
+  Alcotest.check Alcotest.bool "dead nest join eliminated at query level"
+    false has_nestjoin;
+  Alcotest.check value "same result" (Algebra.Sem.run cat q)
+    (Algebra.Sem.run cat r)
+
+(* property: rewriting never changes semantics on a family of random plans *)
+let plan_gen =
+  let open QCheck2.Gen in
+  let pred =
+    oneofl
+      [ "x.b = y.d"; "x.b = y.d AND x.a > 1"; "x.a < y.c"; "true" ]
+  in
+  let sel = oneofl [ "x.a > 0"; "x.b < 9 AND x.a > 1"; "COUNT(x.s) > 0" ] in
+  map2
+    (fun (p, s) shape ->
+      let join p =
+        match shape mod 4 with
+        | 0 -> Plan.Join { pred = parse p; left = x; right = y }
+        | 1 -> Plan.Semijoin { pred = parse p; left = x; right = y }
+        | 2 -> Plan.Antijoin { pred = parse p; left = x; right = y }
+        | _ ->
+          Plan.Nestjoin
+            { pred = parse p; func = parse "y.c"; label = "g"; left = x;
+              right = y }
+      in
+      Plan.Select { pred = parse s; input = join p })
+    (pair pred sel) (int_range 0 3)
+
+let prop_rewrite_preserves_semantics =
+  qcheck ~count:100 "rewriting preserves semantics" plan_gen (fun p ->
+      let live =
+        Sset.of_list (Plan.vars_of p)
+      in
+      let r = Core.Rewrite.plan ~live p in
+      let before = rows p and after = rows r in
+      List.length before = List.length after
+      && List.for_all2 Cobj.Env.equal before after)
+
+let suite =
+  [
+    Alcotest.test_case "selection fusion" `Quick test_select_fusion;
+    Alcotest.test_case "pushdown into join" `Quick test_pushdown_into_join;
+    Alcotest.test_case "pushdown below semijoin left" `Quick
+      test_pushdown_left_of_semijoin;
+    Alcotest.test_case "antijoin right untouched" `Quick
+      test_no_pushdown_into_right_of_antijoin;
+    Alcotest.test_case "dead nest join elimination" `Quick
+      test_dead_nestjoin_elimination;
+    Alcotest.test_case "unit elimination" `Quick test_unit_elimination;
+    Alcotest.test_case "query-level rewrite" `Quick test_query_level;
+    prop_rewrite_preserves_semantics;
+  ]

@@ -1,0 +1,214 @@
+(* Catalog definition language tests. *)
+
+open Helpers
+module Ctype = Cobj.Ctype
+module Value = Cobj.Value
+
+let ok = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected error: %s" msg
+
+let must_fail what = function
+  | Ok _ -> Alcotest.failf "%s should have failed" what
+  | Error _ -> ()
+
+let test_types () =
+  let t src = ok (Lang.Schema.ctype src) in
+  Alcotest.check ctype "basic" Ctype.TInt (t "INT");
+  Alcotest.check ctype "case-insensitive" Ctype.TFloat (t "float");
+  Alcotest.check ctype "set" Ctype.(TSet TString) (t "P STRING");
+  Alcotest.check ctype "nested set" Ctype.(TSet (TSet TInt)) (t "P P INT");
+  Alcotest.check ctype "list" Ctype.(TList TBool) (t "L BOOL");
+  Alcotest.check ctype "tuple"
+    (Ctype.ttuple [ ("a", Ctype.TInt); ("b", Ctype.TSet Ctype.TString) ])
+    (t "(a : INT, b : P STRING)");
+  Alcotest.check ctype "deep"
+    (Ctype.ttuple
+       [ ("p", Ctype.ttuple [ ("q", Ctype.TAny) ]); ("r", Ctype.TInt) ])
+    (t "(p : (q : ANY), r : INT)");
+  must_fail "unknown type" (Lang.Schema.ctype "WHATEVER");
+  must_fail "trailing" (Lang.Schema.ctype "INT INT")
+
+let test_simple_catalog () =
+  let cat =
+    ok
+      (Lang.Schema.catalog
+         {| TABLE T (a : INT, s : P INT) KEY (a) =
+              { (a = 1, s = {1, 2}), (a = 2, s = {}) };
+            TABLE U INT = { 5, 6, 7 } |})
+  in
+  Alcotest.(check (list string)) "tables" [ "T"; "U" ] (Cobj.Catalog.names cat);
+  Alcotest.check Alcotest.int "|T|" 2
+    (Cobj.Table.cardinality (Cobj.Catalog.find_exn "T" cat));
+  Alcotest.check value "U contents"
+    (vset [ vi 5; vi 6; vi 7 ])
+    (Cobj.Table.to_value (Cobj.Catalog.find_exn "U" cat))
+
+let test_computed_table () =
+  let cat =
+    ok
+      (Lang.Schema.catalog
+         {| TABLE BASE INT = { 1, 2, 3 };
+            TABLE SQUARES (n : INT, sq : INT) KEY (n) =
+              SELECT (n = b, sq = b * b) FROM BASE b |})
+  in
+  let squares = Cobj.Table.to_value (Cobj.Catalog.find_exn "SQUARES" cat) in
+  Alcotest.check value "computed from earlier table"
+    (vset
+       [
+         tup [ ("n", vi 1); ("sq", vi 1) ];
+         tup [ ("n", vi 2); ("sq", vi 4) ];
+         tup [ ("n", vi 3); ("sq", vi 9) ];
+       ])
+    squares
+
+let test_conformance_enforced () =
+  must_fail "wrong row type"
+    (Lang.Schema.catalog {| TABLE T (a : INT) = { (a = "x",) } |});
+  must_fail "key violation"
+    (Lang.Schema.catalog
+       {| TABLE T (a : INT, b : INT) KEY (a) =
+            { (a = 1, b = 1), (a = 1, b = 2) } |})
+
+let test_syntax_errors () =
+  must_fail "missing =" (Lang.Schema.catalog "TABLE T (a : INT) { }");
+  must_fail "not a def" (Lang.Schema.catalog "SELECT x FROM X x");
+  must_fail "unterminated" (Lang.Schema.catalog "TABLE T (a : INT")
+
+let test_movies_file_queries () =
+  (* keep the shipped example file loadable and queryable *)
+  let ic = open_in "../examples/movies.nql" in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  let cat = ok (Lang.Schema.catalog src) in
+  let q =
+    "SELECT m.title FROM MOVIES m WHERE FORALL c IN m.cast (c NOT IN \
+     (SELECT a.name FROM ACTORS a WHERE a.born < 1945))"
+  in
+  let v = run_strategy Core.Pipeline.Decorrelated cat q in
+  Alcotest.check value "movies with no pre-1945 cast"
+    (vset [ vs "Alien"; vs "Aliens"; vs "Paddington" ])
+    v;
+  strategies_agree ~catalog:cat q
+
+let suite =
+  [
+    Alcotest.test_case "type parsing" `Quick test_types;
+    Alcotest.test_case "simple catalog" `Quick test_simple_catalog;
+    Alcotest.test_case "computed table" `Quick test_computed_table;
+    Alcotest.test_case "conformance enforced" `Quick test_conformance_enforced;
+    Alcotest.test_case "syntax errors" `Quick test_syntax_errors;
+    Alcotest.test_case "movies example file" `Quick test_movies_file_queries;
+  ]
+
+(* --- SORT and CLASS definitions (§3.1 style) ----------------------------- *)
+
+let company_src =
+  {| SORT Address (street : STRING, nr : STRING, city : STRING);
+
+     CLASS Employee WITH EXTENSION EMP ATTRIBUTES
+       (name : STRING, address : Address, sal : INT,
+        children : P (name : STRING, age : INT))
+       KEY (name) =
+       { (name = "ada",
+          address = (street = "s1", nr = "1", city = "c1"),
+          sal = 100,
+          children = {(name = "kim", age = 4)}),
+         (name = "bob",
+          address = (street = "s2", nr = "2", city = "c1"),
+          sal = 80,
+          children = {}) }
+     END Employee;
+
+     CLASS Department WITH EXTENSION DEPT ATTRIBUTES
+       (name : STRING, address : Address, emps : P STRING) KEY (name) =
+       { (name = "d1", address = (street = "s1", nr = "9", city = "c1"),
+          emps = {"ada", "bob"}) }
+     END Department |}
+
+let test_sorts_and_classes () =
+  let cat = ok (Lang.Schema.catalog company_src) in
+  Alcotest.(check (list string)) "extensions named explicitly"
+    [ "DEPT"; "EMP" ] (Cobj.Catalog.names cat);
+  (* the sort expanded structurally *)
+  let emp = Cobj.Catalog.find_exn "EMP" cat in
+  (match Ctype.field "address" (Cobj.Table.elt emp) with
+  | Some (Ctype.TTuple fields) ->
+    Alcotest.(check (list string)) "address fields"
+      [ "city"; "nr"; "street" ] (List.map fst fields)
+  | _ -> Alcotest.fail "address is not a tuple");
+  (* the paper's Q1 runs against it *)
+  let q1 =
+    "SELECT d.name FROM DEPT d WHERE d.address.street IN (SELECT \
+     e.address.street FROM EMP e WHERE e.name IN d.emps)"
+  in
+  let v = run_strategy Core.Pipeline.Decorrelated cat q1 in
+  Alcotest.check value "d1 qualifies" (vset [ vs "d1" ]) v
+
+let test_unknown_sort () =
+  must_fail "unknown sort"
+    (Lang.Schema.catalog "TABLE T (a : Address) = {}")
+
+let test_sort_shadows_nothing () =
+  (* sorts do not capture basic type names *)
+  must_fail "INT not redefinable as a sort reference"
+    (Lang.Schema.catalog "SORT INT STRING; TABLE T INT = {\"x\"}")
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "sorts and classes" `Quick test_sorts_and_classes;
+      Alcotest.test_case "unknown sort" `Quick test_unknown_sort;
+      Alcotest.test_case "sorts cannot shadow basic types" `Quick
+        test_sort_shadows_nothing;
+    ]
+
+(* --- rendering (round trip) ---------------------------------------------- *)
+
+let catalogs_equal c1 c2 =
+  Cobj.Catalog.names c1 = Cobj.Catalog.names c2
+  && List.for_all2
+       (fun t1 t2 ->
+         Cobj.Table.name t1 = Cobj.Table.name t2
+         && Ctype.equal (Cobj.Table.elt t1) (Cobj.Table.elt t2)
+         && Cobj.Table.key t1 = Cobj.Table.key t2
+         && Value.equal (Cobj.Table.to_value t1) (Cobj.Table.to_value t2))
+       (Cobj.Catalog.tables c1) (Cobj.Catalog.tables c2)
+
+let test_render_roundtrip () =
+  List.iter
+    (fun cat ->
+      let rendered = Lang.Schema.render cat in
+      match Lang.Schema.catalog rendered with
+      | Error msg ->
+        Alcotest.failf "rendered catalog does not parse: %s@.%s" msg rendered
+      | Ok cat' ->
+        Alcotest.check Alcotest.bool "round trip preserves the catalog" true
+          (catalogs_equal cat cat'))
+    [
+      Workload.Gen.table1 ();
+      Workload.Gen.xy { Workload.Gen.default_xy with nx = 12; ny = 9 };
+      Workload.Gen.company
+        { Workload.Gen.default_company with ndepts = 2; nemps_per_dept = 3 };
+      Cobj.Catalog.empty;
+    ]
+
+let render_roundtrip_random =
+  qcheck ~count:30 "render/parse round trip on random catalogs"
+    QCheck2.Gen.(int_range 0 10_000)
+    (fun seed ->
+      let cat =
+        Workload.Gen.xy
+          { Workload.Gen.default_xy with nx = 10; ny = 10; seed }
+      in
+      match Lang.Schema.catalog (Lang.Schema.render cat) with
+      | Error _ -> false
+      | Ok cat' -> catalogs_equal cat cat')
+
+let suite =
+  suite
+  @ [
+      Alcotest.test_case "render round trip" `Quick test_render_roundtrip;
+      render_roundtrip_random;
+    ]

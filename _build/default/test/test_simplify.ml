@@ -1,0 +1,154 @@
+(* Simplifier tests: identities fire, folding is total-only, semantics are
+   preserved under both the value and the truth reading. *)
+
+open Helpers
+module Ast = Lang.Ast
+module Value = Cobj.Value
+
+let cat = xy_catalog ()
+
+let simp src = Core.Simplify.expr cat (parse src)
+
+let simplifies_to name src expected () =
+  Alcotest.check expr name (parse expected) (simp src)
+
+let stays name src () =
+  Alcotest.check expr name (parse src) (simp src)
+
+let unit_cases =
+  [
+    ("constant arithmetic", "1 + 2 * 3", "7");
+    ("constant comparison", "COUNT({1, 2}) = 2", "true");
+    ("count of empty folds", "COUNT({}) = 0", "true");
+    ("true AND p", "true AND x.a > 1", "x.a > 1");
+    ("p AND true", "x.a > 1 AND true", "x.a > 1");
+    ("false AND anything", "false AND MIN({}) > 0", "false");
+    ("false OR p", "false OR x.a > 1", "x.a > 1");
+    ("double negation", "NOT NOT (x.a > 1)", "x.a > 1");
+    ("union with empty", "x.s UNION {}", "x.s");
+    ("diff with empty", "x.s EXCEPT {}", "x.s");
+    ("member of empty", "x.a IN {}", "false");
+    ("empty subseteq", "{} SUBSETEQ x.s", "true");
+    ("exists over empty", "EXISTS v IN {} (v = x.a)", "false");
+    ("forall over empty", "FORALL v IN {} (v = x.a)", "true");
+    ("var self equality", "x = x", "true");
+
+    ("closed quantifier folds", "EXISTS v IN {1, 2} (v = 2)", "true");
+  ]
+
+let test_nested_folding () =
+  (* the folded literal becomes a constant set value *)
+  Alcotest.check expr "nested folding"
+    Ast.(Binop (Mem, path "x" [ "a" ], Const (Value.set [ vi 2 ])))
+    (simp "x.a IN {1 + 1, 4 / 2}")
+
+let unsafe_cases =
+  [
+    (* dropping these operands would hide a raise *)
+    ("AND-false keeps partial lhs", "MIN(x.s) > 0 AND false");
+    ("OR-true keeps partial lhs", "MIN(x.s) > 0 OR true");
+    ("inter-empty keeps partial lhs", "{MIN(x.s)} INTERSECT {}");
+    ("member-of-empty keeps partial elem", "MIN(x.s) IN {}");
+    (* MIN of empty must not fold to a value *)
+    ("undefined aggregate not folded", "MIN({}) > 0");
+    ("division by zero not folded", "1 / 0 = 1");
+    (* table contents are not inlined *)
+    ("table reference not folded", "COUNT(X) = 5");
+  ]
+
+let test_unsafe () =
+  (* sub-literals may normalize (SetE [] becomes a constant ∅), but the
+     raising operand — and hence the top-level operator — must survive *)
+  let top = function
+    | Ast.Binop (op, _, _) -> `Binop op
+    | Ast.Unop (op, _) -> `Unop op
+    | e -> `Other (Lang.Pretty.to_string e)
+  in
+  List.iter
+    (fun (name, src) ->
+      let e = Lang.Ast.resolve_tables cat (parse src) in
+      let simplified = Core.Simplify.expr cat e in
+      if top simplified <> top e then
+        Alcotest.failf "%s: %s was reduced to %s" name
+          (Lang.Pretty.to_string e)
+          (Lang.Pretty.to_string simplified))
+    unsafe_cases
+
+(* semantic preservation on random expressions, in both readings *)
+(* bind every identifier the generator can produce: the simplifier assumes
+   variables are bound (plans are well-formed); an unbound variable would
+   make discarded-operand identities observable *)
+let env =
+  Cobj.Env.of_bindings
+    [
+      ("x", tup [ ("a", vi 3); ("b", vi 1); ("s", vset [ vi 1; vi 2 ]) ]);
+      ("y", vset [ vi 1 ]);
+      ("zz", vi 5);
+      ("Tbl", tup [ ("a", vi 0); ("b", vi 1); ("cc", vs "c") ]);
+    ]
+
+let prop_preserves_semantics =
+  qcheck ~count:400 "simplification preserves semantics"
+    Test_parser.expr_gen
+    (fun e0 ->
+      let e = Ast.resolve_tables cat e0 in
+      let simplified = Core.Simplify.expr cat e in
+      let outcome f =
+        match f () with
+        | v -> `Ok v
+        | exception Lang.Interp.Undefined _ -> `Undefined
+        | exception Value.Type_error _ -> `Type_error
+      in
+      let a = outcome (fun () -> Lang.Interp.eval cat env e) in
+      let b = outcome (fun () -> Lang.Interp.eval cat env simplified) in
+      (match a, b with
+      | `Ok va, `Ok vb -> Value.equal va vb
+      | `Undefined, `Undefined | `Type_error, `Type_error -> true
+      | `Type_error, _ ->
+        (* ill-typed inputs are outside the simplifier's contract (the
+           pipeline only simplifies type-checked plans) *)
+        true
+      | _, _ -> false)
+      (* and under the partial truth reading (Type_error = out of contract) *)
+      &&
+      let truth_outcome e1 =
+        match Lang.Interp.truth cat env e1 with
+        | b -> `Bool b
+        | exception Value.Type_error _ -> `Type_error
+      in
+      match truth_outcome e, truth_outcome simplified with
+      | `Bool a, `Bool b -> Bool.equal a b
+      | `Type_error, _ -> true
+      | _, `Type_error -> false)
+
+let test_plan_level () =
+  (* a decorrelated plan whose residual predicate folds away entirely *)
+  let src =
+    "SELECT x.id FROM X x WHERE true AND x.a IN (SELECT y.a FROM Y y WHERE \
+     x.b = y.b) AND COUNT({1}) = 1"
+  in
+  let catalog = Workload.Gen.xy Workload.Gen.default_xy in
+  match Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src with
+  | Error msg -> Alcotest.fail msg
+  | Ok { logical = Some q; _ } ->
+    let selects =
+      Algebra.Plan.fold
+        (fun n -> function Algebra.Plan.Select _ -> n + 1 | _ -> n)
+        0 q.Algebra.Plan.plan
+    in
+    Alcotest.check Alcotest.int "foldable conjuncts eliminated" 0 selects
+  | Ok { logical = None; _ } -> Alcotest.fail "no logical plan"
+
+let suite =
+  List.map
+    (fun (name, src, expected) ->
+      Alcotest.test_case name `Quick (simplifies_to name src expected))
+    unit_cases
+  @ [
+      Alcotest.test_case "nested folding" `Quick test_nested_folding;
+      Alcotest.test_case "unsafe foldings are refused" `Quick test_unsafe;
+      prop_preserves_semantics;
+      Alcotest.test_case "plan-level simplification" `Quick test_plan_level;
+      Alcotest.test_case "non-foldable predicate unchanged" `Quick
+        (stays "residual" "x.a < MAX(x.s)");
+    ]

@@ -1,0 +1,62 @@
+(* Type checker tests. *)
+
+open Helpers
+module Ctype = Cobj.Ctype
+
+let cat = xy_catalog ()
+
+let typ src =
+  match Lang.Types.check_query cat (parse src) with
+  | Ok (_, t) -> Ok t
+  | Error e -> Error (Fmt.str "%a" Lang.Types.pp_error e)
+
+let check_type name src expected =
+  Alcotest.test_case name `Quick (fun () ->
+      match typ src with
+      | Ok t -> Alcotest.check ctype src expected t
+      | Error msg -> Alcotest.failf "unexpected type error on %s: %s" src msg)
+
+let check_ill_typed name src =
+  Alcotest.test_case name `Quick (fun () ->
+      match typ src with
+      | Ok t -> Alcotest.failf "%s should be ill-typed, got %s" src
+                  (Ctype.to_string t)
+      | Error _ -> ())
+
+let x_elt =
+  Ctype.ttuple
+    [ ("a", Ctype.TInt); ("b", Ctype.TInt); ("s", Ctype.TSet Ctype.TInt) ]
+
+let suite =
+  [
+    check_type "table type" "X" (Ctype.TSet x_elt);
+    check_type "select result" "SELECT x.a FROM X x" Ctype.(TSet TInt);
+    check_type "tuple result" "SELECT (u = x.a, v = x.s) FROM X x"
+      (Ctype.TSet
+         (Ctype.ttuple [ ("u", Ctype.TInt); ("v", Ctype.TSet Ctype.TInt) ]));
+    check_type "nested sfw"
+      "SELECT (SELECT y.c FROM Y y WHERE y.d = x.b) FROM X x"
+      Ctype.(TSet (TSet TInt));
+    check_type "unnest flattens" "UNNEST(SELECT x.s FROM X x)"
+      Ctype.(TSet TInt);
+    check_type "count" "SELECT COUNT(x.s) FROM X x" Ctype.(TSet TInt);
+    check_type "avg is float" "SELECT AVG(x.s) FROM X x" Ctype.(TSet TFloat);
+    check_type "empty set literal joins" "{1} UNION {}" Ctype.(TSet TInt);
+    check_type "dependent from" "SELECT w FROM X x, x.s w" Ctype.(TSet TInt);
+    check_type "quantifier binds" "SELECT x FROM X x WHERE EXISTS v IN x.s (v = x.a)"
+      (Ctype.TSet x_elt);
+    check_type "with binds in its predicate"
+      "SELECT x.a FROM X x WHERE x.a = z WITH z = 1" Ctype.(TSet TInt);
+    check_ill_typed "unknown table" "SELECT q FROM NOPE q";
+    check_ill_typed "unknown field" "SELECT x.nope FROM X x";
+    check_ill_typed "unbound variable" "SELECT x.a FROM X x WHERE y.c = 1";
+    check_ill_typed "where not boolean" "SELECT x FROM X x WHERE x.a";
+    check_ill_typed "sum of strings" {|SUM({"a", "b"})|};
+    check_ill_typed "arith on sets" "SELECT x.s + 1 FROM X x";
+    check_ill_typed "membership type clash" {|SELECT x FROM X x WHERE "s" IN x.s|};
+    check_ill_typed "union type clash" {|{1} UNION {"a"}|};
+    check_ill_typed "iterating a scalar" "SELECT v FROM X x, x.a v";
+    check_ill_typed "quantifier over scalar" "EXISTS v IN 3 (true)";
+    check_ill_typed "duplicate tuple label" "SELECT (a = 1, a = 2) FROM X x";
+    check_ill_typed "subset on scalars" "SELECT x FROM X x WHERE x.a SUBSETEQ x.b";
+  ]

@@ -1,0 +1,131 @@
+(* Unit and property tests for the complex-object value substrate. *)
+
+open Helpers
+module Value = Cobj.Value
+
+let test_set_dedup_sort () =
+  let s = Value.set [ vi 3; vi 1; vi 3; vi 2; vi 1 ] in
+  Alcotest.check value "sorted, dup-free" (Value.Set [ vi 1; vi 2; vi 3 ]) s
+
+let test_set_nested_dedup () =
+  let s = Value.set [ vset [ vi 1; vi 2 ]; vset [ vi 2; vi 1 ] ] in
+  Alcotest.check Alcotest.int "inner sets compare equal" 1 (Value.set_card s)
+
+let test_tuple_sorted () =
+  let t = tup [ ("b", vi 2); ("a", vi 1) ] in
+  match t with
+  | Value.Tuple [ ("a", _); ("b", _) ] -> ()
+  | _ -> Alcotest.fail "fields not sorted"
+
+let test_tuple_duplicate_label () =
+  Alcotest.check_raises "duplicate label rejected"
+    (Invalid_argument "Value.tuple: duplicate label \"a\"") (fun () ->
+      ignore (Value.tuple [ ("a", vi 1); ("a", vi 2) ]))
+
+let test_numeric_cross_compare () =
+  Alcotest.check Alcotest.bool "1 = 1.0 across Int/Float" true
+    (Value.equal (vi 1) (Value.Float 1.0));
+  Alcotest.check Alcotest.bool "1 < 1.5" true
+    (Value.compare (vi 1) (Value.Float 1.5) < 0)
+
+let test_field_access () =
+  let t = tup [ ("a", vi 1); ("b", vs "x") ] in
+  Alcotest.check value "field a" (vi 1) (Value.field "a" t);
+  Alcotest.check_raises "missing field"
+    (Value.Type_error "no field \"z\" in (a = 1, b = \"x\")") (fun () ->
+      ignore (Value.field "z" t))
+
+let test_set_ops () =
+  let a = vset [ vi 1; vi 2; vi 3 ] and b = vset [ vi 2; vi 3; vi 4 ] in
+  Alcotest.check value "union" (vset [ vi 1; vi 2; vi 3; vi 4 ])
+    (Value.set_union a b);
+  Alcotest.check value "inter" (vset [ vi 2; vi 3 ]) (Value.set_inter a b);
+  Alcotest.check value "diff" (vset [ vi 1 ]) (Value.set_diff a b);
+  Alcotest.check Alcotest.bool "mem" true (Value.set_mem (vi 2) a);
+  Alcotest.check Alcotest.bool "not mem" false (Value.set_mem (vi 9) a);
+  Alcotest.check Alcotest.bool "subseteq refl" true (Value.set_subseteq a a);
+  Alcotest.check Alcotest.bool "subset irrefl" false (Value.set_subset a a);
+  Alcotest.check Alcotest.bool "subset" true
+    (Value.set_subset (vset [ vi 1 ]) a)
+
+let test_empty_set_ops () =
+  let e = vset [] and a = vset [ vi 1 ] in
+  Alcotest.check Alcotest.bool "empty subseteq all" true
+    (Value.set_subseteq e a);
+  Alcotest.check value "union with empty" a (Value.set_union e a);
+  Alcotest.check value "inter with empty" e (Value.set_inter e a);
+  Alcotest.check Alcotest.bool "is_empty" true (Value.set_is_empty e)
+
+let test_null_ordering () =
+  Alcotest.check Alcotest.bool "Null smallest" true
+    (Value.compare Value.Null (vi (-1000)) < 0);
+  Alcotest.check Alcotest.bool "Null = Null" true
+    (Value.equal Value.Null Value.Null)
+
+(* --- properties --------------------------------------------------------- *)
+
+let prop_compare_total =
+  qcheck "compare is a total order (antisymmetric, transitive on triples)"
+    QCheck2.Gen.(triple value_gen value_gen value_gen)
+    (fun (a, b, c) ->
+      let cab = Value.compare a b and cba = Value.compare b a in
+      let anti = compare cab 0 = compare 0 cba in
+      let trans =
+        (* if a <= b <= c then a <= c *)
+        not (Value.compare a b <= 0 && Value.compare b c <= 0)
+        || Value.compare a c <= 0
+      in
+      anti && trans)
+
+let prop_set_idempotent =
+  qcheck "set construction is idempotent"
+    QCheck2.Gen.(list_size (int_range 0 8) value_gen)
+    (fun xs ->
+      let s1 = Value.set xs in
+      let s2 = Value.set (Value.elements s1) in
+      Value.equal s1 s2)
+
+let prop_hash_respects_equal =
+  qcheck "equal values hash equally"
+    QCheck2.Gen.(list_size (int_range 0 6) value_gen)
+    (fun xs ->
+      (* build the same set from two different orderings *)
+      let s1 = Value.set xs and s2 = Value.set (List.rev xs) in
+      Value.hash s1 = Value.hash s2)
+
+let prop_union_commutes =
+  qcheck "set union commutes, inter distributes"
+    QCheck2.Gen.(pair (list_size (int_range 0 6) value_gen)
+                   (list_size (int_range 0 6) value_gen))
+    (fun (xs, ys) ->
+      let a = Value.set xs and b = Value.set ys in
+      Value.equal (Value.set_union a b) (Value.set_union b a)
+      && Value.equal (Value.set_inter a b) (Value.set_inter b a))
+
+let prop_pp_parse_roundtrip =
+  qcheck "printed values parse back equal (via Lang literals)" value_gen
+    (fun v ->
+      match Lang.Parser.expr_result (Value.to_string v) with
+      | Error _ -> false
+      | Ok e -> (
+        match Lang.Interp.run Cobj.Catalog.empty e with
+        | v' -> Value.equal v v'
+        | exception _ -> false))
+
+let suite =
+  [
+    Alcotest.test_case "set dedup and sort" `Quick test_set_dedup_sort;
+    Alcotest.test_case "nested set dedup" `Quick test_set_nested_dedup;
+    Alcotest.test_case "tuple fields sorted" `Quick test_tuple_sorted;
+    Alcotest.test_case "tuple duplicate label" `Quick test_tuple_duplicate_label;
+    Alcotest.test_case "numeric cross compare" `Quick test_numeric_cross_compare;
+    Alcotest.test_case "field access" `Quick test_field_access;
+    Alcotest.test_case "set operations" `Quick test_set_ops;
+    Alcotest.test_case "empty set operations" `Quick test_empty_set_ops;
+    Alcotest.test_case "null ordering" `Quick test_null_ordering;
+    prop_compare_total;
+    prop_set_idempotent;
+    prop_hash_respects_equal;
+    prop_union_commutes;
+    prop_pp_parse_roundtrip;
+  ]

@@ -1,0 +1,184 @@
+(* Variant types and conditionals — the TM type constructors the paper's
+   §3.1 lists beyond tuple/set/list, end to end: values, types, parsing,
+   evaluation, compilation, schema files, and optimized nested queries over
+   a variant-typed catalog. *)
+
+open Helpers
+module Value = Cobj.Value
+module Ctype = Cobj.Ctype
+module Ast = Lang.Ast
+
+(* --- value and type layer ------------------------------------------------ *)
+
+let test_value_layer () =
+  let circle = Value.Variant ("circle", Value.Float 1.5) in
+  let square = Value.Variant ("square", Value.Float 2.0) in
+  Alcotest.check Alcotest.bool "ordering by tag first" true
+    (Value.compare circle square < 0);
+  Alcotest.check Alcotest.string "tag" "circle" (Value.variant_tag circle);
+  Alcotest.check value "payload" (Value.Float 1.5)
+    (Value.variant_payload "circle" circle);
+  Alcotest.check_raises "wrong tag"
+    (Value.Type_error "variant tagged circle, expected square") (fun () ->
+      ignore (Value.variant_payload "square" circle));
+  (* sets of variants dedup correctly *)
+  Alcotest.check Alcotest.int "set of variants" 2
+    (Value.set_card (Value.set [ circle; square; circle ]))
+
+let shape_t =
+  Ctype.tvariant
+    [ ("circle", Ctype.TFloat);
+      ("rect", Ctype.ttuple [ ("w", Ctype.TFloat); ("h", Ctype.TFloat) ]) ]
+
+let test_type_layer () =
+  let circle = Value.Variant ("circle", Value.Float 1.5) in
+  Alcotest.check Alcotest.bool "conforms" true (Ctype.conforms circle shape_t);
+  Alcotest.check Alcotest.bool "unknown tag rejected" false
+    (Ctype.conforms (Value.Variant ("tri", Value.Int 1)) shape_t);
+  (* width join unions alternatives *)
+  let a = Ctype.tvariant [ ("circle", Ctype.TFloat) ] in
+  let b = Ctype.tvariant [ ("rect", Ctype.TInt) ] in
+  Alcotest.(check (option ctype))
+    "join unions tags"
+    (Some (Ctype.tvariant [ ("circle", Ctype.TFloat); ("rect", Ctype.TInt) ]))
+    (Ctype.join a b);
+  Alcotest.(check (option ctype))
+    "infer" (Some (Ctype.tvariant [ ("circle", Ctype.TFloat) ]))
+    (Ctype.infer circle)
+
+(* --- syntax -------------------------------------------------------------- *)
+
+let test_parsing () =
+  Alcotest.check expr "construction"
+    (Ast.VariantE ("circle", Ast.Const (Value.Float 1.5)))
+    (parse "circle!1.5");
+  Alcotest.check expr "is" (Ast.IsTag (Ast.Var "s", "rect")) (parse "s IS rect");
+  Alcotest.check expr "as then field"
+    (Ast.Field (Ast.AsTag (Ast.Var "s", "rect"), "w"))
+    (parse "s AS rect.w");
+  Alcotest.check expr "if"
+    (Ast.If (parse "s IS circle", Ast.vint 1, Ast.vint 2))
+    (parse "IF s IS circle THEN 1 ELSE 2");
+  (* round trips *)
+  List.iter
+    (fun src ->
+      let e = parse src in
+      Alcotest.check expr src e (parse (Lang.Pretty.to_string e)))
+    [
+      "circle!(x.r * 2.0)";
+      "IF a = 1 THEN rect!(w = 1.0, h = 2.0) ELSE circle!0.5";
+      "s IS circle AND s AS circle > 1.0";
+      "{circle!1.0, rect!(w = 1.0, h = 1.0)}";
+      "IF c THEN 1 ELSE 2 + 3";
+    ]
+
+(* --- evaluation ----------------------------------------------------------- *)
+
+let cat0 = Cobj.Catalog.empty
+
+let eval src = Lang.Interp.run cat0 (parse src)
+
+let test_evaluation () =
+  Alcotest.check value "if true" (vi 1) (eval "IF 1 < 2 THEN 1 ELSE 2");
+  Alcotest.check value "is" (Value.Bool true) (eval "circle!1.5 IS circle");
+  Alcotest.check value "is not" (Value.Bool false) (eval "circle!1.5 IS rect");
+  Alcotest.check value "as" (Value.Float 1.5)
+    (eval "(circle!1.5) AS circle");
+  Alcotest.check value "dispatch"
+    (Value.Float 4.0)
+    (eval
+       "(IF s IS rect THEN s AS rect.w * s AS rect.h ELSE 0.0) WITH s = \
+        rect!(w = 2.0, h = 2.0)");
+  (* compiled agrees, including the error case *)
+  let e = parse "(circle!1.0) AS rect" in
+  (match Lang.Interp.run cat0 e with
+  | _ -> Alcotest.fail "expected a tag error"
+  | exception Value.Type_error _ -> ());
+  match Engine.Compile.expr cat0 e Cobj.Env.empty with
+  | _ -> Alcotest.fail "expected a tag error (compiled)"
+  | exception Value.Type_error _ -> ()
+
+(* --- a variant-typed catalog end to end ---------------------------------- *)
+
+let shapes_src =
+  {| SORT Shape V (circle : FLOAT, rect : (w : FLOAT, h : FLOAT));
+
+     TABLE DRAWINGS (id : INT, layer : INT, shape : Shape) KEY (id) =
+       { (id = 1, layer = 0, shape = circle!1.0),
+         (id = 2, layer = 0, shape = rect!(w = 2.0, h = 3.0)),
+         (id = 3, layer = 1, shape = circle!0.5),
+         (id = 4, layer = 1, shape = rect!(w = 1.0, h = 1.0)),
+         (id = 5, layer = 2, shape = circle!4.0) };
+
+     TABLE LAYERS (nr : INT, name : STRING) KEY (nr) =
+       { (nr = 0, name = "base"), (nr = 1, name = "mid"),
+         (nr = 2, name = "top"), (nr = 3, name = "empty") } |}
+
+let shapes =
+  match Lang.Schema.catalog shapes_src with
+  | Ok c -> c
+  | Error msg -> failwith msg
+
+let area = "IF d.shape IS circle THEN 3 * d.shape AS circle * d.shape AS \
+            circle ELSE d.shape AS rect.w * d.shape AS rect.h"
+
+let test_variant_queries () =
+  (* every strategy agrees on nested queries with variant dispatch *)
+  List.iter
+    (fun src -> strategies_agree ~catalog:shapes src)
+    [
+      (* layers containing a circle *)
+      "SELECT l.name FROM LAYERS l WHERE EXISTS d IN (SELECT d FROM \
+       DRAWINGS d WHERE d.layer = l.nr) (d.shape IS circle)";
+      (* layers with no drawings at all: dangling-sensitive *)
+      "SELECT l.name FROM LAYERS l WHERE COUNT(SELECT d FROM DRAWINGS d \
+       WHERE d.layer = l.nr) = 0";
+      (* per-layer areas, nest join over a variant-dispatching function *)
+      Printf.sprintf
+        "SELECT (n = l.name, areas = (SELECT %s FROM DRAWINGS d WHERE \
+         d.layer = l.nr)) FROM LAYERS l"
+        area;
+    ]
+
+let test_variant_schema_roundtrip () =
+  let rendered = Lang.Schema.render shapes in
+  match Lang.Schema.catalog rendered with
+  | Error msg -> Alcotest.failf "render did not reparse: %s" msg
+  | Ok c ->
+    Alcotest.check value "DRAWINGS round trip"
+      (Cobj.Table.to_value (Cobj.Catalog.find_exn "DRAWINGS" shapes))
+      (Cobj.Table.to_value (Cobj.Catalog.find_exn "DRAWINGS" c))
+
+let test_type_errors () =
+  let ill src =
+    match Lang.Types.check_query shapes (parse src) with
+    | Ok _ -> Alcotest.failf "%s should be ill-typed" src
+    | Error _ -> ()
+  in
+  ill "SELECT d.shape AS nope FROM DRAWINGS d";
+  ill "SELECT d.shape IS nope FROM DRAWINGS d";
+  ill "SELECT d.id AS circle FROM DRAWINGS d";
+  ill "SELECT IF d.id THEN 1 ELSE 2 FROM DRAWINGS d";
+  ill "SELECT IF true THEN 1 ELSE \"x\" FROM DRAWINGS d"
+
+let test_simplifier_on_variants () =
+  Alcotest.check expr "is on construction folds" (parse "true")
+    (Core.Simplify.expr cat0 (parse "circle!1.0 IS circle"));
+  Alcotest.check expr "as on matching construction"
+    (Ast.Const (Value.Float 1.0))
+    (Core.Simplify.expr cat0 (parse "(circle!1.0) AS circle"));
+  Alcotest.check expr "if folds to taken branch" (parse "x.a")
+    (Core.Simplify.expr cat0 (parse "IF 1 < 2 THEN x.a ELSE MIN({})"))
+
+let suite =
+  [
+    Alcotest.test_case "value layer" `Quick test_value_layer;
+    Alcotest.test_case "type layer" `Quick test_type_layer;
+    Alcotest.test_case "parsing and round trips" `Quick test_parsing;
+    Alcotest.test_case "evaluation (interp + compiled)" `Quick test_evaluation;
+    Alcotest.test_case "nested queries over variants" `Quick
+      test_variant_queries;
+    Alcotest.test_case "schema round trip" `Quick test_variant_schema_roundtrip;
+    Alcotest.test_case "type errors" `Quick test_type_errors;
+    Alcotest.test_case "simplifier" `Quick test_simplifier_on_variants;
+  ]
