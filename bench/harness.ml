@@ -27,11 +27,14 @@ let measure_ms ?(budget_ns = 2e8) f =
   let sorted = List.sort Float.compare samples in
   List.nth sorted (List.length sorted / 2) /. 1e6
 
-(* Run a bechamel suite and return [(name, ns_per_run)] pairs. *)
-let bechamel_table tests =
+(* Run a bechamel suite and return [(name, ns_per_run)] pairs. A missing
+   OLS estimate (too few samples within the quota) is reported as nan, but
+   never silently: the warning names the experiment so a CI bench log tells
+   you exactly which row to distrust. *)
+let bechamel_table ?(limit = 300) ?(quota = 0.3) tests =
   let open Bechamel in
   let cfg =
-    Benchmark.cfg ~limit:300 ~quota:(Time.second 0.3) ~kde:None
+    Benchmark.cfg ~limit ~quota:(Time.second quota) ~kde:None
       ~stabilize:false ()
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -41,13 +44,44 @@ let bechamel_table tests =
       ~predictors:[| Measure.run |]
   in
   let results = Analyze.all ols instance raw in
+  (* [Test.make_grouped ~name:""] prefixes every test name with "/"; strip
+     it so rows match the caller's test names. *)
+  let strip_group name =
+    match String.index_opt name '/' with
+    | Some 0 -> String.sub name 1 (String.length name - 1)
+    | _ -> name
+  in
   Hashtbl.fold
     (fun name result acc ->
+      let name = strip_group name in
       match Analyze.OLS.estimates result with
       | Some [ ns ] -> (name, ns) :: acc
-      | _ -> (name, Float.nan) :: acc)
+      | Some [] | Some (_ :: _ :: _) | None ->
+        Printf.eprintf
+          "warning: no OLS ns/run estimate for experiment %s (insufficient \
+           samples within the %.2fs quota); reporting nan\n\
+           %!"
+          name quota;
+        (name, Float.nan) :: acc)
     results []
   |> List.sort compare
+
+(* Machine-readable artifact for the CI perf trajectory: one
+   BENCH_<suite>.json per suite run, diffable across PRs. *)
+let write_json_artifact ~suite json =
+  let dir =
+    match Sys.getenv_opt "NESTQL_BENCH_DIR" with Some d -> d | None -> "."
+  in
+  let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" suite) in
+  match open_out path with
+  | oc ->
+    output_string oc (Engine.Json.to_pretty_string json);
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" path
+  | exception Sys_error msg ->
+    (* Don't lose a whole measurement run to an unwritable directory. *)
+    Printf.eprintf "warning: could not write bench artifact: %s\n%!" msg
 
 (* --- table rendering ----------------------------------------------------- *)
 

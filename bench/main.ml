@@ -4,12 +4,20 @@
      dune exec bench/main.exe              # everything
      dune exec bench/main.exe table2 bugs  # selected experiments
      dune exec bench/main.exe headline     # bechamel micro-suite only
+     dune exec bench/main.exe smoke        # short headline run (CI)
 
    The headline suite holds one [Bechamel.Test.make] per experiment id
    (OLS-fitted ns/run at a fixed medium size); the experiment functions in
-   [Experiments] print the per-table parameter sweeps. *)
+   [Experiments] print the per-table parameter sweeps.
+
+   [headline] and [smoke] also write a machine-readable BENCH_<suite>.json
+   artifact (ns/run plus the per-operator EXPLAIN ANALYZE tree of every
+   experiment that has a physical plan) into $NESTQL_BENCH_DIR or the
+   current directory — CI uploads it so the perf trajectory is diffable
+   across PRs. *)
 
 module Pipeline = Core.Pipeline
+module Json = Engine.Json
 
 let fixed_catalog =
   lazy
@@ -33,12 +41,21 @@ let compiled ?options strategy catalog query =
   | Ok c -> c
   | Error msg -> failwith msg
 
-let headline () =
-  let open Bechamel in
+(* A headline case: the bechamel thunk, plus (when the strategy yields a
+   physical plan) the catalog/compiled pair for one instrumented run whose
+   per-operator stats land in the JSON artifact. *)
+type case = {
+  name : string;
+  run : unit -> unit;
+  analyzed : (Cobj.Catalog.t * Pipeline.compiled) option;
+}
+
+let headline_cases () =
   let xy = Lazy.force fixed_catalog in
   let xyz = Lazy.force fixed_xyz in
   let exec catalog c () = ignore (Pipeline.execute catalog c) in
-  let t name f = Test.make ~name (Staged.stage f) in
+  let case name ?analyzed run = { name; run; analyzed } in
+  let qcase name catalog c = case name ~analyzed:(catalog, c) (exec catalog c) in
   let semijoin_q =
     "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
   in
@@ -65,92 +82,129 @@ let headline () =
     compiled Pipeline.Decorrelated table1_cat
       "SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x"
   in
+  [
+    qcase "T1-nestjoin-table1" table1_cat table1_compiled;
+    case "T2-classify-catalog" (fun () ->
+        List.iter
+          (fun row ->
+            ignore
+              (Core.Classify.classify ~z:"z" (Core.Table2.predicate row)))
+          Core.Table2.rows);
+    qcase "E1-flatten-semijoin" xy (compiled Pipeline.Decorrelated xy semijoin_q);
+    qcase "E2-hash-nestjoin" xy (compiled Pipeline.Decorrelated xy nest_q);
+    qcase "E3-section8-decorrelated" xyz
+      (compiled Pipeline.Decorrelated xyz s8_q);
+    qcase "E4-ganski-wong-count" xy (compiled Pipeline.Ganski_wong xy count_q);
+    qcase "E5-nestjoin-outerjoin-encoding" xy
+      (compiled Pipeline.Decorrelated_outerjoin xy nest_q);
+    qcase "E6-memoized-apply" xy
+      (compiled ~options:memo_opts Pipeline.Naive xy count_q);
+    qcase "E7-unnest-collapse" xy (compiled Pipeline.Decorrelated xy unnest_q);
+    qcase "E8-multi-subquery" xy
+      (compiled Pipeline.Decorrelated xy
+         "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE \
+          x.b = y.b) AND x.a NOT IN (SELECT w.a FROM Y w WHERE w.b = \
+          x.b + 1)");
+    qcase "E9-no-rewrite" xy
+      (match
+         Pipeline.compile_string ~rewrite:false Pipeline.Decorrelated xy
+           semijoin_q
+       with
+      | Ok c -> c
+      | Error msg -> failwith msg);
+    qcase "E10-index-semijoin" xy
+      (compiled Pipeline.Decorrelated xy
+         "SELECT x.id FROM X x WHERE EXISTS v IN (SELECT y.a FROM Y y \
+          WHERE x.b = y.b) (v > x.a)");
+    case "E11-interpreted" (fun () ->
+        Engine.Compile.enabled := false;
+        Fun.protect
+          ~finally:(fun () -> Engine.Compile.enabled := true)
+          (exec xy (compiled Pipeline.Decorrelated xy nest_q)));
+    qcase "E12-reordered-nestjoin" xy
+      (compiled Pipeline.Decorrelated xy
+         "SELECT (i = x.id, j = y.id, n = COUNT(SELECT w.id FROM Y w \
+          WHERE w.a = x.a)) FROM X x, Y y WHERE x.b = y.b");
+    (let shop =
+       Workload.Gen.shop
+         { Workload.Gen.default_shop with ncustomers = 80; norders = 240 }
+     in
+     qcase "E13-shop-mix" shop
+       (compiled Pipeline.Decorrelated shop
+          "SELECT c.name FROM CUSTOMERS c WHERE FORALL o IN (SELECT o \
+           FROM ORDERS o WHERE o.cust = c.id) (o.status = \"done\")"));
+  ]
+
+(* One instrumented execution per case with a physical plan: the
+   est-vs-actual per-operator tree for the artifact. *)
+let operators_json case =
+  match case.analyzed with
+  | None -> Json.Null
+  | Some (catalog, c) -> (
+    match Pipeline.analyze catalog c with
+    | Ok (_value, tree) -> Engine.Analyze.to_json tree
+    | Error msg ->
+      Printf.eprintf "warning: could not analyze %s: %s\n%!" case.name msg;
+      Json.Null)
+
+let headline ~suite ~limit ~quota () =
+  let open Bechamel in
+  let cases = headline_cases () in
   let tests =
-    [
-      t "T1-nestjoin-table1" (exec table1_cat table1_compiled);
-      t "T2-classify-catalog" (fun () ->
-          List.iter
-            (fun row ->
-              ignore
-                (Core.Classify.classify ~z:"z" (Core.Table2.predicate row)))
-            Core.Table2.rows);
-      t "E1-flatten-semijoin"
-        (exec xy (compiled Pipeline.Decorrelated xy semijoin_q));
-      t "E2-hash-nestjoin" (exec xy (compiled Pipeline.Decorrelated xy nest_q));
-      t "E3-section8-decorrelated"
-        (exec xyz (compiled Pipeline.Decorrelated xyz s8_q));
-      t "E4-ganski-wong-count"
-        (exec xy (compiled Pipeline.Ganski_wong xy count_q));
-      t "E5-nestjoin-outerjoin-encoding"
-        (exec xy (compiled Pipeline.Decorrelated_outerjoin xy nest_q));
-      t "E6-memoized-apply"
-        (exec xy (compiled ~options:memo_opts Pipeline.Naive xy count_q));
-      t "E7-unnest-collapse"
-        (exec xy (compiled Pipeline.Decorrelated xy unnest_q));
-      t "E8-multi-subquery"
-        (exec xy
-           (compiled Pipeline.Decorrelated xy
-              "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE \
-               x.b = y.b) AND x.a NOT IN (SELECT w.a FROM Y w WHERE w.b = \
-               x.b + 1)"));
-      t "E9-no-rewrite"
-        (exec xy
-           (match
-              Pipeline.compile_string ~rewrite:false Pipeline.Decorrelated xy
-                semijoin_q
-            with
-           | Ok c -> c
-           | Error msg -> failwith msg));
-      t "E10-index-semijoin"
-        (exec xy
-           (compiled Pipeline.Decorrelated xy
-              "SELECT x.id FROM X x WHERE EXISTS v IN (SELECT y.a FROM Y y \
-               WHERE x.b = y.b) (v > x.a)"));
-      t "E11-interpreted"
-        (fun () ->
-          Engine.Compile.enabled := false;
-          Fun.protect
-            ~finally:(fun () -> Engine.Compile.enabled := true)
-            (exec xy (compiled Pipeline.Decorrelated xy nest_q)));
-      t "E12-reordered-nestjoin"
-        (exec xy
-           (compiled Pipeline.Decorrelated xy
-              "SELECT (i = x.id, j = y.id, n = COUNT(SELECT w.id FROM Y w \
-               WHERE w.a = x.a)) FROM X x, Y y WHERE x.b = y.b"));
-      t "E13-shop-mix"
-        (let shop =
-           Workload.Gen.shop
-             { Workload.Gen.default_shop with ncustomers = 80; norders = 240 }
-         in
-         exec shop
-           (compiled Pipeline.Decorrelated shop
-              "SELECT c.name FROM CUSTOMERS c WHERE FORALL o IN (SELECT o \
-               FROM ORDERS o WHERE o.cust = c.id) (o.status = \"done\")"));
-    ]
+    List.map
+      (fun c -> Test.make ~name:c.name (Staged.stage c.run))
+      cases
   in
-  let rows = Harness.bechamel_table tests in
-  Harness.print_table ~title:"headline micro-benchmarks (OLS ns/run)"
+  let rows = Harness.bechamel_table ~limit ~quota tests in
+  Harness.print_table
+    ~title:(Printf.sprintf "%s micro-benchmarks (OLS ns/run)" suite)
     ~header:[ "experiment"; "ns/run" ]
-    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows)
+    (List.map (fun (name, ns) -> [ name; Printf.sprintf "%.0f" ns ]) rows);
+  let ns_of name =
+    match List.assoc_opt name rows with Some ns -> ns | None -> Float.nan
+  in
+  let experiments =
+    List.map
+      (fun case ->
+        Json.Obj
+          [
+            ("name", Json.String case.name);
+            ("ns_per_run", Json.Float (ns_of case.name));
+            ("operators", operators_json case);
+          ])
+      cases
+  in
+  Harness.write_json_artifact ~suite
+    (Json.Obj
+       [
+         ("suite", Json.String suite);
+         ("quota_s", Json.Float quota);
+         ("experiments", Json.List experiments);
+       ])
+
+let run_suite = function
+  | "headline" -> headline ~suite:"headline" ~limit:300 ~quota:0.3 ()
+  | "smoke" -> headline ~suite:"smoke" ~limit:50 ~quota:0.05 ()
+  | _ -> assert false
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let known = List.map fst Experiments.all in
   match args with
   | [] ->
-    headline ();
+    run_suite "headline";
     List.iter (fun (_, f) -> f ()) Experiments.all
-  | [ "headline" ] -> headline ()
   | names ->
     List.iter
       (fun name ->
-        if name = "headline" then headline ()
-        else
+        match name with
+        | "headline" | "smoke" -> run_suite name
+        | _ -> (
           match List.assoc_opt name Experiments.all with
           | Some f -> f ()
           | None ->
-            Printf.eprintf "unknown experiment %s (known: headline, %s)\n"
-              name
+            Printf.eprintf
+              "unknown experiment %s (known: headline, smoke, %s)\n" name
               (String.concat ", " known);
-            exit 1)
+            exit 1))
       names

@@ -92,6 +92,32 @@ let query_arg =
 let stats_arg =
   Arg.(value & flag & info [ "stats" ] ~doc:"Print work counters.")
 
+let explain_analyze_arg =
+  Arg.(
+    value & flag
+    & info [ "explain-analyze" ]
+        ~doc:
+          "Execute under per-operator instrumentation and print an EXPLAIN \
+           ANALYZE tree (estimated vs. actual rows, loops, work counters, \
+           wall-clock) instead of the result value.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "With $(b,--explain-analyze), emit the annotated plan as JSON \
+           (one per-operator object with rows_out, est_rows, time_ns, \
+           counters and children).")
+
+let no_timing_arg =
+  Arg.(
+    value & flag
+    & info [ "no-timing" ]
+        ~doc:
+          "With $(b,--explain-analyze), omit wall-clock fields so the \
+           output is deterministic (for tests and diffing).")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -123,24 +149,44 @@ let with_catalog ?file name seed scale f =
   | Ok catalog -> f catalog
 
 let run_cmd =
-  let run name file seed scale strategy show_stats verbose query =
+  let run name file seed scale strategy show_stats explain_analyze json
+      no_timing verbose query =
     setup_logs verbose;
     with_catalog ?file name seed scale (fun catalog ->
-        let stats = Engine.Stats.create () in
-        match Core.Pipeline.run ~stats strategy catalog query with
-        | Error msg ->
-          Fmt.epr "error: %s@." msg;
-          1
-        | Ok v ->
-          Fmt.pr "%a@." Cobj.Value.pp v;
-          if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
-          0)
+        if explain_analyze then
+          match Core.Pipeline.compile_string strategy catalog query with
+          | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+          | Ok compiled -> (
+            match Core.Pipeline.analyze catalog compiled with
+            | Error msg ->
+              Fmt.epr "error: %s@." msg;
+              1
+            | Ok (_value, tree) ->
+              let rendered =
+                Core.Pipeline.render_analysis ~json ~timing:(not no_timing)
+                  compiled tree
+              in
+              if json then print_endline rendered else print_string rendered;
+              0)
+        else
+          let stats = Engine.Stats.create () in
+          match Core.Pipeline.run ~stats strategy catalog query with
+          | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+          | Ok v ->
+            Fmt.pr "%a@." Cobj.Value.pp v;
+            if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
+            0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a query against a generated catalog.")
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
-      $ stats_arg $ verbose_arg $ query_arg)
+      $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg
+      $ verbose_arg $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =

@@ -34,6 +34,34 @@ EXPLAIN shows both plans:
   
   estimated: 2 result rows, 12 cost units (see Core.Cost)
 
+EXPLAIN ANALYZE annotates every operator with estimated vs actual
+cardinality and work counters (--no-timing keeps the output stable):
+
+  $ ../bin/nestql.exe run -c table1 --explain-analyze --no-timing "SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x"
+  strategy: decorrelated
+  query: SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x
+  
+  index-nestjoin [x.d → y.b] on Y y func=y label=q  (est=3 actual=3 loops=1 probes=3)
+  └─ scan X x  (est=3 actual=3 loops=1)
+
+The --json form is machine-readable, one object per operator:
+
+  $ ../bin/nestql.exe run -c table1 --explain-analyze --json "SELECT x.e FROM X x WHERE x.d IN (SELECT y.b FROM Y y WHERE y.a = x.e)" | python3 -c "
+  > import json, sys
+  > def walk(n, d=0):
+  >     print('  ' * d + f\"{n['op']} est={n['est_rows']} rows={n['rows_out']} loops={n['loops']} timed={n['time_ns'] >= 0}\")
+  >     for c in n['children']: walk(c, d + 1)
+  > walk(json.load(sys.stdin)['plan'])"
+  nl-semijoin est=1.5 rows=2 loops=1 timed=True
+    scan est=3 rows=3 loops=1 timed=True
+    scan est=3 rows=3 loops=1 timed=True
+
+The reference interpreter has no physical plan to instrument:
+
+  $ ../bin/nestql.exe run -c table1 -s interp --explain-analyze "SELECT x.e FROM X x"
+  error: explain-analyze needs a physical plan (strategy interp executes in the reference interpreter)
+  [1]
+
 Loading a catalog from a definition file:
 
   $ ../bin/nestql.exe run --file ../examples/movies.nql "SELECT m.title FROM MOVIES m WHERE \"De Niro\" IN m.cast"

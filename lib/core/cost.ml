@@ -163,3 +163,14 @@ and query_cost_aux catalog { P.plan; _ } = cost catalog plan +. pcard catalog pl
 let query_cost = query_cost_aux
 
 let query_card catalog { P.plan; _ } = pcard catalog plan
+
+let card_physical = pcard
+
+(* Fill a [Stats.node] annotation tree with estimated cardinalities. The
+   tree shape comes from [Engine.Analyze.tree_of_plan], so operands line up
+   with [Engine.Analyze.children]. *)
+let rec annotate catalog plan (node : Engine.Stats.node) =
+  node.Engine.Stats.est_rows <- pcard catalog plan;
+  let operands = Engine.Analyze.children plan in
+  if List.length operands = List.length node.Engine.Stats.children then
+    List.iter2 (annotate catalog) operands node.Engine.Stats.children

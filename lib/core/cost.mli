@@ -11,6 +11,15 @@ val card : Cobj.Catalog.t -> Algebra.Plan.plan -> float
 val cost : Cobj.Catalog.t -> Engine.Physical.t -> float
 (** Estimated total work of a physical plan (rows touched). *)
 
+val card_physical : Cobj.Catalog.t -> Engine.Physical.t -> float
+(** Estimated output cardinality of a physical operator — the "est" column
+    of EXPLAIN ANALYZE. *)
+
+val annotate : Cobj.Catalog.t -> Engine.Physical.t -> Engine.Stats.node -> unit
+(** Fill [est_rows] over a whole annotation tree (shape from
+    [Engine.Analyze.tree_of_plan]) so instrumented runs can report
+    estimated vs. actual cardinality per operator. *)
+
 val query_cost : Cobj.Catalog.t -> Engine.Physical.query -> float
 val query_card : Cobj.Catalog.t -> Engine.Physical.query -> float
 (** Estimated result cardinality. *)

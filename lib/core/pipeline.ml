@@ -120,6 +120,47 @@ let run ?options ?rewrite ?reorder ?stats strategy catalog src =
   | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
   | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
 
+let analyze catalog compiled =
+  match compiled.physical with
+  | None ->
+    Error
+      (Printf.sprintf
+         "explain-analyze needs a physical plan (strategy %s executes in \
+          the reference interpreter)"
+         (strategy_name compiled.strategy))
+  | Some pq -> (
+    let tree = Engine.Analyze.tree_of_query pq in
+    Cost.annotate catalog pq.Engine.Physical.plan tree;
+    match
+      Engine.Exec.rows_instrumented tree catalog Cobj.Env.empty
+        pq.Engine.Physical.plan
+    with
+    | produced ->
+      let resultfn =
+        Engine.Compile.expr catalog pq.Engine.Physical.result
+      in
+      Ok (Cobj.Value.set (List.map resultfn produced), tree)
+    | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
+    | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
+
+let render_analysis ?(json = false) ?(timing = true) compiled tree =
+  if json then
+    Engine.Json.to_string
+      (Engine.Json.Obj
+         [
+           ("strategy", Engine.Json.String (strategy_name compiled.strategy));
+           ( "query",
+             Engine.Json.String (Fmt.str "%a" Lang.Pretty.pp compiled.source)
+           );
+           ("plan", Engine.Analyze.to_json tree);
+         ])
+  else
+    Fmt.str "strategy: %s@.query: %a@.@.%a@."
+      (strategy_name compiled.strategy)
+      Lang.Pretty.pp compiled.source
+      (Engine.Analyze.pp ~timing)
+      tree
+
 let explain ?(costs = false) catalog compiled =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in

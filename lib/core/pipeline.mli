@@ -77,3 +77,19 @@ val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 (** Logical and physical plans, pretty-printed. With [costs] (default
     false), each physical operator is annotated with the cost model's
     estimated output cardinality and cumulative cost. *)
+
+val analyze :
+  Cobj.Catalog.t ->
+  compiled ->
+  (Cobj.Value.t * Engine.Stats.node, string) result
+(** EXPLAIN ANALYZE: run the physical plan once under per-operator
+    instrumentation, with [est_rows] annotated from {!Cost}, and return the
+    result value together with the filled annotation tree. Errors when the
+    strategy has no physical plan ([Interp]). *)
+
+val render_analysis :
+  ?json:bool -> ?timing:bool -> compiled -> Engine.Stats.node -> string
+(** Render an {!analyze} tree — a Postgres-style text tree by default, or a
+    single-line JSON document with per-operator
+    [{rows_out, est_rows, time_ns, ...}] objects. [~timing:false] (text
+    mode) omits wall-clock for deterministic output. *)

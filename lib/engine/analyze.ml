@@ -1,0 +1,178 @@
+module P = Physical
+
+let e = Lang.Pretty.pp
+
+(* Operands in the order the executor descends them (and the order of
+   [Stats.node.children]): unary → [input]; binary → [left; right];
+   apply → [input; subquery plan]; index ops → [left]. [Core] relies on
+   this order to annotate estimated cardinalities. *)
+let children = function
+  | P.Unit_row | P.Scan _ -> []
+  | P.Filter { input; _ }
+  | P.Unnest_op { input; _ }
+  | P.Nest_op { input; _ }
+  | P.Extend_op { input; _ }
+  | P.Project_op { input; _ } ->
+    [ input ]
+  | P.Nl_join { left; right; _ }
+  | P.Hash_join { left; right; _ }
+  | P.Merge_join { left; right; _ }
+  | P.Nl_semijoin { left; right; _ }
+  | P.Hash_semijoin { left; right; _ }
+  | P.Merge_semijoin { left; right; _ }
+  | P.Nl_outerjoin { left; right; _ }
+  | P.Hash_outerjoin { left; right; _ }
+  | P.Merge_outerjoin { left; right; _ }
+  | P.Nl_nestjoin { left; right; _ }
+  | P.Hash_nestjoin { left; right; _ }
+  | P.Hash_nestjoin_left { left; right; _ }
+  | P.Merge_nestjoin { left; right; _ }
+  | P.Union_op { left; right } ->
+    [ left; right ]
+  | P.Apply_op { subquery; input; _ } -> [ input; subquery.P.plan ]
+  | P.Index_join { left; _ }
+  | P.Index_semijoin { left; _ }
+  | P.Index_nestjoin { left; _ } ->
+    [ left ]
+
+let keys_detail lkey rkey residual =
+  Fmt.str "[%a = %a]%a" e lkey e rkey
+    (fun ppf -> function
+      | None -> ()
+      | Some r -> Fmt.pf ppf " residual=[%a]" e r)
+    residual
+
+let label = function
+  | P.Unit_row -> ("unit", "")
+  | P.Scan { table; var } -> ("scan", Printf.sprintf "%s %s" table var)
+  | P.Filter { pred; _ } -> ("filter", Fmt.str "[%a]" e pred)
+  | P.Nl_join { pred; _ } -> ("nl-join", Fmt.str "[%a]" e pred)
+  | P.Hash_join { lkey; rkey; residual; _ } ->
+    ("hash-join", keys_detail lkey rkey residual)
+  | P.Merge_join { lkey; rkey; residual; _ } ->
+    ("merge-join", keys_detail lkey rkey residual)
+  | P.Nl_semijoin { pred; anti; _ } ->
+    ((if anti then "nl-antijoin" else "nl-semijoin"), Fmt.str "[%a]" e pred)
+  | P.Hash_semijoin { lkey; rkey; residual; anti; _ } ->
+    ( (if anti then "hash-antijoin" else "hash-semijoin"),
+      keys_detail lkey rkey residual )
+  | P.Merge_semijoin { lkey; rkey; residual; anti; _ } ->
+    ( (if anti then "merge-antijoin" else "merge-semijoin"),
+      keys_detail lkey rkey residual )
+  | P.Nl_outerjoin { pred; _ } -> ("nl-outerjoin", Fmt.str "[%a]" e pred)
+  | P.Hash_outerjoin { lkey; rkey; residual; _ } ->
+    ("hash-outerjoin", keys_detail lkey rkey residual)
+  | P.Merge_outerjoin { lkey; rkey; residual; _ } ->
+    ("merge-outerjoin", keys_detail lkey rkey residual)
+  | P.Nl_nestjoin { pred; func; label; _ } ->
+    ("nl-nestjoin", Fmt.str "[%a] func=%a label=%s" e pred e func label)
+  | P.Hash_nestjoin { lkey; rkey; residual; func; label; _ } ->
+    ( "hash-nestjoin",
+      Fmt.str "%s func=%a label=%s" (keys_detail lkey rkey residual) e func
+        label )
+  | P.Hash_nestjoin_left { lkey; rkey; residual; func; label; _ } ->
+    ( "hash-nestjoin(build=left)",
+      Fmt.str "%s func=%a label=%s" (keys_detail lkey rkey residual) e func
+        label )
+  | P.Merge_nestjoin { lkey; rkey; residual; func; label; _ } ->
+    ( "merge-nestjoin",
+      Fmt.str "%s func=%a label=%s" (keys_detail lkey rkey residual) e func
+        label )
+  | P.Unnest_op { expr; var; _ } ->
+    ("unnest", Fmt.str "%s in %a" var e expr)
+  | P.Nest_op { by; label; func; nulls; _ } ->
+    ( (if nulls = [] then "nest" else "nest*"),
+      Fmt.str "by=[%s] label=%s func=%a" (String.concat ", " by) label e func
+    )
+  | P.Extend_op { var; expr; _ } -> ("extend", Fmt.str "%s = %a" var e expr)
+  | P.Project_op { vars; _ } ->
+    ("project", Printf.sprintf "[%s]" (String.concat ", " vars))
+  | P.Apply_op { var; subquery; memo; _ } ->
+    ( (if memo then "apply(memo)" else "apply"),
+      Fmt.str "%s = (result %a)" var e subquery.P.result )
+  | P.Index_join { lkey; table; var; field; _ } ->
+    ("index-join", Fmt.str "[%a → %s.%s] on %s %s" e lkey var field table var)
+  | P.Index_semijoin { lkey; table; var; field; anti; _ } ->
+    ( (if anti then "index-antijoin" else "index-semijoin"),
+      Fmt.str "[%a → %s.%s] on %s %s" e lkey var field table var )
+  | P.Index_nestjoin { lkey; table; var; field; func; label; _ } ->
+    ( "index-nestjoin",
+      Fmt.str "[%a → %s.%s] on %s %s func=%a label=%s" e lkey var field table
+        var e func label )
+  | P.Union_op _ -> ("union", "")
+
+let rec tree_of_plan plan =
+  let op, detail = label plan in
+  Stats.node ~op ~detail (List.map tree_of_plan (children plan))
+
+let tree_of_query { P.plan; _ } = tree_of_plan plan
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pp_est ppf est =
+  if Float.is_nan est then Fmt.string ppf "?"
+  else Fmt.pf ppf "%.0f" est
+
+let pp_counters ppf (c : Stats.t) =
+  let field name v = if v > 0 then Some (name, v) else None in
+  let fields =
+    List.filter_map Fun.id
+      [
+        field "pred-evals" c.Stats.predicate_evals;
+        field "builds" c.Stats.hash_builds;
+        field "probes" c.Stats.hash_probes;
+        field "sorts" c.Stats.sorts;
+        field "applies" c.Stats.applies;
+        field "apply-hits" c.Stats.apply_hits;
+      ]
+  in
+  List.iter (fun (name, v) -> Fmt.pf ppf " %s=%d" name v) fields
+
+let pp_annot ~timing ppf (n : Stats.node) =
+  Fmt.pf ppf "(est=%a actual=%d loops=%d" pp_est n.Stats.est_rows
+    n.Stats.counters.Stats.rows_out n.Stats.loops;
+  if timing then
+    Fmt.pf ppf " time=%.3fms" (Int64.to_float n.Stats.time_ns /. 1e6);
+  Fmt.pf ppf "%a)" pp_counters n.Stats.counters
+
+let rec pp_node ~timing ppf (n : Stats.node) =
+  let header ppf n =
+    match n.Stats.detail with
+    | "" -> Fmt.pf ppf "%s  %a" n.Stats.op (pp_annot ~timing) n
+    | d -> Fmt.pf ppf "%s %s  %a" n.Stats.op d (pp_annot ~timing) n
+  in
+  match n.Stats.children with
+  | [] -> header ppf n
+  | children ->
+    Fmt.pf ppf "@[<v>%a" header n;
+    List.iteri
+      (fun i c ->
+        let branch =
+          if i = List.length children - 1 then "└─" else "├─"
+        in
+        Fmt.pf ppf "@,%s @[<v>%a@]" branch (pp_node ~timing) c)
+      children;
+    Fmt.pf ppf "@]"
+
+let pp ?(timing = true) ppf n = Fmt.pf ppf "@[<v>%a@]" (pp_node ~timing) n
+
+let to_string ?timing n = Fmt.str "%a" (pp ?timing) n
+
+let rec to_json (n : Stats.node) =
+  let c = n.Stats.counters in
+  Json.Obj
+    [
+      ("op", Json.String n.Stats.op);
+      ("detail", Json.String n.Stats.detail);
+      ("est_rows", Json.Float n.Stats.est_rows);
+      ("rows_out", Json.Int c.Stats.rows_out);
+      ("loops", Json.Int n.Stats.loops);
+      ("time_ns", Json.Int64 n.Stats.time_ns);
+      ("predicate_evals", Json.Int c.Stats.predicate_evals);
+      ("hash_builds", Json.Int c.Stats.hash_builds);
+      ("hash_probes", Json.Int c.Stats.hash_probes);
+      ("sorts", Json.Int c.Stats.sorts);
+      ("applies", Json.Int c.Stats.applies);
+      ("apply_hits", Json.Int c.Stats.apply_hits);
+      ("children", Json.List (List.map to_json n.Stats.children));
+    ]

@@ -202,7 +202,40 @@ let correlation_key_exprs corr query =
            match own with [] -> [ Ast.Var v ] | _ :: _ -> own
          end)
 
-let rec rows ?(stats = no_stats) catalog env plan =
+(* --- instrumentation frames --------------------------------------------- *)
+
+(* A frame names the counter sink for the operator being executed and, when
+   instrumenting, the matching annotation node. Uninstrumented runs share a
+   single global sink for every operator (the legacy [?stats] behaviour);
+   instrumented runs give each operator its own [Stats.node], descending
+   the annotation tree in lockstep with the plan ([Analyze.children]
+   order). *)
+type frame = { sink : Stats.t; node : Stats.node option }
+
+let child_frame fr i =
+  match fr.node with
+  | None -> fr
+  | Some n -> (
+    match List.nth_opt n.Stats.children i with
+    | Some c -> { sink = c.Stats.counters; node = Some c }
+    | None -> fr)
+
+let c0 fr = child_frame fr 0
+let c1 fr = child_frame fr 1
+let clock = Monotonic_clock.now
+
+let rec rows_fr fr catalog env plan =
+  match fr.node with
+  | None -> exec_rows fr catalog env plan
+  | Some n ->
+    let t0 = clock () in
+    let out = exec_rows fr catalog env plan in
+    n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub (clock ()) t0);
+    n.Stats.loops <- n.Stats.loops + 1;
+    out
+
+and exec_rows fr catalog env plan =
+  let stats = fr.sink in
   let out =
     match plan with
     | P.Unit_row -> [ env ]
@@ -211,14 +244,14 @@ let rec rows ?(stats = no_stats) catalog env plan =
       List.map (fun v -> Env.bind var v env) (Cobj.Table.rows t)
     | P.Filter { pred; input } ->
       let predfn = Compile.pred catalog pred in
-      rows ~stats catalog env input
+      rows_fr (c0 fr) catalog env input
       |> List.filter (fun r ->
              stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
              predfn r)
     | P.Nl_join { pred; left; right } ->
       let predfn = Compile.pred catalog pred in
-      let rrows = rows ~stats catalog env right in
-      rows ~stats catalog env left
+      let rrows = rows_fr (c1 fr) catalog env right in
+      rows_fr (c0 fr) catalog env left
       |> List.concat_map (fun l ->
              List.filter_map
                (fun r ->
@@ -230,8 +263,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Hash_join { lkey; rkey; residual; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats catalog env right rkey in
-      rows ~stats catalog env left
+      let table = build ~stats (c1 fr) catalog env right rkey in
+      rows_fr (c0 fr) catalog env left
       |> List.concat_map (fun l ->
              probe ~stats table (lkeyfn l)
              |> List.filter_map (fun r ->
@@ -239,8 +272,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
                     if rok merged then Some merged else None))
     | P.Merge_join { lkey; rkey; residual; left; right } ->
       let rok = compile_residual ~stats catalog residual in
-      let lgroups = sorted_groups ~stats catalog env left lkey in
-      let rgroups = sorted_groups ~stats catalog env right rkey in
+      let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
+      let rgroups = sorted_groups ~stats (c1 fr) catalog env right rkey in
       merge_groups lgroups rgroups
       |> List.concat_map (fun (ls, rs) ->
              List.concat_map
@@ -253,8 +286,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
                ls)
     | P.Nl_semijoin { pred; anti; left; right } ->
       let predfn = Compile.pred catalog pred in
-      let rrows = rows ~stats catalog env right in
-      rows ~stats catalog env left
+      let rrows = rows_fr (c1 fr) catalog env right in
+      rows_fr (c0 fr) catalog env left
       |> List.filter (fun l ->
              let found =
                List.exists
@@ -268,8 +301,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Hash_semijoin { lkey; rkey; residual; anti; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats catalog env right rkey in
-      rows ~stats catalog env left
+      let table = build ~stats (c1 fr) catalog env right rkey in
+      rows_fr (c0 fr) catalog env left
       |> List.filter (fun l ->
              let found =
                probe ~stats table (lkeyfn l)
@@ -278,8 +311,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
              if anti then not found else found)
     | P.Merge_semijoin { lkey; rkey; residual; anti; left; right } ->
       let rok = compile_residual ~stats catalog residual in
-      let lgroups = sorted_groups ~stats catalog env left lkey in
-      let rgroups = sorted_groups ~stats catalog env right rkey in
+      let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
+      let rgroups = sorted_groups ~stats (c1 fr) catalog env right rkey in
       (* march the two sorted group lists; every left group is emitted or
          dropped depending on whether a matching right member exists *)
       let rec go ls rs acc =
@@ -306,9 +339,9 @@ let rec rows ?(stats = no_stats) catalog env plan =
       go lgroups rgroups []
     | P.Nl_outerjoin { pred; left; right } ->
       let predfn = Compile.pred catalog pred in
-      let rrows = rows ~stats catalog env right in
+      let rrows = rows_fr (c1 fr) catalog env right in
       let rvars = P.vars_of right in
-      rows ~stats catalog env left
+      rows_fr (c0 fr) catalog env left
       |> List.concat_map (fun l ->
              let matches =
                List.filter_map
@@ -323,9 +356,9 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Hash_outerjoin { lkey; rkey; residual; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats catalog env right rkey in
+      let table = build ~stats (c1 fr) catalog env right rkey in
       let rvars = P.vars_of right in
-      rows ~stats catalog env left
+      rows_fr (c0 fr) catalog env left
       |> List.concat_map (fun l ->
              let matches =
                probe ~stats table (lkeyfn l)
@@ -337,8 +370,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
       let rok = compile_residual ~stats catalog residual in
       let rvars = P.vars_of right in
-      let lgroups = sorted_groups ~stats catalog env left lkey in
-      let rgroups = sorted_groups ~stats catalog env right rkey in
+      let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
+      let rgroups = sorted_groups ~stats (c1 fr) catalog env right rkey in
       (* every left row survives: matched rows merge, the rest pad *)
       let rec go ls rs acc =
         match ls, rs with
@@ -374,8 +407,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Nl_nestjoin { pred; func; label; left; right } ->
       let predfn = Compile.pred catalog pred in
       let funcfn = Compile.expr catalog func in
-      let rrows = rows ~stats catalog env right in
-      rows ~stats catalog env left
+      let rrows = rows_fr (c1 fr) catalog env right in
+      rows_fr (c0 fr) catalog env left
       |> List.map (fun l ->
              let members =
                List.filter_map
@@ -391,8 +424,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
-      let table = build ~stats catalog env right rkey in
-      rows ~stats catalog env left
+      let table = build ~stats (c1 fr) catalog env right rkey in
+      rows_fr (c0 fr) catalog env left
       |> List.map (fun l ->
              let members =
                probe ~stats table (lkeyfn l)
@@ -410,7 +443,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
       let rkeyfn = Compile.expr catalog rkey in
       let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
-      let lrows = rows ~stats catalog env left in
+      let lrows = rows_fr (c0 fr) catalog env left in
       let table = Vtbl.create 256 in
       List.iter
         (fun l ->
@@ -421,7 +454,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
         lrows;
       let matched : (Env.t * Env.t list) list ref = ref [] in
       let matched_keys = Vtbl.create 256 in
-      rows ~stats catalog env right
+      rows_fr (c1 fr) catalog env right
       |> List.iter (fun r ->
              let k = rkeyfn r in
              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
@@ -453,8 +486,8 @@ let rec rows ?(stats = no_stats) catalog env plan =
     | P.Merge_nestjoin { lkey; rkey; residual; func; label; left; right } ->
       let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
-      let lgroups = sorted_groups ~stats catalog env left lkey in
-      let rgroups = sorted_groups ~stats catalog env right rkey in
+      let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
+      let rgroups = sorted_groups ~stats (c1 fr) catalog env right rkey in
       (* Unlike merge join, every left group survives (possibly with ∅). *)
       let rec go ls rs acc =
         match ls, rs with
@@ -484,12 +517,12 @@ let rec rows ?(stats = no_stats) catalog env plan =
       go lgroups rgroups []
     | P.Unnest_op { expr; var; input } ->
       let exprfn = Compile.expr catalog expr in
-      rows ~stats catalog env input
+      rows_fr (c0 fr) catalog env input
       |> List.concat_map (fun r ->
              Value.elements (exprfn r)
              |> List.map (fun x -> Env.bind var x r))
     | P.Nest_op { by; label; func; nulls; input } ->
-      let input_rows = rows ~stats catalog env input in
+      let input_rows = rows_fr (c0 fr) catalog env input in
       let groups = Vtbl.create 64 in
       let order = ref [] in
       List.iter
@@ -525,19 +558,20 @@ let rec rows ?(stats = no_stats) catalog env plan =
         !order
     | P.Extend_op { var; expr; input } ->
       let exprfn = Compile.expr catalog expr in
-      rows ~stats catalog env input
+      rows_fr (c0 fr) catalog env input
       |> List.map (fun r -> Env.bind var (exprfn r) r)
     | P.Project_op { vars; input } ->
-      rows ~stats catalog env input
+      rows_fr (c0 fr) catalog env input
       |> List.map (fun r -> Env.append (Env.project vars r) env)
       |> List.sort_uniq Env.compare
     | P.Apply_op { var; subquery; memo; input } ->
-      let input_rows = rows ~stats catalog env input in
+      let input_rows = rows_fr (c0 fr) catalog env input in
+      let subfr = c1 fr in
       if not memo then
         List.map
           (fun r ->
             stats.Stats.applies <- stats.Stats.applies + 1;
-            Env.bind var (run_under ~stats catalog r subquery) r)
+            Env.bind var (run_under_fr subfr catalog r subquery) r)
           input_rows
       else begin
         let corr =
@@ -557,7 +591,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
                 v
               | None ->
                 stats.Stats.applies <- stats.Stats.applies + 1;
-                let v = run_under ~stats catalog r subquery in
+                let v = run_under_fr subfr catalog r subquery in
                 Vtbl.add cache k v;
                 v
             in
@@ -568,7 +602,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
       let t = Cobj.Catalog.find_exn table catalog in
-      rows ~stats catalog env left
+      rows_fr (c0 fr) catalog env left
       |> List.concat_map (fun l ->
              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
              Cobj.Table.index_lookup field t (lkeyfn l)
@@ -579,7 +613,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
       let lkeyfn = Compile.expr catalog lkey in
       let rok = compile_residual ~stats catalog residual in
       let t = Cobj.Catalog.find_exn table catalog in
-      rows ~stats catalog env left
+      rows_fr (c0 fr) catalog env left
       |> List.filter (fun l ->
              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
              let found =
@@ -593,7 +627,7 @@ let rec rows ?(stats = no_stats) catalog env plan =
       let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
       let t = Cobj.Catalog.find_exn table catalog in
-      rows ~stats catalog env left
+      rows_fr (c0 fr) catalog env left
       |> List.map (fun l ->
              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
              let members =
@@ -605,13 +639,15 @@ let rec rows ?(stats = no_stats) catalog env plan =
              Env.bind label (Value.set members) l)
     | P.Union_op { left; right } ->
       List.sort_uniq Env.compare
-        (rows ~stats catalog env left @ rows ~stats catalog env right)
+        (rows_fr (c0 fr) catalog env left @ rows_fr (c1 fr) catalog env right)
   in
   stats.Stats.rows_out <- stats.Stats.rows_out + List.length out;
   out
 
 (* [rok] below is the residual check compiled once per operator; [keyfn]
-   likewise for key expressions. *)
+   likewise for key expressions. Hash/sort work counts on the operator that
+   does it; the rows produced by the operand count on the operand's own
+   frame. *)
 and compile_residual ~stats catalog residual =
   match residual with
   | None -> fun _ -> true
@@ -621,10 +657,10 @@ and compile_residual ~stats catalog residual =
       stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
       f merged
 
-and build ~stats catalog env plan key_expr =
+and build ~stats fr catalog env plan key_expr =
   let keyfn = Compile.expr catalog key_expr in
   let table = Vtbl.create 256 in
-  let rrows = rows ~stats catalog env plan in
+  let rrows = rows_fr fr catalog env plan in
   (* Preserve input order within buckets. *)
   List.iter
     (fun r ->
@@ -642,9 +678,9 @@ and probe ~stats table k =
   | Some bucket -> List.rev bucket
   | None -> []
 
-and sorted_groups ~stats catalog env plan key_expr =
+and sorted_groups ~stats fr catalog env plan key_expr =
   let keyfn = Compile.expr catalog key_expr in
-  let produced = rows ~stats catalog env plan in
+  let produced = rows_fr fr catalog env plan in
   stats.Stats.sorts <- stats.Stats.sorts + List.length produced;
   let keyed = List.map (fun r -> (keyfn r, r)) produced in
   let sorted =
@@ -672,9 +708,26 @@ and merge_groups ls rs =
     else if c < 0 then merge_groups ls' rs
     else merge_groups ls rs'
 
-and run_under ?stats catalog env { P.plan; result } =
+and run_under_fr fr catalog env { P.plan; result } =
   let resultfn = Compile.expr catalog result in
-  let produced = rows ?stats catalog env plan in
+  let produced = rows_fr fr catalog env plan in
   Value.set (List.map resultfn produced)
 
+let frame_of_stats stats = { sink = stats; node = None }
+let frame_of_node node = { sink = node.Stats.counters; node = Some node }
+
+let rows ?(stats = no_stats) catalog env plan =
+  rows_fr (frame_of_stats stats) catalog env plan
+
+let rows_instrumented node catalog env plan =
+  rows_fr (frame_of_node node) catalog env plan
+
+let run_under ?(stats = no_stats) catalog env query =
+  run_under_fr (frame_of_stats stats) catalog env query
+
 let run ?stats catalog query = run_under ?stats catalog Env.empty query
+
+let run_instrumented catalog query =
+  let tree = Analyze.tree_of_query query in
+  let v = run_under_fr (frame_of_node tree) catalog Env.empty query in
+  (v, tree)

@@ -21,6 +21,24 @@ val rows :
 (** Rows produced under an ambient environment (for correlation variables),
     in implementation order (not canonicalized). *)
 
+val rows_instrumented :
+  Stats.node ->
+  Cobj.Catalog.t ->
+  Cobj.Env.t ->
+  Physical.t ->
+  Cobj.Env.t list
+(** Like {!rows}, but collecting per-operator counters, loop counts and
+    wall-clock into a {!Stats.node} tree (built with
+    [Analyze.tree_of_plan] so its shape matches the plan). Summing the tree
+    ({!Stats.totals}) yields exactly what {!rows} would have put in a
+    global [Stats.t]. *)
+
+val run_instrumented :
+  Cobj.Catalog.t -> Physical.query -> Cobj.Value.t * Stats.node
+(** Execute a closed physical query under a fresh annotation tree; returns
+    the result value and the filled-in tree (est_rows still [nan] — the
+    cost model lives upstream, see [Core.Cost.annotate]). *)
+
 val run :
   ?stats:Stats.t -> Cobj.Catalog.t -> Physical.query -> Cobj.Value.t
 (** Set value of a closed physical query. *)

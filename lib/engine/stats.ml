@@ -32,9 +32,56 @@ let total_work t =
   t.rows_out + t.predicate_evals + t.hash_builds + t.hash_probes + t.sorts
   + t.applies
 
+let add ~into src =
+  into.rows_out <- into.rows_out + src.rows_out;
+  into.predicate_evals <- into.predicate_evals + src.predicate_evals;
+  into.hash_builds <- into.hash_builds + src.hash_builds;
+  into.hash_probes <- into.hash_probes + src.hash_probes;
+  into.sorts <- into.sorts + src.sorts;
+  into.applies <- into.applies + src.applies;
+  into.apply_hits <- into.apply_hits + src.apply_hits
+
 let pp ppf t =
   Fmt.pf ppf
     "rows=%d pred-evals=%d builds=%d probes=%d sorts=%d applies=%d \
      apply-hits=%d"
     t.rows_out t.predicate_evals t.hash_builds t.hash_probes t.sorts
     t.applies t.apply_hits
+
+(* --- per-operator instrumentation tree ---------------------------------- *)
+
+type node = {
+  op : string;
+  detail : string;
+  counters : t;
+  mutable loops : int;
+  mutable time_ns : int64;
+  mutable est_rows : float;
+  children : node list;
+}
+
+let node ~op ~detail children =
+  {
+    op;
+    detail;
+    counters = create ();
+    loops = 0;
+    time_ns = 0L;
+    est_rows = Float.nan;
+    children;
+  }
+
+let rec reset_node n =
+  reset n.counters;
+  n.loops <- 0;
+  n.time_ns <- 0L;
+  List.iter reset_node n.children
+
+let rec sum_into acc n =
+  add ~into:acc n.counters;
+  List.iter (sum_into acc) n.children
+
+let totals n =
+  let acc = create () in
+  sum_into acc n;
+  acc

@@ -1,6 +1,13 @@
 (** Work counters collected during execution — machine-independent cost
     evidence for the benches (tuple comparisons, hash activity, subquery
-    re-evaluations). *)
+    re-evaluations).
+
+    Two granularities share the same counter record:
+    - a single {!t} accumulates totals across a whole plan (the legacy
+      behaviour of [Exec.rows ?stats]);
+    - a {!node} tree mirrors the physical plan shape and holds one {!t} per
+      operator, plus wall-clock time, invocation counts, and the cost
+      model's estimated cardinality — the data behind EXPLAIN ANALYZE. *)
 
 type t = {
   mutable rows_out : int;     (** rows emitted by all operators *)
@@ -17,4 +24,35 @@ val reset : t -> unit
 val total_work : t -> int
 (** A single scalar summary: sum of all counters. *)
 
+val add : into:t -> t -> unit
+(** [add ~into src] accumulates [src]'s counters into [into]. *)
+
 val pp : t Fmt.t
+
+(** {1 Per-operator nodes} *)
+
+type node = {
+  op : string;          (** operator name, e.g. ["hash-nestjoin"] *)
+  detail : string;      (** keys / predicate / labels, pretty-printed *)
+  counters : t;         (** this operator's own work, summed over loops *)
+  mutable loops : int;  (** times the operator ran (re-runs under Apply) *)
+  mutable time_ns : int64;
+      (** inclusive wall-clock (children included), summed over loops *)
+  mutable est_rows : float;
+      (** cost-model estimate; [nan] until annotated (see [Core.Cost]) *)
+  children : node list; (** same order as the physical operands *)
+}
+
+val node : op:string -> detail:string -> node list -> node
+(** Fresh node with zeroed counters and [est_rows = nan]. *)
+
+val reset_node : node -> unit
+(** Zero counters, loops and timings over the whole tree (keeps
+    [est_rows]). *)
+
+val sum_into : t -> node -> unit
+(** Accumulate every node's counters of the tree into a flat total. *)
+
+val totals : node -> t
+(** Fresh flat total of the whole tree — equals what an uninstrumented run
+    with a global {!t} would have collected. *)

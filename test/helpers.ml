@@ -99,5 +99,13 @@ let value_gen =
           ])
 
 let qcheck ?(count = 200) name gen prop =
+  (* Deterministic by default so CI failures reproduce locally; set
+     QCHECK_SEED to explore other seeds. *)
+  let seed =
+    match Sys.getenv_opt "QCHECK_SEED" with
+    | Some s -> ( try int_of_string s with Failure _ -> 0x5eed)
+    | None -> 0x5eed
+  in
   QCheck_alcotest.to_alcotest
+    ~rand:(Random.State.make [| seed |])
     (QCheck2.Test.make ~count ~name gen prop)

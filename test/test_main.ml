@@ -23,4 +23,5 @@ let () =
       ("simplify", Test_simplify.suite);
       ("reorder", Test_reorder.suite);
       ("variants", Test_variants.suite);
+      ("stats", Test_stats.suite);
     ]

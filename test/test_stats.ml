@@ -1,0 +1,260 @@
+(* Per-operator instrumentation: the EXPLAIN ANALYZE annotation tree must
+   attribute counters to the right node, agree across physical variants of
+   the same operator, and sum to exactly what the legacy global [Stats.t]
+   records. *)
+
+open Helpers
+module Env = Cobj.Env
+module P = Engine.Physical
+module Exec = Engine.Exec
+module Stats = Engine.Stats
+module Analyze = Engine.Analyze
+module Pipeline = Core.Pipeline
+
+let parse = Lang.Parser.expr
+let sx = P.Scan { table = "X"; var = "x" }
+let sy = P.Scan { table = "Y"; var = "y" }
+
+let nl_nestjoin =
+  P.Nl_nestjoin
+    { pred = parse "x.b = y.b"; func = parse "y.a"; label = "s";
+      left = sx; right = sy }
+
+let hash_nestjoin =
+  P.Hash_nestjoin
+    { lkey = parse "x.b"; rkey = parse "y.b"; residual = None;
+      func = parse "y.a"; label = "s"; left = sx; right = sy }
+
+let catalogs =
+  [
+    ("default", Workload.Gen.xy Workload.Gen.default_xy);
+    ( "all dangling",
+      Workload.Gen.xy
+        { Workload.Gen.default_xy with dangling = 1.0; nx = 20; ny = 20; seed = 2 } );
+    ( "empty inner",
+      Workload.Gen.xy { Workload.Gen.default_xy with ny = 0; nx = 15; seed = 3 } );
+    ( "dense keys",
+      Workload.Gen.xy
+        { Workload.Gen.default_xy with key_dom = 3; nx = 40; ny = 40; seed = 1 } );
+  ]
+
+let instrument catalog plan =
+  let tree = Analyze.tree_of_plan plan in
+  let rows = Exec.rows_instrumented tree catalog Env.empty plan in
+  (rows, tree)
+
+let table_size catalog name =
+  List.length (Cobj.Table.rows (Cobj.Catalog.find_exn name catalog))
+
+(* Counters land on the node doing the work: the nest-join node owns the
+   build and the probes, each scan child owns its own row production. *)
+let per_node_attribution () =
+  let catalog = List.assoc "default" catalogs in
+  let nx = table_size catalog "X" and ny = table_size catalog "Y" in
+  let rows, tree = instrument catalog hash_nestjoin in
+  Alcotest.(check int) "nestjoin preserves left rows" nx (List.length rows);
+  Alcotest.(check int) "root rows_out" nx tree.Stats.counters.Stats.rows_out;
+  Alcotest.(check int) "one build insertion per right row" ny
+    tree.Stats.counters.Stats.hash_builds;
+  Alcotest.(check int) "one probe per left row" nx
+    tree.Stats.counters.Stats.hash_probes;
+  (match tree.Stats.children with
+  | [ l; r ] ->
+    Alcotest.(check string) "left child op" "scan" l.Stats.op;
+    Alcotest.(check int) "left scan rows" nx l.Stats.counters.Stats.rows_out;
+    Alcotest.(check int) "right scan rows" ny r.Stats.counters.Stats.rows_out;
+    Alcotest.(check int) "scans do no hash work" 0
+      (l.Stats.counters.Stats.hash_probes
+      + l.Stats.counters.Stats.hash_builds
+      + r.Stats.counters.Stats.hash_probes
+      + r.Stats.counters.Stats.hash_builds)
+  | cs -> Alcotest.failf "expected 2 children, got %d" (List.length cs));
+  Alcotest.(check int) "each node ran once" 1 tree.Stats.loops
+
+(* Hash and nested-loop nest-join must agree on rows_out everywhere in the
+   tree — including catalogs where every left row is dangling, i.e. the
+   nest-join emits [a = ∅] rows instead of dropping them. *)
+let variants_agree () =
+  List.iter
+    (fun (cname, catalog) ->
+      let nl_rows, nl_tree = instrument catalog nl_nestjoin in
+      let h_rows, h_tree = instrument catalog hash_nestjoin in
+      let canonical rows = List.sort Env.compare rows in
+      Alcotest.(check bool)
+        (cname ^ ": same result rows") true
+        (List.length nl_rows = List.length h_rows
+        && List.for_all2 Env.equal (canonical nl_rows) (canonical h_rows));
+      Alcotest.(check int)
+        (cname ^ ": rows_out agree")
+        nl_tree.Stats.counters.Stats.rows_out
+        h_tree.Stats.counters.Stats.rows_out;
+      Alcotest.(check int)
+        (cname ^ ": rows_out = left size (dangling rows kept)")
+        (table_size catalog "X")
+        h_tree.Stats.counters.Stats.rows_out)
+    catalogs
+
+(* Summing the annotation tree reproduces the legacy global counters
+   field-for-field, on every operator the planner can emit. *)
+let totals_match_global () =
+  let queries =
+    [
+      "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)";
+      "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x";
+      "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE x.b = y.b) = 0";
+    ]
+  in
+  let strategies =
+    Pipeline.[ Naive; Decorrelated; Decorrelated_outerjoin; Ganski_wong ]
+  in
+  let catalog = Workload.Gen.xy Workload.Gen.default_xy in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun src ->
+          let compiled =
+            match Pipeline.compile_string strategy catalog src with
+            | Ok c -> c
+            | Error msg -> Alcotest.failf "compile %s: %s" src msg
+          in
+          let plan =
+            match compiled.Pipeline.physical with
+            | Some q -> q
+            | None -> Alcotest.fail "no physical plan"
+          in
+          let global = Stats.create () in
+          ignore (Exec.run ~stats:global catalog plan);
+          let _, tree = Exec.run_instrumented catalog plan in
+          let t = Stats.totals tree in
+          let name field = Printf.sprintf "%s/%s: %s"
+              (Pipeline.strategy_name strategy) src field in
+          Alcotest.(check int) (name "rows_out")
+            global.Stats.rows_out t.Stats.rows_out;
+          Alcotest.(check int) (name "predicate_evals")
+            global.Stats.predicate_evals t.Stats.predicate_evals;
+          Alcotest.(check int) (name "hash_builds")
+            global.Stats.hash_builds t.Stats.hash_builds;
+          Alcotest.(check int) (name "hash_probes")
+            global.Stats.hash_probes t.Stats.hash_probes;
+          Alcotest.(check int) (name "sorts") global.Stats.sorts t.Stats.sorts;
+          Alcotest.(check int) (name "applies")
+            global.Stats.applies t.Stats.applies;
+          Alcotest.(check int) (name "apply_hits")
+            global.Stats.apply_hits t.Stats.apply_hits)
+        queries)
+    strategies
+
+let rec iter_nodes f node =
+  f node;
+  List.iter (iter_nodes f) node.Stats.children
+
+(* Pipeline.analyze must leave no node without an estimate or an actual:
+   est_rows comes from the cost model, rows_out/loops from execution. *)
+let estimates_populated () =
+  let catalog = xy_catalog () in
+  let compiled =
+    match
+      Pipeline.compile_string Pipeline.Decorrelated catalog
+        "SELECT (a = x.a, ys = (SELECT y.c FROM Y y WHERE y.d = x.b)) FROM X x"
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  match Pipeline.analyze catalog compiled with
+  | Error msg -> Alcotest.fail msg
+  | Ok (value, tree) ->
+    let expected = run_strategy Pipeline.Interp catalog
+        "SELECT (a = x.a, ys = (SELECT y.c FROM Y y WHERE y.d = x.b)) FROM X x"
+    in
+    Alcotest.check Helpers.value "analyze returns the query result"
+      expected value;
+    iter_nodes
+      (fun n ->
+        Alcotest.(check bool)
+          (n.Stats.op ^ ": est_rows is a number") false
+          (Float.is_nan n.Stats.est_rows);
+        Alcotest.(check bool)
+          (n.Stats.op ^ ": executed at least once") true (n.Stats.loops >= 1);
+        Alcotest.(check bool)
+          (n.Stats.op ^ ": time accumulated") true
+          (Int64.compare n.Stats.time_ns 0L >= 0))
+      tree
+
+(* Under a naive (correlated) plan the subquery side of apply re-runs per
+   outer row: its loop counter is the outer cardinality. *)
+let apply_loops () =
+  let catalog = xy_catalog () in
+  let compiled =
+    match
+      Pipeline.compile_string Pipeline.Naive catalog
+        "SELECT x.a FROM X x WHERE COUNT(SELECT y FROM Y y WHERE y.d = x.b) = 0"
+    with
+    | Ok c -> c
+    | Error msg -> Alcotest.fail msg
+  in
+  match Pipeline.analyze catalog compiled with
+  | Error msg -> Alcotest.fail msg
+  | Ok (_, tree) ->
+    let apply_node = ref None in
+    iter_nodes
+      (fun n ->
+        if Astring.String.is_prefix ~affix:"apply" n.Stats.op then
+          apply_node := Some n)
+      tree;
+    (match !apply_node with
+    | None -> Alcotest.fail "no apply node in naive plan"
+    | Some n -> (
+      match n.Stats.children with
+      | [ _input; sub ] ->
+        Alcotest.(check int) "subplan loops = outer rows" 5 sub.Stats.loops
+      | cs -> Alcotest.failf "apply arity %d" (List.length cs)))
+
+(* The JSON rendering is self-contained and machine-safe: every required
+   key present, no bare nan/inf tokens (est_rows of an unannotated tree
+   serializes as null). *)
+let json_shape () =
+  let catalog = List.assoc "default" catalogs in
+  let _, tree = instrument catalog hash_nestjoin in
+  let doc = Engine.Json.to_string (Analyze.to_json tree) in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) ("has " ^ key) true
+        (Astring.String.is_infix ~affix:(Printf.sprintf "%S" key) doc))
+    [ "op"; "detail"; "est_rows"; "rows_out"; "loops"; "time_ns";
+      "predicate_evals"; "hash_builds"; "hash_probes"; "sorts"; "applies";
+      "apply_hits"; "children" ];
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("no bare " ^ bad) false
+        (Astring.String.is_infix ~affix:bad doc))
+    [ "nan"; "inf" ]
+
+(* Re-running an instrumented tree without reset accumulates; after
+   [reset_node] the counters match a fresh run. *)
+let reset_node () =
+  let catalog = List.assoc "default" catalogs in
+  let tree = Analyze.tree_of_plan hash_nestjoin in
+  ignore (Exec.rows_instrumented tree catalog Env.empty hash_nestjoin);
+  let once = tree.Stats.counters.Stats.rows_out in
+  ignore (Exec.rows_instrumented tree catalog Env.empty hash_nestjoin);
+  Alcotest.(check int) "accumulates" (2 * once)
+    tree.Stats.counters.Stats.rows_out;
+  Alcotest.(check int) "loops accumulate" 2 tree.Stats.loops;
+  Stats.reset_node tree;
+  Alcotest.(check int) "reset clears counters" 0
+    tree.Stats.counters.Stats.rows_out;
+  Alcotest.(check int) "reset clears loops" 0 tree.Stats.loops;
+  ignore (Exec.rows_instrumented tree catalog Env.empty hash_nestjoin);
+  Alcotest.(check int) "fresh after reset" once
+    tree.Stats.counters.Stats.rows_out
+
+let suite =
+  [
+    Alcotest.test_case "per-node attribution" `Quick per_node_attribution;
+    Alcotest.test_case "hash vs nl nestjoin agree" `Quick variants_agree;
+    Alcotest.test_case "tree totals = global stats" `Quick totals_match_global;
+    Alcotest.test_case "est and actual populated" `Quick estimates_populated;
+    Alcotest.test_case "apply subplan loop count" `Quick apply_loops;
+    Alcotest.test_case "json shape" `Quick json_shape;
+    Alcotest.test_case "reset_node" `Quick reset_node;
+  ]
