@@ -118,6 +118,15 @@ let no_timing_arg =
           "With $(b,--explain-analyze), omit wall-clock fields so the \
            output is deterministic (for tests and diffing).")
 
+let jobs_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Execute with $(docv) domains (partition-parallel scans, filters \
+           and hash joins). Results are identical to serial execution. \
+           Defaults to $(b,NESTQL_JOBS) when set, else 1.")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -150,42 +159,47 @@ let with_catalog ?file name seed scale f =
 
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing verbose query =
+      no_timing jobs verbose query =
     setup_logs verbose;
-    with_catalog ?file name seed scale (fun catalog ->
-        if explain_analyze then
-          match Core.Pipeline.compile_string strategy catalog query with
-          | Error msg ->
-            Fmt.epr "error: %s@." msg;
-            1
-          | Ok compiled -> (
-            match Core.Pipeline.analyze catalog compiled with
+    match jobs with
+    | Some n when n < 1 ->
+      Fmt.epr "nestql: --jobs expects a positive domain count, got %d@." n;
+      1
+    | _ ->
+      with_catalog ?file name seed scale (fun catalog ->
+          if explain_analyze then
+            match Core.Pipeline.compile_string strategy catalog query with
             | Error msg ->
               Fmt.epr "error: %s@." msg;
               1
-            | Ok (_value, tree) ->
-              let rendered =
-                Core.Pipeline.render_analysis ~json ~timing:(not no_timing)
-                  compiled tree
-              in
-              if json then print_endline rendered else print_string rendered;
+            | Ok compiled -> (
+              match Core.Pipeline.analyze ?jobs catalog compiled with
+              | Error msg ->
+                Fmt.epr "error: %s@." msg;
+                1
+              | Ok (_value, tree) ->
+                let rendered =
+                  Core.Pipeline.render_analysis ~json ~timing:(not no_timing)
+                    compiled tree
+                in
+                if json then print_endline rendered else print_string rendered;
+                0)
+          else
+            let stats = Engine.Stats.create () in
+            match Core.Pipeline.run ~stats ?jobs strategy catalog query with
+            | Error msg ->
+              Fmt.epr "error: %s@." msg;
+              1
+            | Ok v ->
+              Fmt.pr "%a@." Cobj.Value.pp v;
+              if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
               0)
-        else
-          let stats = Engine.Stats.create () in
-          match Core.Pipeline.run ~stats strategy catalog query with
-          | Error msg ->
-            Fmt.epr "error: %s@." msg;
-            1
-          | Ok v ->
-            Fmt.pr "%a@." Cobj.Value.pp v;
-            if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
-            0)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Execute a query against a generated catalog.")
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
-      $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg
+      $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
       $ verbose_arg $ query_arg)
 
 let explain_cmd =

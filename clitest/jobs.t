@@ -1,0 +1,33 @@
+Partition-parallel execution: --jobs N runs the engine on N domains with
+results identical to serial execution.
+
+--jobs 1 is exactly the default:
+
+  $ ../bin/nestql.exe run -n 40 "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > serial.out
+  $ ../bin/nestql.exe run -n 40 --jobs 1 "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > jobs1.out
+  $ diff serial.out jobs1.out
+
+--jobs 4 produces the same rows, and the merged EXPLAIN ANALYZE tree is
+byte-identical to the serial one (counters are exact under parallelism;
+--no-timing --json drops the only nondeterministic field):
+
+  $ ../bin/nestql.exe run -n 40 --jobs 4 "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > jobs4.out
+  $ diff serial.out jobs4.out
+  $ ../bin/nestql.exe run -n 40 --explain-analyze --json --no-timing "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > ea-serial.json
+  $ ../bin/nestql.exe run -n 40 --jobs 4 --explain-analyze --json --no-timing "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > ea-jobs4.json
+  $ diff ea-serial.json ea-jobs4.json
+
+The NESTQL_JOBS environment variable sets the default width:
+
+  $ NESTQL_JOBS=4 ../bin/nestql.exe run -n 40 "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x" > env4.out
+  $ diff serial.out env4.out
+
+A non-positive domain count is a usage error:
+
+  $ ../bin/nestql.exe run --jobs 0 "SELECT x.id FROM X x"
+  nestql: --jobs expects a positive domain count, got 0
+  [1]
+
+  $ ../bin/nestql.exe run --jobs=-1 "SELECT x.id FROM X x"
+  nestql: --jobs expects a positive domain count, got -1
+  [1]

@@ -108,19 +108,28 @@ let compile_string ?options ?rewrite ?reorder strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
   compile ?options ?rewrite ?reorder strategy catalog expr
 
-let execute ?stats catalog compiled =
+let default_jobs () =
+  match Sys.getenv_opt "NESTQL_JOBS" with
+  | None -> 1
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> n
+    | Some _ | None -> 1)
+
+let execute ?stats ?jobs catalog compiled =
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
   match compiled.physical with
-  | Some pq -> Engine.Exec.run ?stats catalog pq
+  | Some pq -> Engine.Exec.run ?stats ~jobs catalog pq
   | None -> Lang.Interp.run catalog compiled.source
 
-let run ?options ?rewrite ?reorder ?stats strategy catalog src =
+let run ?options ?rewrite ?reorder ?stats ?jobs strategy catalog src =
   let* compiled = compile_string ?options ?rewrite ?reorder strategy catalog src in
-  match execute ?stats catalog compiled with
+  match execute ?stats ?jobs catalog compiled with
   | v -> Ok v
   | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
   | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
 
-let analyze catalog compiled =
+let analyze ?jobs catalog compiled =
   match compiled.physical with
   | None ->
     Error
@@ -129,10 +138,11 @@ let analyze catalog compiled =
           the reference interpreter)"
          (strategy_name compiled.strategy))
   | Some pq -> (
+    let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let tree = Engine.Analyze.tree_of_query pq in
     Cost.annotate catalog pq.Engine.Physical.plan tree;
     match
-      Engine.Exec.rows_instrumented tree catalog Cobj.Env.empty
+      Engine.Exec.rows_instrumented ~jobs tree catalog Cobj.Env.empty
         pq.Engine.Physical.plan
     with
     | produced ->
@@ -152,7 +162,7 @@ let render_analysis ?(json = false) ?(timing = true) compiled tree =
            ( "query",
              Engine.Json.String (Fmt.str "%a" Lang.Pretty.pp compiled.source)
            );
-           ("plan", Engine.Analyze.to_json tree);
+           ("plan", Engine.Analyze.to_json ~timing tree);
          ])
   else
     Fmt.str "strategy: %s@.query: %a@.@.%a@."

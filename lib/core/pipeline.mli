@@ -59,19 +59,31 @@ val compile_string :
   string ->
   (compiled, string) result
 
+val default_jobs : unit -> int
+(** Partition-parallel width used when [?jobs] is omitted: the value of the
+    [NESTQL_JOBS] environment variable when it parses as a positive
+    integer, else 1 (serial). *)
+
 val execute :
-  ?stats:Engine.Stats.t -> Cobj.Catalog.t -> compiled -> Cobj.Value.t
+  ?stats:Engine.Stats.t ->
+  ?jobs:int ->
+  Cobj.Catalog.t ->
+  compiled ->
+  Cobj.Value.t
 
 val run :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
   ?stats:Engine.Stats.t ->
+  ?jobs:int ->
   strategy ->
   Cobj.Catalog.t ->
   string ->
   (Cobj.Value.t, string) result
-(** Parse, compile and execute a query string. *)
+(** Parse, compile and execute a query string. [jobs] (default
+    {!default_jobs}) is the partition-parallel domain count — results and
+    statistics are identical for every value, see {!Engine.Exec.rows}. *)
 
 val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 (** Logical and physical plans, pretty-printed. With [costs] (default
@@ -79,6 +91,7 @@ val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
     estimated output cardinality and cumulative cost. *)
 
 val analyze :
+  ?jobs:int ->
   Cobj.Catalog.t ->
   compiled ->
   (Cobj.Value.t * Engine.Stats.node, string) result
@@ -91,5 +104,6 @@ val render_analysis :
   ?json:bool -> ?timing:bool -> compiled -> Engine.Stats.node -> string
 (** Render an {!analyze} tree — a Postgres-style text tree by default, or a
     single-line JSON document with per-operator
-    [{rows_out, est_rows, time_ns, ...}] objects. [~timing:false] (text
-    mode) omits wall-clock for deterministic output. *)
+    [{rows_out, est_rows, time_ns, ...}] objects. [~timing:false] omits
+    wall-clock ([time=] in text mode, [time_ns] in JSON) for deterministic
+    output. *)

@@ -158,21 +158,26 @@ let pp ?(timing = true) ppf n = Fmt.pf ppf "@[<v>%a@]" (pp_node ~timing) n
 
 let to_string ?timing n = Fmt.str "%a" (pp ?timing) n
 
-let rec to_json (n : Stats.node) =
+let rec to_json ?(timing = true) (n : Stats.node) =
   let c = n.Stats.counters in
   Json.Obj
-    [
-      ("op", Json.String n.Stats.op);
-      ("detail", Json.String n.Stats.detail);
-      ("est_rows", Json.Float n.Stats.est_rows);
-      ("rows_out", Json.Int c.Stats.rows_out);
-      ("loops", Json.Int n.Stats.loops);
-      ("time_ns", Json.Int64 n.Stats.time_ns);
-      ("predicate_evals", Json.Int c.Stats.predicate_evals);
-      ("hash_builds", Json.Int c.Stats.hash_builds);
-      ("hash_probes", Json.Int c.Stats.hash_probes);
-      ("sorts", Json.Int c.Stats.sorts);
-      ("applies", Json.Int c.Stats.applies);
-      ("apply_hits", Json.Int c.Stats.apply_hits);
-      ("children", Json.List (List.map to_json n.Stats.children));
-    ]
+    (List.concat
+       [
+         [
+           ("op", Json.String n.Stats.op);
+           ("detail", Json.String n.Stats.detail);
+           ("est_rows", Json.Float n.Stats.est_rows);
+           ("rows_out", Json.Int c.Stats.rows_out);
+           ("loops", Json.Int n.Stats.loops);
+         ];
+         (if timing then [ ("time_ns", Json.Int64 n.Stats.time_ns) ] else []);
+         [
+           ("predicate_evals", Json.Int c.Stats.predicate_evals);
+           ("hash_builds", Json.Int c.Stats.hash_builds);
+           ("hash_probes", Json.Int c.Stats.hash_probes);
+           ("sorts", Json.Int c.Stats.sorts);
+           ("applies", Json.Int c.Stats.applies);
+           ("apply_hits", Json.Int c.Stats.apply_hits);
+           ("children", Json.List (List.map (to_json ~timing) n.Stats.children));
+         ];
+       ])

@@ -27,6 +27,8 @@ val pp : ?timing:bool -> Stats.node Fmt.t
 
 val to_string : ?timing:bool -> Stats.node -> string
 
-val to_json : Stats.node -> Json.t
+val to_json : ?timing:bool -> Stats.node -> Json.t
 (** Per-operator object with [op], [detail], [est_rows], [rows_out],
-    [loops], [time_ns], the raw counters, and [children]. *)
+    [loops], [time_ns], the raw counters, and [children].
+    [~timing:false] omits [time_ns] — like {!pp}, the document is then
+    deterministic for a fixed catalog (used by the cram tests). *)

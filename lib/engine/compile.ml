@@ -24,14 +24,15 @@ let rec compile catalog e : t =
   match e with
   | Ast.Const v -> fun _ -> v
   | Ast.Var x -> fun env -> Env.find x env
-  | Ast.TableRef name ->
-    let v =
-      lazy
-        (match Cobj.Catalog.find name catalog with
-        | Some table -> Cobj.Table.to_value table
-        | None -> Value.type_error "unknown extension %s" name)
-    in
-    fun _ -> Lazy.force v
+  | Ast.TableRef name -> (
+    (* Resolved eagerly: [Table.to_value] is O(1) and [Lazy.force] is not
+       safe to race from worker domains. Unknown names still fail at
+       evaluation time, matching the interpreter. *)
+    match Cobj.Catalog.find name catalog with
+    | Some table ->
+      let v = Cobj.Table.to_value table in
+      fun _ -> v
+    | None -> fun _ -> Value.type_error "unknown extension %s" name)
   | Ast.Field (e1, l) ->
     let f = compile catalog e1 in
     fun env -> Value.field l (f env)

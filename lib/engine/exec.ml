@@ -209,20 +209,144 @@ let correlation_key_exprs corr query =
    single global sink for every operator (the legacy [?stats] behaviour);
    instrumented runs give each operator its own [Stats.node], descending
    the annotation tree in lockstep with the plan ([Analyze.children]
-   order). *)
-type frame = { sink : Stats.t; node : Stats.node option }
+   order). [jobs] is the partition-parallel width: 1 executes everything on
+   the calling domain, larger values let eligible operators fan their own
+   per-row work out over a domain pool (operands are still produced
+   serially, so child counters and timings are untouched). *)
+type frame = { sink : Stats.t; node : Stats.node option; jobs : int }
 
 let child_frame fr i =
   match fr.node with
   | None -> fr
   | Some n -> (
     match List.nth_opt n.Stats.children i with
-    | Some c -> { sink = c.Stats.counters; node = Some c }
+    | Some c -> { fr with sink = c.Stats.counters; node = Some c }
     | None -> fr)
 
 let c0 fr = child_frame fr 0
 let c1 fr = child_frame fr 1
 let clock = Monotonic_clock.now
+
+(* --- partition-parallel helpers ------------------------------------------ *)
+
+(* Parallel sections run operator-local work (probes, predicate and
+   function evaluation) on pool domains. Each worker partition gets a
+   private [Stats.t], merged into the operator's own sink in deterministic
+   partition order afterwards, so instrumented trees and global totals are
+   identical to a serial run. Output comes back in serial row order:
+   morsels are index ranges and hash partitions scatter per-left-row
+   results into a dense array indexed by the left row's input position.
+   Operands are always produced serially before a region starts, and
+   worker bodies never re-enter the executor, so regions never nest. *)
+
+let morsel_min = 16 (* fewer input rows than this: scheduling isn't worth it *)
+let join_min = 2 (* partitioned joins parallelize from this many left rows *)
+
+let merge_parts stats parts =
+  Array.iter (fun p -> Stats.add ~into:stats p) parts
+
+(* Order-preserving parallel map over index-range morsels. [f] receives the
+   morsel's private counter sink. *)
+let par_map ~jobs ~stats f rows =
+  let arr = Array.of_list rows in
+  let n = Array.length arr in
+  let k = min (jobs * 4) n in
+  let out = Array.make k [] in
+  let parts = Array.init k (fun _ -> Stats.create ()) in
+  Pool.run ~jobs k (fun c ->
+      let lo = c * n / k and hi = (c + 1) * n / k in
+      let st = parts.(c) in
+      let acc = ref [] in
+      for i = hi - 1 downto lo do
+        acc := f st arr.(i) :: !acc
+      done;
+      out.(c) <- !acc);
+  merge_parts stats parts;
+  List.concat (Array.to_list out)
+
+(* Order-preserving parallel filter. *)
+let par_filter ~jobs ~stats pred rows =
+  let arr = Array.of_list rows in
+  let n = Array.length arr in
+  let keep = Array.make n false in
+  let k = min (jobs * 4) n in
+  let parts = Array.init k (fun _ -> Stats.create ()) in
+  Pool.run ~jobs k (fun c ->
+      let lo = c * n / k and hi = (c + 1) * n / k in
+      let st = parts.(c) in
+      for i = lo to hi - 1 do
+        keep.(i) <- pred st arr.(i)
+      done);
+  merge_parts stats parts;
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    if keep.(i) then out := arr.(i) :: !out
+  done;
+  !out
+
+(* Residual compiled once per operator; evaluation counts into the
+   partition's sink (the parallel counterpart of [compile_residual]). *)
+let residual_fn catalog = function
+  | None -> None
+  | Some pred -> Some (Compile.pred catalog pred)
+
+let rok_part st rokfn merged =
+  match rokfn with
+  | None -> true
+  | Some f ->
+    st.Stats.predicate_evals <- st.Stats.predicate_evals + 1;
+    f merged
+
+(* Hash-partitioned parallel join core: both sides split on
+   [Value.hash key]; each partition builds and probes its own table on a
+   worker, exactly as the serial operator would over that key subset.
+   [emit st l matches] produces the output rows for one left row (matches
+   arrive in right-input order, like a serial probe); results scatter back
+   into left-input order, so the concatenation is the serial output,
+   dangling tuples included. *)
+let par_hash_partitioned ~jobs ~stats ~lkeyfn ~rkeyfn ~emit lrows rrows =
+  let nparts = jobs * 2 in
+  let lparts = Array.make nparts [] and rparts = Array.make nparts [] in
+  let part k = Value.hash k land max_int mod nparts in
+  let nl =
+    List.fold_left
+      (fun i l ->
+        let k = lkeyfn l in
+        let p = part k in
+        lparts.(p) <- (i, l, k) :: lparts.(p);
+        i + 1)
+      0 lrows
+  in
+  List.iter
+    (fun r ->
+      let k = rkeyfn r in
+      let p = part k in
+      rparts.(p) <- (r, k) :: rparts.(p))
+    rrows;
+  let out = Array.make nl [] in
+  let parts = Array.init nparts (fun _ -> Stats.create ()) in
+  Pool.run ~jobs nparts (fun p ->
+      let st = parts.(p) in
+      let table = Vtbl.create 64 in
+      List.iter
+        (fun (r, k) ->
+          st.Stats.hash_builds <- st.Stats.hash_builds + 1;
+          match Vtbl.find_opt table k with
+          | Some bucket -> Vtbl.replace table k (r :: bucket)
+          | None -> Vtbl.add table k [ r ])
+        (List.rev rparts.(p));
+      List.iter
+        (fun (i, l, k) ->
+          st.Stats.hash_probes <- st.Stats.hash_probes + 1;
+          let matches =
+            match Vtbl.find_opt table k with
+            | Some bucket -> List.rev bucket
+            | None -> []
+          in
+          out.(i) <- emit st l matches)
+        lparts.(p));
+  merge_parts stats parts;
+  List.concat (Array.to_list out)
 
 let rec rows_fr fr catalog env plan =
   match fr.node with
@@ -241,13 +365,24 @@ and exec_rows fr catalog env plan =
     | P.Unit_row -> [ env ]
     | P.Scan { table; var } ->
       let t = Cobj.Catalog.find_exn table catalog in
-      List.map (fun v -> Env.bind var v env) (Cobj.Table.rows t)
+      let trows = Cobj.Table.rows t in
+      if fr.jobs > 1 && List.length trows >= morsel_min then
+        par_map ~jobs:fr.jobs ~stats (fun _st v -> Env.bind var v env) trows
+      else List.map (fun v -> Env.bind var v env) trows
     | P.Filter { pred; input } ->
       let predfn = Compile.pred catalog pred in
-      rows_fr (c0 fr) catalog env input
-      |> List.filter (fun r ->
-             stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
-             predfn r)
+      let input_rows = rows_fr (c0 fr) catalog env input in
+      if fr.jobs > 1 && List.length input_rows >= morsel_min then
+        par_filter ~jobs:fr.jobs ~stats
+          (fun st r ->
+            st.Stats.predicate_evals <- st.Stats.predicate_evals + 1;
+            predfn r)
+          input_rows
+      else
+        input_rows
+        |> List.filter (fun r ->
+               stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
+               predfn r)
     | P.Nl_join { pred; left; right } ->
       let predfn = Compile.pred catalog pred in
       let rrows = rows_fr (c1 fr) catalog env right in
@@ -262,14 +397,28 @@ and exec_rows fr catalog env plan =
                rrows)
     | P.Hash_join { lkey; rkey; residual; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
-      let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats (c1 fr) catalog env right rkey in
-      rows_fr (c0 fr) catalog env left
-      |> List.concat_map (fun l ->
-             probe ~stats table (lkeyfn l)
-             |> List.filter_map (fun r ->
-                    let merged = Env.append r l in
-                    if rok merged then Some merged else None))
+      let lrows = rows_fr (c0 fr) catalog env left in
+      if fr.jobs > 1 && List.length lrows >= join_min then
+        let rkeyfn = Compile.expr catalog rkey in
+        let rokfn = residual_fn catalog residual in
+        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn ~rkeyfn
+          ~emit:(fun st l matches ->
+            List.filter_map
+              (fun r ->
+                let merged = Env.append r l in
+                if rok_part st rokfn merged then Some merged else None)
+              matches)
+          lrows
+          (rows_fr (c1 fr) catalog env right)
+      else
+        let rok = compile_residual ~stats catalog residual in
+        let table = build ~stats (c1 fr) catalog env right rkey in
+        lrows
+        |> List.concat_map (fun l ->
+               probe ~stats table (lkeyfn l)
+               |> List.filter_map (fun r ->
+                      let merged = Env.append r l in
+                      if rok merged then Some merged else None))
     | P.Merge_join { lkey; rkey; residual; left; right } ->
       let rok = compile_residual ~stats catalog residual in
       let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
@@ -300,15 +449,31 @@ and exec_rows fr catalog env plan =
              if anti then not found else found)
     | P.Hash_semijoin { lkey; rkey; residual; anti; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
-      let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats (c1 fr) catalog env right rkey in
-      rows_fr (c0 fr) catalog env left
-      |> List.filter (fun l ->
-             let found =
-               probe ~stats table (lkeyfn l)
-               |> List.exists (fun r -> rok (Env.append r l))
-             in
-             if anti then not found else found)
+      let lrows = rows_fr (c0 fr) catalog env left in
+      if fr.jobs > 1 && List.length lrows >= join_min then
+        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+          ~rkeyfn:(Compile.expr catalog rkey)
+          ~emit:
+            (let rokfn = residual_fn catalog residual in
+             fun st l matches ->
+               let found =
+                 List.exists
+                   (fun r -> rok_part st rokfn (Env.append r l))
+                   matches
+               in
+               if (if anti then not found else found) then [ l ] else [])
+          lrows
+          (rows_fr (c1 fr) catalog env right)
+      else
+        let rok = compile_residual ~stats catalog residual in
+        let table = build ~stats (c1 fr) catalog env right rkey in
+        lrows
+        |> List.filter (fun l ->
+               let found =
+                 probe ~stats table (lkeyfn l)
+                 |> List.exists (fun r -> rok (Env.append r l))
+               in
+               if anti then not found else found)
     | P.Merge_semijoin { lkey; rkey; residual; anti; left; right } ->
       let rok = compile_residual ~stats catalog residual in
       let lgroups = sorted_groups ~stats (c0 fr) catalog env left lkey in
@@ -355,18 +520,40 @@ and exec_rows fr catalog env plan =
              match matches with [] -> [ pad_nulls rvars l ] | _ :: _ -> matches)
     | P.Hash_outerjoin { lkey; rkey; residual; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
-      let rok = compile_residual ~stats catalog residual in
-      let table = build ~stats (c1 fr) catalog env right rkey in
       let rvars = P.vars_of right in
-      rows_fr (c0 fr) catalog env left
-      |> List.concat_map (fun l ->
-             let matches =
-               probe ~stats table (lkeyfn l)
-               |> List.filter_map (fun r ->
-                      let merged = Env.append r l in
-                      if rok merged then Some merged else None)
-             in
-             match matches with [] -> [ pad_nulls rvars l ] | _ :: _ -> matches)
+      let lrows = rows_fr (c0 fr) catalog env left in
+      if fr.jobs > 1 && List.length lrows >= join_min then
+        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+          ~rkeyfn:(Compile.expr catalog rkey)
+          ~emit:
+            (let rokfn = residual_fn catalog residual in
+             fun st l matches ->
+               let kept =
+                 List.filter_map
+                   (fun r ->
+                     let merged = Env.append r l in
+                     if rok_part st rokfn merged then Some merged else None)
+                   matches
+               in
+               match kept with
+               | [] -> [ pad_nulls rvars l ]
+               | _ :: _ -> kept)
+          lrows
+          (rows_fr (c1 fr) catalog env right)
+      else
+        let rok = compile_residual ~stats catalog residual in
+        let table = build ~stats (c1 fr) catalog env right rkey in
+        lrows
+        |> List.concat_map (fun l ->
+               let matches =
+                 probe ~stats table (lkeyfn l)
+                 |> List.filter_map (fun r ->
+                        let merged = Env.append r l in
+                        if rok merged then Some merged else None)
+               in
+               match matches with
+               | [] -> [ pad_nulls rvars l ]
+               | _ :: _ -> matches)
     | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
       let rok = compile_residual ~stats catalog residual in
       let rvars = P.vars_of right in
@@ -422,18 +609,37 @@ and exec_rows fr catalog env plan =
              Env.bind label (Value.set members) l)
     | P.Hash_nestjoin { lkey; rkey; residual; func; label; left; right } ->
       let lkeyfn = Compile.expr catalog lkey in
-      let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
-      let table = build ~stats (c1 fr) catalog env right rkey in
-      rows_fr (c0 fr) catalog env left
-      |> List.map (fun l ->
-             let members =
-               probe ~stats table (lkeyfn l)
-               |> List.filter_map (fun r ->
-                      let merged = Env.append r l in
-                      if rok merged then Some (funcfn merged) else None)
-             in
-             Env.bind label (Value.set members) l)
+      let lrows = rows_fr (c0 fr) catalog env left in
+      if fr.jobs > 1 && List.length lrows >= join_min then
+        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+          ~rkeyfn:(Compile.expr catalog rkey)
+          ~emit:
+            (let rokfn = residual_fn catalog residual in
+             fun st l matches ->
+               let members =
+                 List.filter_map
+                   (fun r ->
+                     let merged = Env.append r l in
+                     if rok_part st rokfn merged then Some (funcfn merged)
+                     else None)
+                   matches
+               in
+               [ Env.bind label (Value.set members) l ])
+          lrows
+          (rows_fr (c1 fr) catalog env right)
+      else
+        let rok = compile_residual ~stats catalog residual in
+        let table = build ~stats (c1 fr) catalog env right rkey in
+        lrows
+        |> List.map (fun l ->
+               let members =
+                 probe ~stats table (lkeyfn l)
+                 |> List.filter_map (fun r ->
+                        let merged = Env.append r l in
+                        if rok merged then Some (funcfn merged) else None)
+               in
+               Env.bind label (Value.set members) l)
     | P.Hash_nestjoin_left { lkey; rkey; residual; func; label; left; right }
       ->
       (* Streaming right against a left build table: emits a group as soon
@@ -558,15 +764,34 @@ and exec_rows fr catalog env plan =
         !order
     | P.Extend_op { var; expr; input } ->
       let exprfn = Compile.expr catalog expr in
-      rows_fr (c0 fr) catalog env input
-      |> List.map (fun r -> Env.bind var (exprfn r) r)
+      let input_rows = rows_fr (c0 fr) catalog env input in
+      if fr.jobs > 1 && List.length input_rows >= morsel_min then
+        par_map ~jobs:fr.jobs ~stats
+          (fun _st r -> Env.bind var (exprfn r) r)
+          input_rows
+      else List.map (fun r -> Env.bind var (exprfn r) r) input_rows
     | P.Project_op { vars; input } ->
-      rows_fr (c0 fr) catalog env input
-      |> List.map (fun r -> Env.append (Env.project vars r) env)
+      let input_rows = rows_fr (c0 fr) catalog env input in
+      (if fr.jobs > 1 && List.length input_rows >= morsel_min then
+         par_map ~jobs:fr.jobs ~stats
+           (fun _st r -> Env.append (Env.project vars r) env)
+           input_rows
+       else List.map (fun r -> Env.append (Env.project vars r) env) input_rows)
       |> List.sort_uniq Env.compare
     | P.Apply_op { var; subquery; memo; input } ->
       let input_rows = rows_fr (c0 fr) catalog env input in
-      let subfr = c1 fr in
+      (* A correlated subplan re-runs inside the apply loop with per-row
+         bindings; it conservatively executes serially (its apply loop is
+         already the unit of work, and the memo cache is unsynchronized).
+         An uncorrelated subplan runs once and may parallelize freely. *)
+      let corr =
+        Sset.inter (query_free_vars subquery)
+          (Sset.of_list (P.vars_of input))
+      in
+      let subfr =
+        let sub = c1 fr in
+        if Sset.is_empty corr then sub else { sub with jobs = 1 }
+      in
       if not memo then
         List.map
           (fun r ->
@@ -574,10 +799,6 @@ and exec_rows fr catalog env plan =
             Env.bind var (run_under_fr subfr catalog r subquery) r)
           input_rows
       else begin
-        let corr =
-          Sset.inter (query_free_vars subquery)
-            (Sset.of_list (P.vars_of input))
-        in
         let key_exprs = correlation_key_exprs corr subquery in
         let cache = Vtbl.create 64 in
         let key_fns = List.map (Compile.expr catalog) key_exprs in
@@ -713,21 +934,26 @@ and run_under_fr fr catalog env { P.plan; result } =
   let produced = rows_fr fr catalog env plan in
   Value.set (List.map resultfn produced)
 
-let frame_of_stats stats = { sink = stats; node = None }
-let frame_of_node node = { sink = node.Stats.counters; node = Some node }
+let clamp_jobs jobs = max 1 (min jobs Pool.max_jobs)
+let frame_of_stats ~jobs stats = { sink = stats; node = None; jobs }
 
-let rows ?(stats = no_stats) catalog env plan =
-  rows_fr (frame_of_stats stats) catalog env plan
+let frame_of_node ~jobs node =
+  { sink = node.Stats.counters; node = Some node; jobs }
 
-let rows_instrumented node catalog env plan =
-  rows_fr (frame_of_node node) catalog env plan
+let rows ?(stats = no_stats) ?(jobs = 1) catalog env plan =
+  rows_fr (frame_of_stats ~jobs:(clamp_jobs jobs) stats) catalog env plan
 
-let run_under ?(stats = no_stats) catalog env query =
-  run_under_fr (frame_of_stats stats) catalog env query
+let rows_instrumented ?(jobs = 1) node catalog env plan =
+  rows_fr (frame_of_node ~jobs:(clamp_jobs jobs) node) catalog env plan
 
-let run ?stats catalog query = run_under ?stats catalog Env.empty query
+let run_under ?(stats = no_stats) ?(jobs = 1) catalog env query =
+  run_under_fr (frame_of_stats ~jobs:(clamp_jobs jobs) stats) catalog env query
 
-let run_instrumented catalog query =
+let run ?stats ?jobs catalog query =
+  run_under ?stats ?jobs catalog Env.empty query
+
+let run_instrumented ?(jobs = 1) catalog query =
   let tree = Analyze.tree_of_query query in
-  let v = run_under_fr (frame_of_node tree) catalog Env.empty query in
+  let fr = frame_of_node ~jobs:(clamp_jobs jobs) tree in
+  let v = run_under_fr fr catalog Env.empty query in
   (v, tree)

@@ -14,14 +14,27 @@
 
 val rows :
   ?stats:Stats.t ->
+  ?jobs:int ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.t ->
   Cobj.Env.t list
 (** Rows produced under an ambient environment (for correlation variables),
-    in implementation order (not canonicalized). *)
+    in implementation order (not canonicalized).
+
+    [jobs] (default 1) is the partition-parallel width. With [jobs > 1],
+    morsel-eligible operators (scan, filter, extend, project) fan per-row
+    work over a domain pool and the hash-based joins (join, semijoin,
+    antijoin, outerjoin, nest join) hash-partition both operands on the
+    join key and run per-partition joins on worker domains. Results come
+    back in serial row order and every counter lands on the same operator
+    it would serially, so output and statistics are identical for every
+    [jobs] value. Correlated apply subplans always execute serially inside
+    their apply loop (classified with {!query_free_vars}); values above
+    [Pool.max_jobs] are clamped. *)
 
 val rows_instrumented :
+  ?jobs:int ->
   Stats.node ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
@@ -31,20 +44,27 @@ val rows_instrumented :
     wall-clock into a {!Stats.node} tree (built with
     [Analyze.tree_of_plan] so its shape matches the plan). Summing the tree
     ({!Stats.totals}) yields exactly what {!rows} would have put in a
-    global [Stats.t]. *)
+    global [Stats.t] — under any [jobs]: per-domain counter sets are merged
+    back into the owning operator's node in deterministic partition
+    order. *)
 
 val run_instrumented :
-  Cobj.Catalog.t -> Physical.query -> Cobj.Value.t * Stats.node
+  ?jobs:int -> Cobj.Catalog.t -> Physical.query -> Cobj.Value.t * Stats.node
 (** Execute a closed physical query under a fresh annotation tree; returns
     the result value and the filled-in tree (est_rows still [nan] — the
     cost model lives upstream, see [Core.Cost.annotate]). *)
 
 val run :
-  ?stats:Stats.t -> Cobj.Catalog.t -> Physical.query -> Cobj.Value.t
+  ?stats:Stats.t ->
+  ?jobs:int ->
+  Cobj.Catalog.t ->
+  Physical.query ->
+  Cobj.Value.t
 (** Set value of a closed physical query. *)
 
 val run_under :
   ?stats:Stats.t ->
+  ?jobs:int ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.query ->

@@ -1,0 +1,134 @@
+(* A tiny work-sharing domain pool — the morsel scheduler behind
+   partition-parallel execution.
+
+   One job is active at a time: the caller publishes an item count and a
+   body, wakes the workers, then drains items itself alongside them. Items
+   are claimed from a shared atomic counter (dynamic, morsel-style
+   scheduling); a per-job ticket counter caps how many workers join, so a
+   pool grown to 7 workers still runs a [~jobs:2] region on exactly two
+   domains. Worker domains are spawned lazily on first use, reused across
+   jobs, and joined at process exit. *)
+
+type job = {
+  body : int -> unit; (* never raises: exceptions are captured in [run] *)
+  n : int;
+  next : int Atomic.t; (* next unclaimed item *)
+  remaining : int Atomic.t; (* items not yet finished *)
+  tickets : int Atomic.t; (* worker slots left for this job *)
+}
+
+type pool = {
+  m : Mutex.t;
+  cv : Condition.t; (* new job / shutdown (workers); job finished (caller) *)
+  mutable job : job option;
+  mutable seq : int; (* job sequence number, to dedupe wake-ups *)
+  mutable shutdown : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let pool =
+  {
+    m = Mutex.create ();
+    cv = Condition.create ();
+    job = None;
+    seq = 0;
+    shutdown = false;
+    workers = [];
+  }
+
+(* The OCaml runtime caps live domains at 128; stay well below it. *)
+let max_jobs = 64
+
+let drain job =
+  let rec loop () =
+    let i = Atomic.fetch_and_add job.next 1 in
+    if i < job.n then begin
+      job.body i;
+      (* the finisher of the last item wakes the (possibly waiting) caller *)
+      if Atomic.fetch_and_add job.remaining (-1) = 1 then begin
+        Mutex.lock pool.m;
+        Condition.broadcast pool.cv;
+        Mutex.unlock pool.m
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let rec worker_loop seen =
+  Mutex.lock pool.m;
+  while (not pool.shutdown) && (pool.job = None || pool.seq = seen) do
+    Condition.wait pool.cv pool.m
+  done;
+  if pool.shutdown then Mutex.unlock pool.m
+  else begin
+    let job = Option.get pool.job in
+    let seq = pool.seq in
+    Mutex.unlock pool.m;
+    if Atomic.fetch_and_add job.tickets (-1) > 0 then drain job;
+    worker_loop seq
+  end
+
+let exit_hook_installed = ref false
+
+(* Called from the main domain only, between jobs (pool.job = None). *)
+let ensure_workers count =
+  let missing = count - List.length pool.workers in
+  if missing > 0 then begin
+    if not !exit_hook_installed then begin
+      exit_hook_installed := true;
+      at_exit (fun () ->
+          Mutex.lock pool.m;
+          pool.shutdown <- true;
+          Condition.broadcast pool.cv;
+          Mutex.unlock pool.m;
+          List.iter Domain.join pool.workers)
+    end;
+    for _ = 1 to missing do
+      pool.workers <- Domain.spawn (fun () -> worker_loop 0) :: pool.workers
+    done
+  end
+
+let run ~jobs n body =
+  let jobs = min jobs max_jobs in
+  if n > 0 then
+    if jobs <= 1 || n = 1 then
+      for i = 0 to n - 1 do
+        body i
+      done
+    else begin
+      ensure_workers (jobs - 1);
+      let first_exn = Atomic.make None in
+      let guarded i =
+        try body i
+        with e ->
+          let bt = Printexc.get_raw_backtrace () in
+          ignore (Atomic.compare_and_set first_exn None (Some (e, bt)))
+      in
+      let job =
+        {
+          body = guarded;
+          n;
+          next = Atomic.make 0;
+          remaining = Atomic.make n;
+          tickets = Atomic.make (jobs - 1);
+        }
+      in
+      Mutex.lock pool.m;
+      pool.job <- Some job;
+      pool.seq <- pool.seq + 1;
+      Condition.broadcast pool.cv;
+      Mutex.unlock pool.m;
+      drain job;
+      Mutex.lock pool.m;
+      while Atomic.get job.remaining > 0 do
+        Condition.wait pool.cv pool.m
+      done;
+      pool.job <- None;
+      Mutex.unlock pool.m;
+      match Atomic.get first_exn with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+
+let size () = List.length pool.workers

@@ -1,0 +1,27 @@
+(** A tiny work-sharing domain pool — the morsel scheduler behind
+    partition-parallel execution.
+
+    [run ~jobs n body] evaluates [body i] for every [0 <= i < n] on at most
+    [jobs] domains in total: the calling domain plus up to [jobs - 1]
+    pooled workers. Worker domains are spawned lazily on first use, reused
+    across calls, and joined at process exit. Items are claimed from a
+    shared atomic counter, so scheduling is dynamic (morsel-style);
+    [body] must be safe to run concurrently on distinct indices.
+    Exceptions raised by [body] are re-raised in the caller once all items
+    have finished (the first one wins).
+
+    Intended usage is single-threaded orchestration: only the main domain
+    calls [run], and [body] never calls [run] re-entrantly — the executor
+    guarantees both (parallel regions hand worker bodies a serial
+    execution context). *)
+
+val max_jobs : int
+(** Hard cap on [jobs]: the OCaml runtime limits live domains to 128, so
+    requests beyond this are clamped. *)
+
+val run : jobs:int -> int -> (int -> unit) -> unit
+(** [run ~jobs n body] — see above. [jobs <= 1] (or [n <= 1]) degrades to a
+    plain serial loop on the calling domain, spawning nothing. *)
+
+val size : unit -> int
+(** Number of worker domains currently alive (for tests). *)

@@ -12,8 +12,17 @@ let next t =
 
 let int t n =
   if n <= 0 then invalid_arg "Prng.int: bound must be positive";
-  let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
-  v mod n
+  (* Rejection sampling over the 62-bit draw: plain [v mod n] over-weights
+     the first [2^62 mod n] residues. Draws land in the rejected tail with
+     probability < n / 2^62, so streams for small [n] are, in practice,
+     the same as before the fix. *)
+  let rem = ((max_int mod n) + 1) mod n in
+  let limit = max_int - rem in
+  let rec draw () =
+    let v = Int64.to_int (Int64.shift_right_logical (next t) 2) in
+    if v <= limit then v mod n else draw ()
+  in
+  draw ()
 
 let bool t p = float_of_int (int t 1_000_000) /. 1_000_000.0 < p
 

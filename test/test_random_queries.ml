@@ -11,13 +11,13 @@
 open Helpers
 module Value = Cobj.Value
 
-let catalog =
+let make_catalog ~dangling =
   (* the XY tables plus a variant-typed attribute table for the tagged
      query templates *)
   let base =
     Workload.Gen.xy
       { Workload.Gen.default_xy with
-        nx = 20; ny = 20; key_dom = 5; dangling = 0.25; val_dom = 5; seed = 99 }
+        nx = 20; ny = 20; key_dom = 5; dangling; val_dom = 5; seed = 99 }
   in
   let tag_elt =
     Cobj.Ctype.ttuple
@@ -43,6 +43,12 @@ let catalog =
   Cobj.Catalog.add
     (Cobj.Table.create ~name:"TAGS" ~elt:tag_elt rows)
     base
+
+let catalog = make_catalog ~dangling:0.25
+
+(* every X row dangling: all hash-partitioned joins must reproduce the
+   Δ-semantics tuples (empty sets / NULL pads / antijoin survivors) exactly *)
+let all_dangling_catalog = make_catalog ~dangling:1.0
 
 (* --- query generator ----------------------------------------------------- *)
 
@@ -97,6 +103,16 @@ let where_shape =
       Printf.sprintf "x.a >= MAX(%s)";
       Printf.sprintf "EXISTS v IN (%s) (v = x.a)";
       Printf.sprintf "FORALL v IN (%s) (v > x.a)";
+      (* quantified Table 2 families: SOME/ALL θ-comparisons spelled with
+         EXISTS/FORALL, exercising the semijoin/antijoin split *)
+      Printf.sprintf "EXISTS v IN (%s) (v < x.a)";
+      Printf.sprintf "EXISTS v IN (%s) (v <> x.a)";
+      Printf.sprintf "FORALL v IN (%s) (v <> x.a)";
+      Printf.sprintf "FORALL v IN (%s) (v >= x.a)";
+      (* strict set-containment variants alongside the SUBSETEQ ones above *)
+      Printf.sprintf "x.s SUBSET (%s)";
+      Printf.sprintf "(%s) SUBSETEQ x.s";
+      Printf.sprintf "x.s SUPSET (%s)";
       Printf.sprintf "(%s) = {}";
       Printf.sprintf "(%s) <> {}";
       Printf.sprintf "x.s INTERSECT (%s) = {}";
@@ -234,10 +250,99 @@ let prop_forced_impls_agree =
               QCheck2.Test.fail_reportf "forced impl failed on %s: %s" src msg)
           Core.Planner.[ Force_nl; Force_hash; Force_merge ])
 
+(* --- partition-parallel execution ---------------------------------------- *)
+
+(* Three-way differential oracle: reference interpreter vs serial engine vs
+   partition-parallel engine at 2 and 4 domains, on the mixed catalog and
+   on an all-dangling one. [Decorrelated] exercises the parallel hash
+   joins; [Naive] keeps Apply nodes, exercising the correlated-stays-serial
+   classification under a parallel outer plan. *)
+let prop_parallel_agrees =
+  qcheck ~count:120 "parallel execution agrees with serial and interpreter"
+    query_gen
+    (fun src ->
+      List.for_all
+        (fun (cname, cat) ->
+          match Core.Pipeline.run Core.Pipeline.Interp cat src with
+          | Error msg ->
+            QCheck2.Test.fail_reportf "interp failed on %s (%s): %s" src cname
+              msg
+          | Ok reference ->
+            List.for_all
+              (fun strategy ->
+                List.for_all
+                  (fun jobs ->
+                    match Core.Pipeline.run ~jobs strategy cat src with
+                    | Ok v ->
+                      Value.equal reference v
+                      || QCheck2.Test.fail_reportf
+                           "%s jobs=%d differs on %s (%s):@.ref = %a@.got = \
+                            %a"
+                           (Core.Pipeline.strategy_name strategy)
+                           jobs src cname Value.pp reference Value.pp v
+                    | Error msg ->
+                      QCheck2.Test.fail_reportf "%s jobs=%d failed on %s (%s): %s"
+                        (Core.Pipeline.strategy_name strategy)
+                        jobs src cname msg)
+                  [ 1; 2; 4 ])
+              Core.Pipeline.[ Naive; Decorrelated ])
+        [ ("mixed", catalog); ("all-dangling", all_dangling_catalog) ])
+
+(* Merged parallel instrumentation is exact: the flat totals of the
+   annotation tree and every node's rows_out are invariant in the domain
+   count. *)
+let prop_parallel_stats_exact =
+  let module Stats = Engine.Stats in
+  let rec same_shape_rows (a : Stats.node) (b : Stats.node) =
+    a.Stats.op = b.Stats.op
+    && a.Stats.counters.Stats.rows_out = b.Stats.counters.Stats.rows_out
+    && a.Stats.loops = b.Stats.loops
+    && List.length a.Stats.children = List.length b.Stats.children
+    && List.for_all2 same_shape_rows a.Stats.children b.Stats.children
+  in
+  let totals_equal (a : Stats.t) (b : Stats.t) =
+    a.Stats.rows_out = b.Stats.rows_out
+    && a.Stats.predicate_evals = b.Stats.predicate_evals
+    && a.Stats.hash_builds = b.Stats.hash_builds
+    && a.Stats.hash_probes = b.Stats.hash_probes
+    && a.Stats.sorts = b.Stats.sorts
+    && a.Stats.applies = b.Stats.applies
+    && a.Stats.apply_hits = b.Stats.apply_hits
+  in
+  qcheck ~count:120 "merged parallel stats equal serial stats" query_gen
+    (fun src ->
+      match
+        Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+      with
+      | Error msg -> QCheck2.Test.fail_reportf "compile failed on %s: %s" src msg
+      | Ok { physical = None; _ } -> true
+      | Ok { physical = Some pq; _ } ->
+        let instrument jobs =
+          let tree = Engine.Analyze.tree_of_query pq in
+          ignore
+            (Engine.Exec.rows_instrumented ~jobs tree catalog Cobj.Env.empty
+               pq.Engine.Physical.plan);
+          tree
+        in
+        let serial = instrument 1 in
+        List.for_all
+          (fun jobs ->
+            let par = instrument jobs in
+            (totals_equal (Stats.totals serial) (Stats.totals par)
+            || QCheck2.Test.fail_reportf
+                 "totals differ at jobs=%d on %s:@.serial %a@.parallel %a" jobs
+                 src Stats.pp (Stats.totals serial) Stats.pp (Stats.totals par))
+            && (same_shape_rows serial par
+               || QCheck2.Test.fail_reportf
+                    "per-node rows_out differs at jobs=%d on %s" jobs src))
+          [ 2; 4 ])
+
 let suite =
   [
     prop_strategies_agree;
     prop_optimized_plans_typecheck;
     prop_optimized_plans_well_formed;
     prop_forced_impls_agree;
+    prop_parallel_agrees;
+    prop_parallel_stats_exact;
   ]

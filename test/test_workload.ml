@@ -80,9 +80,47 @@ let test_prng_stability () =
   let rng = Workload.Prng.create 42 in
   let observed = List.init 6 (fun _ -> Workload.Prng.int rng 1000) in
   Alcotest.(check (list int))
-    "fixed stream for seed 42" observed
-    (let rng = Workload.Prng.create 42 in
-     List.init 6 (fun _ -> Workload.Prng.int rng 1000))
+    "fixed stream for seed 42"
+    [ 853; 72; 964; 941; 812; 265 ]
+    observed
+
+(* The pre-fix [Prng.int] folded the whole 62-bit draw with [v mod n],
+   over-weighting the first [2^62 mod n] residues. The reference stream
+   below replays splitmix64 with that fold; for a bound of [2^61 + 1] about
+   half of all draws land in the rejected tail, so the fixed generator must
+   diverge from it (while staying in range and deterministic). For small
+   bounds the tail is hit with probability < n / 2^62 — streams like the
+   one pinned above are unchanged. *)
+let splitmix_biased seed =
+  let state = ref (Int64.of_int seed) in
+  fun n ->
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+    Int64.to_int (Int64.shift_right_logical z 2) mod n
+
+let test_prng_rejection () =
+  let n = (1 lsl 61) + 1 in
+  let rng = Workload.Prng.create 7 in
+  let fixed = List.init 64 (fun _ -> Workload.Prng.int rng n) in
+  List.iter
+    (fun v ->
+      Alcotest.check Alcotest.bool "in range" true (v >= 0 && v < n))
+    fixed;
+  let biased =
+    let draw = splitmix_biased 7 in
+    List.init 64 (fun _ -> draw n)
+  in
+  Alcotest.check Alcotest.bool "rejection sampling diverges from mod fold"
+    false (fixed = biased)
 
 let suite =
   [
@@ -94,6 +132,7 @@ let suite =
     Alcotest.test_case "company consistency" `Quick test_company_consistency;
     Alcotest.test_case "table 1 instances" `Quick test_table1_instances;
     Alcotest.test_case "prng stability" `Quick test_prng_stability;
+    Alcotest.test_case "prng rejection sampling" `Quick test_prng_rejection;
   ]
 
 let test_distinct_count () =
