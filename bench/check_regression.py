@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_<suite>.json artifact against a baseline artifact.
+
+Usage: check_regression.py CURRENT.json [BASELINE.json]
+
+Exits non-zero when a watched experiment regressed by more than the
+threshold against the baseline. When the baseline file is missing the
+check is skipped (exit 0) so the first run on a fresh branch — or a run
+where the previous artifact could not be downloaded — does not fail.
+
+Only same-machine comparisons are meaningful for absolute timings, so
+this is intended to compare artifacts produced by the same CI runner
+class (the previous run on main vs. the current run). The bloom section
+is additionally validated structurally: the dangling-heavy configurations
+must actually prune, whatever the hardware does to the timings.
+"""
+
+import json
+import math
+import sys
+
+# Headline experiments whose ns/run trajectory gates the build: the
+# flatten-to-semijoin pipeline and the hash nest-join, the two operators
+# the paper's rewrites lean on.
+WATCHED = ["E1-flatten-semijoin", "E2-hash-nestjoin"]
+THRESHOLD = 1.25  # fail when current > baseline * THRESHOLD
+
+
+def ns_per_run(doc):
+    out = {}
+    for exp in doc.get("experiments", []):
+        out[exp["name"]] = exp.get("ns_per_run")
+    return out
+
+
+def bloom_rows(doc):
+    return {
+        (e["catalog"], e["query"], e["jobs"]): e for e in doc.get("bloom", [])
+    }
+
+
+def usable(x):
+    return isinstance(x, (int, float)) and not math.isnan(x) and x > 0
+
+
+def validate_bloom(doc):
+    """Structural invariants that hold on any hardware."""
+    rows = doc.get("bloom", [])
+    if not rows:
+        print("FAIL: artifact has no bloom section")
+        return False
+    ok = True
+    for e in rows:
+        where = f"bloom[{e['catalog']}/{e['query']}/jobs={e['jobs']}]"
+        if e["bloom_checks"] <= 0:
+            print(f"FAIL: {where}: no bloom checks recorded")
+            ok = False
+        elif e["catalog"] == "all-dangling":
+            # Nearly every probe key is absent from the build side, so the
+            # filter must prune nearly everything (false positives only).
+            rate = e["bloom_prunes"] / e["bloom_checks"]
+            if rate < 0.9:
+                print(f"FAIL: {where}: prune rate {rate:.2f} < 0.9")
+                ok = False
+            else:
+                print(
+                    f"ok: {where}: pruned {e['bloom_prunes']}/{e['bloom_checks']}"
+                    f" ({rate:.1%}), query speedup {e['speedup']:.2f}x,"
+                    f" operator speedup {e['operator_speedup']:.2f}x"
+                )
+    return ok
+
+
+def compare(current, baseline):
+    ok = True
+    cur_ns, base_ns = ns_per_run(current), ns_per_run(baseline)
+    for name in WATCHED:
+        c, b = cur_ns.get(name), base_ns.get(name)
+        if not usable(c) or not usable(b):
+            print(f"skip: {name}: no usable ns/run estimate (cur={c} base={b})")
+            continue
+        ratio = c / b
+        verdict = "FAIL" if ratio > THRESHOLD else "ok"
+        print(f"{verdict}: {name}: {b:.0f} -> {c:.0f} ns/run ({ratio:.2f}x)")
+        if ratio > THRESHOLD:
+            ok = False
+    cur_bloom, base_bloom = bloom_rows(current), bloom_rows(baseline)
+    for key, base_e in base_bloom.items():
+        cur_e = cur_bloom.get(key)
+        if cur_e is None:
+            continue
+        c, b = cur_e.get("bloom_ms"), base_e.get("bloom_ms")
+        if not usable(c) or not usable(b):
+            continue
+        ratio = c / b
+        where = "bloom[%s/%s/jobs=%d]" % key
+        verdict = "FAIL" if ratio > THRESHOLD else "ok"
+        print(f"{verdict}: {where}: {b:.1f} -> {c:.1f} ms ({ratio:.2f}x)")
+        if ratio > THRESHOLD:
+            ok = False
+    return ok
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__)
+        return 2
+    current = json.load(open(sys.argv[1]))
+    ok = validate_bloom(current)
+    if len(sys.argv) > 2:
+        try:
+            baseline = json.load(open(sys.argv[2]))
+        except FileNotFoundError:
+            print(f"skip: no baseline at {sys.argv[2]}; regression gate skipped")
+            return 0 if ok else 1
+        ok = compare(current, baseline) and ok
+    else:
+        print("skip: no baseline given; regression gate skipped")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -200,6 +200,148 @@ let parallel_case ~suite =
       ("speedup", Json.Float speedup);
     ]
 
+(* Bloom-filter sideways information passing on dangling-heavy workloads:
+   the probe side is several times the build side and the build side is
+   large enough that its hash table is cache-hostile while its Bloom
+   filter is not — the regime the filter is for. Two timings per
+   configuration:
+
+   - whole-query wall clock, where the (shared) scan and materialization
+     cost of both operands dilutes the effect;
+   - the join operator's own time (its node in the EXPLAIN ANALYZE tree
+     minus its children), isolating build + probe — the work the filter
+     actually changes.
+
+   A mixed catalog (half the probe keys dangling) sits next to an
+   all-dangling one to show the prune-rate dependence; the artifact
+   records the prune counters alongside both timings. *)
+let bloom_case ~suite =
+  let scale = if suite = "smoke" then 10_000 else 100_000 in
+  let jobs =
+    match Pipeline.default_jobs () with n when n >= 2 -> n | _ -> 4
+  in
+  let opts =
+    { Core.Planner.default_options with
+      Core.Planner.force = Core.Planner.Force_hash }
+  in
+  (* Single-field join keys keep the shared per-probe work (key eval +
+     hash) small, so the avoidable hash-table lookup is what differs. *)
+  let semijoin_q = "SELECT x.id FROM X x WHERE x.b IN (SELECT y.b FROM Y y)" in
+  let nest_q =
+    "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x"
+  in
+  (* Exclusive time of the topmost hash operator, median of [reps]
+     instrumented runs. *)
+  let operator_ms ~jobs ~bloom catalog c =
+    let module Stats = Engine.Stats in
+    let prefixed p s =
+      String.length s >= String.length p && String.sub s 0 (String.length p) = p
+    in
+    let rec find (n : Stats.node) =
+      if prefixed "hash-" n.Stats.op then Some n
+      else
+        List.fold_left
+          (fun acc ch -> match acc with Some _ -> acc | None -> find ch)
+          None n.Stats.children
+    in
+    let once () =
+      match Pipeline.analyze ~jobs ~bloom catalog c with
+      | Error msg -> failwith msg
+      | Ok (_, tree) -> (
+        match find tree with
+        | None -> failwith "bloom bench: no hash operator in plan"
+        | Some n ->
+          let children_ns =
+            List.fold_left
+              (fun acc ch -> Int64.add acc ch.Stats.time_ns)
+              0L n.Stats.children
+          in
+          Int64.to_float (Int64.sub n.Stats.time_ns children_ns) /. 1e6)
+    in
+    let samples = List.sort Float.compare (List.init 3 (fun _ -> once ())) in
+    List.nth samples 1
+  in
+  let rows = ref [] in
+  let entries = ref [] in
+  List.iter
+    (fun (cname, dangling) ->
+      let catalog =
+        Workload.Gen.xy
+          { Workload.Gen.default_xy with
+            nx = 4 * scale; ny = scale; key_dom = scale; dangling; seed = 77 }
+      in
+      List.iter
+        (fun (qname, q) ->
+          let c = compiled ~options:opts Pipeline.Decorrelated catalog q in
+          List.iter
+            (fun j ->
+              let on = Pipeline.execute ~jobs:j ~bloom:true catalog c in
+              let off = Pipeline.execute ~jobs:j ~bloom:false catalog c in
+              if not (Cobj.Value.equal on off) then
+                failwith (qname ^ ": bloom filtering changed the result");
+              let stats = Engine.Stats.create () in
+              ignore (Pipeline.execute ~stats ~jobs:j ~bloom:true catalog c);
+              (* Interleaved rounds, keeping the per-mode minimum: heap
+                 and GC state drift across a long run, so measuring one
+                 mode entirely before the other biases whichever ran on
+                 the colder heap. *)
+              let timed bloom =
+                Harness.measure_ms ~budget_ns:2.5e8 (fun () ->
+                    ignore (Pipeline.execute ~jobs:j ~bloom catalog c))
+              in
+              let b1 = timed true in
+              let n1 = timed false in
+              let b2 = timed true in
+              let n2 = timed false in
+              let bloom_ms = Float.min b1 b2 in
+              let nobloom_ms = Float.min n1 n2 in
+              let op_bloom_ms = operator_ms ~jobs:j ~bloom:true catalog c in
+              let op_nobloom_ms = operator_ms ~jobs:j ~bloom:false catalog c in
+              let speedup = nobloom_ms /. bloom_ms in
+              let op_speedup = op_nobloom_ms /. op_bloom_ms in
+              rows :=
+                [
+                  cname; qname; string_of_int j;
+                  Harness.fms bloom_ms; Harness.fms nobloom_ms;
+                  Harness.fratio speedup;
+                  Harness.fms op_bloom_ms; Harness.fms op_nobloom_ms;
+                  Harness.fratio op_speedup;
+                  string_of_int stats.Engine.Stats.bloom_prunes;
+                ]
+                :: !rows;
+              entries :=
+                Json.Obj
+                  [
+                    ("catalog", Json.String cname);
+                    ("query", Json.String qname);
+                    ("dangling", Json.Float dangling);
+                    ("probe_rows", Json.Int (4 * scale));
+                    ("build_rows", Json.Int scale);
+                    ("jobs", Json.Int j);
+                    ("bloom_ms", Json.Float bloom_ms);
+                    ("nobloom_ms", Json.Float nobloom_ms);
+                    ("speedup", Json.Float speedup);
+                    ("operator_bloom_ms", Json.Float op_bloom_ms);
+                    ("operator_nobloom_ms", Json.Float op_nobloom_ms);
+                    ("operator_speedup", Json.Float op_speedup);
+                    ("bloom_checks", Json.Int stats.Engine.Stats.bloom_checks);
+                    ("bloom_prunes", Json.Int stats.Engine.Stats.bloom_prunes);
+                  ]
+                :: !entries)
+            [ 1; jobs ])
+        [ ("semijoin", semijoin_q); ("nestjoin", nest_q) ])
+    [ ("mixed", 0.5); ("all-dangling", 1.0) ];
+  Harness.print_table
+    ~title:
+      (Printf.sprintf
+         "bloom SIP on dangling-heavy hash joins (probe=%d build=%d)"
+         (4 * scale) scale)
+    ~header:
+      [ "catalog"; "query"; "jobs"; "query ms"; "no-bloom"; "speedup";
+        "op ms"; "op no-bloom"; "op speedup"; "prunes" ]
+    (List.rev !rows);
+  Json.List (List.rev !entries)
+
 let headline ~suite ~limit ~quota () =
   let open Bechamel in
   let cases = headline_cases () in
@@ -228,6 +370,7 @@ let headline ~suite ~limit ~quota () =
       cases
   in
   let parallel = parallel_case ~suite in
+  let bloom = bloom_case ~suite in
   Harness.write_json_artifact ~suite
     (Json.Obj
        [
@@ -236,6 +379,7 @@ let headline ~suite ~limit ~quota () =
          ("jobs", Json.Int (Pipeline.default_jobs ()));
          ("experiments", Json.List experiments);
          ("parallel", parallel);
+         ("bloom", bloom);
        ])
 
 let run_suite = function
@@ -255,6 +399,7 @@ let () =
       (fun name ->
         match name with
         | "headline" | "smoke" -> run_suite name
+        | "bloom" -> ignore (bloom_case ~suite:"headline")
         | _ -> (
           match List.assoc_opt name Experiments.all with
           | Some f -> f ()

@@ -118,6 +118,16 @@ let no_timing_arg =
           "With $(b,--explain-analyze), omit wall-clock fields so the \
            output is deterministic (for tests and diffing).")
 
+let no_bloom_arg =
+  Arg.(
+    value & flag
+    & info [ "no-bloom" ]
+        ~doc:
+          "Disable Bloom-filter sideways information passing in the \
+           hash-join family. Results are identical either way; only the \
+           bloom_checks/bloom_prunes counters differ (for the differential \
+           tests and the benches).")
+
 let jobs_arg =
   Arg.(
     value & opt (some int) None
@@ -159,7 +169,7 @@ let with_catalog ?file name seed scale f =
 
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing jobs verbose query =
+      no_timing jobs no_bloom verbose query =
     setup_logs verbose;
     match jobs with
     | Some n when n < 1 ->
@@ -173,7 +183,10 @@ let run_cmd =
               Fmt.epr "error: %s@." msg;
               1
             | Ok compiled -> (
-              match Core.Pipeline.analyze ?jobs catalog compiled with
+              match
+                Core.Pipeline.analyze ?jobs ~bloom:(not no_bloom) catalog
+                  compiled
+              with
               | Error msg ->
                 Fmt.epr "error: %s@." msg;
                 1
@@ -186,7 +199,10 @@ let run_cmd =
                 0)
           else
             let stats = Engine.Stats.create () in
-            match Core.Pipeline.run ~stats ?jobs strategy catalog query with
+            match
+              Core.Pipeline.run ~stats ?jobs ~bloom:(not no_bloom) strategy
+                catalog query
+            with
             | Error msg ->
               Fmt.epr "error: %s@." msg;
               1
@@ -200,7 +216,7 @@ let run_cmd =
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
-      $ verbose_arg $ query_arg)
+      $ no_bloom_arg $ verbose_arg $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =
@@ -245,6 +261,20 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Type-check a query and print its type.")
     Term.(
       const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ query_arg)
+
+let stats_cmd =
+  let show name file seed scale =
+    with_catalog ?file name seed scale (fun catalog ->
+        Fmt.pr "%a" Cobj.Stats.pp (Cobj.Stats.scan catalog);
+        0)
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Print one-pass catalog statistics (row counts, per-attribute \
+          distinct values, null and empty-set fractions, average set \
+          cardinality) — the numbers the cost model plans with.")
+    Term.(const show $ catalog_arg $ file_arg $ seed_arg $ scale_arg)
 
 let table2_cmd =
   let table2 () =
@@ -404,5 +434,5 @@ let () =
   let doc = "nested-query optimization in a complex object model" in
   let info = Cmd.info "nestql" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
-       [ run_cmd; explain_cmd; check_cmd; table2_cmd; catalog_cmd; repl_cmd;
-         demo_cmd ]))
+       [ run_cmd; explain_cmd; check_cmd; stats_cmd; table2_cmd; catalog_cmd;
+         repl_cmd; demo_cmd ]))

@@ -1,33 +1,141 @@
 module Plan = Algebra.Plan
 module P = Engine.Physical
+module Ast = Lang.Ast
+module Cstats = Cobj.Stats
 
-(* Fixed selectivity constants: coarse but stable across benches. *)
+(* Fallback selectivity constants, used when catalog statistics cannot
+   resolve a key (computed keys, intermediate operands): coarse but stable
+   across benches. *)
 let sel_filter = 0.33
 let sel_equi = 0.1
 let sel_semi = 0.5
 let avg_set = 4.0
 
+(* Hash builds are costlier than probes (allocation, bucket chaining), and
+   the build table has to be resident — weighting the build side steers the
+   planner toward building on the smaller operand when the statistics can
+   tell the operands apart (the [Hash_join] orientation candidates in
+   [Planner]). *)
+let build_weight = 2.0
+
 let table_card catalog name =
-  match Cobj.Catalog.find name catalog with
-  | Some t -> float_of_int (Cobj.Table.cardinality t)
+  match Cstats.row_count catalog name with
+  | Some n -> float_of_int n
   | None -> 1000.0
 
-(* Selectivity of an equi-join keyed by [rkey] against the right operand:
-   1 / distinct(rkey) when the right side is a base-table scan and the key
-   is a plain field — the classic System-R estimate; [sel_equi] otherwise. *)
-let equi_selectivity catalog right rkey =
-  match right, rkey with
-  | P.Scan { table; var }, Lang.Ast.Field (Lang.Ast.Var v, f)
-    when String.equal var v -> begin
-    match Cobj.Catalog.find table catalog with
-    | Some t -> begin
-      match Cobj.Table.distinct_count f t with
-      | Some d when d > 0 -> 1.0 /. float_of_int d
-      | _ -> sel_equi
-    end
-    | None -> sel_equi
-  end
-  | _, _ -> sel_equi
+(* --- resolving key expressions to base-table statistics ------------------ *)
+
+(* The base table whose scan binds [v] somewhere in the subtree. Variable
+   names are unique per query (the translator generates fresh ones), so a
+   loose subtree search is sound for estimation. Index operators bind their
+   probe variable themselves. *)
+let rec pvar_table plan v =
+  let here =
+    match plan with
+    | P.Scan { table; var }
+    | P.Index_join { table; var; _ }
+    | P.Index_nestjoin { table; var; _ } ->
+      if String.equal var v then Some table else None
+    | _ -> None
+  in
+  match here with
+  | Some _ -> here
+  | None ->
+    List.find_map (fun c -> pvar_table c v) (Engine.Analyze.children plan)
+
+let rec lvar_table plan v =
+  match plan with
+  | Plan.Unit -> None
+  | Plan.Table { name; var } -> if String.equal var v then Some name else None
+  | Plan.Select { input; _ }
+  | Plan.Unnest { input; _ }
+  | Plan.Nest { input; _ }
+  | Plan.Extend { input; _ }
+  | Plan.Project { input; _ } ->
+    lvar_table input v
+  | Plan.Join { left; right; _ }
+  | Plan.Semijoin { left; right; _ }
+  | Plan.Antijoin { left; right; _ }
+  | Plan.Outerjoin { left; right; _ }
+  | Plan.Nestjoin { left; right; _ }
+  | Plan.Union { left; right } -> (
+    match lvar_table left v with
+    | Some _ as r -> r
+    | None -> lvar_table right v)
+  | Plan.Apply { subquery; input; _ } -> (
+    match lvar_table input v with
+    | Some _ as r -> r
+    | None -> lvar_table subquery.Plan.plan v)
+
+(* NDV of a key expression over an operand, via catalog statistics:
+   [x.f] resolves to the field's NDV, a bare [x] to the table's row count,
+   and a parallel tuple of resolvable keys to the product (independence).
+   [None] when any component is opaque. [var_table] abstracts over
+   logical/physical operands. *)
+let rec key_ndv catalog var_table key =
+  match key with
+  | Ast.Field (Ast.Var v, f) -> (
+    match var_table v with
+    | Some table ->
+      Option.map float_of_int (Cstats.ndv catalog ~table ~field:f)
+    | None -> None)
+  | Ast.Var v ->
+    Option.map float_of_int
+      (Option.bind (var_table v) (fun t -> Cstats.row_count catalog t))
+  | Ast.TupleE fields ->
+    List.fold_left
+      (fun acc (_, e) ->
+        match acc, key_ndv catalog var_table e with
+        | Some a, Some b -> Some (a *. b)
+        | _ -> None)
+      (Some 1.0) fields
+  | _ -> None
+
+(* NDV capped by the operand's own cardinality (a side cannot carry more
+   distinct keys than rows). *)
+let capped_ndv ndv side_card =
+  Option.map (fun d -> Float.max 1.0 (Float.min d (Float.max 1.0 side_card))) ndv
+
+(* Equi-join selectivity 1/max(ndv_l, ndv_r) — the classic System-R
+   estimate, generalized to take whichever side resolves. *)
+let equi_sel dl dr =
+  match dl, dr with
+  | Some dl, Some dr -> Some (1.0 /. Float.max dl dr)
+  | Some d, None | None, Some d -> Some (1.0 /. d)
+  | None, None -> None
+
+(* Fraction of left rows with at least one right match, under key-domain
+   containment: min(dl, dr) left key values find partners. Dangling-heavy
+   workloads show up as dl >> dr, which is exactly when the estimate
+   drops. *)
+let semi_frac dl dr =
+  match dl, dr with
+  | Some dl, Some dr when dl > 0.0 -> Some (Float.min 1.0 (dr /. dl))
+  | _ -> None
+
+let avg_card_of catalog var_table expr =
+  match expr with
+  | Ast.Field (Ast.Var v, f) ->
+    Option.bind (var_table v) (fun table ->
+        Cstats.avg_set_card catalog ~table ~field:f)
+  | _ -> None
+
+(* --- logical cardinalities ----------------------------------------------- *)
+
+let split_keys left right pred =
+  Kim.equi_split ~left_vars:(Plan.vars_of left)
+    ~right_vars:(Plan.vars_of right) pred
+
+(* Combined per-side NDV over all equi pairs (independence product),
+   [None] when any pair fails to resolve on that side. *)
+let pairs_ndv catalog var_table side pairs =
+  List.fold_left
+    (fun acc pair ->
+      let e = side pair in
+      match acc, key_ndv catalog var_table e with
+      | Some a, Some b -> Some (a *. b)
+      | _ -> None)
+    (Some 1.0) pairs
 
 let rec card catalog plan =
   match plan with
@@ -38,38 +146,91 @@ let rec card catalog plan =
     let l = card catalog left and r = card catalog right in
     let sel =
       match pred with
-      | Lang.Ast.Const (Cobj.Value.Bool true) -> 1.0
-      | _ -> sel_equi
+      | Ast.Const (Cobj.Value.Bool true) -> 1.0
+      | _ -> (
+        match split_keys left right pred with
+        | Some (pairs, _) -> (
+          let dl =
+            capped_ndv (pairs_ndv catalog (lvar_table left) fst pairs) l
+          in
+          let dr =
+            capped_ndv (pairs_ndv catalog (lvar_table right) snd pairs) r
+          in
+          match equi_sel dl dr with Some s -> s | None -> sel_equi)
+        | None -> sel_equi)
     in
     l *. r *. sel
-  | Plan.Semijoin { left; _ } | Plan.Antijoin { left; _ } ->
-    sel_semi *. card catalog left
+  | Plan.Semijoin { pred; left; right } ->
+    lsemi_frac catalog pred left right *. card catalog left
+  | Plan.Antijoin { pred; left; right } ->
+    (1.0 -. lsemi_frac catalog pred left right) *. card catalog left
   | Plan.Outerjoin { left; right; _ } ->
-    Float.max (card catalog left) (card catalog left *. card catalog right *. sel_equi)
+    Float.max (card catalog left)
+      (card catalog left *. card catalog right *. sel_equi)
   | Plan.Nestjoin { left; _ } -> card catalog left
-  | Plan.Unnest { input; _ } -> avg_set *. card catalog input
+  | Plan.Unnest { expr; input; _ } ->
+    let per_row =
+      match avg_card_of catalog (lvar_table input) expr with
+      | Some c -> Float.max 1.0 c
+      | None -> avg_set
+    in
+    per_row *. card catalog input
   | Plan.Nest { input; _ } -> 0.5 *. card catalog input
   | Plan.Extend { input; _ } | Plan.Apply { input; _ } -> card catalog input
   | Plan.Project { input; _ } -> 0.8 *. card catalog input
   | Plan.Union { left; right } -> card catalog left +. card catalog right
 
+and lsemi_frac catalog pred left right =
+  match split_keys left right pred with
+  | Some (pairs, _) -> (
+    let dl =
+      capped_ndv
+        (pairs_ndv catalog (lvar_table left) fst pairs)
+        (card catalog left)
+    in
+    let dr =
+      capped_ndv
+        (pairs_ndv catalog (lvar_table right) snd pairs)
+        (card catalog right)
+    in
+    match semi_frac dl dr with Some f -> f | None -> sel_semi)
+  | None -> sel_semi
+
 let log2 x = if x < 2.0 then 1.0 else Float.log x /. Float.log 2.0
 
-(* Estimated output cardinality of a physical plan (mirrors [card]). *)
+(* --- physical cardinalities (mirrors [card]) ----------------------------- *)
+
 let rec pcard catalog plan =
+  let side_ndv side key =
+    capped_ndv
+      (key_ndv catalog (pvar_table side) key)
+      (pcard catalog side)
+  in
+  let equi left right lkey rkey =
+    match equi_sel (side_ndv left lkey) (side_ndv right rkey) with
+    | Some s -> s
+    | None -> sel_equi
+  in
+  let semi left right lkey rkey =
+    match semi_frac (side_ndv left lkey) (side_ndv right rkey) with
+    | Some f -> f
+    | None -> sel_semi
+  in
   match plan with
   | P.Unit_row -> 1.0
   | P.Scan { table; _ } -> table_card catalog table
   | P.Filter { input; _ } -> sel_filter *. pcard catalog input
   | P.Nl_join { left; right; _ } ->
     pcard catalog left *. pcard catalog right *. sel_equi
-  | P.Hash_join { left; right; rkey; _ }
-  | P.Merge_join { left; right; rkey; _ } ->
-    pcard catalog left *. pcard catalog right
-    *. equi_selectivity catalog right rkey
-  | P.Nl_semijoin { left; _ } | P.Hash_semijoin { left; _ }
-  | P.Merge_semijoin { left; _ } ->
-    sel_semi *. pcard catalog left
+  | P.Hash_join { left; right; lkey; rkey; _ }
+  | P.Merge_join { left; right; lkey; rkey; _ } ->
+    pcard catalog left *. pcard catalog right *. equi left right lkey rkey
+  | P.Nl_semijoin { anti; left; _ } ->
+    (if anti then 1.0 -. sel_semi else sel_semi) *. pcard catalog left
+  | P.Hash_semijoin { anti; left; right; lkey; rkey; _ }
+  | P.Merge_semijoin { anti; left; right; lkey; rkey; _ } ->
+    let f = semi left right lkey rkey in
+    (if anti then 1.0 -. f else f) *. pcard catalog left
   | P.Nl_outerjoin { left; right; _ }
   | P.Hash_outerjoin { left; right; _ }
   | P.Merge_outerjoin { left; right; _ } ->
@@ -80,34 +241,40 @@ let rec pcard catalog plan =
   | P.Hash_nestjoin_left { left; _ }
   | P.Merge_nestjoin { left; _ } ->
     pcard catalog left
-  | P.Unnest_op { input; _ } -> avg_set *. pcard catalog input
+  | P.Unnest_op { expr; input; _ } ->
+    let per_row =
+      match avg_card_of catalog (pvar_table input) expr with
+      | Some c -> Float.max 1.0 c
+      | None -> avg_set
+    in
+    per_row *. pcard catalog input
   | P.Nest_op { input; _ } -> 0.5 *. pcard catalog input
   | P.Extend_op { input; _ } | P.Apply_op { input; _ } -> pcard catalog input
   | P.Project_op { input; _ } -> 0.8 *. pcard catalog input
   | P.Union_op { left; right } -> pcard catalog left +. pcard catalog right
   | P.Index_join { table; field; left; _ } ->
     let sel =
-      match Cobj.Catalog.find table catalog with
-      | Some t -> begin
-        match Cobj.Table.distinct_count field t with
-        | Some d when d > 0 -> 1.0 /. float_of_int d
-        | _ -> sel_equi
-      end
+      match Cstats.ndv catalog ~table ~field with
+      | Some d -> 1.0 /. float_of_int d
       | None -> sel_equi
     in
     pcard catalog left *. table_card catalog table *. sel
-  | P.Index_semijoin { left; _ } -> sel_semi *. pcard catalog left
+  | P.Index_semijoin { anti; left; _ } ->
+    (if anti then 1.0 -. sel_semi else sel_semi) *. pcard catalog left
   | P.Index_nestjoin { left; _ } -> pcard catalog left
 
 let rec cost catalog plan =
   let c = cost catalog and n = pcard catalog in
+  (* probe side + weighted build side: what every hash operator pays on top
+     of producing its operands *)
+  let hash_work ~probe ~build = n probe +. (build_weight *. n build) in
   match plan with
   | P.Unit_row -> 1.0
   | P.Scan { table; _ } -> table_card catalog table
   | P.Filter { pred = _; input } -> c input +. n input
   | P.Nl_join { left; right; _ } -> c left +. c right +. (n left *. n right)
   | P.Hash_join { left; right; _ } ->
-    c left +. c right +. n left +. n right +. n plan
+    c left +. c right +. hash_work ~probe:left ~build:right +. n plan
   | P.Merge_join { left; right; _ } ->
     c left +. c right
     +. (n left *. log2 (n left))
@@ -115,7 +282,8 @@ let rec cost catalog plan =
     +. n plan
   | P.Nl_semijoin { left; right; _ } ->
     c left +. c right +. (0.5 *. n left *. n right)
-  | P.Hash_semijoin { left; right; _ } -> c left +. c right +. n left +. n right
+  | P.Hash_semijoin { left; right; _ } ->
+    c left +. c right +. hash_work ~probe:left ~build:right
   | P.Merge_semijoin { left; right; _ } ->
     c left +. c right
     +. (n left *. log2 (n left))
@@ -123,16 +291,18 @@ let rec cost catalog plan =
   | P.Nl_outerjoin { left; right; _ } ->
     c left +. c right +. (n left *. n right)
   | P.Hash_outerjoin { left; right; _ } ->
-    c left +. c right +. n left +. n right +. n plan
+    c left +. c right +. hash_work ~probe:left ~build:right +. n plan
   | P.Merge_outerjoin { left; right; _ } ->
     c left +. c right
     +. (n left *. log2 (n left))
     +. (n right *. log2 (n right))
     +. n plan
   | P.Nl_nestjoin { left; right; _ } -> c left +. c right +. (n left *. n right)
-  | P.Hash_nestjoin { left; right; _ } | P.Hash_nestjoin_left { left; right; _ }
-    ->
-    c left +. c right +. n left +. n right +. n plan
+  | P.Hash_nestjoin { left; right; _ } ->
+    c left +. c right +. hash_work ~probe:left ~build:right +. n plan
+  | P.Hash_nestjoin_left { left; right; _ } ->
+    (* §6 variant: the build side is the left operand *)
+    c left +. c right +. hash_work ~probe:right ~build:left +. n plan
   | P.Merge_nestjoin { left; right; _ } ->
     c left +. c right
     +. (n left *. log2 (n left))

@@ -1,9 +1,16 @@
 (** Cardinality estimation and a simple cost model.
 
     Deliberately coarse — its only job is to rank physical alternatives
-    (nested-loop vs hash vs sort-merge vs memoized apply), and the benches
-    validate the ranking empirically. Estimates use true base-table
-    cardinalities from the catalog and fixed selectivity constants. *)
+    (nested-loop vs hash vs sort-merge vs memoized apply, and the build
+    orientation of commutative hash joins), and the benches validate the
+    ranking empirically. Estimates come from one-pass catalog statistics
+    ({!Cobj.Stats}): row counts, NDV-based equi-join selectivity
+    (1/max(ndv)), containment-based semijoin/antijoin match fractions
+    (min(1, ndv_r/ndv_l)) and measured average set cardinalities for
+    unnest. Keys that don't resolve to a base-table attribute fall back to
+    fixed constants. Hash costs weight the build side heavier than the
+    probe side, so the cheaper orientation of a commutative [Hash_join]
+    builds on the (estimated) smaller operand. *)
 
 val card : Cobj.Catalog.t -> Algebra.Plan.plan -> float
 (** Estimated output cardinality of a logical plan. *)

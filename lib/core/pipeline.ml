@@ -116,20 +116,20 @@ let default_jobs () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
 
-let execute ?stats ?jobs catalog compiled =
+let execute ?stats ?jobs ?bloom catalog compiled =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   match compiled.physical with
-  | Some pq -> Engine.Exec.run ?stats ~jobs catalog pq
+  | Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
   | None -> Lang.Interp.run catalog compiled.source
 
-let run ?options ?rewrite ?reorder ?stats ?jobs strategy catalog src =
+let run ?options ?rewrite ?reorder ?stats ?jobs ?bloom strategy catalog src =
   let* compiled = compile_string ?options ?rewrite ?reorder strategy catalog src in
-  match execute ?stats ?jobs catalog compiled with
+  match execute ?stats ?jobs ?bloom catalog compiled with
   | v -> Ok v
   | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
   | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
 
-let analyze ?jobs catalog compiled =
+let analyze ?jobs ?bloom catalog compiled =
   match compiled.physical with
   | None ->
     Error
@@ -142,7 +142,7 @@ let analyze ?jobs catalog compiled =
     let tree = Engine.Analyze.tree_of_query pq in
     Cost.annotate catalog pq.Engine.Physical.plan tree;
     match
-      Engine.Exec.rows_instrumented ~jobs tree catalog Cobj.Env.empty
+      Engine.Exec.rows_instrumented ~jobs ?bloom tree catalog Cobj.Env.empty
         pq.Engine.Physical.plan
     with
     | produced ->

@@ -67,6 +67,7 @@ val default_jobs : unit -> int
 val execute :
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
+  ?bloom:bool ->
   Cobj.Catalog.t ->
   compiled ->
   Cobj.Value.t
@@ -77,13 +78,17 @@ val run :
   ?reorder:bool ->
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
+  ?bloom:bool ->
   strategy ->
   Cobj.Catalog.t ->
   string ->
   (Cobj.Value.t, string) result
 (** Parse, compile and execute a query string. [jobs] (default
     {!default_jobs}) is the partition-parallel domain count — results and
-    statistics are identical for every value, see {!Engine.Exec.rows}. *)
+    statistics are identical for every value, see {!Engine.Exec.rows}.
+    [bloom] (default true) toggles Bloom-filter sideways information
+    passing in the hash-join family; results are identical either way and
+    only the [bloom_*] counters differ. *)
 
 val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 (** Logical and physical plans, pretty-printed. With [costs] (default
@@ -92,6 +97,7 @@ val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 
 val analyze :
   ?jobs:int ->
+  ?bloom:bool ->
   Cobj.Catalog.t ->
   compiled ->
   (Cobj.Value.t * Engine.Stats.node, string) result

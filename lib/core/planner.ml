@@ -119,6 +119,13 @@ let rec plan_aux options catalog lp =
         [
           nl;
           P.Hash_join { lkey; rkey; residual; left = l; right = r };
+          (* The join is commutative, so both build orientations are
+             candidates: the statistics-driven cost model weights the build
+             (right) side heavier, so the cheaper orientation builds on the
+             estimated-smaller operand. The unswapped form comes first —
+             ties keep the source orientation. *)
+          P.Hash_join
+            { lkey = rkey; rkey = lkey; residual; left = r; right = l };
           P.Merge_join { lkey; rkey; residual; left = l; right = r };
         ]
       in
@@ -190,6 +197,20 @@ let rec plan_aux options catalog lp =
           :: candidates
         | _ -> candidates
       in
+      (* §7: the nest join's left operand is preserved (every left row
+         survives, extended with its grouped set), so it must stay on the
+         probe side — unlike the commutative join, no swapped orientation
+         may ever be generated for Δ. Asserted so a future "swap
+         everywhere" refactor trips loudly. *)
+      List.iter
+        (function
+          | P.Hash_nestjoin { left; _ }
+          | P.Hash_nestjoin_left { left; _ }
+          | P.Merge_nestjoin { left; _ }
+          | P.Nl_nestjoin { left; _ } ->
+            assert (left == l)
+          | _ -> ())
+        candidates;
       pick ~nl candidates
   end
   | Plan.Unnest { expr; var; input } ->

@@ -124,6 +124,9 @@ let pp_counters ppf (c : Stats.t) =
         field "sorts" c.Stats.sorts;
         field "applies" c.Stats.applies;
         field "apply-hits" c.Stats.apply_hits;
+        field "bloom-checks" c.Stats.bloom_checks;
+        field "bloom-prunes" c.Stats.bloom_prunes;
+        field "swaps" c.Stats.build_side_swaps;
       ]
   in
   List.iter (fun (name, v) -> Fmt.pf ppf " %s=%d" name v) fields
@@ -178,6 +181,9 @@ let rec to_json ?(timing = true) (n : Stats.node) =
            ("sorts", Json.Int c.Stats.sorts);
            ("applies", Json.Int c.Stats.applies);
            ("apply_hits", Json.Int c.Stats.apply_hits);
+           ("bloom_checks", Json.Int c.Stats.bloom_checks);
+           ("bloom_prunes", Json.Int c.Stats.bloom_prunes);
+           ("build_side_swaps", Json.Int c.Stats.build_side_swaps);
            ("children", Json.List (List.map (to_json ~timing) n.Stats.children));
          ];
        ])

@@ -1,0 +1,32 @@
+(** Blocked Bloom filter for sideways information passing.
+
+    Built over build-side join keys and consulted before each probe: a
+    negative answer is definitive (the key is not in the build table), so
+    the probe — and, in the partition-parallel path, the whole
+    partition/scatter machinery for that row — can be skipped. Positives
+    may be false; the hash-table probe stays authoritative.
+
+    Filters are deterministic functions of (size at creation, inserted
+    hashes): two filters created with the same [expected] count hold
+    identical geometry, so per-partition filters built on worker domains
+    and OR-[merge]d equal the filter a serial build would have produced
+    bit-for-bit. The executor relies on this to keep bloom counters
+    invariant under [--jobs]. *)
+
+type t
+
+val create : int -> t
+(** [create expected] sizes the filter for [expected] keys (~1 byte/key,
+    ≈0.01% false positives at that load). [expected] may be 0. *)
+
+val add : t -> int -> unit
+(** Insert a precomputed [Value.hash]. *)
+
+val mem : t -> int -> bool
+(** May return a false positive; never a false negative for added hashes. *)
+
+val merge : into:t -> t -> unit
+(** Bitwise OR. Raises [Invalid_argument] when geometries differ. *)
+
+val fill_ratio : t -> float
+(** Fraction of set bits — prune-rate diagnostics and saturation tests. *)

@@ -11,6 +11,21 @@ module Vtbl = Hashtbl.Make (struct
   let hash = Value.hash
 end)
 
+(* A join key paired with its [Value.hash], computed exactly once per row
+   and reused for the Bloom filter, the partition index and the hash-table
+   insert/probe (Hashtbl.Make calls [Hkey.hash], which is now a field
+   read — no rehash of the value). *)
+module Hkey = struct
+  type t = { h : int; v : Value.t }
+
+  let equal a b = a.h = b.h && Value.equal a.v b.v
+  let hash k = k.h
+end
+
+module Htbl = Hashtbl.Make (Hkey)
+
+let hkey v = { Hkey.h = Value.hash v; v }
+
 module Sset = Ast.String_set
 
 (* Free (correlation) variables of physical plans, mirroring
@@ -212,8 +227,13 @@ let correlation_key_exprs corr query =
    order). [jobs] is the partition-parallel width: 1 executes everything on
    the calling domain, larger values let eligible operators fan their own
    per-row work out over a domain pool (operands are still produced
-   serially, so child counters and timings are untouched). *)
-type frame = { sink : Stats.t; node : Stats.node option; jobs : int }
+   serially, so child counters and timings are untouched). [bloom] enables
+   sideways information passing in the hash-join family: build sides
+   populate a Bloom filter consulted before each probe. Pruned probes still
+   count in [hash_probes], so disabling bloom changes only the bloom
+   counters, never the rest of a Stats tree. *)
+type frame = { sink : Stats.t; node : Stats.node option; jobs : int;
+               bloom : bool }
 
 let child_frame fr i =
   match fr.node with
@@ -297,55 +317,100 @@ let rok_part st rokfn merged =
     st.Stats.predicate_evals <- st.Stats.predicate_evals + 1;
     f merged
 
-(* Hash-partitioned parallel join core: both sides split on
-   [Value.hash key]; each partition builds and probes its own table on a
-   worker, exactly as the serial operator would over that key subset.
-   [emit st l matches] produces the output rows for one left row (matches
-   arrive in right-input order, like a serial probe); results scatter back
-   into left-input order, so the concatenation is the serial output,
-   dangling tuples included. *)
-let par_hash_partitioned ~jobs ~stats ~lkeyfn ~rkeyfn ~emit lrows rrows =
+(* Hash-partitioned parallel join core: both sides split on the
+   precomputed key hash; each partition builds and probes its own table on
+   a worker, exactly as the serial operator would over that key subset.
+   [emit st l matches] produces the output rows for one probe row (matches
+   arrive in build-input order, like a serial probe); results scatter back
+   into probe-input order, so the concatenation is the serial output,
+   dangling tuples included.
+
+   With [bloom], each build partition populates its own filter, all sized
+   from the *total* build count — the same geometry a serial build uses —
+   so their OR-merge is bit-identical to the serial filter and the prune
+   counters are invariant under [jobs]. The merged filter screens probe
+   rows before partitioning: a pruned row emits its (empty-match) output
+   immediately and never touches a partition list, a worker, or the
+   scatter machinery. This is the sideways-information-passing pushdown —
+   probe rows are filtered at the source, upstream of partitioning. *)
+let par_hash_partitioned ~jobs ~bloom ~stats ~lkeyfn ~rkeyfn ~emit lrows rrows
+    =
   let nparts = jobs * 2 in
-  let lparts = Array.make nparts [] and rparts = Array.make nparts [] in
-  let part k = Value.hash k land max_int mod nparts in
-  let nl =
+  let part h = h land max_int mod nparts in
+  let rparts = Array.make nparts [] in
+  let nbuild =
     List.fold_left
-      (fun i l ->
-        let k = lkeyfn l in
-        let p = part k in
-        lparts.(p) <- (i, l, k) :: lparts.(p);
-        i + 1)
-      0 lrows
+      (fun n r ->
+        let k = hkey (rkeyfn r) in
+        let p = part k.Hkey.h in
+        rparts.(p) <- (r, k) :: rparts.(p);
+        n + 1)
+      0 rrows
   in
-  List.iter
-    (fun r ->
-      let k = rkeyfn r in
-      let p = part k in
-      rparts.(p) <- (r, k) :: rparts.(p))
-    rrows;
-  let out = Array.make nl [] in
-  let parts = Array.init nparts (fun _ -> Stats.create ()) in
+  let tables = Array.init nparts (fun _ -> Htbl.create 64) in
+  let filters =
+    if bloom then Some (Array.init nparts (fun _ -> Bloom.create nbuild))
+    else None
+  in
+  let bparts = Array.init nparts (fun _ -> Stats.create ()) in
   Pool.run ~jobs nparts (fun p ->
-      let st = parts.(p) in
-      let table = Vtbl.create 64 in
+      let st = bparts.(p) in
+      let table = tables.(p) in
       List.iter
         (fun (r, k) ->
           st.Stats.hash_builds <- st.Stats.hash_builds + 1;
-          match Vtbl.find_opt table k with
-          | Some bucket -> Vtbl.replace table k (r :: bucket)
-          | None -> Vtbl.add table k [ r ])
-        (List.rev rparts.(p));
+          (match filters with
+          | Some fs -> Bloom.add fs.(p) k.Hkey.h
+          | None -> ());
+          match Htbl.find_opt table k with
+          | Some bucket -> Htbl.replace table k (r :: bucket)
+          | None -> Htbl.add table k [ r ])
+        (List.rev rparts.(p)));
+  merge_parts stats bparts;
+  let filter =
+    Option.map
+      (fun fs ->
+        let global = Bloom.create nbuild in
+        Array.iter (fun f -> Bloom.merge ~into:global f) fs;
+        global)
+      filters
+  in
+  let nl = List.length lrows in
+  let out = Array.make nl [] in
+  let lparts = Array.make nparts [] in
+  List.iteri
+    (fun i l ->
+      let k = hkey (lkeyfn l) in
+      let enqueue () =
+        let p = part k.Hkey.h in
+        lparts.(p) <- (i, l, k) :: lparts.(p)
+      in
+      match filter with
+      | None -> enqueue ()
+      | Some f ->
+        stats.Stats.bloom_checks <- stats.Stats.bloom_checks + 1;
+        if Bloom.mem f k.Hkey.h then enqueue ()
+        else begin
+          stats.Stats.bloom_prunes <- stats.Stats.bloom_prunes + 1;
+          stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
+          out.(i) <- emit stats l []
+        end)
+    lrows;
+  let pparts = Array.init nparts (fun _ -> Stats.create ()) in
+  Pool.run ~jobs nparts (fun p ->
+      let st = pparts.(p) in
+      let table = tables.(p) in
       List.iter
         (fun (i, l, k) ->
           st.Stats.hash_probes <- st.Stats.hash_probes + 1;
           let matches =
-            match Vtbl.find_opt table k with
+            match Htbl.find_opt table k with
             | Some bucket -> List.rev bucket
             | None -> []
           in
           out.(i) <- emit st l matches)
         lparts.(p));
-  merge_parts stats parts;
+  merge_parts stats pparts;
   List.concat (Array.to_list out)
 
 let rec rows_fr fr catalog env plan =
@@ -396,28 +461,48 @@ and exec_rows fr catalog env plan =
                  if predfn merged then Some merged else None)
                rrows)
     | P.Hash_join { lkey; rkey; residual; left; right } ->
-      let lkeyfn = Compile.expr catalog lkey in
       let lrows = rows_fr (c0 fr) catalog env left in
-      if fr.jobs > 1 && List.length lrows >= join_min then
-        let rkeyfn = Compile.expr catalog rkey in
+      let rrows = rows_fr (c1 fr) catalog env right in
+      (* The join is commutative, so build on whichever operand turned out
+         smaller (the planner orients statically from estimates; this is
+         the runtime safety net). The decision uses full materialized
+         cardinalities — identical in the serial and parallel paths, so
+         counters stay jobs-invariant. Only row order can change, and the
+         final result is a canonicalized set. *)
+      let swap = List.length rrows > List.length lrows in
+      if swap then
+        stats.Stats.build_side_swaps <- stats.Stats.build_side_swaps + 1;
+      let probe_rows, build_rows, probe_key, build_key =
+        if swap then (rrows, lrows, rkey, lkey) else (lrows, rrows, lkey, rkey)
+      in
+      (* [p] is the probe row, [m] the build-side match; the merged env is
+         always append(right-row, left-row), independent of orientation. *)
+      let merged_of p m = if swap then Env.append p m else Env.append m p in
+      let pkeyfn = Compile.expr catalog probe_key in
+      if fr.jobs > 1 && List.length probe_rows >= join_min then
+        let bkeyfn = Compile.expr catalog build_key in
         let rokfn = residual_fn catalog residual in
-        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn ~rkeyfn
-          ~emit:(fun st l matches ->
+        par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats
+          ~lkeyfn:pkeyfn ~rkeyfn:bkeyfn
+          ~emit:(fun st p matches ->
             List.filter_map
-              (fun r ->
-                let merged = Env.append r l in
+              (fun m ->
+                let merged = merged_of p m in
                 if rok_part st rokfn merged then Some merged else None)
               matches)
-          lrows
-          (rows_fr (c1 fr) catalog env right)
+          probe_rows build_rows
       else
         let rok = compile_residual ~stats catalog residual in
-        let table = build ~stats (c1 fr) catalog env right rkey in
-        lrows
-        |> List.concat_map (fun l ->
-               probe ~stats table (lkeyfn l)
-               |> List.filter_map (fun r ->
-                      let merged = Env.append r l in
+        let table =
+          build_rows_table ~stats ~bloom:fr.bloom
+            (Compile.expr catalog build_key)
+            build_rows
+        in
+        probe_rows
+        |> List.concat_map (fun p ->
+               probe ~stats table (hkey (pkeyfn p))
+               |> List.filter_map (fun m ->
+                      let merged = merged_of p m in
                       if rok merged then Some merged else None))
     | P.Merge_join { lkey; rkey; residual; left; right } ->
       let rok = compile_residual ~stats catalog residual in
@@ -451,7 +536,7 @@ and exec_rows fr catalog env plan =
       let lkeyfn = Compile.expr catalog lkey in
       let lrows = rows_fr (c0 fr) catalog env left in
       if fr.jobs > 1 && List.length lrows >= join_min then
-        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+        par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats ~lkeyfn
           ~rkeyfn:(Compile.expr catalog rkey)
           ~emit:
             (let rokfn = residual_fn catalog residual in
@@ -466,11 +551,11 @@ and exec_rows fr catalog env plan =
           (rows_fr (c1 fr) catalog env right)
       else
         let rok = compile_residual ~stats catalog residual in
-        let table = build ~stats (c1 fr) catalog env right rkey in
+        let table = build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey in
         lrows
         |> List.filter (fun l ->
                let found =
-                 probe ~stats table (lkeyfn l)
+                 probe ~stats table (hkey (lkeyfn l))
                  |> List.exists (fun r -> rok (Env.append r l))
                in
                if anti then not found else found)
@@ -523,7 +608,7 @@ and exec_rows fr catalog env plan =
       let rvars = P.vars_of right in
       let lrows = rows_fr (c0 fr) catalog env left in
       if fr.jobs > 1 && List.length lrows >= join_min then
-        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+        par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats ~lkeyfn
           ~rkeyfn:(Compile.expr catalog rkey)
           ~emit:
             (let rokfn = residual_fn catalog residual in
@@ -542,11 +627,11 @@ and exec_rows fr catalog env plan =
           (rows_fr (c1 fr) catalog env right)
       else
         let rok = compile_residual ~stats catalog residual in
-        let table = build ~stats (c1 fr) catalog env right rkey in
+        let table = build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey in
         lrows
         |> List.concat_map (fun l ->
                let matches =
-                 probe ~stats table (lkeyfn l)
+                 probe ~stats table (hkey (lkeyfn l))
                  |> List.filter_map (fun r ->
                         let merged = Env.append r l in
                         if rok merged then Some merged else None)
@@ -612,7 +697,7 @@ and exec_rows fr catalog env plan =
       let funcfn = Compile.expr catalog func in
       let lrows = rows_fr (c0 fr) catalog env left in
       if fr.jobs > 1 && List.length lrows >= join_min then
-        par_hash_partitioned ~jobs:fr.jobs ~stats ~lkeyfn
+        par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats ~lkeyfn
           ~rkeyfn:(Compile.expr catalog rkey)
           ~emit:
             (let rokfn = residual_fn catalog residual in
@@ -630,11 +715,11 @@ and exec_rows fr catalog env plan =
           (rows_fr (c1 fr) catalog env right)
       else
         let rok = compile_residual ~stats catalog residual in
-        let table = build ~stats (c1 fr) catalog env right rkey in
+        let table = build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey in
         lrows
         |> List.map (fun l ->
                let members =
-                 probe ~stats table (lkeyfn l)
+                 probe ~stats table (hkey (lkeyfn l))
                  |> List.filter_map (fun r ->
                         let merged = Env.append r l in
                         if rok merged then Some (funcfn merged) else None)
@@ -650,31 +735,45 @@ and exec_rows fr catalog env plan =
       let rok = compile_residual ~stats catalog residual in
       let funcfn = Compile.expr catalog func in
       let lrows = rows_fr (c0 fr) catalog env left in
-      let table = Vtbl.create 256 in
+      let table = Htbl.create 256 in
+      let filter =
+        if fr.bloom then Some (Bloom.create (List.length lrows)) else None
+      in
       List.iter
         (fun l ->
           stats.Stats.hash_builds <- stats.Stats.hash_builds + 1;
-          let k = lkeyfn l in
-          Vtbl.replace table k
-            (l :: (try Vtbl.find table k with Not_found -> [])))
+          let k = hkey (lkeyfn l) in
+          Option.iter (fun f -> Bloom.add f k.Hkey.h) filter;
+          Htbl.replace table k
+            (l :: (try Htbl.find table k with Not_found -> [])))
         lrows;
       let matched : (Env.t * Env.t list) list ref = ref [] in
       let matched_keys = Vtbl.create 256 in
       rows_fr (c1 fr) catalog env right
       |> List.iter (fun r ->
-             let k = rkeyfn r in
+             let k = hkey (rkeyfn r) in
              stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
-             match Vtbl.find_opt table k with
-             | None -> ()
-             | Some ls ->
-               List.iter
-                 (fun l ->
-                   let merged = Env.append r l in
-                   if rok merged then begin
-                     matched := (l, [ merged ]) :: !matched;
-                     Vtbl.replace matched_keys (Env.to_value l) ()
-                   end)
-                 ls);
+             let pruned =
+               match filter with
+               | None -> false
+               | Some f ->
+                 stats.Stats.bloom_checks <- stats.Stats.bloom_checks + 1;
+                 not (Bloom.mem f k.Hkey.h)
+             in
+             if pruned then
+               stats.Stats.bloom_prunes <- stats.Stats.bloom_prunes + 1
+             else
+               match Htbl.find_opt table k with
+               | None -> ()
+               | Some ls ->
+                 List.iter
+                   (fun l ->
+                     let merged = Env.append r l in
+                     if rok merged then begin
+                       matched := (l, [ merged ]) :: !matched;
+                       Vtbl.replace matched_keys (Env.to_value l) ()
+                     end)
+                   ls);
       let emitted =
         List.rev_map
           (fun (l, merged) ->
@@ -878,26 +977,43 @@ and compile_residual ~stats catalog residual =
       stats.Stats.predicate_evals <- stats.Stats.predicate_evals + 1;
       f merged
 
-and build ~stats fr catalog env plan key_expr =
-  let keyfn = Compile.expr catalog key_expr in
-  let table = Vtbl.create 256 in
-  let rrows = rows_fr fr catalog env plan in
+and build_rows_table ~stats ~bloom keyfn rows =
+  let table = Htbl.create 256 in
+  let filter = if bloom then Some (Bloom.create (List.length rows)) else None in
   (* Preserve input order within buckets. *)
   List.iter
     (fun r ->
       stats.Stats.hash_builds <- stats.Stats.hash_builds + 1;
-      let k = keyfn r in
-      match Vtbl.find_opt table k with
-      | Some bucket -> Vtbl.replace table k (r :: bucket)
-      | None -> Vtbl.add table k [ r ])
-    rrows;
-  table
+      let k = hkey (keyfn r) in
+      Option.iter (fun f -> Bloom.add f k.Hkey.h) filter;
+      match Htbl.find_opt table k with
+      | Some bucket -> Htbl.replace table k (r :: bucket)
+      | None -> Htbl.add table k [ r ])
+    rows;
+  (table, filter)
 
-and probe ~stats table k =
+and build ~stats ~bloom fr catalog env plan key_expr =
+  build_rows_table ~stats ~bloom
+    (Compile.expr catalog key_expr)
+    (rows_fr fr catalog env plan)
+
+and probe ~stats (table, filter) k =
   stats.Stats.hash_probes <- stats.Stats.hash_probes + 1;
-  match Vtbl.find_opt table k with
-  | Some bucket -> List.rev bucket
-  | None -> []
+  let pruned =
+    match filter with
+    | None -> false
+    | Some f ->
+      stats.Stats.bloom_checks <- stats.Stats.bloom_checks + 1;
+      not (Bloom.mem f k.Hkey.h)
+  in
+  if pruned then begin
+    stats.Stats.bloom_prunes <- stats.Stats.bloom_prunes + 1;
+    []
+  end
+  else
+    match Htbl.find_opt table k with
+    | Some bucket -> List.rev bucket
+    | None -> []
 
 and sorted_groups ~stats fr catalog env plan key_expr =
   let keyfn = Compile.expr catalog key_expr in
@@ -935,25 +1051,32 @@ and run_under_fr fr catalog env { P.plan; result } =
   Value.set (List.map resultfn produced)
 
 let clamp_jobs jobs = max 1 (min jobs Pool.max_jobs)
-let frame_of_stats ~jobs stats = { sink = stats; node = None; jobs }
 
-let frame_of_node ~jobs node =
-  { sink = node.Stats.counters; node = Some node; jobs }
+let frame_of_stats ~jobs ~bloom stats =
+  { sink = stats; node = None; jobs; bloom }
 
-let rows ?(stats = no_stats) ?(jobs = 1) catalog env plan =
-  rows_fr (frame_of_stats ~jobs:(clamp_jobs jobs) stats) catalog env plan
+let frame_of_node ~jobs ~bloom node =
+  { sink = node.Stats.counters; node = Some node; jobs; bloom }
 
-let rows_instrumented ?(jobs = 1) node catalog env plan =
-  rows_fr (frame_of_node ~jobs:(clamp_jobs jobs) node) catalog env plan
+let rows ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) catalog env plan =
+  rows_fr
+    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom stats)
+    catalog env plan
 
-let run_under ?(stats = no_stats) ?(jobs = 1) catalog env query =
-  run_under_fr (frame_of_stats ~jobs:(clamp_jobs jobs) stats) catalog env query
+let rows_instrumented ?(jobs = 1) ?(bloom = true) node catalog env plan =
+  rows_fr (frame_of_node ~jobs:(clamp_jobs jobs) ~bloom node) catalog env plan
 
-let run ?stats ?jobs catalog query =
-  run_under ?stats ?jobs catalog Env.empty query
+let run_under ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) catalog env
+    query =
+  run_under_fr
+    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom stats)
+    catalog env query
 
-let run_instrumented ?(jobs = 1) catalog query =
+let run ?stats ?jobs ?bloom catalog query =
+  run_under ?stats ?jobs ?bloom catalog Env.empty query
+
+let run_instrumented ?(jobs = 1) ?(bloom = true) catalog query =
   let tree = Analyze.tree_of_query query in
-  let fr = frame_of_node ~jobs:(clamp_jobs jobs) tree in
+  let fr = frame_of_node ~jobs:(clamp_jobs jobs) ~bloom tree in
   let v = run_under_fr fr catalog Env.empty query in
   (v, tree)

@@ -15,6 +15,7 @@
 val rows :
   ?stats:Stats.t ->
   ?jobs:int ->
+  ?bloom:bool ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.t ->
@@ -31,10 +32,25 @@ val rows :
     it would serially, so output and statistics are identical for every
     [jobs] value. Correlated apply subplans always execute serially inside
     their apply loop (classified with {!query_free_vars}); values above
-    [Pool.max_jobs] are clamped. *)
+    [Pool.max_jobs] are clamped.
+
+    [bloom] (default true) enables sideways information passing in the
+    hash-join family: every build side populates a blocked Bloom filter on
+    its keys (hashes computed once and shared with the partition index and
+    the hash table), and each probe key is screened against it first — a
+    negative skips the hash lookup, and in the parallel path a pruned row
+    never reaches the partition/scatter machinery at all (the filter is
+    applied at the probe source, upstream of partitioning). Output is
+    byte-identical with bloom on or off, and so is every [Stats] counter
+    except [bloom_checks]/[bloom_prunes] (a pruned probe still counts in
+    [hash_probes]). The commutative [Hash_join] additionally builds on the
+    smaller operand at runtime ([build_side_swaps]); the one-sided
+    operators — semijoin, antijoin, outerjoin, nest join — never swap (§7:
+    their left operand is preserved and must stay on the probe side). *)
 
 val rows_instrumented :
   ?jobs:int ->
+  ?bloom:bool ->
   Stats.node ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
@@ -49,7 +65,11 @@ val rows_instrumented :
     order. *)
 
 val run_instrumented :
-  ?jobs:int -> Cobj.Catalog.t -> Physical.query -> Cobj.Value.t * Stats.node
+  ?jobs:int ->
+  ?bloom:bool ->
+  Cobj.Catalog.t ->
+  Physical.query ->
+  Cobj.Value.t * Stats.node
 (** Execute a closed physical query under a fresh annotation tree; returns
     the result value and the filled-in tree (est_rows still [nan] — the
     cost model lives upstream, see [Core.Cost.annotate]). *)
@@ -57,6 +77,7 @@ val run_instrumented :
 val run :
   ?stats:Stats.t ->
   ?jobs:int ->
+  ?bloom:bool ->
   Cobj.Catalog.t ->
   Physical.query ->
   Cobj.Value.t
@@ -65,6 +86,7 @@ val run :
 val run_under :
   ?stats:Stats.t ->
   ?jobs:int ->
+  ?bloom:bool ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.query ->

@@ -6,6 +6,9 @@ type t = {
   mutable sorts : int;
   mutable applies : int;
   mutable apply_hits : int;
+  mutable bloom_checks : int;
+  mutable bloom_prunes : int;
+  mutable build_side_swaps : int;
 }
 
 let create () =
@@ -17,6 +20,9 @@ let create () =
     sorts = 0;
     applies = 0;
     apply_hits = 0;
+    bloom_checks = 0;
+    bloom_prunes = 0;
+    build_side_swaps = 0;
   }
 
 let reset t =
@@ -26,8 +32,14 @@ let reset t =
   t.hash_probes <- 0;
   t.sorts <- 0;
   t.applies <- 0;
-  t.apply_hits <- 0
+  t.apply_hits <- 0;
+  t.bloom_checks <- 0;
+  t.bloom_prunes <- 0;
+  t.build_side_swaps <- 0
 
+(* Bloom counters are observational (a pruned probe still counts as a
+   probe) and swaps are plan-level events, so neither joins the work
+   total — total_work stays comparable across bloom on/off runs. *)
 let total_work t =
   t.rows_out + t.predicate_evals + t.hash_builds + t.hash_probes + t.sorts
   + t.applies
@@ -39,14 +51,17 @@ let add ~into src =
   into.hash_probes <- into.hash_probes + src.hash_probes;
   into.sorts <- into.sorts + src.sorts;
   into.applies <- into.applies + src.applies;
-  into.apply_hits <- into.apply_hits + src.apply_hits
+  into.apply_hits <- into.apply_hits + src.apply_hits;
+  into.bloom_checks <- into.bloom_checks + src.bloom_checks;
+  into.bloom_prunes <- into.bloom_prunes + src.bloom_prunes;
+  into.build_side_swaps <- into.build_side_swaps + src.build_side_swaps
 
 let pp ppf t =
   Fmt.pf ppf
     "rows=%d pred-evals=%d builds=%d probes=%d sorts=%d applies=%d \
-     apply-hits=%d"
+     apply-hits=%d bloom-checks=%d bloom-prunes=%d swaps=%d"
     t.rows_out t.predicate_evals t.hash_builds t.hash_probes t.sorts
-    t.applies t.apply_hits
+    t.applies t.apply_hits t.bloom_checks t.bloom_prunes t.build_side_swaps
 
 (* --- per-operator instrumentation tree ---------------------------------- *)
 

@@ -17,12 +17,20 @@ type t = {
   mutable sorts : int;        (** rows passed through sort operators *)
   mutable applies : int;      (** correlated subquery evaluations *)
   mutable apply_hits : int;   (** memoized apply cache hits *)
+  mutable bloom_checks : int;  (** probe keys tested against a Bloom filter *)
+  mutable bloom_prunes : int;
+      (** probes the filter answered negatively (hash lookup skipped) *)
+  mutable build_side_swaps : int;
+      (** commutative hash joins that built on the left operand because it
+          was the smaller one at runtime *)
 }
 
 val create : unit -> t
 val reset : t -> unit
 val total_work : t -> int
-(** A single scalar summary: sum of all counters. *)
+(** A single scalar work summary. Bloom counters and swaps are excluded: a
+    pruned probe still counts in [hash_probes], so totals are comparable
+    across bloom on/off runs. *)
 
 val add : into:t -> t -> unit
 (** [add ~into src] accumulates [src]'s counters into [into]. *)

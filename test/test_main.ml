@@ -24,4 +24,5 @@ let () =
       ("reorder", Test_reorder.suite);
       ("variants", Test_variants.suite);
       ("stats", Test_stats.suite);
+      ("bloom", Test_bloom.suite);
     ]

@@ -140,7 +140,13 @@ let totals_match_global () =
           Alcotest.(check int) (name "applies")
             global.Stats.applies t.Stats.applies;
           Alcotest.(check int) (name "apply_hits")
-            global.Stats.apply_hits t.Stats.apply_hits)
+            global.Stats.apply_hits t.Stats.apply_hits;
+          Alcotest.(check int) (name "bloom_checks")
+            global.Stats.bloom_checks t.Stats.bloom_checks;
+          Alcotest.(check int) (name "bloom_prunes")
+            global.Stats.bloom_prunes t.Stats.bloom_prunes;
+          Alcotest.(check int) (name "build_side_swaps")
+            global.Stats.build_side_swaps t.Stats.build_side_swaps)
         queries)
     strategies
 
@@ -222,7 +228,8 @@ let json_shape () =
         (Astring.String.is_infix ~affix:(Printf.sprintf "%S" key) doc))
     [ "op"; "detail"; "est_rows"; "rows_out"; "loops"; "time_ns";
       "predicate_evals"; "hash_builds"; "hash_probes"; "sorts"; "applies";
-      "apply_hits"; "children" ];
+      "apply_hits"; "bloom_checks"; "bloom_prunes"; "build_side_swaps";
+      "children" ];
   List.iter
     (fun bad ->
       Alcotest.(check bool) ("no bare " ^ bad) false
