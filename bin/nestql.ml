@@ -3,9 +3,14 @@
    Subcommands:
      run      execute a query against a built-in generated catalog
      explain  show logical + physical plans under a strategy
+     check    type-check + lint a query (or a file / random corpus)
      table2   print the predicate classification table (paper Table 2)
      catalog  print a generated catalog
      demo     run the paper's flagship queries end to end *)
+
+(* Register the phase verifier: every compile can then check each optimizer
+   phase (on by default under dune / NESTQL_VERIFY, forced by --verify). *)
+let () = Analysis.Verify.install ()
 
 let strategies = Core.Pipeline.all_strategies
 
@@ -137,6 +142,17 @@ let jobs_arg =
            and hash joins). Results are identical to serial execution. \
            Defaults to $(b,NESTQL_JOBS) when set, else 1.")
 
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:
+          "Check every optimizer phase (translation, each decorrelation / \
+           rewrite / reorder round, physical planning) against the plan \
+           verifier's structural invariants; a violation aborts with the \
+           phase, rule and offending subplan. Also enabled by \
+           $(b,NESTQL_VERIFY).")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -169,8 +185,9 @@ let with_catalog ?file name seed scale f =
 
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing jobs no_bloom verbose query =
+      no_timing jobs no_bloom verify verbose query =
     setup_logs verbose;
+    let verify = if verify then Some true else None in
     match jobs with
     | Some n when n < 1 ->
       Fmt.epr "nestql: --jobs expects a positive domain count, got %d@." n;
@@ -178,7 +195,9 @@ let run_cmd =
     | _ ->
       with_catalog ?file name seed scale (fun catalog ->
           if explain_analyze then
-            match Core.Pipeline.compile_string strategy catalog query with
+            match
+              Core.Pipeline.compile_string ?verify strategy catalog query
+            with
             | Error msg ->
               Fmt.epr "error: %s@." msg;
               1
@@ -200,8 +219,8 @@ let run_cmd =
           else
             let stats = Engine.Stats.create () in
             match
-              Core.Pipeline.run ~stats ?jobs ~bloom:(not no_bloom) strategy
-                catalog query
+              Core.Pipeline.run ?verify ~stats ?jobs ~bloom:(not no_bloom)
+                strategy catalog query
             with
             | Error msg ->
               Fmt.epr "error: %s@." msg;
@@ -216,7 +235,7 @@ let run_cmd =
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
-      $ no_bloom_arg $ verbose_arg $ query_arg)
+      $ no_bloom_arg $ verify_arg $ verbose_arg $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =
@@ -233,6 +252,10 @@ let explain_cmd =
             1
           | Ok compiled ->
             print_string (Core.Pipeline.explain ~costs:true catalog compiled);
+            (match Analysis.Lint.query catalog expr with
+            | Ok (_t, (_ :: _ as diags)) ->
+              Fmt.pr "@.lint:@.%s@." (Analysis.Lint.render diags)
+            | Ok (_, []) | Error _ -> ());
             0))
   in
   Cmd.v
@@ -242,25 +265,110 @@ let explain_cmd =
       $ strategy_arg $ verbose_arg $ query_arg)
 
 let check_cmd =
-  let check name file seed scale query =
+  (* A query file is the query text with ---comment lines stripped. *)
+  let load_query_file path =
+    read_file path |> String.split_on_char '\n'
+    |> List.filter (fun line ->
+           let line = String.trim line in
+           not (String.length line >= 2 && String.sub line 0 2 = "--"))
+    |> String.concat "\n" |> String.trim
+  in
+  let check name file seed scale strict verify gen query =
     with_catalog ?file name seed scale (fun catalog ->
-        match Lang.Parser.expr_result query with
+        let sources =
+          match (gen, query) with
+          | Some n, _ -> Ok (Workload.Gen.queries ~count:n ~seed ())
+          | None, Some q when Sys.file_exists q -> Ok [ load_query_file q ]
+          | None, Some q -> Ok [ q ]
+          | None, None ->
+            Error "check expects a query (or a query file, or --gen N)"
+        in
+        match sources with
         | Error msg ->
           Fmt.epr "error: %s@." msg;
           1
-        | Ok expr -> (
-          match Lang.Types.check_query catalog expr with
-          | Ok (_, t) ->
-            Fmt.pr "%a@." Cobj.Ctype.pp t;
-            0
-          | Error err ->
-            Fmt.epr "%a@." Lang.Types.pp_error err;
-            1))
+        | Ok sources ->
+          let many = List.length sources > 1 in
+          let status = ref 0 in
+          let fail code msg =
+            Fmt.epr "error: %s@." msg;
+            status := max !status code
+          in
+          let nwarnings = ref 0 in
+          List.iter
+            (fun src ->
+              if many then Fmt.pr "-- %s@." src;
+              match Analysis.Lint.query_string catalog src with
+              | Error msg -> fail 1 msg
+              | Ok (t, diags) ->
+                Fmt.pr "type: %a@." Cobj.Ctype.pp t;
+                (match diags with
+                | [] -> ()
+                | _ :: _ -> Fmt.pr "%s@." (Analysis.Lint.render diags));
+                nwarnings := !nwarnings + List.length (Analysis.Lint.warnings diags);
+                if verify then
+                  List.iter
+                    (fun strategy ->
+                      match
+                        Core.Pipeline.compile_string ~verify:true strategy
+                          catalog src
+                      with
+                      | Ok _ -> ()
+                      | Error msg ->
+                        fail 1
+                          (Printf.sprintf "strategy %s: %s"
+                             (Core.Pipeline.strategy_name strategy)
+                             msg))
+                    Core.Pipeline.all_strategies;
+                if many then Fmt.pr "@.")
+            sources;
+          if verify && !status = 0 then
+            Fmt.pr "phases verified: %d quer%s under %d strategies@."
+              (List.length sources)
+              (if many then "ies" else "y")
+              (List.length Core.Pipeline.all_strategies);
+          if strict && !nwarnings > 0 then begin
+            Fmt.epr
+              "strict: %d grouping-required correlated predicate(s) — \
+               COUNT-bug risk under flattening baselines@."
+              !nwarnings;
+            status := max !status 2
+          end;
+          !status)
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Exit with status 2 when any correlated grouping-required \
+             predicate is found (COUNT-bug risk under Kim-style \
+             flattening).")
+  in
+  let gen_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "gen" ] ~docv:"N"
+          ~doc:
+            "Instead of a query argument, lint a deterministic corpus of \
+             $(docv) random nested queries over the xy schema (vary it \
+             with --seed).")
+  in
+  let query_opt_arg =
+    Arg.(
+      value & pos 0 (some string) None
+      & info [] ~docv:"QUERY" ~doc:"A query, or a path to a query file.")
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Type-check a query and print its type.")
+    (Cmd.info "check"
+       ~doc:
+         "Type-check and lint a query: classify every subquery predicate \
+          (semijoin-rewritable / antijoin-rewritable / grouping-required, \
+          Theorem 1) and flag COUNT-bug risks; with --verify, additionally \
+          compile it under every strategy with phase verification.")
     Term.(
-      const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ query_arg)
+      const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strict_arg
+      $ verify_arg $ gen_arg $ query_opt_arg)
 
 let stats_cmd =
   let show name file seed scale =

@@ -1,0 +1,89 @@
+The query lint over the example query files. The semijoin class is clean
+even under --strict:
+
+  $ ../bin/nestql.exe check --strict ../examples/queries/semijoin_in.q
+  type: P INT
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.a IN q
+    verdict: semijoin-rewritable — EXISTS v IN q (v = x.a)
+  1 subquery; 0 grouping-required, 0 with COUNT-bug risk under flattening
+
+The ¬∃ class builds an antijoin — a COUNT-bug risk under flattening, but
+not grouping-required, so --strict still passes:
+
+  $ ../bin/nestql.exe check --strict ../examples/queries/antijoin_count.q
+  type: P INT
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: COUNT(q) = 0
+    verdict: antijoin-rewritable — NOT EXISTS v IN q (true)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  1 subquery; 0 grouping-required, 1 with COUNT-bug risk under flattening
+
+The canonical COUNT bug needs grouping; --strict exits 2:
+
+  $ ../bin/nestql.exe check --strict ../examples/queries/count_equality.q
+  type: P INT
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.a = COUNT(q)
+    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (count(z) comparison needs the cardinality)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  1 subquery; 1 grouping-required, 1 with COUNT-bug risk under flattening
+  strict: 1 grouping-required correlated predicate(s) — COUNT-bug risk under flattening baselines
+  [2]
+
+Set-valued comparison also requires grouping:
+
+  $ ../bin/nestql.exe check --strict ../examples/queries/subseteq.q
+  type: P INT
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.s SUBSETEQ q
+    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (e ⊆ z requires the whole subquery result)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  1 subquery; 1 grouping-required, 1 with COUNT-bug risk under flattening
+  strict: 1 grouping-required correlated predicate(s) — COUNT-bug risk under flattening baselines
+  [2]
+
+Without --strict the same file is only a diagnostic:
+
+  $ ../bin/nestql.exe check ../examples/queries/count_equality.q
+  type: P INT
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.a = COUNT(q)
+    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (count(z) comparison needs the cardinality)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  1 subquery; 1 grouping-required, 1 with COUNT-bug risk under flattening
+
+A generated corpus lints and phase-verifies under every strategy:
+
+  $ ../bin/nestql.exe check --gen 2 --seed 7 --verify
+  -- SELECT (i = x.id, a = x.a) FROM X x WHERE x.a >= MAX(SELECT y.a FROM Y y WHERE x.b = y.b AND y.a IN (SELECT w.a FROM Y w WHERE w.b = y.b))
+  type: P (a : INT, i : INT)
+  subquery q' (WHERE clause, correlated, over Y w, over Y y):
+    predicate: x.a >= MAX(q')
+    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (MIN/MAX comparison in a direction needing the whole set)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  subquery q (WHERE clause, correlated, over Y w):
+    predicate: y.a IN q
+    verdict: semijoin-rewritable — EXISTS v IN q (v = y.a)
+  2 subqueries; 1 grouping-required, 1 with COUNT-bug risk under flattening
+  
+  -- SELECT x.id FROM X x WHERE x.s SUPSETEQ (SELECT y.a + y.b FROM Y y WHERE y.b = 3 AND y.a IN (SELECT w.a FROM Y w WHERE w.b = y.b)) AND x.s SUBSETEQ (SELECT y.a FROM Y y WHERE x.b + 1 = y.b)
+  type: P INT
+  subquery q'' (WHERE clause, uncorrelated, over Y w, over Y y):
+    predicate: x.s SUPSETEQ q''
+    verdict: antijoin-rewritable — NOT EXISTS v IN q'' (NOT v IN x.s)
+  subquery q' (WHERE clause, correlated, over Y w):
+    predicate: y.a IN q'
+    verdict: semijoin-rewritable — EXISTS v IN q' (v = y.a)
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.s SUBSETEQ q
+    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (e ⊆ z requires the whole subquery result)
+    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
+  3 subqueries; 1 grouping-required, 1 with COUNT-bug risk under flattening
+  
+  phases verified: 2 queries under 7 strategies
+
+Phase verification is also available on run:
+
+  $ ../bin/nestql.exe run --verify "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE y.b = x.b)"
+  {0, 18, 22, 31, 33, 34, 41, 49, 61, 65, 72, 74, 75, 85, 95}

@@ -33,6 +33,12 @@ EXPLAIN shows both plans:
          └─ scan Y y
   
   estimated: 2 result rows, 12 cost units (see Core.Cost)
+  
+  lint:
+  subquery q (WHERE clause, correlated, over Y y):
+    predicate: x.d IN q
+    verdict: semijoin-rewritable — EXISTS v IN q (v = x.d)
+  1 subquery; 0 grouping-required, 0 with COUNT-bug risk under flattening
 
 EXPLAIN ANALYZE annotates every operator with estimated vs actual
 cardinality and work counters (--no-timing keeps the output stable):
@@ -84,6 +90,7 @@ Errors are reported, not crashed on:
   $ ../bin/nestql.exe run -c table1 "SELECT q.nope FROM X q"
   error: type error: type (d : INT, e : INT) has no field nope
   in: q.nope
+  env: (q : (d : INT, e : INT))
   [1]
 
 Catalogs dump to the definition language and reload:
@@ -100,11 +107,16 @@ Variant types work through the CLI:
 Type checking without execution:
 
   $ ../bin/nestql.exe check -c table1 "SELECT (e = x.e, ys = (SELECT y.a FROM Y y WHERE y.b = x.d)) FROM X x"
-  P (e : INT, ys : P INT)
+  type: P (e : INT, ys : P INT)
+  subquery q (SELECT clause, correlated, over Y y):
+    verdict: grouping-required — SELECT-clause nesting: the subquery value itself is the result attribute (§5: always grouped — nest join)
+    note: COUNT-bug risk — a dangling outer row still contributes a tuple (with an empty group); join-based flattening would drop it
+  1 subquery; 1 grouping-required, 1 with COUNT-bug risk under flattening
 
   $ ../bin/nestql.exe check -c table1 "SELECT x.nope FROM X x"
-  type error: type (d : INT, e : INT) has no field nope
+  error: type error: type (d : INT, e : INT) has no field nope
   in: x.nope
+  env: (x : (d : INT, e : INT))
   [1]
 
 The REPL processes commands from stdin:

@@ -1,0 +1,6 @@
+-- Table 2: COUNT(z) = 0 is ¬∃-rewritable, so the decorrelator builds an
+-- antijoin instead of grouping. A flattening baseline would still get
+-- this wrong (the predicate holds on dangling rows), but the lint class
+-- is antijoin-rewritable, not grouping-required — clean under --strict.
+SELECT x.id FROM X x
+WHERE COUNT(SELECT y.id FROM Y y WHERE y.b = x.b) = 0

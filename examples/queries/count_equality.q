@@ -1,0 +1,7 @@
+-- The canonical COUNT bug (Kim 1982 / Kiessling 1985): comparing a
+-- correlated COUNT against an outer attribute. No ∃/¬∃ rewrite exists
+-- (Theorem 1), grouping is required, and Kim-style flattening silently
+-- drops the dangling outer rows where the count is 0.
+-- `nestql check --strict` exits 2 on this file.
+SELECT x.id FROM X x
+WHERE x.a = COUNT(SELECT y.id FROM Y y WHERE x.b = y.b)

@@ -1,0 +1,5 @@
+-- Table 2 class 1: a correlated IN predicate.
+-- The classifier rewrites it to ∃-form, so the decorrelator builds a
+-- semijoin — no grouping, no COUNT-bug risk. Clean under `check --strict`.
+SELECT x.id FROM X x
+WHERE x.a IN (SELECT y.a FROM Y y WHERE y.b = x.b)

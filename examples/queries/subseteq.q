@@ -1,0 +1,6 @@
+-- A set-valued comparison against a correlated subquery: SUBSETEQ needs
+-- the whole per-row subquery result, so only grouping (the nest join)
+-- computes it. ⊆ holds on an empty result, hence the COUNT-bug risk
+-- under flattening. `nestql check --strict` exits 2 on this file.
+SELECT x.id FROM X x
+WHERE x.s SUBSETEQ (SELECT y.a FROM Y y WHERE y.b = x.b)

@@ -35,7 +35,10 @@ let rec schema_of catalog ambient plan =
   | Plan.Table { name; var } -> begin
     match Cobj.Catalog.find name catalog with
     | Some table -> Ok (extend ambient [ (var, Cobj.Table.elt table) ])
-    | None -> Error (Fmt.str "unknown extension %s" name)
+    | None ->
+      Error
+        (Fmt.str "unknown extension %s (catalog: %s)" name
+           (String.concat ", " (Cobj.Catalog.names catalog)))
   end
   | Plan.Select { pred; input } ->
     let* schema = schema_of catalog ambient input in
@@ -82,7 +85,10 @@ let rec schema_of catalog ambient plan =
         (fun acc v ->
           let* () = acc in
           if List.mem_assoc v schema then Ok ()
-          else Error (Fmt.str "nest: unbound variable %s" v))
+          else
+            Error
+              (Fmt.str "nest: unbound variable %s (schema %a)" v pp_schema
+                 schema))
         (Ok ()) (by @ nulls)
     in
     let* tf = infer_expr catalog schema func in
@@ -100,7 +106,10 @@ let rec schema_of catalog ambient plan =
           let* kept = acc in
           match List.assoc_opt v schema with
           | Some t -> Ok ((v, t) :: kept)
-          | None -> Error (Fmt.str "project: unbound variable %s" v))
+          | None ->
+            Error
+              (Fmt.str "project: unbound variable %s (schema %a)" v pp_schema
+                 schema))
         (Ok []) vars
     in
     Ok (extend ambient (List.rev kept))

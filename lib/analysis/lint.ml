@@ -1,0 +1,238 @@
+module Ast = Lang.Ast
+module Sset = Ast.String_set
+module Plan = Algebra.Plan
+
+type kind =
+  | Semijoin of { var : string; body : Ast.expr }
+  | Antijoin of { var : string; body : Ast.expr }
+  | Grouping of { reason : string }
+  | Uncorrelated
+
+type clause = Where | Select_clause
+
+type diagnostic = {
+  z : string;
+  clause : clause;
+  correlated : bool;
+  predicate : Ast.expr option;
+  tables : (string * string) list;
+  kind : kind;
+  kim_risk : bool;
+}
+
+let kind_name = function
+  | Semijoin _ -> "semijoin-rewritable"
+  | Antijoin _ -> "antijoin-rewritable"
+  | Grouping _ -> "grouping-required"
+  | Uncorrelated -> "uncorrelated"
+
+let split_conjuncts pred =
+  let rec go acc = function
+    | Ast.Binop (Ast.And, a, b) -> go (go acc b) a
+    | p -> p :: acc
+  in
+  match pred with
+  | Ast.Const (Cobj.Value.Bool true) -> []
+  | _ -> go [] pred
+
+let tables_of plan =
+  List.rev
+    (Plan.fold
+       (fun acc node ->
+         match node with
+         | Plan.Table { name; var } -> (name, var) :: acc
+         | _ -> acc)
+       [] plan)
+
+(* Mirrors [Core.Decorrelate.consume]/[flatten_one]: same split, same
+   classification, same liveness test — so the report states what the
+   optimizer actually does, not a parallel opinion (the agreement is
+   enforced by tests). *)
+let diagnose live ~conjs z (subquery : Plan.query) input acc =
+  let outer = Sset.of_list (Plan.vars_of input) in
+  let correlated =
+    not (Sset.is_empty (Sset.inter (Plan.query_free_vars subquery) outer))
+  in
+  let z_live = Sset.mem z live in
+  let classify zpred =
+    match Core.Decorrelate.split_subquery_for_baselines outer subquery with
+    | None ->
+      if correlated then
+        Grouping
+          {
+            reason =
+              "deep correlation: the subquery does not split into an \
+               uncorrelated base plus correlation conjuncts";
+          }
+      else Uncorrelated
+    | Some _ -> (
+      match Core.Classify.classify ~z zpred with
+      | Core.Classify.Exists { var; body } -> Semijoin { var; body }
+      | Core.Classify.Not_exists { var; body } -> Antijoin { var; body }
+      | Core.Classify.Needs_grouping why ->
+        Grouping { reason = "Theorem 1: no ∃/¬∃ rewrite (" ^ why ^ ")" })
+  in
+  let kind, predicate =
+    match conjs with
+    | None ->
+      ( (if correlated then
+           Grouping
+             {
+               reason =
+                 "SELECT-clause nesting: the subquery value itself is the \
+                  result attribute (§5: always grouped — nest join)";
+             }
+         else Uncorrelated),
+        None )
+    | Some [] ->
+      ( (if correlated then
+           Grouping
+             {
+               reason =
+                 "no WHERE conjunct tests the subquery result (nest join \
+                  keeps it bound)";
+             }
+         else Uncorrelated),
+        None )
+    | Some [ zpred ] ->
+      ( (if z_live then
+           Grouping
+             {
+               reason =
+                 "the subquery result is also referenced outside its WHERE \
+                  conjunct";
+             }
+         else classify zpred),
+        Some zpred )
+    | Some multi ->
+      ( Grouping
+          {
+            reason =
+              Printf.sprintf "%d WHERE conjuncts test the subquery result"
+                (List.length multi);
+          },
+        Some (Ast.conj multi) )
+  in
+  let kim_risk =
+    correlated
+    && (match kind with
+       | Antijoin _ | Grouping _ -> true
+       | Semijoin _ | Uncorrelated -> false)
+  in
+  {
+    z;
+    clause = (match conjs with None -> Select_clause | Some _ -> Where);
+    correlated;
+    predicate;
+    tables = tables_of subquery.Plan.plan;
+    kind;
+    kim_risk;
+  }
+  :: acc
+
+let rec walk live acc plan =
+  match plan with
+  | Plan.Select { pred; input = Plan.Apply _ as chain } ->
+    consume live (split_conjuncts pred) acc chain
+  | Plan.Apply { var = z; subquery; input } ->
+    let acc = diagnose live ~conjs:None z subquery input acc in
+    let acc = walk (Ast.free_vars subquery.Plan.result) acc subquery.Plan.plan in
+    walk live acc input
+  | Plan.Unit | Plan.Table _ -> acc
+  | Plan.Select { input; _ } | Plan.Unnest { input; _ }
+  | Plan.Nest { input; _ } | Plan.Extend { input; _ }
+  | Plan.Project { input; _ } ->
+    walk live acc input
+  | Plan.Join { left; right; _ } | Plan.Semijoin { left; right; _ }
+  | Plan.Antijoin { left; right; _ } | Plan.Outerjoin { left; right; _ }
+  | Plan.Nestjoin { left; right; _ } | Plan.Union { left; right } ->
+    walk live (walk live acc left) right
+
+(* Walk a Select-over-Apply chain outermost-first, pairing each subquery
+   with the conjuncts that mention its variable (as the decorrelator does). *)
+and consume live conjs acc plan =
+  match plan with
+  | Plan.Apply { var = z; subquery; input } ->
+    let z_conjs, rest = List.partition (Ast.occurs_free z) conjs in
+    let acc = diagnose live ~conjs:(Some z_conjs) z subquery input acc in
+    let acc = walk (Ast.free_vars subquery.Plan.result) acc subquery.Plan.plan in
+    consume live rest acc input
+  | _ -> walk live acc plan
+
+let query catalog expr =
+  match Lang.Types.check_query catalog expr with
+  | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
+  | Ok (resolved, ty) -> (
+    match Core.Translate.query catalog resolved with
+    | Error msg -> Error msg
+    | Ok q ->
+      Ok (ty, List.rev (walk (Ast.free_vars q.Plan.result) [] q.Plan.plan)))
+
+let query_string catalog src =
+  match Lang.Parser.expr_result src with
+  | Error msg -> Error msg
+  | Ok expr -> query catalog expr
+
+let warnings diags =
+  List.filter
+    (fun d ->
+      d.correlated && match d.kind with Grouping _ -> true | _ -> false)
+    diags
+
+let pp_kind ~z ppf kind =
+  match kind with
+  | Semijoin { var; body } ->
+    let rewritten =
+      Core.Classify.to_expr ~z (Core.Classify.Exists { var; body })
+    in
+    Fmt.pf ppf "semijoin-rewritable — %a"
+      Fmt.(option Lang.Pretty.pp)
+      rewritten
+  | Antijoin { var; body } ->
+    let rewritten =
+      Core.Classify.to_expr ~z (Core.Classify.Not_exists { var; body })
+    in
+    Fmt.pf ppf "antijoin-rewritable — %a"
+      Fmt.(option Lang.Pretty.pp)
+      rewritten
+  | Grouping { reason } -> Fmt.pf ppf "grouping-required — %s" reason
+  | Uncorrelated -> Fmt.pf ppf "uncorrelated — memoized constant"
+
+let pp_diagnostic ppf d =
+  let clause =
+    match d.clause with Where -> "WHERE clause" | Select_clause -> "SELECT clause"
+  in
+  Fmt.pf ppf "@[<v2>subquery %s (%s, %s%a):" d.z clause
+    (if d.correlated then "correlated" else "uncorrelated")
+    Fmt.(
+      list ~sep:nop (fun ppf (name, var) -> Fmt.pf ppf ", over %s %s" name var))
+    d.tables;
+  (match d.predicate with
+  | Some p -> Fmt.pf ppf "@,predicate: %a" Lang.Pretty.pp p
+  | None -> ());
+  Fmt.pf ppf "@,verdict: %a" (pp_kind ~z:d.z) d.kind;
+  if d.kim_risk then
+    (match d.predicate with
+    | Some _ ->
+      Fmt.pf ppf
+        "@,note: COUNT-bug risk — the predicate holds on an empty subquery \
+         result, so dangling outer rows contribute to the answer; \
+         Kim-style join flattening silently drops them"
+    | None ->
+      Fmt.pf ppf
+        "@,note: COUNT-bug risk — a dangling outer row still contributes a \
+         tuple (with an empty group); join-based flattening would drop it");
+  Fmt.pf ppf "@]"
+
+let render diags =
+  match diags with
+  | [] -> ""
+  | _ :: _ ->
+    let w = List.length (warnings diags) in
+    let risky = List.length (List.filter (fun d -> d.kim_risk) diags) in
+    Fmt.str "@[<v>%a@,%d subquer%s; %d grouping-required, %d with COUNT-bug \
+             risk under flattening@]"
+      Fmt.(list ~sep:(any "@,") pp_diagnostic)
+      diags (List.length diags)
+      (if List.length diags = 1 then "y" else "ies")
+      w risky

@@ -1,0 +1,67 @@
+(** Query lint: per-subquery predicate classification and COUNT-bug-risk
+    diagnostics (the [nestql check] subcommand).
+
+    The linter typechecks a query, translates it naively (so every nested
+    subquery is an [Apply] node) and mirrors [Core.Decorrelate]'s dispatch
+    to report, for every subquery, what the optimizer will do with it:
+
+    - {b semijoin-rewritable} — the WHERE predicate over the subquery
+      result classifies as [∃v ∈ z (P')] (Theorem 1 / Table 2): flattening
+      is safe, dangling outer rows are excluded by the predicate itself;
+    - {b antijoin-rewritable} — it classifies as [¬∃v ∈ z (P')]: flattening
+      to an antijoin is safe, but the predicate {e holds} on an empty
+      subquery result, so Kim-style join flattening (which drops dangling
+      rows) is wrong — the COUNT bug;
+    - {b grouping-required} — no rewrite without grouping exists (nest join
+      territory): count-equality tests, set-valued comparisons,
+      SELECT-clause nesting, deep correlation. Under a flattening baseline
+      these silently lose dangling outer rows — flagged as COUNT-bug risk;
+    - {b uncorrelated} — a constant subquery; memoized, never a bug risk.
+
+    [nestql check --strict] exits non-zero when any correlated
+    grouping-required predicate is found. *)
+
+type kind =
+  | Semijoin of { var : string; body : Lang.Ast.expr }
+      (** flattens to a semijoin on [body] *)
+  | Antijoin of { var : string; body : Lang.Ast.expr }
+  | Grouping of { reason : string }
+  | Uncorrelated
+
+type clause = Where | Select_clause
+
+type diagnostic = {
+  z : string;  (** the subquery variable (binder of the Apply node) *)
+  clause : clause;
+  correlated : bool;
+  predicate : Lang.Ast.expr option;
+      (** the WHERE conjunct(s) testing the subquery result, if any *)
+  tables : (string * string) list;
+      (** extensions the subquery scans, as [(name, var)] *)
+  kind : kind;
+  kim_risk : bool;
+      (** the predicate can hold on an empty subquery result, so dangling
+          outer rows are observable: Kim-style flattening drops them *)
+}
+
+val kind_name : kind -> string
+(** ["semijoin-rewritable"], ["antijoin-rewritable"], ["grouping-required"]
+    or ["uncorrelated"]. *)
+
+val query :
+  Cobj.Catalog.t ->
+  Lang.Ast.expr ->
+  (Cobj.Ctype.t * diagnostic list, string) result
+(** Typecheck, translate and lint a query; diagnostics appear
+    outermost-first. *)
+
+val query_string :
+  Cobj.Catalog.t -> string -> (Cobj.Ctype.t * diagnostic list, string) result
+
+val warnings : diagnostic list -> diagnostic list
+(** The strict-mode subset: correlated grouping-required diagnostics. *)
+
+val pp_diagnostic : diagnostic Fmt.t
+val render : diagnostic list -> string
+(** Multi-line report (one block per diagnostic plus a summary line);
+    [""] when there are no subqueries at all. *)

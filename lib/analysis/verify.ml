@@ -1,0 +1,607 @@
+module Ast = Lang.Ast
+module Sset = Ast.String_set
+module Plan = Algebra.Plan
+module Typing = Algebra.Typing
+module Ctype = Cobj.Ctype
+module P = Engine.Physical
+
+type violation = {
+  phase : string;
+  rule : string;
+  detail : string;
+  subplan : string;
+}
+
+let pp_violation ppf v =
+  Fmt.pf ppf
+    "@[<v>plan verification failed [phase %s, rule %s]:@,%s@,offending \
+     subplan:@,%s@]"
+    v.phase v.rule v.detail v.subplan
+
+let to_string v = Fmt.str "%a" pp_violation v
+
+exception Violation of violation
+
+type ctx = { phase : string; catalog : Cobj.Catalog.t }
+
+let viol ctx rule sub fmt =
+  Format.kasprintf
+    (fun detail ->
+      raise (Violation { phase = ctx.phase; rule; detail; subplan = sub () }))
+    fmt
+
+(* Schema plumbing mirrors [Algebra.Typing]: additions shadow ambient
+   bindings; [added] is what an independently-walked operand contributed on
+   top of the shared ambient. *)
+let extend ambient additions =
+  additions
+  @ List.filter (fun (v, _) -> not (List.mem_assoc v additions)) ambient
+
+let added ambient inner =
+  List.filter
+    (fun (v, t) ->
+      match List.assoc_opt v ambient with
+      | Some t' -> not (Ctype.equal t t')
+      | None -> true)
+    inner
+
+let scope_of schema = Sset.of_list (List.map fst schema)
+
+let pp_scope ppf schema =
+  Fmt.(list ~sep:(any ", ") string) ppf (List.map fst schema)
+
+(* [what] names the expression's role in the violation message. Inline [Sfw]
+   blocks are legal operator arguments (non-hoistable subqueries stay
+   inline), so no plan-freeness is enforced — [Lang.Types.infer] types them
+   structurally. *)
+let infer_under ctx sub schema what e =
+  let unbound = Sset.diff (Ast.free_vars e) (scope_of schema) in
+  (match Sset.min_elt_opt unbound with
+  | Some v ->
+    viol ctx "unbound-var" sub
+      "%s references %s, which no operand binds (in scope: %a): %s" what v
+      pp_scope schema
+      (Lang.Pretty.to_string e)
+  | None -> ());
+  match Lang.Types.infer ctx.catalog schema e with
+  | Ok t -> t
+  | Error err ->
+    viol ctx "ill-typed" sub "%s does not typecheck: %a" what
+      Lang.Types.pp_error err
+
+let check_pred ctx sub schema what e =
+  match infer_under ctx sub schema what e with
+  | Ctype.TBool | Ctype.TAny -> ()
+  | t ->
+    viol ctx "predicate-not-boolean" sub "%s must be boolean, got %a: %s"
+      what Ctype.pp t
+      (Lang.Pretty.to_string e)
+
+let bind ctx sub local what v =
+  if Sset.mem v local then
+    viol ctx "shadowed-binding" sub
+      "%s rebinds %s, which its input already binds" what v
+  else Sset.add v local
+
+let disjoint ctx sub ll rl =
+  match Sset.min_elt_opt (Sset.inter ll rl) with
+  | Some v -> viol ctx "duplicate-binding" sub "both join operands bind %s" v
+  | None -> ()
+
+let check_label ctx sub what ll label =
+  if Sset.mem label ll then
+    viol ctx "shadowed-label" sub
+      "%s label %s shadows a variable bound by the left operand (labels \
+       must be fresh — a shadowed label silently overwrites a live \
+       attribute)"
+      what label
+
+(* --- logical plans ------------------------------------------------------ *)
+
+(* Returns the schema of output rows plus the set of variables this plan
+   itself binds (plan-local: an Apply subquery is a fresh scope, so outer
+   names may legitimately reappear inside it). *)
+let rec go_logical ctx ambient plan : Typing.schema * Sset.t =
+  let sub () = Plan.to_string plan in
+  match plan with
+  | Plan.Unit -> (ambient, Sset.empty)
+  | Plan.Table { name; var } -> begin
+    match Cobj.Catalog.find name ctx.catalog with
+    | Some table ->
+      (extend ambient [ (var, Cobj.Table.elt table) ], Sset.singleton var)
+    | None ->
+      viol ctx "unknown-table" sub
+        "extension %s is not in the catalog (extensions: %s)" name
+        (String.concat ", " (Cobj.Catalog.names ctx.catalog))
+  end
+  | Plan.Select { pred; input } ->
+    let s, l = go_logical ctx ambient input in
+    check_pred ctx sub s "selection predicate" pred;
+    (s, l)
+  | Plan.Join { pred; left; right } | Plan.Outerjoin { pred; left; right } ->
+    let ls, ll = go_logical ctx ambient left in
+    let rs, rl = go_logical ctx ambient right in
+    disjoint ctx sub ll rl;
+    let merged = extend ls (added ambient rs) in
+    check_pred ctx sub merged "join predicate" pred;
+    (merged, Sset.union ll rl)
+  | Plan.Semijoin { pred; left; right } | Plan.Antijoin { pred; left; right }
+    ->
+    let ls, ll = go_logical ctx ambient left in
+    let rs, rl = go_logical ctx ambient right in
+    disjoint ctx sub ll rl;
+    let merged = extend ls (added ambient rs) in
+    check_pred ctx sub merged "semijoin/antijoin predicate" pred;
+    (* output schema is the left schema — right bindings must not escape *)
+    (ls, ll)
+  | Plan.Nestjoin { pred; func; label; left; right } ->
+    let ls, ll = go_logical ctx ambient left in
+    let rs, rl = go_logical ctx ambient right in
+    disjoint ctx sub ll rl;
+    let merged = extend ls (added ambient rs) in
+    check_pred ctx sub merged "nest join predicate" pred;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "nest join" ll label;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | Plan.Unnest { expr; var; input } ->
+    let s, l = go_logical ctx ambient input in
+    let elt =
+      match infer_under ctx sub s "unnest operand" expr with
+      | Ctype.TSet elt | Ctype.TList elt -> elt
+      | Ctype.TAny -> Ctype.TAny
+      | t ->
+        viol ctx "unnest-not-collection" sub
+          "unnest operand must be a set or list, got %a: %s" Ctype.pp t
+          (Lang.Pretty.to_string expr)
+    in
+    let l = bind ctx sub l "unnest" var in
+    (extend s [ (var, elt) ], l)
+  | Plan.Nest { by; label; func; nulls; input } ->
+    let s, _l = go_logical ctx ambient input in
+    let grouped what v =
+      if not (List.mem_assoc v s) then
+        viol ctx "nest-unbound" sub
+          "nest %s %s, which the input does not bind (schema %a)" what v
+          Typing.pp_schema s
+    in
+    List.iter (grouped "groups by") by;
+    List.iter (grouped "null-tests (ν*)") nulls;
+    let tf = infer_under ctx sub s "nest function" func in
+    if List.mem label by then
+      viol ctx "shadowed-label" sub
+        "nest label %s collides with a grouping variable" label;
+    let kept = List.filter (fun (v, _) -> List.mem v by) s in
+    ( extend ambient (kept @ [ (label, Ctype.TSet tf) ]),
+      Sset.add label (Sset.of_list by) )
+  | Plan.Extend { var; expr; input } ->
+    let s, l = go_logical ctx ambient input in
+    let t = infer_under ctx sub s "extend expression" expr in
+    let l = bind ctx sub l "extend" var in
+    (extend s [ (var, t) ], l)
+  | Plan.Project { vars; input } ->
+    let s, _l = go_logical ctx ambient input in
+    let kept =
+      List.map
+        (fun v ->
+          match List.assoc_opt v s with
+          | Some t -> (v, t)
+          | None ->
+            viol ctx "project-unbound" sub
+              "project keeps %s, which the input does not bind (schema %a)"
+              v Typing.pp_schema s)
+        vars
+    in
+    (extend ambient kept, Sset.of_list vars)
+  | Plan.Apply { var; subquery; input } ->
+    let s, l = go_logical ctx ambient input in
+    let unbound = Sset.diff (Plan.query_free_vars subquery) (scope_of s) in
+    (match Sset.min_elt_opt unbound with
+    | Some v ->
+      viol ctx "apply-free-vars" sub
+        "apply subquery references %s, which the outer plan does not bind \
+         (in scope: %a)"
+        v pp_scope s
+    | None -> ());
+    (* the subquery is its own scope: the current schema is its ambient *)
+    let ss, _sl = go_logical ctx s subquery.Plan.plan in
+    let tr =
+      infer_under ctx sub ss "apply subquery result" subquery.Plan.result
+    in
+    let l = bind ctx sub l "apply" var in
+    (extend s [ (var, Ctype.TSet tr) ], l)
+  | Plan.Union { left; right } ->
+    let ls, ll = go_logical ctx ambient left in
+    let rs, rl = go_logical ctx ambient right in
+    if not (Sset.equal ll rl) then begin
+      let d = Sset.union (Sset.diff ll rl) (Sset.diff rl ll) in
+      viol ctx "union-mismatch" sub
+        "union operands bind different variables (%s only on one side)"
+        (String.concat ", " (Sset.elements d))
+    end;
+    let joined =
+      List.map
+        (fun (v, lt) ->
+          match List.assoc_opt v rs with
+          | None -> viol ctx "union-mismatch" sub "%s bound only on the left" v
+          | Some rt -> (
+            match Ctype.join lt rt with
+            | Some t -> (v, t)
+            | None ->
+              viol ctx "union-mismatch" sub
+                "union binds %s at incompatible types %a and %a" v Ctype.pp
+                lt Ctype.pp rt))
+        ls
+    in
+    (joined, ll)
+
+let check_plan ~phase ?(ambient = []) catalog plan =
+  let ctx = { phase; catalog } in
+  match go_logical ctx ambient plan with
+  | schema, _locals -> begin
+    (* backstop: the independent schema inference must agree *)
+    match Typing.schema_of catalog ambient plan with
+    | Ok _ -> Ok schema
+    | Error msg ->
+      Error { phase; rule = "schema"; detail = msg; subplan = Plan.to_string plan }
+  end
+  | exception Violation v -> Error v
+
+let check_query ~phase ?(ambient = []) catalog (q : Plan.query) =
+  let ctx = { phase; catalog } in
+  match
+    let s, _ = go_logical ctx ambient q.Plan.plan in
+    ignore
+      (infer_under ctx
+         (fun () -> Plan.to_string q.Plan.plan)
+         s "result expression" q.Plan.result)
+  with
+  | () -> begin
+    match Typing.query_type catalog ambient q with
+    | Ok _ -> Ok ()
+    | Error msg ->
+      Error
+        {
+          phase;
+          rule = "schema";
+          detail = msg;
+          subplan = Plan.to_string q.Plan.plan;
+        }
+  end
+  | exception Violation v -> Error v
+
+(* --- physical plans ----------------------------------------------------- *)
+
+(* §6: building the hash nest join on the left (streaming the right) is only
+   sound when the right key is unique per right row — we require it to be a
+   declared key of the scanned right operand, exactly as the planner does. *)
+let right_key_declared catalog right rkey =
+  match right with
+  | P.Scan { table; var } -> begin
+    match Cobj.Catalog.find table catalog with
+    | Some t -> begin
+      match (Cobj.Table.key t, rkey) with
+      | Some [ field ], Ast.Field (Ast.Var v, f) ->
+        String.equal v var && String.equal f field
+      | _, _ -> false
+    end
+    | None -> false
+  end
+  | _ -> false
+
+let rec go_physical ctx ambient plan : Typing.schema * Sset.t =
+  let sub () = P.to_string plan in
+  let check_keys rule ls rs lkey rkey =
+    let lt = infer_under ctx sub ls "left key" lkey in
+    let rt = infer_under ctx sub rs "right key" rkey in
+    match Ctype.join lt rt with
+    | Some _ -> ()
+    | None ->
+      viol ctx rule sub
+        "join keys have incomparable types: %s : %a vs %s : %a"
+        (Lang.Pretty.to_string lkey)
+        Ctype.pp lt
+        (Lang.Pretty.to_string rkey)
+        Ctype.pp rt
+  in
+  let check_residual merged = function
+    | None -> ()
+    | Some r -> check_pred ctx sub merged "residual predicate" r
+  in
+  (* Bloom sideways information passing: the filter over the build side is
+     sized from the build cardinality estimate; per-partition filters are
+     OR-merged, which requires [Bloom.create] to be geometry-deterministic
+     for that size and the size itself to be well defined. *)
+  let check_bloom build =
+    let est = Core.Cost.card_physical ctx.catalog build in
+    if not (Float.is_finite est) || est < 0. then
+      viol ctx "bloom-geometry" sub
+        "build-side cardinality estimate is %f — the Bloom filter geometry \
+         (word count) would be undefined"
+        est;
+    let n = int_of_float (Float.min est 1_000_000.) in
+    let a = Engine.Bloom.create n and b = Engine.Bloom.create n in
+    if not (Engine.Bloom.same_geometry a b) then
+      viol ctx "bloom-geometry" sub
+        "Bloom.create %d is not geometry-deterministic (%d vs %d words) — \
+         per-partition filters could not be OR-merged"
+        n
+        (Engine.Bloom.geometry a)
+        (Engine.Bloom.geometry b)
+  in
+  let binary left right =
+    let ls, ll = go_physical ctx ambient left in
+    let rs, rl = go_physical ctx ambient right in
+    disjoint ctx sub ll rl;
+    (ls, ll, rs, rl, extend ls (added ambient rs))
+  in
+  match plan with
+  | P.Unit_row -> (ambient, Sset.empty)
+  | P.Scan { table; var } -> begin
+    match Cobj.Catalog.find table ctx.catalog with
+    | Some t ->
+      (extend ambient [ (var, Cobj.Table.elt t) ], Sset.singleton var)
+    | None ->
+      viol ctx "unknown-table" sub
+        "extension %s is not in the catalog (extensions: %s)" table
+        (String.concat ", " (Cobj.Catalog.names ctx.catalog))
+  end
+  | P.Filter { pred; input } ->
+    let s, l = go_physical ctx ambient input in
+    check_pred ctx sub s "filter predicate" pred;
+    (s, l)
+  | P.Nl_join { pred; left; right } ->
+    let _ls, ll, _rs, rl, merged = binary left right in
+    check_pred ctx sub merged "join predicate" pred;
+    (merged, Sset.union ll rl)
+  | P.Hash_join { lkey; rkey; residual; left; right } ->
+    let ls, ll, rs, rl, merged = binary left right in
+    check_keys "hash-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    check_bloom right;
+    (merged, Sset.union ll rl)
+  | P.Merge_join { lkey; rkey; residual; left; right } ->
+    let ls, ll, rs, rl, merged = binary left right in
+    check_keys "merge-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    (merged, Sset.union ll rl)
+  | P.Nl_semijoin { pred; anti = _; left; right } ->
+    let ls, ll, _rs, _rl, merged = binary left right in
+    check_pred ctx sub merged "semijoin predicate" pred;
+    (ls, ll)
+  | P.Hash_semijoin { lkey; rkey; residual; anti = _; left; right } ->
+    let ls, ll, rs, _rl, merged = binary left right in
+    check_keys "hash-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    check_bloom right;
+    (ls, ll)
+  | P.Merge_semijoin { lkey; rkey; residual; anti = _; left; right } ->
+    let ls, ll, rs, _rl, merged = binary left right in
+    check_keys "merge-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    (ls, ll)
+  | P.Nl_outerjoin { pred; left; right } ->
+    let _ls, ll, _rs, rl, merged = binary left right in
+    check_pred ctx sub merged "outerjoin predicate" pred;
+    (merged, Sset.union ll rl)
+  | P.Hash_outerjoin { lkey; rkey; residual; left; right } ->
+    let ls, ll, rs, rl, merged = binary left right in
+    check_keys "hash-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    check_bloom right;
+    (merged, Sset.union ll rl)
+  | P.Merge_outerjoin { lkey; rkey; residual; left; right } ->
+    let ls, ll, rs, rl, merged = binary left right in
+    check_keys "merge-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    (merged, Sset.union ll rl)
+  | P.Nl_nestjoin { pred; func; label; left; right } ->
+    let ls, ll, _rs, _rl, merged = binary left right in
+    check_pred ctx sub merged "nest join predicate" pred;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "nest join" ll label;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | P.Hash_nestjoin { lkey; rkey; residual; func; label; left; right } ->
+    let ls, ll, rs, _rl, merged = binary left right in
+    check_keys "hash-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "nest join" ll label;
+    check_bloom right;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | P.Hash_nestjoin_left { lkey; rkey; residual; func; label; left; right }
+    ->
+    let ls, ll, rs, _rl, merged = binary left right in
+    check_keys "hash-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "nest join" ll label;
+    if not (right_key_declared ctx.catalog right rkey) then
+      viol ctx "nestjoin-build-side" sub
+        "hash nest join may only build on the left when the right key %s is \
+         a declared key of the scanned right operand (§6: otherwise \
+         streamed right rows cannot regroup by left row)"
+        (Lang.Pretty.to_string rkey);
+    check_bloom left;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | P.Merge_nestjoin { lkey; rkey; residual; func; label; left; right } ->
+    let ls, ll, rs, _rl, merged = binary left right in
+    check_keys "merge-key-type" ls rs lkey rkey;
+    check_residual merged residual;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "nest join" ll label;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | P.Unnest_op { expr; var; input } ->
+    let s, l = go_physical ctx ambient input in
+    let elt =
+      match infer_under ctx sub s "unnest operand" expr with
+      | Ctype.TSet elt | Ctype.TList elt -> elt
+      | Ctype.TAny -> Ctype.TAny
+      | t ->
+        viol ctx "unnest-not-collection" sub
+          "unnest operand must be a set or list, got %a: %s" Ctype.pp t
+          (Lang.Pretty.to_string expr)
+    in
+    let l = bind ctx sub l "unnest" var in
+    (extend s [ (var, elt) ], l)
+  | P.Nest_op { by; label; func; nulls; input } ->
+    let s, _l = go_physical ctx ambient input in
+    let grouped what v =
+      if not (List.mem_assoc v s) then
+        viol ctx "nest-unbound" sub
+          "nest %s %s, which the input does not bind (schema %a)" what v
+          Typing.pp_schema s
+    in
+    List.iter (grouped "groups by") by;
+    List.iter (grouped "null-tests (ν*)") nulls;
+    let tf = infer_under ctx sub s "nest function" func in
+    if List.mem label by then
+      viol ctx "shadowed-label" sub
+        "nest label %s collides with a grouping variable" label;
+    let kept = List.filter (fun (v, _) -> List.mem v by) s in
+    ( extend ambient (kept @ [ (label, Ctype.TSet tf) ]),
+      Sset.add label (Sset.of_list by) )
+  | P.Extend_op { var; expr; input } ->
+    let s, l = go_physical ctx ambient input in
+    let t = infer_under ctx sub s "extend expression" expr in
+    let l = bind ctx sub l "extend" var in
+    (extend s [ (var, t) ], l)
+  | P.Project_op { vars; input } ->
+    let s, _l = go_physical ctx ambient input in
+    let kept =
+      List.map
+        (fun v ->
+          match List.assoc_opt v s with
+          | Some t -> (v, t)
+          | None ->
+            viol ctx "project-unbound" sub
+              "project keeps %s, which the input does not bind (schema %a)"
+              v Typing.pp_schema s)
+        vars
+    in
+    (extend ambient kept, Sset.of_list vars)
+  | P.Apply_op { var; subquery; memo = _; input } ->
+    let s, l = go_physical ctx ambient input in
+    let unbound =
+      Sset.diff (Engine.Exec.query_free_vars subquery) (scope_of s)
+    in
+    (match Sset.min_elt_opt unbound with
+    | Some v ->
+      viol ctx "apply-free-vars" sub
+        "apply subquery references %s, which the outer plan does not bind \
+         (in scope: %a)"
+        v pp_scope s
+    | None -> ());
+    let ss, _sl = go_physical ctx s subquery.P.plan in
+    let tr = infer_under ctx sub ss "apply subquery result" subquery.P.result in
+    let l = bind ctx sub l "apply" var in
+    (extend s [ (var, Ctype.TSet tr) ], l)
+  | P.Index_join { lkey; table; var; field; residual; left } ->
+    let ls, ll, elt, ft = index_probe ctx sub ambient lkey table var field left in
+    let merged = extend ls (added ambient [ (var, elt) ]) in
+    ignore ft;
+    check_residual merged residual;
+    (merged, bind ctx sub ll "index join" var)
+  | P.Index_semijoin { lkey; table; var; field; residual; anti = _; left } ->
+    let ls, ll, elt, _ft =
+      index_probe ctx sub ambient lkey table var field left
+    in
+    let merged = extend ls (added ambient [ (var, elt) ]) in
+    check_residual merged residual;
+    (* semijoin: the probed variable does not escape *)
+    (ls, ll)
+  | P.Index_nestjoin { lkey; table; var; field; residual; func; label; left }
+    ->
+    let ls, ll, elt, _ft =
+      index_probe ctx sub ambient lkey table var field left
+    in
+    let merged = extend ls (added ambient [ (var, elt) ]) in
+    check_residual merged residual;
+    let tf = infer_under ctx sub merged "nest join function" func in
+    check_label ctx sub "index nest join" ll label;
+    (extend ls [ (label, Ctype.TSet tf) ], Sset.add label ll)
+  | P.Union_op { left; right } ->
+    let ls, ll = go_physical ctx ambient left in
+    let rs, rl = go_physical ctx ambient right in
+    if not (Sset.equal ll rl) then begin
+      let d = Sset.union (Sset.diff ll rl) (Sset.diff rl ll) in
+      viol ctx "union-mismatch" sub
+        "union operands bind different variables (%s only on one side)"
+        (String.concat ", " (Sset.elements d))
+    end;
+    let joined =
+      List.map
+        (fun (v, lt) ->
+          match List.assoc_opt v rs with
+          | None -> viol ctx "union-mismatch" sub "%s bound only on the left" v
+          | Some rt -> (
+            match Ctype.join lt rt with
+            | Some t -> (v, t)
+            | None ->
+              viol ctx "union-mismatch" sub
+                "union binds %s at incompatible types %a and %a" v Ctype.pp
+                lt Ctype.pp rt))
+        ls
+    in
+    (joined, ll)
+
+(* Shared checks of the index-join family: the table exists, the indexed
+   field exists, and the probe key is comparable with it. *)
+and index_probe ctx sub ambient lkey table var field left =
+  let ls, ll = go_physical ctx ambient left in
+  let elt =
+    match Cobj.Catalog.find table ctx.catalog with
+    | Some t -> Cobj.Table.elt t
+    | None ->
+      viol ctx "unknown-table" sub
+        "index join probes extension %s, which is not in the catalog \
+         (extensions: %s)"
+        table
+        (String.concat ", " (Cobj.Catalog.names ctx.catalog))
+  in
+  let ft =
+    match Ctype.field field elt with
+    | Some t -> t
+    | None ->
+      viol ctx "index-field" sub
+        "index join probes field %s, which rows of %s (%a) do not have"
+        field table Ctype.pp elt
+  in
+  let lt = infer_under ctx sub ls "probe key" lkey in
+  (match Ctype.join lt ft with
+  | Some _ -> ()
+  | None ->
+    viol ctx "hash-key-type" sub
+      "probe key %s : %a is incomparable with indexed field %s.%s : %a"
+      (Lang.Pretty.to_string lkey)
+      Ctype.pp lt table field Ctype.pp ft);
+  ignore var;
+  (ls, ll, elt, ft)
+
+let check_physical ~phase ?(ambient = []) catalog plan =
+  let ctx = { phase; catalog } in
+  match go_physical ctx ambient plan with
+  | schema, _locals -> Ok schema
+  | exception Violation v -> Error v
+
+let check_physical_query ~phase ?(ambient = []) catalog (pq : P.query) =
+  let ctx = { phase; catalog } in
+  match
+    let s, _ = go_physical ctx ambient pq.P.plan in
+    ignore
+      (infer_under ctx
+         (fun () -> P.to_string pq.P.plan)
+         s "result expression" pq.P.result)
+  with
+  | () -> Ok ()
+  | exception Violation v -> Error v
+
+let verifier : Core.Pipeline.verifier =
+ fun ~phase catalog plan ->
+  let checked =
+    match plan with
+    | Core.Pipeline.Logical q -> check_query ~phase catalog q
+    | Core.Pipeline.Physical pq -> check_physical_query ~phase catalog pq
+  in
+  Result.map_error to_string checked
+
+let install () = Core.Pipeline.set_verifier (Some verifier)

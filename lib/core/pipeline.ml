@@ -36,30 +36,69 @@ type compiled = {
   strategy : strategy;
 }
 
+type phase_plan =
+  | Logical of Plan.query
+  | Physical of Engine.Physical.query
+
+type verifier =
+  phase:string -> Cobj.Catalog.t -> phase_plan -> (unit, string) result
+
+(* The verifier is an optional hook so [core] stays independent of the
+   analysis library implementing it: [Analysis.Verify.install] registers the
+   real checker; without a registration every phase check is a no-op. *)
+let verifier_hook : verifier option ref = ref None
+let set_verifier v = verifier_hook := v
+
+let verify_default () =
+  match Sys.getenv_opt "NESTQL_VERIFY" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ -> true
+  | None ->
+    (* default-on under dune (runtest, cram, dune exec) so every compiled
+       plan in the test suite is phase-verified *)
+    Sys.getenv_opt "INSIDE_DUNE" <> None
+
 let ( let* ) = Result.bind
 
-let logical_of ~rewrite ~reorder strategy catalog resolved =
+let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
   match strategy with
   | Interp -> Ok None
   | Naive ->
     let* q = Translate.query catalog resolved in
+    let* () = check ~phase:"translate" (Logical q) in
     Ok (Some q)
   | Decorrelated | Decorrelated_outerjoin ->
     let* naive = Translate.query catalog resolved in
+    let* () = check ~phase:"translate" (Logical naive) in
     (* Iterate decorrelation and rewriting to a fixpoint: pushing a
        selection below a join can expose the Select-over-Apply pattern of a
        second subquery in the same WHERE clause (multiple subqueries per
        block — listed as future work in the paper, handled here). *)
     let step q =
       let q = Decorrelate.query q in
-      let q = if rewrite then Rewrite.query (Simplify.query catalog q) else q in
-      if reorder then Reorder.query catalog q else q
+      let* () = check ~phase:"decorrelate" (Logical q) in
+      let* q =
+        if rewrite then begin
+          let q = Simplify.query catalog q in
+          let* () = check ~phase:"simplify" (Logical q) in
+          let q = Rewrite.query q in
+          let* () = check ~phase:"rewrite" (Logical q) in
+          Ok q
+        end
+        else Ok q
+      in
+      if reorder then begin
+        let q = Reorder.query catalog q in
+        let* () = check ~phase:"reorder" (Logical q) in
+        Ok q
+      end
+      else Ok q
     in
     let rec fixpoint n q =
-      if n = 0 then q
+      if n = 0 then Ok q
       else
-        let q' = step q in
-        if q' = q then q
+        let* q' = step q in
+        if q' = q then Ok q
         else begin
           Log.debug (fun m ->
               m "optimization round %d:@.%a" (6 - n) Plan.pp_query q');
@@ -67,25 +106,31 @@ let logical_of ~rewrite ~reorder strategy catalog resolved =
         end
     in
     Log.debug (fun m -> m "naive translation:@.%a" Plan.pp_query naive);
-    let q = fixpoint 5 naive in
-    let q =
-      if strategy = Decorrelated_outerjoin then
-        { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan }
-      else q
+    let* q = fixpoint 5 naive in
+    let* q =
+      if strategy = Decorrelated_outerjoin then begin
+        let q = { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan } in
+        let* () = check ~phase:"nestjoin-as-outerjoin" (Logical q) in
+        Ok q
+      end
+      else Ok q
     in
     Ok (Some q)
-  | Kim_baseline ->
+  | Kim_baseline | Ganski_wong | Muralikrishna ->
     let* naive = Translate.query catalog resolved in
-    Ok (Some (Result.value (Kim.kim naive) ~default:naive))
-  | Ganski_wong ->
-    let* naive = Translate.query catalog resolved in
-    Ok (Some (Result.value (Kim.ganski_wong naive) ~default:naive))
-  | Muralikrishna ->
-    let* naive = Translate.query catalog resolved in
-    Ok (Some (Result.value (Kim.muralikrishna naive) ~default:naive))
+    let* () = check ~phase:"translate" (Logical naive) in
+    let baseline =
+      match strategy with
+      | Kim_baseline -> Kim.kim
+      | Ganski_wong -> Kim.ganski_wong
+      | _ -> Kim.muralikrishna
+    in
+    let q = Result.value (baseline naive) ~default:naive in
+    let* () = check ~phase:(strategy_name strategy) (Logical q) in
+    Ok (Some q)
 
-let compile ?options ?(rewrite = true) ?(reorder = true) strategy catalog
-    expr =
+let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
+    catalog expr =
   let options =
     match options, strategy with
     | Some options, _ -> options
@@ -97,16 +142,33 @@ let compile ?options ?(rewrite = true) ?(reorder = true) strategy catalog
       { Planner.default_options with Planner.memo_applies = true }
     | None, _ -> Planner.default_options
   in
+  let verify =
+    match verify with Some v -> v | None -> verify_default ()
+  in
+  let check ~phase plan =
+    if not verify then Ok ()
+    else
+      match !verifier_hook with
+      | None -> Ok ()
+      | Some f -> f ~phase catalog plan
+  in
   match Lang.Types.check_query catalog expr with
   | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
   | Ok (resolved, _ty) ->
-    let* logical = logical_of ~rewrite ~reorder strategy catalog resolved in
+    let* logical =
+      logical_of ~check ~rewrite ~reorder strategy catalog resolved
+    in
     let physical = Option.map (Planner.query ~options catalog) logical in
+    let* () =
+      match physical with
+      | Some pq -> check ~phase:"plan" (Physical pq)
+      | None -> Ok ()
+    in
     Ok { source = resolved; logical; physical; strategy }
 
-let compile_string ?options ?rewrite ?reorder strategy catalog src =
+let compile_string ?options ?rewrite ?reorder ?verify strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
-  compile ?options ?rewrite ?reorder strategy catalog expr
+  compile ?options ?rewrite ?reorder ?verify strategy catalog expr
 
 let default_jobs () =
   match Sys.getenv_opt "NESTQL_JOBS" with
@@ -122,8 +184,11 @@ let execute ?stats ?jobs ?bloom catalog compiled =
   | Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
   | None -> Lang.Interp.run catalog compiled.source
 
-let run ?options ?rewrite ?reorder ?stats ?jobs ?bloom strategy catalog src =
-  let* compiled = compile_string ?options ?rewrite ?reorder strategy catalog src in
+let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom strategy
+    catalog src =
+  let* compiled =
+    compile_string ?options ?rewrite ?reorder ?verify strategy catalog src
+  in
   match execute ?stats ?jobs ?bloom catalog compiled with
   | v -> Ok v
   | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)

@@ -37,10 +37,40 @@ type compiled = {
   strategy : strategy;
 }
 
+(** {1 Phase verification}
+
+    Every optimizer phase (logical rewrites and physical planning) can be
+    checked by a registered verifier: after each phase the intermediate plan
+    is handed to the hook together with the phase name, and a verification
+    failure aborts compilation with the hook's message. The checker itself
+    lives in the [analysis] library ([Analysis.Verify.install] registers
+    it); [core] only defines the hook so the dependency stays one-way. *)
+
+type phase_plan =
+  | Logical of Algebra.Plan.query
+  | Physical of Engine.Physical.query
+
+type verifier =
+  phase:string -> Cobj.Catalog.t -> phase_plan -> (unit, string) result
+(** Phase names: ["translate"], ["decorrelate"], ["simplify"], ["rewrite"],
+    ["reorder"] (per fixpoint round), ["nestjoin-as-outerjoin"], the
+    baseline strategy names (["kim"], ["ganski-wong"], ["muralikrishna"]),
+    and ["plan"] (the only [Physical] phase). *)
+
+val set_verifier : verifier option -> unit
+(** Register (or clear) the global verification hook. *)
+
+val verify_default : unit -> bool
+(** Default for [?verify]: [NESTQL_VERIFY] when set ([0]/[false]/[no]/[off]
+    disable, anything else enables), else on exactly when running under
+    dune ([INSIDE_DUNE] — so [dune runtest] and the cram suite verify every
+    phase by default). *)
+
 val compile :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
+  ?verify:bool ->
   strategy ->
   Cobj.Catalog.t ->
   Lang.Ast.expr ->
@@ -48,12 +78,14 @@ val compile :
 (** [rewrite] (default true) applies simplification and the logical rewriter
     after each decorrelation round; [reorder] (default true) additionally
     applies the §6 join-reordering equivalences. Both exist for the
-    ablation benches. *)
+    ablation benches. [verify] (default {!verify_default}) runs the
+    registered phase verifier after every optimizer phase. *)
 
 val compile_string :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
+  ?verify:bool ->
   strategy ->
   Cobj.Catalog.t ->
   string ->
@@ -76,6 +108,7 @@ val run :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
+  ?verify:bool ->
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->

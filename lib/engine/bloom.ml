@@ -50,3 +50,7 @@ let popcount x =
 let fill_ratio t =
   let set = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words in
   float_of_int set /. float_of_int (bits_per_word * Array.length t.words)
+
+let geometry t = Array.length t.words
+
+let same_geometry a b = a.mask = b.mask

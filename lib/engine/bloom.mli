@@ -30,3 +30,12 @@ val merge : into:t -> t -> unit
 
 val fill_ratio : t -> float
 (** Fraction of set bits — prune-rate diagnostics and saturation tests. *)
+
+val geometry : t -> int
+(** Number of words — filters [merge] only when geometries are equal.
+    Deterministic in the [expected] count passed to {!create}: the plan
+    verifier's bloom-geometry rule relies on equal counts producing equal
+    geometry (the precondition for OR-merging per-partition filters). *)
+
+val same_geometry : t -> t -> bool
+(** The {!merge} precondition. *)

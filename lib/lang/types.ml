@@ -5,29 +5,41 @@ type tenv = (string * Ctype.t) list
 type error = {
   message : string;
   context : Ast.expr;
+  tenv : tenv;
 }
 
-let pp_error ppf { message; context } =
-  Fmt.pf ppf "@[<v>type error: %s@,in: %a@]" message Pretty.pp context
+let pp_tenv ppf tenv =
+  Fmt.pf ppf "(@[%a@])"
+    (Fmt.list ~sep:(Fmt.any ",@ ") (fun ppf (v, t) ->
+         Fmt.pf ppf "%s : %a" v Cobj.Ctype.pp t))
+    tenv
+
+let pp_error ppf { message; context; tenv } =
+  match tenv with
+  | [] -> Fmt.pf ppf "@[<v>type error: %s@,in: %a@]" message Pretty.pp context
+  | _ :: _ ->
+    Fmt.pf ppf "@[<v>type error: %s@,in: %a@,env: %a@]" message Pretty.pp
+      context pp_tenv tenv
 
 exception Error of error
 
-let fail context fmt =
-  Format.kasprintf (fun message -> raise (Error { message; context })) fmt
+let fail tenv context fmt =
+  Format.kasprintf (fun message -> raise (Error { message; context; tenv })) fmt
 
 (* The element type a value of type [t] yields when iterated by a FROM
    clause or a quantifier. *)
-let element_of context t =
+let element_of tenv context t =
   match t with
   | Ctype.TSet e | Ctype.TList e -> e
   | Ctype.TAny -> Ctype.TAny
   | Ctype.(TBool | TInt | TFloat | TString | TTuple _ | TVariant _) ->
-    fail context "expected a collection, got %a" Ctype.pp t
+    fail tenv context "expected a collection, got %a" Ctype.pp t
 
-let join_or_fail context a b =
+let join_or_fail tenv context a b =
   match Ctype.join a b with
   | Some t -> t
-  | None -> fail context "incompatible types %a and %a" Ctype.pp a Ctype.pp b
+  | None ->
+    fail tenv context "incompatible types %a and %a" Ctype.pp a Ctype.pp b
 
 let rec infer_exn catalog tenv e =
   let recur = infer_exn catalog in
@@ -35,17 +47,17 @@ let rec infer_exn catalog tenv e =
   | Ast.Const v -> begin
     match Ctype.infer v with
     | Some t -> t
-    | None -> fail e "untypable literal"
+    | None -> fail tenv e "untypable literal"
   end
   | Ast.Var x -> begin
     match List.assoc_opt x tenv with
     | Some t -> t
-    | None -> fail e "unbound variable %s" x
+    | None -> fail tenv e "unbound variable %s" x
   end
   | Ast.TableRef name -> begin
     match Cobj.Catalog.find name catalog with
     | Some table -> Ctype.TSet (Cobj.Table.elt table)
-    | None -> fail e "unknown extension %s" name
+    | None -> fail tenv e "unknown extension %s" name
   end
   | Ast.Field (e1, l) -> begin
     let t1 = recur tenv e1 in
@@ -54,26 +66,26 @@ let rec infer_exn catalog tenv e =
     | _ -> (
       match Ctype.field l t1 with
       | Some t -> t
-      | None -> fail e "type %a has no field %s" Ctype.pp t1 l)
+      | None -> fail tenv e "type %a has no field %s" Ctype.pp t1 l)
   end
   | Ast.TupleE fields ->
     let tfields = List.map (fun (l, e1) -> (l, recur tenv e1)) fields in
     begin
       match Ctype.ttuple tfields with
       | t -> t
-      | exception Invalid_argument msg -> fail e "%s" msg
+      | exception Invalid_argument msg -> fail tenv e "%s" msg
     end
   | Ast.SetE es ->
     let elt =
       List.fold_left
-        (fun acc e1 -> join_or_fail e acc (recur tenv e1))
+        (fun acc e1 -> join_or_fail tenv e acc (recur tenv e1))
         Ctype.TAny es
     in
     Ctype.TSet elt
   | Ast.ListE es ->
     let elt =
       List.fold_left
-        (fun acc e1 -> join_or_fail e acc (recur tenv e1))
+        (fun acc e1 -> join_or_fail tenv e acc (recur tenv e1))
         Ctype.TAny es
     in
     Ctype.TList elt
@@ -83,25 +95,25 @@ let rec infer_exn catalog tenv e =
   | Ast.Unop (Ast.Neg, e1) -> begin
     match recur tenv e1 with
     | (Ctype.TInt | Ctype.TFloat | Ctype.TAny) as t -> t
-    | t -> fail e "cannot negate %a" Ctype.pp t
+    | t -> fail tenv e "cannot negate %a" Ctype.pp t
   end
   | Ast.Binop (op, a, b) -> infer_binop catalog tenv e op a b
   | Ast.Agg (agg, e1) -> begin
     let t1 = recur tenv e1 in
-    let elt = element_of e t1 in
+    let elt = element_of tenv e t1 in
     match agg with
     | Ast.Count -> Ctype.TInt
     | Ast.Sum ->
       if Ctype.is_numeric elt || elt = Ctype.TAny then elt
-      else fail e "SUM over non-numeric elements %a" Ctype.pp elt
+      else fail tenv e "SUM over non-numeric elements %a" Ctype.pp elt
     | Ast.Min | Ast.Max -> elt
     | Ast.Avg ->
       if Ctype.is_numeric elt || elt = Ctype.TAny then Ctype.TFloat
-      else fail e "AVG over non-numeric elements %a" Ctype.pp elt
+      else fail tenv e "AVG over non-numeric elements %a" Ctype.pp elt
   end
   | Ast.Quant (_, v, s, p) ->
     let ts = recur tenv s in
-    let elt = element_of e ts in
+    let elt = element_of tenv e ts in
     expect_bool catalog ((v, elt) :: tenv) p;
     Ctype.TBool
   | Ast.Let (v, def, body) ->
@@ -109,22 +121,22 @@ let rec infer_exn catalog tenv e =
     recur ((v, td) :: tenv) body
   | Ast.UnnestE e1 -> begin
     let t1 = recur tenv e1 in
-    match element_of e t1 with
+    match element_of tenv e t1 with
     | Ctype.TSet t | Ctype.TList t -> Ctype.TSet t
     | Ctype.TAny -> Ctype.TSet Ctype.TAny
-    | elt -> fail e "UNNEST expects a set of sets, got %a" Ctype.pp (TSet elt)
+    | elt -> fail tenv e "UNNEST expects a set of sets, got %a" Ctype.pp (TSet elt)
   end
   | Ast.If (c, a, b) ->
     expect_bool catalog tenv c;
-    join_or_fail e (recur tenv a) (recur tenv b)
+    join_or_fail tenv e (recur tenv a) (recur tenv b)
   | Ast.VariantE (tag, e1) -> Ctype.tvariant [ (tag, recur tenv e1) ]
   | Ast.IsTag (e1, tag) -> begin
     match recur tenv e1 with
     | Ctype.TAny -> Ctype.TBool
     | Ctype.TVariant cases ->
       if List.mem_assoc tag cases then Ctype.TBool
-      else fail e "variant type %a has no tag %s" Ctype.pp (Ctype.TVariant cases) tag
-    | t -> fail e "IS expects a variant, got %a" Ctype.pp t
+      else fail tenv e "variant type %a has no tag %s" Ctype.pp (Ctype.TVariant cases) tag
+    | t -> fail tenv e "IS expects a variant, got %a" Ctype.pp t
   end
   | Ast.AsTag (e1, tag) -> begin
     match recur tenv e1 with
@@ -133,17 +145,17 @@ let rec infer_exn catalog tenv e =
       match List.assoc_opt tag cases with
       | Some t -> t
       | None ->
-        fail e "variant type %a has no tag %s" Ctype.pp (Ctype.TVariant cases)
+        fail tenv e "variant type %a has no tag %s" Ctype.pp (Ctype.TVariant cases)
           tag
     end
-    | t -> fail e "AS expects a variant, got %a" Ctype.pp t
+    | t -> fail tenv e "AS expects a variant, got %a" Ctype.pp t
   end
   | Ast.Sfw { select; from; where } ->
     let tenv' =
       List.fold_left
         (fun tenv' (v, operand) ->
           let top = recur tenv' operand in
-          (v, element_of operand top) :: tenv')
+          (v, element_of tenv' operand top) :: tenv')
         tenv from
     in
     Option.iter (expect_bool catalog tenv') where;
@@ -152,17 +164,17 @@ let rec infer_exn catalog tenv e =
 and expect_bool catalog tenv e =
   match infer_exn catalog tenv e with
   | Ctype.TBool | Ctype.TAny -> ()
-  | t -> fail e "expected a boolean, got %a" Ctype.pp t
+  | t -> fail tenv e "expected a boolean, got %a" Ctype.pp t
 
 and infer_binop catalog tenv e op a b =
   let recur = infer_exn catalog in
   let ta = recur tenv a in
   let tb = recur tenv b in
-  let join () = join_or_fail e ta tb in
+  let join () = join_or_fail tenv e ta tb in
   let numeric () =
     let t = join () in
     if Ctype.is_numeric t || t = Ctype.TAny then t
-    else fail e "expected numeric operands, got %a and %a" Ctype.pp ta Ctype.pp tb
+    else fail tenv e "expected numeric operands, got %a and %a" Ctype.pp ta Ctype.pp tb
   in
   let set_operands () =
     match ta, tb with
@@ -170,12 +182,12 @@ and infer_binop catalog tenv e op a b =
       match Ctype.join ta tb with
       | Some (Ctype.TSet _ as t) -> t
       | Some Ctype.TAny -> Ctype.TSet Ctype.TAny
-      | Some t -> fail e "expected set operands, got %a" Ctype.pp t
+      | Some t -> fail tenv e "expected set operands, got %a" Ctype.pp t
       | None ->
-        fail e "incompatible set types %a and %a" Ctype.pp ta Ctype.pp tb
+        fail tenv e "incompatible set types %a and %a" Ctype.pp ta Ctype.pp tb
     end
     | _, _ ->
-      fail e "expected set operands, got %a and %a" Ctype.pp ta Ctype.pp tb
+      fail tenv e "expected set operands, got %a and %a" Ctype.pp ta Ctype.pp tb
   in
   match op with
   | Ast.Add | Ast.Sub | Ast.Mul -> numeric ()
@@ -183,7 +195,7 @@ and infer_binop catalog tenv e op a b =
   | Ast.Mod -> begin
     match ta, tb with
     | (Ctype.TInt | Ctype.TAny), (Ctype.TInt | Ctype.TAny) -> Ctype.TInt
-    | _, _ -> fail e "MOD expects integers"
+    | _, _ -> fail tenv e "MOD expects integers"
   end
   | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
     ignore (join ());
@@ -193,8 +205,8 @@ and infer_binop catalog tenv e op a b =
     expect_bool catalog tenv b;
     Ctype.TBool
   | Ast.Mem -> begin
-    let elt = element_of e tb in
-    ignore (join_or_fail e ta elt);
+    let elt = element_of tenv e tb in
+    ignore (join_or_fail tenv e ta elt);
     Ctype.TBool
   end
   | Ast.Union | Ast.Inter | Ast.Diff -> set_operands ()

@@ -11,9 +11,14 @@ type tenv = (string * Cobj.Ctype.t) list
 type error = {
   message : string;
   context : Ast.expr;  (** the subexpression that failed *)
+  tenv : tenv;  (** the typing environment at the point of failure *)
 }
 
+val pp_tenv : tenv Fmt.t
+
 val pp_error : error Fmt.t
+(** Renders the message, the {!Pretty}-printed offending subexpression and —
+    when non-empty — the typing environment it was checked under. *)
 
 val infer : Cobj.Catalog.t -> tenv -> Ast.expr -> (Cobj.Ctype.t, error) result
 (** Type of an expression under a typing environment. The expression must

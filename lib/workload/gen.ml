@@ -317,3 +317,94 @@ let shop spec =
       Table.create ~key:[ "id" ] ~name:"CUSTOMERS" ~elt:customer_elt customers;
       Table.create ~key:[ "id" ] ~name:"ORDERS" ~elt:order_elt orders;
     ]
+
+(* --- random nested-query corpus ----------------------------------------- *)
+
+(* Shapes mirror the paper's Table 2 families (and the qcheck generator of
+   the differential tests): WHERE-clause nesting under every predicate
+   family, z-free extra conjuncts, two subqueries per WHERE clause,
+   SELECT-clause nesting, UNNEST over a nested result. All queries run
+   against the {!xy} catalog. *)
+let queries ?(count = 50) ~seed () =
+  let rng = Prng.create seed in
+  let inner_pred () =
+    Prng.pick rng
+      [
+        "x.b = y.b";
+        "y.b = x.b";
+        "x.b = y.b AND y.a > 2";
+        "y.b < x.b";
+        "x.b + 1 = y.b";
+        "x.a = y.a AND x.b = y.b";
+        "y.b = 3" (* uncorrelated *);
+      ]
+  in
+  let inner_result () =
+    Prng.pick rng [ "y.a"; "y.b"; "y.a + y.b"; "y.id MOD 7" ]
+  in
+  let subquery () =
+    let result = inner_result () and pred = inner_pred () in
+    if Prng.bool rng 0.25 then
+      Printf.sprintf
+        "SELECT %s FROM Y y WHERE %s AND y.a IN (SELECT w.a FROM Y w WHERE \
+         w.b = y.b)"
+        result pred
+    else Printf.sprintf "SELECT %s FROM Y y WHERE %s" result pred
+  in
+  let where_shape () =
+    Prng.pick rng
+      [
+        Printf.sprintf "x.a IN (%s)";
+        Printf.sprintf "x.a NOT IN (%s)";
+        Printf.sprintf "COUNT(%s) = 0";
+        Printf.sprintf "COUNT(%s) <> 0";
+        Printf.sprintf "x.a = COUNT(%s)";
+        Printf.sprintf "x.s SUBSETEQ (%s)";
+        Printf.sprintf "x.s SUPSETEQ (%s)";
+        Printf.sprintf "x.s = (%s)";
+        Printf.sprintf "x.a < MAX(%s)";
+        Printf.sprintf "x.a > MIN(%s)";
+        Printf.sprintf "x.a >= MAX(%s)";
+        Printf.sprintf "EXISTS v IN (%s) (v = x.a)";
+        Printf.sprintf "FORALL v IN (%s) (v > x.a)";
+        Printf.sprintf "EXISTS v IN (%s) (v < x.a)";
+        Printf.sprintf "EXISTS v IN (%s) (v <> x.a)";
+        Printf.sprintf "FORALL v IN (%s) (v <> x.a)";
+        Printf.sprintf "FORALL v IN (%s) (v >= x.a)";
+        Printf.sprintf "x.s SUBSET (%s)";
+        Printf.sprintf "(%s) SUBSETEQ x.s";
+        Printf.sprintf "x.s SUPSET (%s)";
+        Printf.sprintf "(%s) = {}";
+        Printf.sprintf "(%s) <> {}";
+        Printf.sprintf "x.s INTERSECT (%s) = {}";
+      ]
+  in
+  let extra_conjunct () =
+    Prng.pick rng [ ""; " AND x.a > 2"; " AND x.id MOD 2 = 0"; " AND x.b < 4" ]
+  in
+  let select_clause () =
+    Prng.pick rng [ "x.id"; "x"; "(i = x.id, a = x.a)" ]
+  in
+  let where_query () =
+    let shape = where_shape () and sub = subquery () in
+    let extra = extra_conjunct () and select = select_clause () in
+    Printf.sprintf "SELECT %s FROM X x WHERE %s%s" select (shape sub) extra
+  in
+  let double_where_query () =
+    let s1 = where_shape () and q1 = subquery () in
+    let s2 = where_shape () and q2 = subquery () in
+    Printf.sprintf "SELECT x.id FROM X x WHERE %s AND %s" (s1 q1) (s2 q2)
+  in
+  let select_query () =
+    let sub = subquery () and agg = Prng.pick rng [ "COUNT"; "SUM" ] in
+    Printf.sprintf "SELECT (i = x.id, v = %s(%s)) FROM X x" agg sub
+  in
+  let unnest_query () =
+    Printf.sprintf "UNNEST(SELECT (%s) FROM X x)" (subquery ())
+  in
+  List.init count (fun _ ->
+      match Prng.int rng 10 with
+      | 0 | 1 | 2 | 3 | 4 -> where_query ()
+      | 5 | 6 -> double_where_query ()
+      | 7 | 8 -> select_query ()
+      | _ -> unnest_query ())

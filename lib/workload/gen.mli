@@ -80,3 +80,10 @@ val shop : shop_spec -> Cobj.Catalog.t
     - [ORDERS (id : INT, cust : INT, status : STRING,
        items : P (sku : STRING, qty : INT, price : INT))] — items embedded
       as complex values. Roughly 20% of customers have no orders. *)
+
+val queries : ?count:int -> seed:int -> unit -> string list
+(** A deterministic corpus of random nested queries over the {!xy} schema
+    (WHERE-clause nesting under every Table 2 predicate family, extra
+    z-free conjuncts, double subqueries, SELECT-clause nesting, UNNEST) —
+    equal seeds give equal corpora. Used by the phase-verification property
+    tests and by [nestql check --gen]. [count] defaults to 50. *)

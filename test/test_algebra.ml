@@ -224,6 +224,29 @@ let test_typing_errors () =
   | Ok _ -> Alcotest.fail "projection on unbound variable accepted"
   | Error _ -> ()
 
+(* The error paths carry enough context to debug a broken rewrite: the
+   failing variable, the schema it was checked against, the catalog. *)
+let test_typing_error_messages () =
+  let expect_err needle plan =
+    match Algebra.Typing.schema_of cat [] plan with
+    | Ok _ -> Alcotest.failf "expected an error mentioning %S" needle
+    | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%S in %S" needle msg)
+        true
+        (Astring.String.is_infix ~affix:needle msg)
+  in
+  expect_err "unknown extension NOPE (catalog:"
+    (Plan.Table { name = "NOPE"; var = "n" });
+  expect_err "project: unbound variable nope (schema"
+    (Plan.Project { vars = [ "nope" ]; input = x });
+  expect_err "nest: unbound variable g (schema"
+    (Plan.Nest
+       { by = [ "g" ]; label = "l"; func = parse "x.a"; nulls = []; input = x });
+  expect_err "unnest expects a collection"
+    (Plan.Unnest { expr = parse "x.a"; var = "v"; input = x });
+  expect_err "bound only on the left" (Plan.Union { left = x; right = y })
+
 let test_union () =
   let low = Plan.Select { pred = parse "x.b = 1"; input = x } in
   let high = Plan.Select { pred = parse "x.b = 3"; input = x } in
@@ -272,6 +295,8 @@ let suite =
     Alcotest.test_case "schema inference" `Quick test_schema_inference;
     Alcotest.test_case "query typing" `Quick test_query_typing;
     Alcotest.test_case "typing errors" `Quick test_typing_errors;
+    Alcotest.test_case "typing error messages carry context" `Quick
+      test_typing_error_messages;
     Alcotest.test_case "union" `Quick test_union;
     Alcotest.test_case "well-formedness" `Quick test_well_formed;
   ]

@@ -1,0 +1,201 @@
+(* The query lint: Table 2 agreement (lint classification = classifier
+   verdict = what the decorrelator actually builds), and COUNT-bug-risk
+   flagging on queries that demonstrably lose rows under the Kim
+   baseline. *)
+
+module Ast = Lang.Ast
+module Plan = Algebra.Plan
+module Lint = Analysis.Lint
+module Value = Cobj.Value
+
+(* Table 2 assumes x.a : P INT and x.b : INT — the xyz schema's X. The
+   subquery result z = SELECT y.a ... : P INT, correlated on x.b. *)
+let catalog =
+  Workload.Gen.xyz
+    { Workload.Gen.default_xyz with
+      base = { Workload.Gen.default_xy with nx = 12; ny = 12; seed = 5 } }
+
+let subquery_src = "SELECT y.a FROM Y y WHERE y.b = x.b"
+
+let query_for_row (row : Core.Table2.row) =
+  let sub = Lang.Parser.expr subquery_src in
+  let pred = Ast.subst "z" sub (Core.Table2.predicate row) in
+  Ast.sfw ~where:pred ~select:(Ast.path "x" [ "id" ])
+    [ ("x", Ast.TableRef "X") ]
+
+let kind_matches (expected : Core.Table2.expected) (kind : Lint.kind) =
+  match (expected, kind) with
+  | Core.Table2.Semijoin, Lint.Semijoin _
+  | Core.Table2.Antijoin, Lint.Antijoin _
+  | Core.Table2.Grouping, Lint.Grouping _ ->
+    true
+  | _ -> false
+
+let plan_has pred q = Plan.fold (fun acc node -> acc || pred node) false q.Plan.plan
+
+let decorrelate_matches expected q =
+  (* rewrite/reorder off: the logical plan is the decorrelator's own
+     output, so the node kind is exactly what [flatten_one] chose *)
+  match
+    Core.Pipeline.compile ~rewrite:false ~reorder:false ~verify:true
+      Core.Pipeline.Decorrelated catalog q
+  with
+  | Error msg -> Alcotest.failf "compile failed: %s" msg
+  | Ok { logical = None; _ } -> Alcotest.fail "no logical plan"
+  | Ok { logical = Some lq; _ } -> (
+    match (expected : Core.Table2.expected) with
+    | Core.Table2.Semijoin ->
+      plan_has (function Plan.Semijoin _ -> true | _ -> false) lq
+    | Core.Table2.Antijoin ->
+      plan_has (function Plan.Antijoin _ -> true | _ -> false) lq
+    | Core.Table2.Grouping ->
+      plan_has (function Plan.Nestjoin _ | Plan.Apply _ -> true | _ -> false)
+        lq)
+
+let test_table2_agreement () =
+  let participating = ref 0 in
+  List.iter
+    (fun (row : Core.Table2.row) ->
+      let q = query_for_row row in
+      match Lint.query catalog q with
+      | Error _ ->
+        (* a few rows need a differently-typed z (e.g. variant-valued) and
+           do not typecheck against this template — they are skipped, and
+           the participation floor below keeps the skip honest *)
+        ()
+      | Ok (_t, diags) -> (
+        incr participating;
+        match diags with
+        | [ d ] ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: lint agrees with Table 2 (%s, got %s)"
+               row.Core.Table2.name
+               (Core.Table2.expected_to_string row.Core.Table2.expected)
+               (Lint.kind_name d.Lint.kind))
+            true
+            (kind_matches row.Core.Table2.expected d.Lint.kind);
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: decorrelate built the lint verdict"
+               row.Core.Table2.name)
+            true
+            (decorrelate_matches row.Core.Table2.expected q);
+          (* semijoin-class predicates are never COUNT-bug risks; the
+             antijoin/grouping classes always are (they hold on z = ∅) *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: kim_risk" row.Core.Table2.name)
+            (match row.Core.Table2.expected with
+            | Core.Table2.Semijoin -> false
+            | Core.Table2.Antijoin | Core.Table2.Grouping -> true)
+            d.Lint.kim_risk
+        | _ ->
+          Alcotest.failf "%s: expected exactly one diagnostic, got %d"
+            row.Core.Table2.name (List.length diags)))
+    Core.Table2.rows;
+  Alcotest.(check bool)
+    (Printf.sprintf "enough Table 2 rows participate (%d)" !participating)
+    true (!participating >= 20)
+
+(* --- COUNT-bug flagging on an actual Kim-bug witness --------------------- *)
+
+let bug_catalog =
+  Workload.Gen.xy
+    { Workload.Gen.default_xy with
+      nx = 40; ny = 40; key_dom = 10; dangling = 0.3; val_dom = 5;
+      seed = 2024 }
+
+let test_flags_actual_count_bug () =
+  let src =
+    "SELECT x.id FROM X x WHERE x.a = COUNT(SELECT y.id FROM Y y WHERE x.b \
+     = y.b)"
+  in
+  (* the lint must flag it... *)
+  (match Lint.query_string bug_catalog src with
+  | Error msg -> Alcotest.failf "lint failed: %s" msg
+  | Ok (_, [ d ]) ->
+    Alcotest.(check bool) "grouping-required" true
+      (match d.Lint.kind with Lint.Grouping _ -> true | _ -> false);
+    Alcotest.(check bool) "correlated" true d.Lint.correlated;
+    Alcotest.(check bool) "kim_risk" true d.Lint.kim_risk
+  | Ok (_, ds) -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  (* ...and the flag corresponds to rows Kim actually loses *)
+  let run strategy =
+    match Core.Pipeline.run strategy bug_catalog src with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "%s failed: %s" (Core.Pipeline.strategy_name strategy) msg
+  in
+  let reference = run Core.Pipeline.Interp in
+  let kim = run Core.Pipeline.Kim_baseline in
+  let lost = Value.set_diff reference kim in
+  Alcotest.(check bool) "Kim drops dangling rows here" false
+    (Value.set_is_empty lost);
+  let fixed = run Core.Pipeline.Decorrelated in
+  Alcotest.(check bool) "nest join keeps them" true
+    (Value.equal reference fixed)
+
+let test_semijoin_not_flagged () =
+  let src =
+    "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+  in
+  match Lint.query_string bug_catalog src with
+  | Error msg -> Alcotest.failf "lint failed: %s" msg
+  | Ok (_, [ d ]) ->
+    Alcotest.(check bool) "semijoin-rewritable" true
+      (match d.Lint.kind with Lint.Semijoin _ -> true | _ -> false);
+    Alcotest.(check bool) "no kim risk" false d.Lint.kim_risk;
+    Alcotest.(check int) "not a strict warning" 0
+      (List.length (Lint.warnings [ d ]))
+  | Ok (_, ds) -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_select_clause_nesting () =
+  let src =
+    "SELECT (i = x.id, vs = (SELECT y.a FROM Y y WHERE x.b = y.b)) FROM X x"
+  in
+  match Lint.query_string bug_catalog src with
+  | Error msg -> Alcotest.failf "lint failed: %s" msg
+  | Ok (_, [ d ]) ->
+    Alcotest.(check bool) "select-clause" true (d.Lint.clause = Lint.Select_clause);
+    Alcotest.(check bool) "grouping-required" true
+      (match d.Lint.kind with Lint.Grouping _ -> true | _ -> false)
+  | Ok (_, ds) -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_uncorrelated () =
+  let src = "SELECT x.id FROM X x WHERE COUNT(SELECT y.a FROM Y y WHERE y.b = 3) = x.a" in
+  match Lint.query_string bug_catalog src with
+  | Error msg -> Alcotest.failf "lint failed: %s" msg
+  | Ok (_, [ d ]) ->
+    Alcotest.(check bool) "uncorrelated, no risk" false d.Lint.kim_risk;
+    Alcotest.(check bool) "not correlated" false d.Lint.correlated
+  | Ok (_, ds) -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_render_mentions_risk () =
+  let src =
+    "SELECT x.id FROM X x WHERE x.s SUBSETEQ (SELECT y.a FROM Y y WHERE x.b \
+     = y.b)"
+  in
+  match Lint.query_string bug_catalog src with
+  | Error msg -> Alcotest.failf "lint failed: %s" msg
+  | Ok (_, diags) ->
+    let s = Lint.render diags in
+    List.iter
+      (fun needle ->
+        Alcotest.(check bool)
+          (Printf.sprintf "render mentions %S" needle)
+          true
+          (Astring.String.is_infix ~affix:needle s))
+      [ "grouping-required"; "COUNT-bug risk"; "SUBSETEQ" ]
+
+let suite =
+  [
+    Alcotest.test_case "Table 2 agreement (lint = classifier = decorrelator)"
+      `Quick test_table2_agreement;
+    Alcotest.test_case "flags a real Kim COUNT bug" `Quick
+      test_flags_actual_count_bug;
+    Alcotest.test_case "semijoin class is not flagged" `Quick
+      test_semijoin_not_flagged;
+    Alcotest.test_case "SELECT-clause nesting groups" `Quick
+      test_select_clause_nesting;
+    Alcotest.test_case "uncorrelated subqueries carry no risk" `Quick
+      test_uncorrelated;
+    Alcotest.test_case "render mentions the risk" `Quick
+      test_render_mentions_risk;
+  ]

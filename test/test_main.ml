@@ -25,4 +25,6 @@ let () =
       ("variants", Test_variants.suite);
       ("stats", Test_stats.suite);
       ("bloom", Test_bloom.suite);
+      ("verify", Test_verify.suite);
+      ("lint", Test_lint.suite);
     ]

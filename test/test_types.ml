@@ -27,6 +27,45 @@ let x_elt =
   Ctype.ttuple
     [ ("a", Ctype.TInt); ("b", Ctype.TInt); ("s", Ctype.TSet Ctype.TInt) ]
 
+(* Errors carry the typing environment at the point of failure and render
+   it; closed expressions fail without one. *)
+let error_of src =
+  match Lang.Types.check_query cat (parse src) with
+  | Ok (_, t) ->
+    Alcotest.failf "%s should be ill-typed, got %s" src (Ctype.to_string t)
+  | Error e -> e
+
+let contains rendered needle =
+  Alcotest.(check bool)
+    (Printf.sprintf "%S in %S" needle rendered)
+    true
+    (Astring.String.is_infix ~affix:needle rendered)
+
+let test_error_env () =
+  let e = error_of "SELECT x.nope FROM X x" in
+  Alcotest.(check bool) "tenv binds x" true
+    (List.mem_assoc "x" e.Lang.Types.tenv);
+  let rendered = Fmt.str "%a" Lang.Types.pp_error e in
+  List.iter (contains rendered) [ "nope"; "in:"; "env:"; "x :" ]
+
+let test_error_env_innermost () =
+  (* the environment is the one at the failure point: the quantifier-bound
+     [v] is in scope alongside the FROM-bound [x] *)
+  let e = error_of "SELECT x FROM X x WHERE EXISTS v IN x.s (v.f = 1)" in
+  Alcotest.(check bool) "tenv binds v" true
+    (List.mem_assoc "v" e.Lang.Types.tenv);
+  Alcotest.(check bool) "tenv binds x" true
+    (List.mem_assoc "x" e.Lang.Types.tenv);
+  let rendered = Fmt.str "%a" Lang.Types.pp_error e in
+  List.iter (contains rendered) [ "env:"; "v : INT" ]
+
+let test_closed_error_no_env () =
+  let e = error_of {|SUM({"a", "b"})|} in
+  Alcotest.(check int) "empty tenv" 0 (List.length e.Lang.Types.tenv);
+  let rendered = Fmt.str "%a" Lang.Types.pp_error e in
+  Alcotest.(check bool) "no env line" false
+    (Astring.String.is_infix ~affix:"env:" rendered)
+
 let suite =
   [
     check_type "table type" "X" (Ctype.TSet x_elt);
@@ -59,4 +98,9 @@ let suite =
     check_ill_typed "quantifier over scalar" "EXISTS v IN 3 (true)";
     check_ill_typed "duplicate tuple label" "SELECT (a = 1, a = 2) FROM X x";
     check_ill_typed "subset on scalars" "SELECT x FROM X x WHERE x.a SUBSETEQ x.b";
+    Alcotest.test_case "errors render the environment" `Quick test_error_env;
+    Alcotest.test_case "errors carry the innermost scope" `Quick
+      test_error_env_innermost;
+    Alcotest.test_case "closed errors omit the environment" `Quick
+      test_closed_error_no_env;
   ]
