@@ -344,6 +344,10 @@ let bloom_case ~suite =
 
 let headline ~suite ~limit ~quota () =
   let open Bechamel in
+  (* accumulate the obs registry across the whole suite so the artifact
+     records rewrite/decorrelation/prune counters alongside the timings *)
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
   let cases = headline_cases () in
   let tests =
     List.map
@@ -380,6 +384,7 @@ let headline ~suite ~limit ~quota () =
          ("experiments", Json.List experiments);
          ("parallel", parallel);
          ("bloom", bloom);
+         ("metrics", Engine.Obs_json.metrics ());
        ])
 
 let run_suite = function

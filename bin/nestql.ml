@@ -171,6 +171,14 @@ let read_file path =
   close_in ic;
   contents
 
+(* A query file is the query text with ---comment lines stripped. *)
+let load_query_file path =
+  read_file path |> String.split_on_char '\n'
+  |> List.filter (fun line ->
+         let line = String.trim line in
+         not (String.length line >= 2 && String.sub line 0 2 = "--"))
+  |> String.concat "\n" |> String.trim
+
 let with_catalog ?file name seed scale f =
   let loaded =
     match file with
@@ -183,9 +191,31 @@ let with_catalog ?file name seed scale f =
     1
   | Ok catalog -> f catalog
 
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON timeline of the run to $(docv) \
+           (open it in chrome://tracing or ui.perfetto.dev): one span per \
+           pipeline phase, per physical operator, and per morsel — the \
+           morsel spans are tagged with the executing domain id, making \
+           worker utilization and partition skew visible. Also enables the \
+           metrics registry.")
+
+let misest_arg =
+  Arg.(
+    value & flag
+    & info [ "misest" ]
+        ~doc:
+          "After execution, print the misestimation report: operators \
+           ranked by est-vs-actual cardinality divergence, with the \
+           responsible catalog statistic (or fallback constant) named. \
+           Included automatically in $(b,--explain-analyze) output.")
+
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing jobs no_bloom verify verbose query =
+      no_timing jobs no_bloom verify verbose trace misest query =
     setup_logs verbose;
     let verify = if verify then Some true else None in
     match jobs with
@@ -194,48 +224,127 @@ let run_cmd =
       1
     | _ ->
       with_catalog ?file name seed scale (fun catalog ->
-          if explain_analyze then
-            match
-              Core.Pipeline.compile_string ?verify strategy catalog query
-            with
-            | Error msg ->
-              Fmt.epr "error: %s@." msg;
-              1
-            | Ok compiled -> (
+          let query =
+            if Sys.file_exists query then load_query_file query else query
+          in
+          let bloom = not no_bloom in
+          let with_trace f =
+            match trace with
+            | None -> f ()
+            | Some path ->
+              (* Metrics ride along with tracing: one flag buys the full
+                 observability picture (spans + rule firings + prune
+                 rates + skew histograms). *)
+              Obs.Metrics.enable ();
+              Obs.Trace.start ~path;
+              Fun.protect ~finally:Obs.Trace.stop f
+          in
+          with_trace (fun () ->
               match
-                Core.Pipeline.analyze ?jobs ~bloom:(not no_bloom) catalog
-                  compiled
+                Core.Pipeline.compile_string ?verify strategy catalog query
               with
               | Error msg ->
                 Fmt.epr "error: %s@." msg;
                 1
-              | Ok (_value, tree) ->
-                let rendered =
-                  Core.Pipeline.render_analysis ~json ~timing:(not no_timing)
-                    compiled tree
+              | Ok compiled -> (
+                (* Tracing, the misest report and the query log all need
+                   the instrumented executor (operator spans, actual row
+                   counts); the result value is identical either way. *)
+                let instrument =
+                  explain_analyze || misest
+                  || ((trace <> None || Obs.Qlog.enabled ())
+                     && compiled.Core.Pipeline.physical <> None)
                 in
-                if json then print_endline rendered else print_string rendered;
-                0)
-          else
-            let stats = Engine.Stats.create () in
-            match
-              Core.Pipeline.run ?verify ~stats ?jobs ~bloom:(not no_bloom)
-                strategy catalog query
-            with
-            | Error msg ->
-              Fmt.epr "error: %s@." msg;
-              1
-            | Ok v ->
-              Fmt.pr "%a@." Cobj.Value.pp v;
-              if show_stats then Fmt.pr "-- %a@." Engine.Stats.pp stats;
-              0)
+                let stats = Engine.Stats.create () in
+                let t0 = Monotonic_clock.now () in
+                let outcome =
+                  if instrument then
+                    Result.map
+                      (fun (v, tree) -> (v, Some tree))
+                      (Core.Pipeline.analyze ?jobs ~bloom catalog compiled)
+                  else
+                    match
+                      Core.Pipeline.execute ~stats ?jobs ~bloom catalog
+                        compiled
+                    with
+                    | v -> Ok (v, None)
+                    | exception Cobj.Value.Type_error msg ->
+                      Error ("runtime error: " ^ msg)
+                    | exception Lang.Interp.Undefined msg ->
+                      Error ("undefined: " ^ msg)
+                in
+                let ms =
+                  Int64.to_float (Int64.sub (Monotonic_clock.now ()) t0)
+                  /. 1e6
+                in
+                match outcome with
+                | Error msg ->
+                  Fmt.epr "error: %s@." msg;
+                  1
+                | Ok (v, tree) ->
+                  (match tree with
+                  | Some t -> Engine.Stats.sum_into stats t
+                  | None -> ());
+                  let entries =
+                    match (tree, compiled.Core.Pipeline.physical) with
+                    | Some t, Some pq -> Core.Misest.of_query catalog pq t
+                    | _ -> []
+                  in
+                  (match tree with
+                  | Some t when explain_analyze ->
+                    let rendered =
+                      Core.Pipeline.render_analysis ~json
+                        ~timing:(not no_timing) ~catalog compiled t
+                    in
+                    if json then print_endline rendered
+                    else print_string rendered
+                  | _ ->
+                    Fmt.pr "%a@." Cobj.Value.pp v;
+                    if show_stats then
+                      Fmt.pr "-- %a@." Engine.Stats.pp stats);
+                  if misest && not explain_analyze then
+                    Fmt.pr "%a@." Core.Misest.pp entries;
+                  Obs.Qlog.emit
+                    ([
+                       ("event", Obs.Trace.Str "query");
+                       ( "strategy",
+                         Obs.Trace.Str
+                           (Core.Pipeline.strategy_name
+                              compiled.Core.Pipeline.strategy) );
+                       ( "jobs",
+                         Obs.Trace.Int
+                           (match jobs with
+                           | Some j -> j
+                           | None -> Core.Pipeline.default_jobs ()) );
+                       ("bloom", Obs.Trace.Bool bloom);
+                       ( "rows",
+                         Obs.Trace.Int
+                           (match v with
+                           | Cobj.Value.Set l | Cobj.Value.List l ->
+                             List.length l
+                           | _ -> 1) );
+                       ("ms", Obs.Trace.Num ms);
+                       ( "bloom_prunes",
+                         Obs.Trace.Int stats.Engine.Stats.bloom_prunes );
+                       ( "max_misest",
+                         Obs.Trace.Num (Core.Misest.max_factor entries) );
+                     ]
+                    @
+                    match trace with
+                    | Some path -> [ ("trace", Obs.Trace.Str path) ]
+                    | None -> []);
+                  0)))
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Execute a query against a generated catalog.")
+    (Cmd.info "run"
+       ~doc:
+         "Execute a query (or a query file from examples/queries) against a \
+          generated catalog.")
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
-      $ no_bloom_arg $ verify_arg $ verbose_arg $ query_arg)
+      $ no_bloom_arg $ verify_arg $ verbose_arg $ trace_arg $ misest_arg
+      $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =
@@ -265,14 +374,6 @@ let explain_cmd =
       $ strategy_arg $ verbose_arg $ query_arg)
 
 let check_cmd =
-  (* A query file is the query text with ---comment lines stripped. *)
-  let load_query_file path =
-    read_file path |> String.split_on_char '\n'
-    |> List.filter (fun line ->
-           let line = String.trim line in
-           not (String.length line >= 2 && String.sub line 0 2 = "--"))
-    |> String.concat "\n" |> String.trim
-  in
   let check name file seed scale strict verify gen query =
     with_catalog ?file name seed scale (fun catalog ->
         let sources =

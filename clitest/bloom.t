@@ -34,6 +34,11 @@ owns the filter:
   hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]  (est=40 actual=7 loops=1 builds=40 probes=40 bloom-checks=40 bloom-prunes=33)
   ├─ scan X x  (est=40 actual=40 loops=1)
   └─ scan Y y  (est=40 actual=40 loops=1)
+  
+  misestimation (worst est-vs-actual first):
+    5.7× over  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]: est=40 actual=7
+        inputs: match fraction min(1, ndv ratio): probe ndv(X.b)=15 × ndv(X.a)=16 vs build ndv(Y.b)=10 × ndv(Y.a)=16
+    (2 more within 1.5× of estimate)
 
 
 The JSON rendering carries the same counters; pruning disappears (and

@@ -1,0 +1,40 @@
+Observability surfaces: `--misest` ranks operators by estimation
+divergence, `--trace` writes a Chrome trace-event file, and
+NESTQL_QUERY_LOG emits one structured line per query. All output here is
+deterministic: the generated catalog fixes both estimates and actuals,
+and the runs pin --jobs 1 (the ambient NESTQL_JOBS of the tier-1 matrix
+must not change them).
+
+A standalone misestimation report prints the result, then the ranked
+divergences with the responsible statistics named:
+
+  $ ../bin/nestql.exe run -n 40 --misest "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+  {16, 20, 22, 25, 35, 37, 38}
+  misestimation (worst est-vs-actual first):
+    5.7× over  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]: est=40 actual=7
+        inputs: match fraction min(1, ndv ratio): probe ndv(X.b)=15 × ndv(X.a)=16 vs build ndv(Y.b)=10 × ndv(Y.a)=16
+    (2 more within 1.5× of estimate)
+
+Tracing writes a schema-valid trace: phase spans for every compiler and
+optimizer phase, operator spans from the instrumented executor, one
+domain on the serial path:
+
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --trace trace.json "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" > /dev/null
+  $ python3 ../tools/check_trace.py trace.json --require-phase typecheck --require-phase decorrelate --require-phase plan --require-phase execute
+  ok: 28 events, cats {'__metadata': 2, 'operator': 3, 'phase': 23}, 1 domain(s), phases ['compile', 'decorrelate', 'execute', 'plan', 'reorder', 'rewrite', 'simplify', 'translate', 'typecheck', 'verify.decorrelate', 'verify.plan', 'verify.reorder', 'verify.rewrite', 'verify.simplify', 'verify.translate'], operators ['hash-semijoin', 'scan']
+
+Tracing must not change the query result:
+
+  $ ../bin/nestql.exe run -n 40 --jobs 1 "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" > plain.out
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --trace t2.json "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" > traced.out
+  $ cmp plain.out traced.out
+
+The query log appends one JSON line per query ("-" sends it to stderr);
+the wall-clock field is masked, everything else is deterministic:
+
+  $ NESTQL_QUERY_LOG=- ../bin/nestql.exe run -n 40 --jobs 1 "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" 2>&1 >/dev/null | sed -E 's/"ms":[0-9.e+-]+/"ms":_/'
+  {"event":"query","strategy":"decorrelated","jobs":1,"bloom":true,"rows":7,"ms":_,"bloom_prunes":33,"max_misest":5.71429}
+
+An unset NESTQL_QUERY_LOG stays silent:
+
+  $ ../bin/nestql.exe run -n 40 "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" 2>&1 >/dev/null

@@ -49,6 +49,9 @@ cardinality and work counters (--no-timing keeps the output stable):
   
   index-nestjoin [x.d → y.b] on Y y func=y label=q  (est=3 actual=3 loops=1 probes=3)
   └─ scan X x  (est=3 actual=3 loops=1)
+  
+  misestimation (worst est-vs-actual first):
+    all 2 operators within 1.5× of estimate
 
 The --json form is machine-readable, one object per operator:
 

@@ -344,3 +344,95 @@ let rec annotate catalog plan (node : Engine.Stats.node) =
   let operands = Engine.Analyze.children plan in
   if List.length operands = List.length node.Engine.Stats.children then
     List.iter2 (annotate catalog) operands node.Engine.Stats.children
+
+(* --- naming the inputs behind an estimate -------------------------------- *)
+
+let pp_e = Lang.Pretty.pp
+
+(* Which statistic a key expression resolved to — [ndv(T.f)=13],
+   [rows(T)=40] — or why it fell back to a constant. This is the
+   "responsible input" line of the misestimation report: when an operator's
+   estimate is off, it says which [Cobj.Stats] number (or which fallback)
+   produced it. *)
+let rec describe_key catalog side key =
+  match key with
+  | Ast.Field (Ast.Var v, f) -> (
+    match pvar_table side v with
+    | Some table -> (
+      match Cstats.ndv catalog ~table ~field:f with
+      | Some d -> Printf.sprintf "ndv(%s.%s)=%d" table f d
+      | None -> Printf.sprintf "ndv(%s.%s) unknown" table f)
+    | None -> Fmt.str "[%a] not bound to a base table" pp_e key)
+  | Ast.Var v -> (
+    match pvar_table side v with
+    | Some table ->
+      Printf.sprintf "rows(%s)=%.0f" table (table_card catalog table)
+    | None -> Fmt.str "[%a] not bound to a base table" pp_e key)
+  | Ast.TupleE fields ->
+    String.concat " × "
+      (List.map (fun (_, e) -> describe_key catalog side e) fields)
+  | _ -> Fmt.str "[%a] opaque, fallback constants" pp_e key
+
+let explain catalog plan =
+  let key = describe_key catalog in
+  match plan with
+  | P.Unit_row -> "constant single row"
+  | P.Scan { table; _ } ->
+    Printf.sprintf "rows(%s)=%.0f from catalog statistics" table
+      (table_card catalog table)
+  | P.Filter _ ->
+    Printf.sprintf
+      "|input| × fixed filter selectivity %.2f (predicates are not analyzed)"
+      sel_filter
+  | P.Nl_join _ ->
+    Printf.sprintf
+      "|left| × |right| × fixed selectivity %.2f (nl-join keys are not \
+       analyzed)"
+      sel_equi
+  | P.Hash_join { left; right; lkey; rkey; _ }
+  | P.Merge_join { left; right; lkey; rkey; _ } ->
+    Printf.sprintf "|left| × |right| / max ndv: %s, %s" (key left lkey)
+      (key right rkey)
+  | P.Nl_semijoin { anti; _ } ->
+    Printf.sprintf "|left| × fixed %s fraction (nl predicate not analyzed), \
+                    sel=%.2f"
+      (if anti then "antijoin" else "semijoin")
+      (if anti then 1.0 -. sel_semi else sel_semi)
+  | P.Hash_semijoin { left; right; lkey; rkey; anti; _ }
+  | P.Merge_semijoin { left; right; lkey; rkey; anti; _ } ->
+    Printf.sprintf "%smatch fraction min(1, ndv ratio): probe %s vs build %s"
+      (if anti then "1 − " else "")
+      (key left lkey) (key right rkey)
+  | P.Nl_outerjoin _ | P.Hash_outerjoin _ | P.Merge_outerjoin _ ->
+    Printf.sprintf
+      "max(|left|, |left| × |right| × fixed selectivity %.2f)" sel_equi
+  | P.Nl_nestjoin _ | P.Hash_nestjoin _ | P.Hash_nestjoin_left _
+  | P.Merge_nestjoin _ | P.Index_nestjoin _ ->
+    "nest join preserves |left| (one output row per left row)"
+  | P.Unnest_op { expr; input; _ } -> (
+    match avg_card_of catalog (pvar_table input) expr with
+    | Some c ->
+      Fmt.str "|input| × avg set card %.1f measured for [%a]" (Float.max 1.0 c)
+        pp_e expr
+    | None ->
+      Fmt.str "|input| × fixed avg set card %.1f ([%a] unresolved)" avg_set
+        pp_e expr)
+  | P.Nest_op _ ->
+    "0.5 × |input| (fixed grouping factor; group keys are not analyzed)"
+  | P.Extend_op _ | P.Apply_op _ -> "|input| (one output row per input row)"
+  | P.Project_op _ -> "0.8 × |input| (fixed dedup factor)"
+  | P.Union_op _ -> "|left| + |right|"
+  | P.Index_join { table; field; _ } -> (
+    match Cstats.ndv catalog ~table ~field with
+    | Some d ->
+      Printf.sprintf "|left| × rows(%s)=%.0f / ndv(%s.%s)=%d" table
+        (table_card catalog table) table field d
+    | None ->
+      Printf.sprintf
+        "|left| × rows(%s)=%.0f × fixed selectivity %.2f (ndv(%s.%s) \
+         unknown)"
+        table (table_card catalog table) sel_equi table field)
+  | P.Index_semijoin { anti; _ } ->
+    Printf.sprintf "|left| × fixed %s fraction %.2f (index key ndv unused)"
+      (if anti then "antijoin" else "semijoin")
+      (if anti then 1.0 -. sel_semi else sel_semi)

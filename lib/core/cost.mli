@@ -30,3 +30,9 @@ val annotate : Cobj.Catalog.t -> Engine.Physical.t -> Engine.Stats.node -> unit
 val query_cost : Cobj.Catalog.t -> Engine.Physical.query -> float
 val query_card : Cobj.Catalog.t -> Engine.Physical.query -> float
 (** Estimated result cardinality. *)
+
+val explain : Cobj.Catalog.t -> Engine.Physical.t -> string
+(** One-line account of where the root operator's estimate comes from,
+    naming the resolved {!Cobj.Stats} inputs (["ndv(Y.b)=13"],
+    ["rows(X)=40"]) or the fallback constant used when a key didn't
+    resolve. Feeds the misestimation report ({!Misest}). *)

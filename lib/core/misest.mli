@@ -1,0 +1,35 @@
+(** Misestimation report: operators of an instrumented run ranked by
+    est-vs-actual cardinality divergence, with the responsible
+    [Cobj.Stats]/{!Cost} inputs named — the feedback signal for the
+    ROADMAP's adaptive re-optimization item. *)
+
+type entry = {
+  op : string;
+  detail : string;
+  est : float;
+  actual : int;
+  loops : int;
+  factor : float;
+      (** symmetric divergence [max(est/actual, actual/est)], both sides
+          floored at one row, so always ≥ 1.0 *)
+  under : bool;  (** the model underestimated (actual > est) *)
+  inputs : string;  (** where the estimate came from ({!Cost.explain}) *)
+}
+
+val of_query :
+  Cobj.Catalog.t ->
+  Engine.Physical.query ->
+  Engine.Stats.node ->
+  entry list
+(** Entries for every annotated operator, worst divergence first. The
+    annotation tree must mirror the plan ([Engine.Analyze.tree_of_query]
+    after [Cost.annotate] and an instrumented run). *)
+
+val max_factor : entry list -> float
+(** Divergence of the worst operator (1.0 for an empty report). *)
+
+val pp : entry list Fmt.t
+(** Ranked text report; operators within 1.5× of their estimate are
+    summarized in one line rather than listed. *)
+
+val to_json : entry list -> Engine.Json.t

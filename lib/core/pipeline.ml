@@ -60,35 +60,58 @@ let verify_default () =
 
 let ( let* ) = Result.bind
 
+(* Every pipeline phase goes through this wrapper: a trace span (with Gc
+   args) when tracing is active, a phase counter plus per-phase
+   allocation gauges when the metrics registry is on, and a plain call
+   otherwise. Compilation is single-domain, so phase metrics are
+   jobs-invariant by construction; the gc.* gauges are load-dependent
+   and documented as such (docs/OBSERVABILITY.md). *)
+let phase name f =
+  let traced () = Obs.Trace.span ~cat:"phase" name f in
+  if not (Obs.Metrics.enabled ()) then traced ()
+  else begin
+    Obs.Metrics.incr ("phase." ^ name);
+    let v, d = Obs.Memory.measure traced in
+    Obs.Metrics.add_gauge
+      ("gc.phase." ^ name ^ ".minor_words")
+      d.Obs.Memory.minor_words;
+    Obs.Metrics.add_gauge
+      ("gc.phase." ^ name ^ ".major_words")
+      d.Obs.Memory.major_words;
+    v
+  end
+
 let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
+  let translate () = phase "translate" (fun () -> Translate.query catalog resolved) in
   match strategy with
   | Interp -> Ok None
   | Naive ->
-    let* q = Translate.query catalog resolved in
+    let* q = translate () in
     let* () = check ~phase:"translate" (Logical q) in
     Ok (Some q)
   | Decorrelated | Decorrelated_outerjoin ->
-    let* naive = Translate.query catalog resolved in
+    let* naive = translate () in
     let* () = check ~phase:"translate" (Logical naive) in
     (* Iterate decorrelation and rewriting to a fixpoint: pushing a
        selection below a join can expose the Select-over-Apply pattern of a
        second subquery in the same WHERE clause (multiple subqueries per
        block — listed as future work in the paper, handled here). *)
     let step q =
-      let q = Decorrelate.query q in
+      Obs.Metrics.incr "optimizer.decorrelate.rounds";
+      let q = phase "decorrelate" (fun () -> Decorrelate.query q) in
       let* () = check ~phase:"decorrelate" (Logical q) in
       let* q =
         if rewrite then begin
-          let q = Simplify.query catalog q in
+          let q = phase "simplify" (fun () -> Simplify.query catalog q) in
           let* () = check ~phase:"simplify" (Logical q) in
-          let q = Rewrite.query q in
+          let q = phase "rewrite" (fun () -> Rewrite.query q) in
           let* () = check ~phase:"rewrite" (Logical q) in
           Ok q
         end
         else Ok q
       in
       if reorder then begin
-        let q = Reorder.query catalog q in
+        let q = phase "reorder" (fun () -> Reorder.query catalog q) in
         let* () = check ~phase:"reorder" (Logical q) in
         Ok q
       end
@@ -109,7 +132,10 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
     let* q = fixpoint 5 naive in
     let* q =
       if strategy = Decorrelated_outerjoin then begin
-        let q = { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan } in
+        let q =
+          phase "nestjoin-as-outerjoin" (fun () ->
+              { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan })
+        in
         let* () = check ~phase:"nestjoin-as-outerjoin" (Logical q) in
         Ok q
       end
@@ -117,7 +143,7 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
     in
     Ok (Some q)
   | Kim_baseline | Ganski_wong | Muralikrishna ->
-    let* naive = Translate.query catalog resolved in
+    let* naive = translate () in
     let* () = check ~phase:"translate" (Logical naive) in
     let baseline =
       match strategy with
@@ -125,7 +151,10 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
       | Ganski_wong -> Kim.ganski_wong
       | _ -> Kim.muralikrishna
     in
-    let q = Result.value (baseline naive) ~default:naive in
+    let q =
+      phase (strategy_name strategy) (fun () ->
+          Result.value (baseline naive) ~default:naive)
+    in
     let* () = check ~phase:(strategy_name strategy) (Logical q) in
     Ok (Some q)
 
@@ -145,26 +174,31 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
   let verify =
     match verify with Some v -> v | None -> verify_default ()
   in
-  let check ~phase plan =
+  let check ~phase:ph plan =
     if not verify then Ok ()
     else
       match !verifier_hook with
       | None -> Ok ()
-      | Some f -> f ~phase catalog plan
+      | Some f -> phase ("verify." ^ ph) (fun () -> f ~phase:ph catalog plan)
   in
-  match Lang.Types.check_query catalog expr with
-  | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
-  | Ok (resolved, _ty) ->
-    let* logical =
-      logical_of ~check ~rewrite ~reorder strategy catalog resolved
-    in
-    let physical = Option.map (Planner.query ~options catalog) logical in
-    let* () =
-      match physical with
-      | Some pq -> check ~phase:"plan" (Physical pq)
-      | None -> Ok ()
-    in
-    Ok { source = resolved; logical; physical; strategy }
+  phase "compile" (fun () ->
+      match phase "typecheck" (fun () -> Lang.Types.check_query catalog expr) with
+      | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
+      | Ok (resolved, _ty) ->
+        let* logical =
+          logical_of ~check ~rewrite ~reorder strategy catalog resolved
+        in
+        let physical =
+          Option.map
+            (fun lq -> phase "plan" (fun () -> Planner.query ~options catalog lq))
+            logical
+        in
+        let* () =
+          match physical with
+          | Some pq -> check ~phase:"plan" (Physical pq)
+          | None -> Ok ()
+        in
+        Ok { source = resolved; logical; physical; strategy })
 
 let compile_string ?options ?rewrite ?reorder ?verify strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
@@ -178,11 +212,45 @@ let default_jobs () =
     | Some n when n >= 1 -> n
     | Some _ | None -> 1)
 
+(* Flat execution counters become exec.* metrics (par.* for the
+   jobs-dependent partition counters) so bench artifacts and --trace runs
+   carry them without EXPLAIN ANALYZE. *)
+let record_exec_metrics (s : Engine.Stats.t) =
+  let c name v = if v > 0 then Obs.Metrics.incr ~by:v name in
+  c "exec.rows_out" s.Engine.Stats.rows_out;
+  c "exec.predicate_evals" s.Engine.Stats.predicate_evals;
+  c "exec.hash_builds" s.Engine.Stats.hash_builds;
+  c "exec.hash_probes" s.Engine.Stats.hash_probes;
+  c "exec.sorts" s.Engine.Stats.sorts;
+  c "exec.applies" s.Engine.Stats.applies;
+  c "exec.apply_hits" s.Engine.Stats.apply_hits;
+  c "exec.bloom_checks" s.Engine.Stats.bloom_checks;
+  c "exec.bloom_prunes" s.Engine.Stats.bloom_prunes;
+  c "exec.build_side_swaps" s.Engine.Stats.build_side_swaps;
+  c "par.partitions" s.Engine.Stats.partitions;
+  if s.Engine.Stats.partition_max_rows > 0 then
+    Obs.Metrics.observe "par.partition_max_rows"
+      s.Engine.Stats.partition_max_rows
+
 let execute ?stats ?jobs ?bloom catalog compiled =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
-  match compiled.physical with
-  | Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
-  | None -> Lang.Interp.run catalog compiled.source
+  let stats =
+    match stats with
+    | Some _ -> stats
+    | None when Obs.Metrics.enabled () && compiled.physical <> None ->
+      Some (Engine.Stats.create ())
+    | None -> None
+  in
+  let v =
+    phase "execute" (fun () ->
+        match compiled.physical with
+        | Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
+        | None -> Lang.Interp.run catalog compiled.source)
+  in
+  (match stats with
+  | Some s when Obs.Metrics.enabled () -> record_exec_metrics s
+  | _ -> ());
+  v
 
 let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom strategy
     catalog src =
@@ -206,11 +274,20 @@ let analyze ?jobs ?bloom catalog compiled =
     let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let tree = Engine.Analyze.tree_of_query pq in
     Cost.annotate catalog pq.Engine.Physical.plan tree;
+    let before = Obs.Memory.snapshot () in
     match
-      Engine.Exec.rows_instrumented ~jobs ?bloom tree catalog Cobj.Env.empty
-        pq.Engine.Physical.plan
+      phase "execute" (fun () ->
+          Engine.Exec.rows_instrumented ~jobs ?bloom tree catalog
+            Cobj.Env.empty pq.Engine.Physical.plan)
     with
     | produced ->
+      (* Whole-run Gc delta on the root node: per-operator deltas would
+         double-count children, and under --jobs the workers' allocation
+         is not attributable to one operator anyway. *)
+      tree.Engine.Stats.gc <-
+        Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
+      if Obs.Metrics.enabled () then
+        record_exec_metrics (Engine.Stats.totals tree);
       let resultfn =
         Engine.Compile.expr catalog pq.Engine.Physical.result
       in
@@ -218,23 +295,46 @@ let analyze ?jobs ?bloom catalog compiled =
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
     | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
 
-let render_analysis ?(json = false) ?(timing = true) compiled tree =
+let render_analysis ?(json = false) ?(timing = true) ?catalog compiled tree =
+  let misest =
+    match catalog, compiled.physical with
+    | Some cat, Some pq -> Some (Misest.of_query cat pq tree)
+    | _ -> None
+  in
   if json then
     Engine.Json.to_string
       (Engine.Json.Obj
-         [
-           ("strategy", Engine.Json.String (strategy_name compiled.strategy));
-           ( "query",
-             Engine.Json.String (Fmt.str "%a" Lang.Pretty.pp compiled.source)
-           );
-           ("plan", Engine.Analyze.to_json ~timing tree);
-         ])
-  else
-    Fmt.str "strategy: %s@.query: %a@.@.%a@."
+         ([
+            ("strategy", Engine.Json.String (strategy_name compiled.strategy));
+            ( "query",
+              Engine.Json.String (Fmt.str "%a" Lang.Pretty.pp compiled.source)
+            );
+            ("plan", Engine.Analyze.to_json ~timing tree);
+          ]
+         @ (match misest with
+           | Some entries -> [ ("misest", Misest.to_json entries) ]
+           | None -> [])))
+  else begin
+    let buf = Buffer.create 512 in
+    let ppf = Format.formatter_of_buffer buf in
+    Fmt.pf ppf "strategy: %s@.query: %a@.@.%a@."
       (strategy_name compiled.strategy)
       Lang.Pretty.pp compiled.source
       (Engine.Analyze.pp ~timing)
-      tree
+      tree;
+    (match misest with
+    | Some entries -> Fmt.pf ppf "@.%a@." Misest.pp entries
+    | None -> ());
+    (match tree.Engine.Stats.gc with
+    | Some d when timing ->
+      Fmt.pf ppf
+        "@.gc: minor=%.0f major=%.0f promoted=%.0f top-heap-delta=%d words@."
+        d.Obs.Memory.minor_words d.Obs.Memory.major_words
+        d.Obs.Memory.promoted_words d.Obs.Memory.top_heap_words
+    | _ -> ());
+    Format.pp_print_flush ppf ();
+    Buffer.contents buf
+  end
 
 let explain ?(costs = false) catalog compiled =
   let buf = Buffer.create 256 in

@@ -140,9 +140,16 @@ val analyze :
     strategy has no physical plan ([Interp]). *)
 
 val render_analysis :
-  ?json:bool -> ?timing:bool -> compiled -> Engine.Stats.node -> string
+  ?json:bool ->
+  ?timing:bool ->
+  ?catalog:Cobj.Catalog.t ->
+  compiled ->
+  Engine.Stats.node ->
+  string
 (** Render an {!analyze} tree — a Postgres-style text tree by default, or a
     single-line JSON document with per-operator
     [{rows_out, est_rows, time_ns, ...}] objects. [~timing:false] omits
-    wall-clock ([time=] in text mode, [time_ns] in JSON) for deterministic
-    output. *)
+    wall-clock and the other jobs/load-dependent fields ([time=] in text
+    mode; [time_ns], partition and [gc] fields in JSON) for deterministic
+    output. With [catalog], a {!Misest} report is appended (text) or
+    included under a ["misest"] key (JSON). *)

@@ -161,9 +161,15 @@ let plan ~live p =
      few rounds suffice. *)
   let rec iterate n p =
     if n = 0 then p
-    else
+    else begin
+      Obs.Metrics.incr "optimizer.rewrite.passes";
       let p' = pass live p in
-      if p' = p then p else iterate (n - 1) p'
+      if p' = p then p
+      else begin
+        Obs.Metrics.incr "optimizer.rewrite.passes_changed";
+        iterate (n - 1) p'
+      end
+    end
   in
   iterate 8 p
 

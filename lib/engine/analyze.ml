@@ -113,7 +113,7 @@ let pp_est ppf est =
   if Float.is_nan est then Fmt.string ppf "?"
   else Fmt.pf ppf "%.0f" est
 
-let pp_counters ppf (c : Stats.t) =
+let pp_counters ~timing ppf (c : Stats.t) =
   let field name v = if v > 0 then Some (name, v) else None in
   let fields =
     List.filter_map Fun.id
@@ -128,6 +128,15 @@ let pp_counters ppf (c : Stats.t) =
         field "bloom-prunes" c.Stats.bloom_prunes;
         field "swaps" c.Stats.build_side_swaps;
       ]
+    (* partition counters are jobs-dependent, so like wall-clock they hide
+       behind --no-timing (which promises jobs-invariant output) *)
+    @ (if timing then
+         List.filter_map Fun.id
+           [
+             field "partitions" c.Stats.partitions;
+             field "part-max" c.Stats.partition_max_rows;
+           ]
+       else [])
   in
   List.iter (fun (name, v) -> Fmt.pf ppf " %s=%d" name v) fields
 
@@ -136,7 +145,7 @@ let pp_annot ~timing ppf (n : Stats.node) =
     n.Stats.counters.Stats.rows_out n.Stats.loops;
   if timing then
     Fmt.pf ppf " time=%.3fms" (Int64.to_float n.Stats.time_ns /. 1e6);
-  Fmt.pf ppf "%a)" pp_counters n.Stats.counters
+  Fmt.pf ppf "%a)" (pp_counters ~timing) n.Stats.counters
 
 let rec pp_node ~timing ppf (n : Stats.node) =
   let header ppf n =
@@ -173,7 +182,19 @@ let rec to_json ?(timing = true) (n : Stats.node) =
            ("rows_out", Json.Int c.Stats.rows_out);
            ("loops", Json.Int n.Stats.loops);
          ];
-         (if timing then [ ("time_ns", Json.Int64 n.Stats.time_ns) ] else []);
+         (* Partition and Gc fields ride under the [timing] flag: like
+            wall-clock they are jobs/load-dependent, and --no-timing is the
+            documented way to get jobs-invariant, diffable JSON. *)
+         (if timing then
+            [
+              ("time_ns", Json.Int64 n.Stats.time_ns);
+              ("partitions", Json.Int c.Stats.partitions);
+              ("partition_max_rows", Json.Int c.Stats.partition_max_rows);
+            ]
+          else []);
+         (match n.Stats.gc with
+         | Some d when timing -> [ ("gc", Obs_json.gc d) ]
+         | _ -> []);
          [
            ("predicate_evals", Json.Int c.Stats.predicate_evals);
            ("hash_builds", Json.Int c.Stats.hash_builds);

@@ -367,6 +367,20 @@ let par_hash_partitioned ~jobs ~bloom ~stats ~lkeyfn ~rkeyfn ~emit lrows rrows
           | None -> Htbl.add table k [ r ])
         (List.rev rparts.(p)));
   merge_parts stats bparts;
+  (* Skew accounting: the largest build partition bounds the parallel
+     speedup of the whole join, so record max rows (per-operator via the
+     sink) and the full per-partition distribution (metrics histogram). *)
+  stats.Stats.partitions <- stats.Stats.partitions + nparts;
+  Array.iter
+    (fun l ->
+      let rows = List.length l in
+      if rows > stats.Stats.partition_max_rows then
+        stats.Stats.partition_max_rows <- rows)
+    rparts;
+  if Obs.Metrics.enabled () then
+    Array.iter
+      (fun l -> Obs.Metrics.observe "par.partition_build_rows" (List.length l))
+      rparts;
   let filter =
     Option.map
       (fun fs ->
@@ -419,8 +433,21 @@ let rec rows_fr fr catalog env plan =
   | Some n ->
     let t0 = clock () in
     let out = exec_rows fr catalog env plan in
-    n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub (clock ()) t0);
+    let t1 = clock () in
+    n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub t1 t0);
     n.Stats.loops <- n.Stats.loops + 1;
+    (* Instrumented operators double as trace spans — same clock readings,
+       so the timeline agrees with EXPLAIN ANALYZE to the nanosecond. *)
+    if Obs.Trace.enabled () then
+      Obs.Trace.complete ~cat:"operator" ~start_ns:t0 ~stop_ns:t1
+        ~args:(fun () ->
+          [
+            ("detail", Obs.Trace.Str n.Stats.detail);
+            ("rows_out", Obs.Trace.Int (List.length out));
+            ("loop", Obs.Trace.Int n.Stats.loops);
+            ("est_rows", Obs.Trace.Num n.Stats.est_rows);
+          ])
+        n.Stats.op;
     out
 
 and exec_rows fr catalog env plan =

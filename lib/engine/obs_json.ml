@@ -1,0 +1,44 @@
+(* Bridge from the Obs registry/accounting types to the engine's JSON
+   representation, for the Analyze and bench artifacts. Lives in engine
+   (not obs) so obs stays free of engine dependencies — the tracer is
+   usable from Pool workers without a cycle. *)
+
+let gc (d : Obs.Memory.delta) =
+  Json.Obj
+    [
+      ("minor_words", Json.Float d.Obs.Memory.minor_words);
+      ("major_words", Json.Float d.Obs.Memory.major_words);
+      ("promoted_words", Json.Float d.Obs.Memory.promoted_words);
+      ("top_heap_delta_words", Json.Int d.Obs.Memory.top_heap_words);
+      ("heap_delta_words", Json.Int d.Obs.Memory.heap_words);
+    ]
+
+let value = function
+  | Obs.Metrics.Counter n ->
+    Json.Obj [ ("type", Json.String "counter"); ("value", Json.Int n) ]
+  | Obs.Metrics.Gauge g ->
+    Json.Obj [ ("type", Json.String "gauge"); ("value", Json.Float g) ]
+  | Obs.Metrics.Histogram h ->
+    let buckets = ref [] in
+    for i = Array.length h.Obs.Metrics.buckets - 1 downto 0 do
+      let c = h.Obs.Metrics.buckets.(i) in
+      if c > 0 then
+        buckets :=
+          Json.Obj
+            [
+              ("bucket", Json.Int i);
+              ("lo", Json.Int (Obs.Metrics.bucket_lo i));
+              ("count", Json.Int c);
+            ]
+          :: !buckets
+    done;
+    Json.Obj
+      [
+        ("type", Json.String "histogram");
+        ("count", Json.Int h.Obs.Metrics.count);
+        ("sum", Json.Float h.Obs.Metrics.sum);
+        ("buckets", Json.List !buckets);
+      ]
+
+let metrics () =
+  Json.Obj (List.map (fun (k, v) -> (k, value v)) (Obs.Metrics.dump ()))

@@ -1,0 +1,12 @@
+(** Serialization of [Obs] registry/accounting values into {!Json.t},
+    for Analyze output and bench artifacts. *)
+
+val gc : Obs.Memory.delta -> Json.t
+
+val value : Obs.Metrics.value -> Json.t
+(** One metric as a tagged object; histograms list only non-empty
+    buckets (with each bucket's lower bound). *)
+
+val metrics : unit -> Json.t
+(** The whole registry ({!Obs.Metrics.dump}) as one object keyed by
+    metric name. *)

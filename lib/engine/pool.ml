@@ -98,6 +98,20 @@ let run ~jobs n body =
       done
     else begin
       ensure_workers (jobs - 1);
+      (* Morsel spans are emitted per claimed item, from whichever domain
+         claimed it — Perfetto renders one row per domain id, which is the
+         worker-utilization / partition-skew view. Only the parallel path
+         is wrapped: serial execution never reaches here, keeping trace
+         span *structure* comparable across jobs for the "phase"/"operator"
+         categories (morsel spans are jobs-dependent by nature). *)
+      let body =
+        if Obs.Trace.enabled () then fun i ->
+          Obs.Trace.span ~cat:"morsel"
+            ~args:(fun () -> [ ("item", Obs.Trace.Int i); ("of", Obs.Trace.Int n) ])
+            "morsel"
+            (fun () -> body i)
+        else body
+      in
       let first_exn = Atomic.make None in
       let guarded i =
         try body i

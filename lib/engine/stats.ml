@@ -9,6 +9,8 @@ type t = {
   mutable bloom_checks : int;
   mutable bloom_prunes : int;
   mutable build_side_swaps : int;
+  mutable partitions : int;
+  mutable partition_max_rows : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     bloom_checks = 0;
     bloom_prunes = 0;
     build_side_swaps = 0;
+    partitions = 0;
+    partition_max_rows = 0;
   }
 
 let reset t =
@@ -35,7 +39,9 @@ let reset t =
   t.apply_hits <- 0;
   t.bloom_checks <- 0;
   t.bloom_prunes <- 0;
-  t.build_side_swaps <- 0
+  t.build_side_swaps <- 0;
+  t.partitions <- 0;
+  t.partition_max_rows <- 0
 
 (* Bloom counters are observational (a pruned probe still counts as a
    probe) and swaps are plan-level events, so neither joins the work
@@ -54,8 +60,14 @@ let add ~into src =
   into.apply_hits <- into.apply_hits + src.apply_hits;
   into.bloom_checks <- into.bloom_checks + src.bloom_checks;
   into.bloom_prunes <- into.bloom_prunes + src.bloom_prunes;
-  into.build_side_swaps <- into.build_side_swaps + src.build_side_swaps
+  into.build_side_swaps <- into.build_side_swaps + src.build_side_swaps;
+  into.partitions <- into.partitions + src.partitions;
+  into.partition_max_rows <- max into.partition_max_rows src.partition_max_rows
 
+(* Partition counters only exist under --jobs > 1 and are therefore
+   jobs-dependent; the flat line stays jobs-invariant (the cram suite runs
+   it under every NESTQL_JOBS), so they surface only in EXPLAIN ANALYZE
+   output alongside the other timing-class fields. *)
 let pp ppf t =
   Fmt.pf ppf
     "rows=%d pred-evals=%d builds=%d probes=%d sorts=%d applies=%d \
@@ -72,6 +84,7 @@ type node = {
   mutable loops : int;
   mutable time_ns : int64;
   mutable est_rows : float;
+  mutable gc : Obs.Memory.delta option;
   children : node list;
 }
 
@@ -83,6 +96,7 @@ let node ~op ~detail children =
     loops = 0;
     time_ns = 0L;
     est_rows = Float.nan;
+    gc = None;
     children;
   }
 
@@ -90,6 +104,7 @@ let rec reset_node n =
   reset n.counters;
   n.loops <- 0;
   n.time_ns <- 0L;
+  n.gc <- None;
   List.iter reset_node n.children
 
 let rec sum_into acc n =

@@ -23,6 +23,13 @@ type t = {
   mutable build_side_swaps : int;
       (** commutative hash joins that built on the left operand because it
           was the smaller one at runtime *)
+  mutable partitions : int;
+      (** hash partitions built by parallel joins (0 in serial runs) *)
+  mutable partition_max_rows : int;
+      (** largest build partition seen — with [partitions] and
+          [hash_builds] this exposes partition skew (max vs mean rows),
+          which bounds parallel speedup. [add] takes the max, not the
+          sum. *)
 }
 
 val create : unit -> t
@@ -36,6 +43,9 @@ val add : into:t -> t -> unit
 (** [add ~into src] accumulates [src]'s counters into [into]. *)
 
 val pp : t Fmt.t
+(** One flat line of the jobs-invariant counters. The partition counters
+    are jobs-dependent and deliberately excluded — they surface in
+    EXPLAIN ANALYZE output when timing is requested. *)
 
 (** {1 Per-operator nodes} *)
 
@@ -48,6 +58,10 @@ type node = {
       (** inclusive wall-clock (children included), summed over loops *)
   mutable est_rows : float;
       (** cost-model estimate; [nan] until annotated (see [Core.Cost]) *)
+  mutable gc : Obs.Memory.delta option;
+      (** Gc delta over this node's execution; only the root is filled
+          in (by [Core.Pipeline.analyze]) — per-operator deltas would
+          double-count children *)
   children : node list; (** same order as the physical operands *)
 }
 

@@ -1,0 +1,37 @@
+(* Gc accounting helpers built on [Gc.quick_stat] (counters only — no
+   heap traversal, safe to call per phase/operator). *)
+
+type snapshot = Gc.stat
+
+type delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  top_heap_words : int;
+  heap_words : int;
+}
+
+let snapshot () = Gc.quick_stat ()
+
+let delta ~(before : Gc.stat) ~(after : Gc.stat) =
+  {
+    minor_words = after.minor_words -. before.minor_words;
+    major_words = after.major_words -. before.major_words;
+    promoted_words = after.promoted_words -. before.promoted_words;
+    top_heap_words = after.top_heap_words - before.top_heap_words;
+    heap_words = after.heap_words - before.heap_words;
+  }
+
+let measure f =
+  let before = snapshot () in
+  let v = f () in
+  (v, delta ~before ~after:(snapshot ()))
+
+let fields d =
+  [
+    ("minor_words", d.minor_words);
+    ("major_words", d.major_words);
+    ("promoted_words", d.promoted_words);
+    ("top_heap_delta_words", float_of_int d.top_heap_words);
+    ("heap_delta_words", float_of_int d.heap_words);
+  ]

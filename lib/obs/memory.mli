@@ -1,0 +1,21 @@
+(** Gc accounting from [Gc.quick_stat] deltas (counters only — cheap
+    enough to take per pipeline phase or per operator). *)
+
+type snapshot = Gc.stat
+
+type delta = {
+  minor_words : float;  (** words allocated in the minor heap *)
+  major_words : float;  (** words allocated in the major heap *)
+  promoted_words : float;
+  top_heap_words : int;  (** top-heap watermark growth (words) *)
+  heap_words : int;  (** major-heap size change (words) *)
+}
+
+val snapshot : unit -> snapshot
+val delta : before:snapshot -> after:snapshot -> delta
+
+val measure : (unit -> 'a) -> 'a * delta
+(** Run a thunk and return its result with the Gc delta it incurred. *)
+
+val fields : delta -> (string * float) list
+(** Flat field list, for serialization. *)

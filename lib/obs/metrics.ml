@@ -1,0 +1,106 @@
+(* Process-global metrics registry: counters, gauges, and log-scaled
+   histograms keyed by dotted names ("optimizer.rewrite.passes",
+   "par.partition_build_rows", ...). Off by default; every recording
+   entry point checks one atomic flag and returns, so instrumented code
+   costs nothing unless a consumer (--trace, bench) enabled the
+   registry. The table is mutex-guarded: worker domains record partition
+   histograms concurrently. *)
+
+type hist = { mutable count : int; mutable sum : float; buckets : int array }
+
+type value = Counter of int | Gauge of float | Histogram of hist
+
+type cell =
+  | Ccell of int ref
+  | Gcell of float ref
+  | Hcell of hist
+
+(* Power-of-two buckets: index = bit length of the observed value, so
+   0 (and negatives) land in bucket 0, 1 in bucket 1, 2..3 in bucket 2,
+   and max_int (62 significant bits on 64-bit) in bucket 62. *)
+let nbuckets = 63
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+    bits 0 v
+  end
+
+let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
+
+let on = Atomic.make false
+let m = Mutex.create ()
+let tbl : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
+
+let reset () =
+  Mutex.lock m;
+  Hashtbl.reset tbl;
+  Mutex.unlock m
+
+let locked f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let cell name mk =
+  match Hashtbl.find_opt tbl name with
+  | Some c -> c
+  | None ->
+    let c = mk () in
+    Hashtbl.add tbl name c;
+    c
+
+let incr ?(by = 1) name =
+  if Atomic.get on then
+    locked (fun () ->
+        match cell name (fun () -> Ccell (ref 0)) with
+        | Ccell r -> r := !r + by
+        | _ -> invalid_arg (name ^ " is not a counter"))
+
+let set_gauge name v =
+  if Atomic.get on then
+    locked (fun () ->
+        match cell name (fun () -> Gcell (ref 0.)) with
+        | Gcell r -> r := v
+        | _ -> invalid_arg (name ^ " is not a gauge"))
+
+let add_gauge name v =
+  if Atomic.get on then
+    locked (fun () ->
+        match cell name (fun () -> Gcell (ref 0.)) with
+        | Gcell r -> r := !r +. v
+        | _ -> invalid_arg (name ^ " is not a gauge"))
+
+let observe name v =
+  if Atomic.get on then
+    locked (fun () ->
+        match
+          cell name (fun () ->
+              Hcell { count = 0; sum = 0.; buckets = Array.make nbuckets 0 })
+        with
+        | Hcell h ->
+          h.count <- h.count + 1;
+          h.sum <- h.sum +. float_of_int v;
+          let b = bucket_of v in
+          h.buckets.(b) <- h.buckets.(b) + 1
+        | _ -> invalid_arg (name ^ " is not a histogram"))
+
+let dump () =
+  locked (fun () ->
+      Hashtbl.fold
+        (fun name c acc ->
+          let v =
+            match c with
+            | Ccell r -> Counter !r
+            | Gcell r -> Gauge !r
+            | Hcell h ->
+              Histogram
+                { count = h.count; sum = h.sum; buckets = Array.copy h.buckets }
+          in
+          (name, v) :: acc)
+        tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

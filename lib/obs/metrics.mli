@@ -1,0 +1,41 @@
+(** Process-global metrics registry: counters, gauges, and log-scaled
+    histograms keyed by dotted names.
+
+    Off by default — every recording call checks one atomic flag first,
+    so instrumentation left in hot paths is free until a consumer
+    ([--trace], the bench harness) calls {!enable}.
+
+    Naming convention (see docs/OBSERVABILITY.md): metrics under the
+    [par.] and [gc.] prefixes are jobs- or allocation-dependent; all
+    other metrics are invariant in the domain count. *)
+
+type hist = { mutable count : int; mutable sum : float; buckets : int array }
+type value = Counter of int | Gauge of float | Histogram of hist
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Drop all recorded metrics (the enabled flag is unchanged). *)
+
+val incr : ?by:int -> string -> unit
+val set_gauge : string -> float -> unit
+val add_gauge : string -> float -> unit
+
+val observe : string -> int -> unit
+(** Record one observation into a log-scaled histogram: bucket index is
+    the bit length of the value, so 0 and negatives land in bucket 0,
+    1 in bucket 1, 2..3 in bucket 2, ..., [max_int] in bucket 62. *)
+
+val dump : unit -> (string * value) list
+(** Snapshot of all metrics, sorted by name. Histogram buckets are
+    copied; mutating the result does not affect the registry. *)
+
+val bucket_of : int -> int
+(** The histogram bucket an observation lands in (exposed for tests). *)
+
+val bucket_lo : int -> int
+(** Smallest value mapping to the given bucket (0 for bucket 0). *)
+
+val nbuckets : int

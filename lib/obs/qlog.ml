@@ -1,0 +1,21 @@
+(* Structured query log: one JSON object per executed query, appended to
+   $NESTQL_QUERY_LOG (a path, or "-" for stderr). Gives fleet-style
+   visibility — strategy, jobs, rows, milliseconds, prune counts, worst
+   misestimation — without parsing EXPLAIN ANALYZE output. *)
+
+let path () = Sys.getenv_opt "NESTQL_QUERY_LOG"
+let enabled () = path () <> None
+
+let emit fields =
+  match path () with
+  | None -> ()
+  | Some p ->
+    let line = Trace.args_to_json fields ^ "\n" in
+    if p = "-" then (
+      output_string stderr line;
+      flush stderr)
+    else begin
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 p in
+      output_string oc line;
+      close_out oc
+    end

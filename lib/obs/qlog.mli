@@ -1,0 +1,9 @@
+(** Structured one-line-JSON query log, controlled by the
+    [NESTQL_QUERY_LOG] environment variable: unset — disabled; ["-"] —
+    append to stderr; any other value — append to that file. *)
+
+val enabled : unit -> bool
+
+val emit : (string * Trace.arg) list -> unit
+(** Append one JSON object line with the given fields. No-op when the
+    log is disabled. *)

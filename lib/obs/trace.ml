@@ -1,0 +1,204 @@
+(* Span tracer emitting Chrome trace-event JSON (chrome://tracing,
+   https://ui.perfetto.dev). One global sink, guarded by a mutex so worker
+   domains can emit morsel spans concurrently; every event is tagged with
+   the emitting domain's id as its [tid], which is what makes worker
+   utilization and partition skew visible on the timeline.
+
+   Disabled (the default) the tracer is a single ref read per call site:
+   [span name f] is [f ()] and [complete]/[instant] return immediately, so
+   instrumented code paths cost nothing in production runs. *)
+
+type arg = Str of string | Int of int | Num of float | Bool of bool
+type view = { name : string; cat : string; ph : char; tid : int }
+
+type state = {
+  path : string;
+  buf : Buffer.t;
+  m : Mutex.t;
+  t0 : int64;
+  mutable count : int;
+  mutable seen : view list; (* reverse emission order *)
+  mutable tids : int list; (* distinct, for thread_name metadata *)
+}
+
+let state : state option ref = ref None
+let open_count = Atomic.make 0
+let clock = Monotonic_clock.now
+let enabled () = Option.is_some !state
+let open_spans () = Atomic.get open_count
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Trace files must stay parseable: nan/inf have no JSON literal. *)
+let num_repr x =
+  if Float.is_nan x then "null"
+  else if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then
+    Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let add_arg buf (k, v) =
+  Buffer.add_char buf '"';
+  Buffer.add_string buf (escape k);
+  Buffer.add_string buf "\":";
+  match v with
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Num x -> Buffer.add_string buf (num_repr x)
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+
+let args_to_json args =
+  let buf = Buffer.create 64 in
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i a ->
+      if i > 0 then Buffer.add_char buf ',';
+      add_arg buf a)
+    args;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
+(* Append one event object to the sink. [tid] defaults to the calling
+   domain. Takes the sink mutex: called from worker domains. *)
+let emit st ?tid ~name ~cat ~ph ~ts ?dur ?(args = []) () =
+  let tid =
+    match tid with Some t -> t | None -> (Domain.self () :> int)
+  in
+  Mutex.lock st.m;
+  if st.count > 0 then Buffer.add_string st.buf ",\n";
+  st.count <- st.count + 1;
+  st.seen <- { name; cat; ph; tid } :: st.seen;
+  if ph <> 'M' && not (List.mem tid st.tids) then st.tids <- tid :: st.tids;
+  let b = st.buf in
+  Buffer.add_string b "{\"name\":\"";
+  Buffer.add_string b (escape name);
+  Buffer.add_string b "\",\"cat\":\"";
+  Buffer.add_string b (escape cat);
+  Buffer.add_string b "\",\"ph\":\"";
+  Buffer.add_char b ph;
+  Buffer.add_string b "\",\"pid\":1,\"tid\":";
+  Buffer.add_string b (string_of_int tid);
+  Buffer.add_string b ",\"ts\":";
+  Buffer.add_string b (num_repr ts);
+  (match dur with
+  | Some d ->
+    Buffer.add_string b ",\"dur\":";
+    Buffer.add_string b (num_repr d)
+  | None -> ());
+  (match args with
+  | [] -> ()
+  | _ :: _ ->
+    Buffer.add_string b ",\"args\":";
+    Buffer.add_string b (args_to_json args));
+  Buffer.add_char b '}';
+  Mutex.unlock st.m
+
+let rel st t = Int64.to_float (Int64.sub t st.t0) /. 1e3 (* ns → µs *)
+
+let start ~path =
+  match !state with
+  | Some _ -> invalid_arg "Obs.Trace.start: tracing is already active"
+  | None ->
+    let st =
+      {
+        path;
+        buf = Buffer.create 4096;
+        m = Mutex.create ();
+        t0 = clock ();
+        count = 0;
+        seen = [];
+        tids = [];
+      }
+    in
+    state := Some st;
+    emit st ~name:"process_name" ~cat:"__metadata" ~ph:'M' ~ts:0.0
+      ~args:[ ("name", Str "nestql") ]
+      ()
+
+let stop () =
+  match !state with
+  | None -> ()
+  | Some st ->
+    state := None;
+    List.iter
+      (fun tid ->
+        emit st ~tid ~name:"thread_name" ~cat:"__metadata" ~ph:'M' ~ts:0.0
+          ~args:[ ("name", Str (Printf.sprintf "domain-%d" tid)) ]
+          ())
+      (List.sort compare st.tids);
+    let oc = open_out st.path in
+    output_string oc "{\"traceEvents\":[\n";
+    Buffer.output_buffer oc st.buf;
+    output_string oc "\n],\"displayTimeUnit\":\"ms\"}\n";
+    close_out oc
+
+let events () =
+  match !state with None -> [] | Some st -> List.rev st.seen
+
+let event_count () = match !state with None -> 0 | Some st -> st.count
+
+(* Complete event from timestamps taken by the caller (the executor already
+   clocks every operator; this converts those readings into a span without
+   clocking twice). *)
+let complete ?(cat = "span") ?args ~start_ns ~stop_ns name =
+  match !state with
+  | None -> ()
+  | Some st ->
+    let args = match args with None -> [] | Some f -> f () in
+    emit st ~name ~cat ~ph:'X' ~ts:(rel st start_ns)
+      ~dur:(Int64.to_float (Int64.sub stop_ns start_ns) /. 1e3)
+      ~args ()
+
+let instant ?(cat = "instant") ?(args = []) name =
+  match !state with
+  | None -> ()
+  | Some st -> emit st ~name ~cat ~ph:'i' ~ts:(rel st (clock ())) ~args ()
+
+(* Span around [f]: one complete event recorded when [f] returns *or*
+   raises ([Fun.protect]), with wall-clock duration and the [Gc.quick_stat]
+   word deltas as arguments — per-span memory accounting for free. *)
+let span ?(cat = "phase") ?args name f =
+  match !state with
+  | None -> f ()
+  | Some st ->
+    let g0 = Gc.quick_stat () in
+    let t0 = clock () in
+    Atomic.incr open_count;
+    Fun.protect
+      ~finally:(fun () ->
+        Atomic.decr open_count;
+        let t1 = clock () in
+        let g1 = Gc.quick_stat () in
+        let gc_args =
+          [
+            ("minor_words", Num (g1.minor_words -. g0.minor_words));
+            ("major_words", Num (g1.major_words -. g0.major_words));
+            ("promoted_words", Num (g1.promoted_words -. g0.promoted_words));
+            ("top_heap_delta_words", Int (g1.top_heap_words - g0.top_heap_words));
+          ]
+        in
+        let user = match args with None -> [] | Some f -> f () in
+        match !state with
+        | Some st' when st' == st ->
+          emit st ~name ~cat ~ph:'X' ~ts:(rel st t0)
+            ~dur:(Int64.to_float (Int64.sub t1 t0) /. 1e3)
+            ~args:(user @ gc_args) ()
+        | _ -> ())
+      f

@@ -1,0 +1,66 @@
+(** Span tracer emitting Chrome trace-event JSON (viewable in
+    chrome://tracing or https://ui.perfetto.dev).
+
+    The tracer is a process-global sink: {!start} opens it, instrumented
+    code emits spans, {!stop} writes the file. When no sink is active
+    every entry point is a single [ref] read — instrumentation left in
+    hot paths costs nothing.
+
+    Events are tagged with the emitting domain's id as their [tid], so a
+    parallel run renders one timeline row per worker domain. *)
+
+type arg = Str of string | Int of int | Num of float | Bool of bool
+(** Span argument values. [Num nan] and infinities serialize as [null]
+    (JSON has no literal for them). *)
+
+type view = { name : string; cat : string; ph : char; tid : int }
+(** In-memory view of an emitted event, for tests: name, category,
+    trace-event phase character ([X] complete, [i] instant, [M]
+    metadata), and emitting domain id. *)
+
+val start : path:string -> unit
+(** Open the global sink; the file is written by {!stop}. Raises
+    [Invalid_argument] if tracing is already active. *)
+
+val stop : unit -> unit
+(** Write [{"traceEvents":[...]}] to the path given to {!start} and
+    deactivate the sink. No-op when tracing is inactive. *)
+
+val enabled : unit -> bool
+
+val span : ?cat:string -> ?args:(unit -> (string * arg) list) -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] and, when tracing is active, records one
+    complete event covering its execution — including when [f] raises.
+    [args] is only evaluated when tracing is active, at span close.
+    Every span also records the [Gc.quick_stat] minor/major/promoted
+    word deltas and the top-heap watermark delta as arguments.
+    Default category: ["phase"]. *)
+
+val complete :
+  ?cat:string ->
+  ?args:(unit -> (string * arg) list) ->
+  start_ns:int64 ->
+  stop_ns:int64 ->
+  string ->
+  unit
+(** Record a complete event from timestamps the caller already took with
+    [Monotonic_clock.now] (the executor clocks operators anyway; this
+    avoids clocking twice). No-op when tracing is inactive. *)
+
+val instant : ?cat:string -> ?args:(string * arg) list -> string -> unit
+(** Record a zero-duration instant event. *)
+
+val args_to_json : (string * arg) list -> string
+(** Serialize an argument list as a JSON object (used by {!Qlog}). *)
+
+(** {2 Test accessors} *)
+
+val open_spans : unit -> int
+(** Number of {!span} calls currently on the stack (across all domains).
+    Zero whenever no span body is executing — including after a span
+    body raised. *)
+
+val events : unit -> view list
+(** Events emitted so far, in emission order. Empty when inactive. *)
+
+val event_count : unit -> int

@@ -27,4 +27,5 @@ let () =
       ("bloom", Test_bloom.suite);
       ("verify", Test_verify.suite);
       ("lint", Test_lint.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,248 @@
+(* Observability subsystem: histogram bucketing edges, span open/close
+   balance under exceptions, zero-cost disabled paths, and the
+   jobs-invariance contract — trace span structure (phase/operator
+   categories) and metrics are identical for jobs ∈ {1, 4}, and tracing
+   must not change the query result. *)
+
+open Helpers
+module Value = Cobj.Value
+module Trace = Obs.Trace
+module Metrics = Obs.Metrics
+
+(* --- histogram bucketing ------------------------------------------------- *)
+
+let test_bucketing () =
+  Alcotest.(check int) "0 → bucket 0" 0 (Metrics.bucket_of 0);
+  Alcotest.(check int) "negative → bucket 0" 0 (Metrics.bucket_of (-7));
+  Alcotest.(check int) "1 → bucket 1" 1 (Metrics.bucket_of 1);
+  Alcotest.(check int) "2 → bucket 2" 2 (Metrics.bucket_of 2);
+  Alcotest.(check int) "3 → bucket 2" 2 (Metrics.bucket_of 3);
+  Alcotest.(check int) "4 → bucket 3" 3 (Metrics.bucket_of 4);
+  Alcotest.(check int) "1023 → bucket 10" 10 (Metrics.bucket_of 1023);
+  Alcotest.(check int) "1024 → bucket 11" 11 (Metrics.bucket_of 1024);
+  Alcotest.(check int) "max_int → last bucket" (Metrics.nbuckets - 1)
+    (Metrics.bucket_of max_int);
+  (* bucket lower bounds are consistent with bucket_of: lo lands in its
+     own bucket, lo - 1 in the previous one *)
+  for i = 1 to Metrics.nbuckets - 1 do
+    let lo = Metrics.bucket_lo i in
+    Alcotest.(check int) (Printf.sprintf "lo(%d) in bucket %d" i i) i
+      (Metrics.bucket_of lo);
+    if i > 1 then
+      Alcotest.(check int)
+        (Printf.sprintf "lo(%d)-1 in bucket %d" i (i - 1))
+        (i - 1)
+        (Metrics.bucket_of (lo - 1))
+  done
+
+let test_observe_roundtrip () =
+  Metrics.enable ();
+  Metrics.reset ();
+  List.iter (Metrics.observe "h") [ 0; 1; 1; 3; max_int ];
+  (match List.assoc_opt "h" (Metrics.dump ()) with
+  | Some (Metrics.Histogram h) ->
+    Alcotest.(check int) "count" 5 h.Metrics.count;
+    Alcotest.(check int) "bucket 0" 1 h.Metrics.buckets.(0);
+    Alcotest.(check int) "bucket 1" 2 h.Metrics.buckets.(1);
+    Alcotest.(check int) "bucket 2" 1 h.Metrics.buckets.(2);
+    Alcotest.(check int) "last bucket" 1
+      h.Metrics.buckets.(Metrics.nbuckets - 1)
+  | _ -> Alcotest.fail "histogram not recorded");
+  Metrics.reset ();
+  Metrics.disable ()
+
+let test_disabled_noop () =
+  Metrics.disable ();
+  Metrics.reset ();
+  Metrics.incr "c";
+  Metrics.observe "h" 3;
+  Metrics.set_gauge "g" 1.0;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Metrics.dump ()))
+
+let test_counters_gauges () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.incr "c";
+  Metrics.incr ~by:4 "c";
+  Metrics.add_gauge "g" 1.5;
+  Metrics.add_gauge "g" 2.0;
+  Metrics.set_gauge "s" 9.0;
+  Metrics.set_gauge "s" 3.0;
+  (match List.assoc_opt "c" (Metrics.dump ()) with
+  | Some (Metrics.Counter n) -> Alcotest.(check int) "counter" 5 n
+  | _ -> Alcotest.fail "counter missing");
+  (match List.assoc_opt "g" (Metrics.dump ()) with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "gauge" 3.5 g
+  | _ -> Alcotest.fail "gauge missing");
+  (match List.assoc_opt "s" (Metrics.dump ()) with
+  | Some (Metrics.Gauge g) -> Alcotest.(check (float 1e-9)) "set" 3.0 g
+  | _ -> Alcotest.fail "set gauge missing");
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- span discipline ----------------------------------------------------- *)
+
+exception Boom
+
+let with_trace f =
+  let path = Filename.temp_file "nestql" ".trace.json" in
+  Trace.start ~path;
+  let v = Fun.protect ~finally:Trace.stop f in
+  let ic = open_in path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (v, contents)
+
+let test_span_balance_exn () =
+  let (), contents =
+    with_trace (fun () ->
+        Trace.span "outer" (fun () ->
+            (try
+               Trace.span "raises" (fun () ->
+                   Alcotest.(check int) "two spans open" 2 (Trace.open_spans ());
+                   raise Boom)
+             with Boom -> ());
+            Alcotest.(check int) "inner closed after raise" 1
+              (Trace.open_spans ()));
+        Alcotest.(check int) "all closed" 0 (Trace.open_spans ());
+        let names =
+          List.filter_map
+            (fun (e : Trace.view) ->
+              if e.Trace.ph = 'X' then Some e.Trace.name else None)
+            (Trace.events ())
+        in
+        Alcotest.(check (list string))
+          "both spans recorded, inner first (closed first)"
+          [ "raises"; "outer" ] names)
+  in
+  Alcotest.(check bool) "file has traceEvents" true
+    (Astring.String.is_infix ~affix:"\"traceEvents\"" contents);
+  Alcotest.(check bool) "raising span recorded in file" true
+    (Astring.String.is_infix ~affix:"\"raises\"" contents)
+
+let test_span_disabled_identity () =
+  Alcotest.(check bool) "tracing off" false (Trace.enabled ());
+  Alcotest.(check int) "span is f ()" 42 (Trace.span "noop" (fun () -> 42));
+  Alcotest.check_raises "exceptions pass through" Boom (fun () ->
+      Trace.span "noop" (fun () -> raise Boom));
+  Alcotest.(check int) "balanced while off" 0 (Trace.open_spans ())
+
+(* --- jobs-invariance of trace structure and metrics ---------------------- *)
+
+let catalog =
+  Workload.Gen.xy
+    { Workload.Gen.default_xy with
+      nx = 40; ny = 40; key_dom = 10; dangling = 0.3; seed = 3 }
+
+(* Spans in the jobs-invariant categories: phases and operators. Morsel
+   spans are jobs-dependent by nature (the serial path never schedules
+   morsels) and excluded from the contract. *)
+let structural_events () =
+  List.filter_map
+    (fun (e : Trace.view) ->
+      if e.Trace.cat = "phase" || e.Trace.cat = "operator" then
+        Some (e.Trace.cat, e.Trace.name)
+      else None)
+    (Trace.events ())
+
+(* Metrics outside the documented jobs/load-dependent namespaces ("par."
+   and "gc." prefixes) must be exact counters, identical across jobs. *)
+let invariant_metrics () =
+  List.filter_map
+    (fun (name, v) ->
+      if String.starts_with ~prefix:"par." name
+         || String.starts_with ~prefix:"gc." name
+      then None
+      else
+        match v with
+        | Metrics.Counter n -> Some (name, n)
+        | Metrics.Gauge _ | Metrics.Histogram _ ->
+          Some (name, -1) (* unexpected outside par./gc.: flag it *))
+    (Metrics.dump ())
+
+let query_gen =
+  QCheck2.Gen.map
+    (fun seed ->
+      match Workload.Gen.queries ~count:1 ~seed () with
+      | q :: _ -> q
+      | [] -> "SELECT x.id FROM X x")
+    QCheck2.Gen.(int_range 0 10_000)
+
+(* Compile + instrumented execute under an active tracer and metrics
+   registry; returns the rendered result, the structural span list, and
+   the jobs-invariant metric counters. *)
+let run_traced ~jobs src =
+  Metrics.enable ();
+  Metrics.reset ();
+  let out, _contents =
+    with_trace (fun () ->
+        match
+          Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+        with
+        | Error msg -> Error msg
+        | Ok compiled -> (
+          match Core.Pipeline.analyze ~jobs catalog compiled with
+          | Error msg -> Error msg
+          | Ok (v, _tree) ->
+            Ok (Fmt.str "%a" Value.pp v, structural_events ())))
+  in
+  let metrics = invariant_metrics () in
+  Metrics.reset ();
+  Metrics.disable ();
+  match out with
+  | Ok (rendered, spans) -> Some (rendered, spans, metrics)
+  | Error _ -> None
+
+let check_eq what pp a b =
+  if a = b then true
+  else
+    QCheck2.Test.fail_reportf "%s differ:@.  jobs 1: %s@.  jobs 4: %s" what
+      (pp a) (pp b)
+
+let pp_spans spans =
+  String.concat "; " (List.map (fun (c, n) -> c ^ ":" ^ n) spans)
+
+let pp_metrics ms =
+  String.concat "; " (List.map (fun (n, v) -> Printf.sprintf "%s=%d" n v) ms)
+
+let prop_jobs_invariant =
+  qcheck ~count:25
+    "trace span structure and metrics identical for jobs 1 vs 4; tracing \
+     does not change results"
+    query_gen
+    (fun src ->
+      match
+        Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+      with
+      | Error _ -> true (* generator corner the type checker rejects *)
+      | Ok compiled -> (
+        match Core.Pipeline.analyze ~jobs:1 catalog compiled with
+        | Error _ -> true
+        | Ok (v_plain, _) -> (
+          let plain = Fmt.str "%a" Value.pp v_plain in
+          match (run_traced ~jobs:1 src, run_traced ~jobs:4 src) with
+          | Some (r1, spans1, m1), Some (r4, spans4, m4) ->
+            if spans1 = [] then
+              QCheck2.Test.fail_report "no phase/operator spans recorded";
+            check_eq "results (trace on vs off)" Fun.id plain r1
+            && check_eq "results" Fun.id r1 r4
+            && check_eq "span structure" pp_spans spans1 spans4
+            && check_eq "metrics" pp_metrics m1 m4
+          | _ ->
+            QCheck2.Test.fail_report
+              "traced run failed where untraced run succeeded")))
+
+let suite =
+  [
+    Alcotest.test_case "histogram bucketing edges" `Quick test_bucketing;
+    Alcotest.test_case "histogram observe roundtrip" `Quick
+      test_observe_roundtrip;
+    Alcotest.test_case "disabled registry is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+    Alcotest.test_case "span balance under exceptions" `Quick
+      test_span_balance_exn;
+    Alcotest.test_case "span is identity when disabled" `Quick
+      test_span_disabled_identity;
+    prop_jobs_invariant;
+  ]
