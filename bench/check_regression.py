@@ -79,6 +79,40 @@ def validate_bloom(doc):
     return ok
 
 
+def validate_server(doc):
+    """Structural invariants of the server cache tiers: the warm tiers
+    must actually have hit their caches, and a result-cache hit (a
+    lookup, no execution) must not be slower than a cold compile +
+    execute — true on any hardware."""
+    srv = doc.get("server")
+    if not srv:
+        print("FAIL: artifact has no server section")
+        return False
+    ok = True
+    if srv.get("plan_hits", 0) <= 0:
+        print("FAIL: server: warm-plan tier recorded no plan-cache hits")
+        ok = False
+    if srv.get("result_hits", 0) <= 0:
+        print("FAIL: server: warm-result tier recorded no result-cache hits")
+        ok = False
+    cold, warm_result = srv.get("cold_ms"), srv.get("warm_result_ms")
+    if usable(cold) and usable(warm_result):
+        if warm_result > cold:
+            print(
+                f"FAIL: server: result-cache hit ({warm_result:.3f} ms) slower"
+                f" than cold request ({cold:.3f} ms)"
+            )
+            ok = False
+        else:
+            print(
+                f"ok: server: cold {cold:.3f} ms, warm-plan"
+                f" {srv.get('warm_plan_ms', float('nan')):.3f} ms, warm-result"
+                f" {warm_result:.3f} ms"
+                f" ({srv.get('result_speedup', float('nan')):.1f}x)"
+            )
+    return ok
+
+
 def compare(current, baseline, advisory=False):
     ok = True
     bad = "WARN" if advisory else "FAIL"
@@ -107,6 +141,16 @@ def compare(current, baseline, advisory=False):
         print(f"{verdict}: {where}: {b:.1f} -> {c:.1f} ms ({ratio:.2f}x)")
         if ratio > THRESHOLD and not advisory:
             ok = False
+    cur_srv, base_srv = current.get("server") or {}, baseline.get("server") or {}
+    for field in ("cold_ms", "warm_plan_ms", "warm_result_ms"):
+        c, b = cur_srv.get(field), base_srv.get(field)
+        if not usable(c) or not usable(b):
+            continue
+        ratio = c / b
+        verdict = bad if ratio > THRESHOLD else "ok"
+        print(f"{verdict}: server.{field}: {b:.3f} -> {c:.3f} ms ({ratio:.2f}x)")
+        if ratio > THRESHOLD and not advisory:
+            ok = False
     return ok
 
 
@@ -123,6 +167,7 @@ def main():
         print(f"skip: no current artifact at {argv[0]}; nothing to check")
         return 0
     ok = validate_bloom(current)
+    ok = validate_server(current) and ok
     if len(argv) > 1:
         try:
             baseline = json.load(open(argv[1]))

@@ -342,6 +342,81 @@ let bloom_case ~suite =
     (List.rev !rows);
   Json.List (List.rev !entries)
 
+(* Server-mode request latency through the daemon's cache layer (the
+   Cache module in-process — exactly what [nestql serve] runs under its
+   executor lock, minus socket I/O): a cold request pays parse + compile
+   + execute, a warm-plan request pays parse + execute, a warm-result
+   request pays parse + lookup. The three replies are asserted identical
+   before anything is timed, and the artifact records the cache counters
+   so the regression gate can check the hits structurally on any
+   hardware. *)
+let server_case ~suite =
+  let scale = if suite = "smoke" then 200 else 1000 in
+  let catalog =
+    Workload.Gen.xy
+      { Workload.Gen.default_xy with
+        nx = scale; ny = scale; key_dom = scale / 4; dangling = 0.1; seed = 77 }
+  in
+  let q =
+    "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+  in
+  let strategy = Pipeline.Decorrelated in
+  let ask ?cache t =
+    match Server.Cache.query t ?cache strategy catalog q with
+    | Ok reply -> reply
+    | Error _ -> failwith "server bench: query failed"
+  in
+  (* Three cache configurations; prime the warm ones and assert the
+     outcome they are supposed to measure. *)
+  let cold_cache = Server.Cache.create ~plan_capacity:0 ~result_capacity:0 () in
+  let plan_cache =
+    Server.Cache.create ~plan_capacity:16 ~result_capacity:0 ()
+  in
+  let result_cache =
+    Server.Cache.create ~plan_capacity:16 ~result_capacity:(1 lsl 22) ()
+  in
+  let cold = ask ~cache:false cold_cache in
+  let _prime = ask plan_cache in
+  let warm_plan = ask plan_cache in
+  let _prime = ask result_cache in
+  let warm_result = ask result_cache in
+  if warm_plan.Server.Cache.plan <> Server.Cache.Hit then
+    failwith "server bench: warm-plan request missed the plan cache";
+  if warm_result.Server.Cache.result <> Server.Cache.Hit then
+    failwith "server bench: warm-result request missed the result cache";
+  if
+    not
+      (Cobj.Value.equal cold.Server.Cache.value warm_plan.Server.Cache.value
+      && Cobj.Value.equal cold.Server.Cache.value
+          warm_result.Server.Cache.value)
+  then failwith "server bench: cached reply diverged from cold execution";
+  let timed f = Harness.measure_ms ~budget_ns:2.5e8 f in
+  let cold_ms = timed (fun () -> ignore (ask ~cache:false cold_cache)) in
+  let warm_plan_ms = timed (fun () -> ignore (ask plan_cache)) in
+  let warm_result_ms = timed (fun () -> ignore (ask result_cache)) in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "server request latency, cache tiers (n=%d)" scale)
+    ~header:[ "tier"; "ms"; "speedup" ]
+    [
+      [ "cold"; Harness.fms cold_ms; "1.0x" ];
+      [ "warm plan"; Harness.fms warm_plan_ms;
+        Harness.fratio (cold_ms /. warm_plan_ms) ];
+      [ "warm result"; Harness.fms warm_result_ms;
+        Harness.fratio (cold_ms /. warm_result_ms) ];
+    ];
+  Json.Obj
+    [
+      ("scale", Json.Int scale);
+      ("cold_ms", Json.Float cold_ms);
+      ("warm_plan_ms", Json.Float warm_plan_ms);
+      ("warm_result_ms", Json.Float warm_result_ms);
+      ("plan_speedup", Json.Float (cold_ms /. warm_plan_ms));
+      ("result_speedup", Json.Float (cold_ms /. warm_result_ms));
+      ("plan_hits", Json.Int (Server.Cache.plan_hits plan_cache));
+      ("result_hits", Json.Int (Server.Cache.result_hits result_cache));
+    ]
+
 let headline ~suite ~limit ~quota () =
   let open Bechamel in
   (* accumulate the obs registry across the whole suite so the artifact
@@ -375,6 +450,7 @@ let headline ~suite ~limit ~quota () =
   in
   let parallel = parallel_case ~suite in
   let bloom = bloom_case ~suite in
+  let server = server_case ~suite in
   Harness.write_json_artifact ~suite
     (Json.Obj
        [
@@ -384,6 +460,7 @@ let headline ~suite ~limit ~quota () =
          ("experiments", Json.List experiments);
          ("parallel", parallel);
          ("bloom", bloom);
+         ("server", server);
          ("metrics", Engine.Obs_json.metrics ());
        ])
 
@@ -405,6 +482,7 @@ let () =
         match name with
         | "headline" | "smoke" -> run_suite name
         | "bloom" -> ignore (bloom_case ~suite:"headline")
+        | "server" -> ignore (server_case ~suite:"headline")
         | _ -> (
           match List.assoc_opt name Experiments.all with
           | Some f -> f ()

@@ -32,31 +32,10 @@ let strategy_conv =
   let print ppf st = Fmt.string ppf (Core.Pipeline.strategy_name st) in
   Cmdliner.Arg.conv (parse, print)
 
+(* The built-in generated catalogs live in Server.Session so the serve
+   [catalog] op and the one-shot CLI stay in lockstep. *)
 let catalog_of_name name seed scale =
-  let xy =
-    { Workload.Gen.default_xy with
-      nx = scale;
-      ny = scale;
-      key_dom = max 1 (scale / 4);
-      seed }
-  in
-  match name with
-  | "xy" -> Ok (Workload.Gen.xy xy)
-  | "xyz" ->
-    Ok
-      (Workload.Gen.xyz
-         { base = xy; nz = scale; z_key_dom = max 1 (scale / 4) })
-  | "company" ->
-    Ok
-      (Workload.Gen.company
-         { Workload.Gen.default_company with
-           ndepts = max 1 (scale / 10);
-           company_seed = seed })
-  | "table1" -> Ok (Workload.Gen.table1 ())
-  | other ->
-    Error
-      (Printf.sprintf "unknown catalog %s (try: xy, xyz, company, table1)"
-         other)
+  Server.Session.catalog_of_name ~name ~seed ~scale
 
 open Cmdliner
 
@@ -639,9 +618,307 @@ let demo_cmd =
   Cmd.v (Cmd.info "demo" ~doc:"Run the paper's flagship queries.")
     Term.(const demo $ const ())
 
+(* --- server mode --------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value & opt string "nestql.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (ignored when $(b,--port) is given).")
+
+let port_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "port" ] ~docv:"PORT"
+        ~doc:"Listen on (or connect to) localhost TCP $(docv) instead of a \
+              Unix socket.")
+
+let bind_of ~socket ~port =
+  match port with
+  | Some p -> Server.Daemon.Tcp p
+  | None -> Server.Daemon.Unix_socket socket
+
+let timeout_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "timeout" ] ~docv:"MS"
+        ~doc:
+          "Per-request deadline in milliseconds. Cooperative: checked when \
+           the request reaches the executor and between compile and \
+           execute, never mid-operator. 0 expires every uncached request \
+           deterministically.")
+
+let serve_cmd =
+  let serve socket port name file seed scale strategy jobs plan_cache
+      result_cache timeout_ms trace quiet =
+    setup_logs false;
+    match jobs with
+    | Some n when n < 1 ->
+      Fmt.epr "nestql: --jobs expects a positive domain count, got %d@." n;
+      1
+    | _ ->
+      with_catalog ?file name seed scale (fun catalog ->
+          let catalog_name =
+            match file with Some path -> path | None -> name
+          in
+          let jobs =
+            match jobs with
+            | Some j -> j
+            | None -> Core.Pipeline.default_jobs ()
+          in
+          let config =
+            {
+              Server.Daemon.bind = bind_of ~socket ~port;
+              catalog;
+              catalog_name;
+              strategy;
+              jobs;
+              plan_capacity = plan_cache;
+              result_capacity = result_cache;
+              timeout_ms;
+              quiet;
+            }
+          in
+          let with_trace f =
+            match trace with
+            | None -> f ()
+            | Some path ->
+              Obs.Metrics.enable ();
+              Obs.Trace.start ~path;
+              Fun.protect ~finally:Obs.Trace.stop f
+          in
+          with_trace (fun () -> Server.Daemon.serve config))
+  in
+  let plan_cache_arg =
+    Arg.(
+      value & opt int 128
+      & info [ "plan-cache" ] ~docv:"N"
+          ~doc:
+            "Capacity of the compiled-plan LRU in entries, keyed on the \
+             normalized query, strategy and catalog-statistics version. 0 \
+             disables plan caching.")
+  in
+  let result_cache_arg =
+    Arg.(
+      value & opt int (4 * 1024 * 1024)
+      & info [ "result-cache" ] ~docv:"BYTES"
+          ~doc:
+            "Budget of the result LRU in approximate bytes; entries are \
+             invalidated when the catalog changes. 0 disables result \
+             caching.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "quiet" ] ~doc:"Suppress the stderr lifecycle lines.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived query server: concurrent line-JSON sessions \
+          over a Unix or localhost TCP socket, sharing a plan cache and an \
+          optional result cache (see docs/SERVER.md for the protocol).")
+    Term.(
+      const serve $ socket_arg $ port_arg $ catalog_arg $ file_arg $ seed_arg
+      $ scale_arg $ strategy_arg $ jobs_arg $ plan_cache_arg
+      $ result_cache_arg $ timeout_arg $ trace_arg $ quiet_arg)
+
+let client_cmd =
+  let module Json = Engine.Json in
+  let render_metrics = function
+    | Json.Obj fields ->
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Json.Obj props -> (
+            match List.assoc_opt "type" props with
+            | Some (Json.String "counter") -> (
+              match List.assoc_opt "value" props with
+              | Some (Json.Int n) -> Fmt.pr "%s %d@." name n
+              | _ -> ())
+            | Some (Json.String "gauge") -> (
+              match List.assoc_opt "value" props with
+              | Some (Json.Float g) -> Fmt.pr "%s %g@." name g
+              | _ -> ())
+            | Some (Json.String "histogram") -> (
+              match List.assoc_opt "count" props with
+              | Some (Json.Int n) -> Fmt.pr "%s count=%d@." name n
+              | _ -> ())
+            | _ -> ())
+          | _ -> ())
+        fields
+    | _ -> ()
+  in
+  let client socket port wait_ms strategy jobs no_cache no_bloom timeout_ms
+      repeat raw json_out file seed scale op arg =
+    setup_logs false;
+    let fail msg =
+      Fmt.epr "nestql: %s@." msg;
+      1
+    in
+    let lines =
+      match (raw, op, arg) with
+      | true, line, _ -> Ok (List.init repeat (fun _ -> line))
+      | false, "ping", _ -> Ok [ Server.Client.obj ~op:"ping" [] ]
+      | false, "metrics", _ -> Ok [ Server.Client.obj ~op:"metrics" [] ]
+      | false, "shutdown", _ -> Ok [ Server.Client.obj ~op:"shutdown" [] ]
+      | false, "query", Some q ->
+        let q = if Sys.file_exists q then load_query_file q else q in
+        let fields =
+          [ ("q", Json.String q) ]
+          @ (match strategy with
+            | Some st ->
+              [ ("strategy",
+                 Json.String (Core.Pipeline.strategy_name st)) ]
+            | None -> [])
+          @ (match jobs with
+            | Some j -> [ ("jobs", Json.Int j) ]
+            | None -> [])
+          @ (if no_cache then [ ("cache", Json.Bool false) ] else [])
+          @ (if no_bloom then [ ("bloom", Json.Bool false) ] else [])
+          @
+          match timeout_ms with
+          | Some ms -> [ ("timeout_ms", Json.Int ms) ]
+          | None -> []
+        in
+        Ok (List.init repeat (fun i -> Server.Client.obj ~id:(i + 1) ~op:"query" fields))
+      | false, "query", None -> Error "query expects a QUERY argument"
+      | false, "catalog", name ->
+        let fields =
+          (match name with
+          | Some n -> [ ("name", Json.String n) ]
+          | None -> [])
+          @ (match file with
+            | Some f -> [ ("file", Json.String f) ]
+            | None -> [])
+          @ [ ("seed", Json.Int seed); ("scale", Json.Int scale) ]
+        in
+        if fields = [ ("seed", Json.Int seed); ("scale", Json.Int scale) ]
+           && file = None && name = None
+        then Error "catalog expects a NAME argument or --file"
+        else Ok [ Server.Client.obj ~op:"catalog" fields ]
+      | false, other, _ ->
+        Error
+          (Printf.sprintf
+             "unknown op %s (try: ping, query, catalog, metrics, shutdown)"
+             other)
+    in
+    match lines with
+    | Error msg -> fail msg
+    | Ok lines -> (
+      match Server.Client.connect ~wait_ms (bind_of ~socket ~port) with
+      | Error msg -> fail ("cannot connect: " ^ msg)
+      | Ok conn ->
+        Fun.protect
+          ~finally:(fun () -> Server.Client.close conn)
+          (fun () ->
+            let rec send = function
+              | [] -> 0
+              | line :: rest -> (
+                match Server.Client.request conn line with
+                | Error msg -> fail msg
+                | Ok reply -> (
+                  if json_out then begin
+                    print_endline (Json.to_string reply);
+                    send rest
+                  end
+                  else
+                    match Server.Protocol.member "ok" reply with
+                    | Some (Json.Bool true) ->
+                      (match Server.Protocol.member "metrics" reply with
+                      | Some m -> render_metrics m
+                      | None -> (
+                        match Server.Protocol.member "result" reply with
+                        | Some (Json.String s) -> print_endline s
+                        | _ -> print_endline (Json.to_string reply)));
+                      send rest
+                    | _ ->
+                      let code, message =
+                        match Server.Protocol.member "error" reply with
+                        | Some (Json.Obj e) ->
+                          ( (match List.assoc_opt "code" e with
+                            | Some (Json.String c) -> c
+                            | _ -> "unknown"),
+                            match List.assoc_opt "message" e with
+                            | Some (Json.String m) -> m
+                            | _ -> "" )
+                        | _ -> ("unknown", Json.to_string reply)
+                      in
+                      Fmt.epr "error[%s]: %s@." code message;
+                      1))
+            in
+            send lines))
+  in
+  let wait_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wait" ] ~docv:"MS"
+          ~doc:
+            "Retry the connection for up to $(docv) milliseconds — for \
+             scripts that start the server in the background and race its \
+             bind.")
+  in
+  let strategy_opt_arg =
+    Arg.(
+      value & opt (some strategy_conv) None
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:"Per-request strategy override (server default otherwise).")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"N"
+          ~doc:
+            "Send the query $(docv) times on one connection (cache-hit \
+             paths stay warm).")
+  in
+  let raw_arg =
+    Arg.(
+      value & flag
+      & info [ "raw" ]
+          ~doc:
+            "Treat OP as one raw protocol line and send it verbatim — for \
+             exercising the server's error replies.")
+  in
+  let client_json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Print each raw JSON response line.")
+  in
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:"Bypass the server's plan and result caches for this query.")
+  in
+  let op_arg =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"OP"
+          ~doc:"ping, query, catalog, metrics or shutdown (or a raw line \
+                with $(b,--raw)).")
+  in
+  let arg_arg =
+    Arg.(
+      value & pos 1 (some string) None
+      & info [] ~docv:"ARG"
+          ~doc:"The query text (or query file) for $(b,query); the catalog \
+                name for $(b,catalog).")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Send requests to a running $(b,nestql serve) and print the \
+          replies (results, pong, metric lines).")
+    Term.(
+      const client $ socket_arg $ port_arg $ wait_arg $ strategy_opt_arg
+      $ jobs_arg $ no_cache_arg $ no_bloom_arg $ timeout_arg $ repeat_arg
+      $ raw_arg $ client_json_arg $ file_arg $ seed_arg $ scale_arg $ op_arg
+      $ arg_arg)
+
 let () =
   let doc = "nested-query optimization in a complex object model" in
   let info = Cmd.info "nestql" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; explain_cmd; check_cmd; stats_cmd; table2_cmd; catalog_cmd;
-         repl_cmd; demo_cmd ]))
+         repl_cmd; demo_cmd; serve_cmd; client_cmd ]))

@@ -1,0 +1,66 @@
+Server mode: `nestql serve` holds a catalog and a plan/result cache
+behind a Unix socket; `nestql client` speaks the line-JSON protocol to
+it. The server runs in the background here; --wait retries the first
+connect until the bind completes, and everything asserted is
+deterministic (fixed seed, fixed scale, cache counters).
+
+  $ ../bin/nestql.exe serve --socket srv.sock -n 40 --quiet 2> server.log &
+  $ SRV=$!
+  $ ../bin/nestql.exe client --socket srv.sock --wait 5000 ping
+  pong
+
+A query round trip returns exactly what the one-shot CLI returns:
+
+  $ Q="SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+  $ ../bin/nestql.exe client --socket srv.sock query "$Q"
+  {16, 20, 22, 25, 35, 37, 38}
+
+Repeating the query (one connection, three sends) is served from the
+caches — the first send above was the double miss that filled them:
+
+  $ ../bin/nestql.exe client --socket srv.sock --repeat 3 query "$Q"
+  {16, 20, 22, 25, 35, 37, 38}
+  {16, 20, 22, 25, 35, 37, 38}
+  {16, 20, 22, 25, 35, 37, 38}
+  $ ../bin/nestql.exe client --socket srv.sock metrics | grep '^server\.cache\.'
+  server.cache.plan.hits 3
+  server.cache.plan.misses 1
+  server.cache.result.hits 3
+  server.cache.result.misses 1
+
+Malformed input gets a structured error reply (and a nonzero client
+exit), and the connection survives for the next request:
+
+  $ ../bin/nestql.exe client --socket srv.sock --raw 'not json'
+  error[parse_error]: invalid literal at offset 0
+  [1]
+  $ ../bin/nestql.exe client --socket srv.sock --raw '{"op":"frobnicate"}'
+  error[bad_request]: unknown op "frobnicate"
+  [1]
+
+The per-request deadline is cooperative; a 0 ms budget expires before
+the executor starts (cache bypassed so nothing can answer early):
+
+  $ ../bin/nestql.exe client --socket srv.sock --timeout 0 --no-cache query "$Q"
+  error[timeout]: request deadline expired before execution
+  [1]
+
+Switching the session's catalog bumps the statistics version (stale
+plans become unreachable) and eagerly flushes the cached results:
+
+  $ ../bin/nestql.exe client --socket srv.sock catalog xyz --scale 40
+  {"ok":true,"catalog":"xyz","tables":["X","Y","Z"],"stats_version":2,"results_invalidated":1}
+  $ ../bin/nestql.exe client --socket srv.sock metrics | grep 'invalidations\|catalog'
+  server.cache.result.invalidations 1
+  server.catalog.changes 1
+
+Graceful shutdown: the shutdown op answers, the server drains its
+sessions, removes the socket and exits 0:
+
+  $ ../bin/nestql.exe client --socket srv.sock shutdown
+  bye
+  $ wait $SRV; echo "exit: $?"
+  exit: 0
+  $ test -e srv.sock || echo "socket removed"
+  socket removed
+  $ cat server.log

@@ -91,6 +91,37 @@ let of_catalog catalog =
     memo := Some (catalog, s);
     s
 
+(* Version stamps are keyed on physical identity like the memo above, but
+   must survive more than one live catalog (a server hosts one catalog per
+   session) and be readable from concurrent session threads — hence the
+   small mutex-guarded association list. The list is capped: entries for
+   catalogs nobody asks about any more age out, and a re-seen catalog would
+   simply be stamped afresh (stamps only ever grow, so a re-stamp can never
+   resurrect a stale cache entry). *)
+let version_mutex = Mutex.create ()
+let version_counter = ref 0
+let versions : (Catalog.t * int) list ref = ref []
+let max_versions = 64
+
+let version catalog =
+  Mutex.lock version_mutex;
+  let stamp =
+    match List.assq_opt catalog !versions with
+    | Some v -> v
+    | None ->
+      incr version_counter;
+      let v = !version_counter in
+      let keep =
+        if List.length !versions >= max_versions then
+          List.filteri (fun i _ -> i < max_versions - 1) !versions
+        else !versions
+      in
+      versions := (catalog, v) :: keep;
+      v
+  in
+  Mutex.unlock version_mutex;
+  stamp
+
 let table stats name = List.find_opt (fun t -> String.equal t.name name) stats
 
 let attr stats tname aname =

@@ -34,6 +34,14 @@ val scan : Catalog.t -> t
 val of_catalog : Catalog.t -> t
 (** Memoized {!scan} — repeated calls on the same catalog are free. *)
 
+val version : Catalog.t -> int
+(** Monotonic statistics-version stamp for cache keying: the first call on
+    a catalog assigns the next version number; later calls on the same
+    catalog (physical identity — catalogs are immutable, so a changed
+    catalog is a different value) return the same stamp. Plan-cache keys
+    embed this stamp, so any catalog change invalidates every cached plan
+    and result derived from the old statistics. Thread-safe. *)
+
 val table : t -> string -> table option
 val attr : t -> string -> string -> attr option
 

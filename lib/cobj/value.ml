@@ -227,3 +227,20 @@ let set_is_empty s = as_set s = []
 
 let set_subset a b =
   set_subseteq a b && set_card a < set_card b
+
+(* Approximate heap footprint in bytes (64-bit words), for byte-bounded
+   caches: block headers plus one word per field/element cons, strings
+   rounded up to whole words. An estimate, not Obj.reachable_words — it is
+   stable across sharing and cheap enough to run on every cache insert. *)
+let rec approx_bytes = function
+  | Null | Bool _ | Int _ -> 8
+  | Float _ -> 16
+  | String s -> 16 + (String.length s + 7) / 8 * 8
+  | Variant (tag, v) -> 24 + approx_bytes (String tag) + approx_bytes v
+  | Tuple fields ->
+    List.fold_left
+      (fun acc (label, v) ->
+        acc + 32 + approx_bytes (String label) + approx_bytes v)
+      8 fields
+  | Set elts | List elts ->
+    List.fold_left (fun acc v -> acc + 24 + approx_bytes v) 8 elts

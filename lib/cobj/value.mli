@@ -92,3 +92,8 @@ val pp : t Fmt.t
     parseable back by [Lang.Parser] for literal values. *)
 
 val to_string : t -> string
+
+val approx_bytes : t -> int
+(** Approximate heap footprint in bytes (headers + per-element cons cells,
+    strings rounded to whole words). Used by byte-bounded caches; an
+    estimate — sharing is counted once per occurrence. *)

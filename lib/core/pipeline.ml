@@ -204,6 +204,23 @@ let compile_string ?options ?rewrite ?reorder ?verify strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
   compile ?options ?rewrite ?reorder ?verify strategy catalog expr
 
+(* Cache keys. The normalized form is the canonical pretty-print of the
+   parsed AST, so texts differing only in whitespace, comments or
+   redundant parentheses share one plan-cache entry; the full key adds the
+   strategy, the rewrite/reorder ablation flags (they change the plan) and
+   the catalog's statistics version — any catalog change moves the stamp,
+   so stale plans are unreachable rather than merely suspect. *)
+let normalized_ast expr = Fmt.str "%a" Lang.Pretty.pp expr
+
+let plan_key ?(rewrite = true) ?(reorder = true) strategy catalog expr =
+  Printf.sprintf "s=%s;v=%d;rw=%b;ro=%b;q=%s" (strategy_name strategy)
+    (Cobj.Stats.version catalog)
+    rewrite reorder (normalized_ast expr)
+
+let plan_key_string ?rewrite ?reorder strategy catalog src =
+  let* expr = Lang.Parser.expr_result src in
+  Ok (plan_key ?rewrite ?reorder strategy catalog expr)
+
 let default_jobs () =
   match Sys.getenv_opt "NESTQL_JOBS" with
   | None -> 1

@@ -91,6 +91,37 @@ val compile_string :
   string ->
   (compiled, string) result
 
+(** {1 Cache keys}
+
+    The plan cache in [Server.Cache] keys compiled plans on the strategy,
+    the normalized AST and the catalog's statistics version — see
+    {!Cobj.Stats.version}. Exposed here so the key derivation lives next
+    to the compiler it indexes. *)
+
+val normalized_ast : Lang.Ast.expr -> string
+(** Canonical pretty-print of a parsed query: texts differing only in
+    whitespace, comments or redundant parentheses normalize identically. *)
+
+val plan_key :
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  strategy ->
+  Cobj.Catalog.t ->
+  Lang.Ast.expr ->
+  string
+(** [strategy ⊕ stats version ⊕ ablation flags ⊕ normalized AST]. Two
+    queries share a key exactly when {!compile} would produce the same
+    plan for them against the same catalog statistics. *)
+
+val plan_key_string :
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  strategy ->
+  Cobj.Catalog.t ->
+  string ->
+  (string, string) result
+(** {!plan_key} from query text ([Error] on a parse failure). *)
+
 val default_jobs : unit -> int
 (** Partition-parallel width used when [?jobs] is omitted: the value of the
     [NESTQL_JOBS] environment variable when it parses as a positive

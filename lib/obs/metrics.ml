@@ -104,3 +104,15 @@ let dump () =
           (name, v) :: acc)
         tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some (Ccell r) -> !r
+      | Some _ | None -> 0)
+
+let gauge name =
+  locked (fun () ->
+      match Hashtbl.find_opt tbl name with
+      | Some (Gcell r) -> !r
+      | Some _ | None -> 0.)

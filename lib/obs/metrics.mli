@@ -39,3 +39,11 @@ val bucket_lo : int -> int
 (** Smallest value mapping to the given bucket (0 for bucket 0). *)
 
 val nbuckets : int
+
+val counter : string -> int
+(** Current value of a counter, 0 when absent (or not a counter). Reads
+    work even while the registry is disabled — tests and the server's
+    cache assertions read back what instrumentation recorded. *)
+
+val gauge : string -> float
+(** Current value of a gauge, 0.0 when absent (or not a gauge). *)

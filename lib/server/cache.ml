@@ -1,0 +1,193 @@
+(* Plan and result caches over Core.Pipeline — see cache.mli for the
+   contract. Thread-safety comes from Lru's internal lock plus one
+   mutex for the invalidation counter; the pipeline calls themselves are
+   serialized by the daemon's executor lock, not here. *)
+
+module Pipeline = Core.Pipeline
+
+type outcome = Hit | Miss | Bypass
+
+let outcome_name = function Hit -> "hit" | Miss -> "miss" | Bypass -> "bypass"
+
+type cached_result = { r_value : Cobj.Value.t; r_rendered : string; r_rows : int }
+
+type t = {
+  plans : (string, Pipeline.compiled) Lru.t;
+  results : (string, cached_result) Lru.t;
+  rewrite : bool;
+  reorder : bool;
+  m : Mutex.t;
+  mutable invalidations : int;
+}
+
+let metric name = Obs.Metrics.incr name
+
+let create ?(plan_capacity = 128) ?(result_capacity = 0) ?(rewrite = true)
+    ?(reorder = true) () =
+  {
+    plans =
+      Lru.create ~capacity:plan_capacity
+        ~cost:(fun _ _ -> 1)
+        ~on_evict:(fun _ _ -> metric "server.cache.plan.evictions")
+        ();
+    results =
+      Lru.create ~capacity:result_capacity
+        ~cost:(fun key r ->
+          Cobj.Value.approx_bytes r.r_value
+          + String.length r.r_rendered + String.length key)
+        ~on_evict:(fun _ _ -> metric "server.cache.result.evictions")
+        ();
+    rewrite;
+    reorder;
+    m = Mutex.create ();
+    invalidations = 0;
+  }
+
+type reply = {
+  value : Cobj.Value.t;
+  rendered : string;
+  rows : int;
+  plan : outcome;
+  result : outcome;
+}
+
+type error = Parse of string | Compile of string | Runtime of string | Timeout
+
+let ( let* ) = Result.bind
+
+let key_of t strategy catalog expr =
+  Pipeline.plan_key ~rewrite:t.rewrite ~reorder:t.reorder strategy catalog
+    expr
+
+let compile_expr t ~cache strategy catalog expr =
+  let use = cache && Lru.capacity t.plans > 0 in
+  if not use then
+    match
+      Pipeline.compile ~rewrite:t.rewrite ~reorder:t.reorder strategy catalog
+        expr
+    with
+    | Ok compiled -> Ok (compiled, Bypass)
+    | Error msg -> Error (Compile msg)
+  else
+    let key = key_of t strategy catalog expr in
+    match Lru.find t.plans key with
+    | Some compiled ->
+      metric "server.cache.plan.hits";
+      Ok (compiled, Hit)
+    | None -> (
+      metric "server.cache.plan.misses";
+      match
+        Pipeline.compile ~rewrite:t.rewrite ~reorder:t.reorder strategy
+          catalog expr
+      with
+      | Ok compiled ->
+        Lru.add t.plans key compiled;
+        Ok (compiled, Miss)
+      | Error msg -> Error (Compile msg))
+
+let compile t ?(cache = true) strategy catalog src =
+  match Lang.Parser.expr_result src with
+  | Error msg -> Error (Parse msg)
+  | Ok expr -> compile_expr t ~cache strategy catalog expr
+
+let rows_of = function
+  | Cobj.Value.Set l | Cobj.Value.List l -> List.length l
+  | _ -> 1
+
+let never_expired () = false
+
+let query t ?(cache = true) ?stats ?jobs ?bloom
+    ?(deadline_expired = never_expired) strategy catalog src =
+  let* expr =
+    match Lang.Parser.expr_result src with
+    | Ok e -> Ok e
+    | Error msg -> Error (Parse msg)
+  in
+  let results_on = cache && Lru.capacity t.results > 0 in
+  let key = key_of t strategy catalog expr in
+  let cached =
+    if results_on then Lru.find t.results key else None
+  in
+  match cached with
+  | Some r ->
+    metric "server.cache.result.hits";
+    (* A stored result stands in for the stored plan: promote the plan
+       entry so it stays warm for when the result is evicted, and report
+       the request as a plan hit either way. *)
+    (match Lru.find t.plans key with
+    | Some _ -> metric "server.cache.plan.hits"
+    | None -> ());
+    Ok
+      {
+        value = r.r_value;
+        rendered = r.r_rendered;
+        rows = r.r_rows;
+        plan = Hit;
+        result = Hit;
+      }
+  | None ->
+    if results_on then metric "server.cache.result.misses";
+    if deadline_expired () then Error Timeout
+    else
+      let* compiled, plan = compile_expr t ~cache strategy catalog expr in
+      if deadline_expired () then Error Timeout
+      else begin
+        (* When a tracer is attached, run instrumented (like `nestql run
+           --trace`) so the timeline carries operator spans; the value is
+           identical and [stats] is filled from the annotated tree. *)
+        let execute () =
+          if Obs.Trace.enabled () && compiled.Pipeline.physical <> None then
+            match Pipeline.analyze ?jobs ?bloom catalog compiled with
+            | Ok (value, tree) ->
+              (match stats with
+              | Some s -> Engine.Stats.sum_into s tree
+              | None -> ());
+              value
+            | Error msg -> raise (Cobj.Value.Type_error msg)
+          else Pipeline.execute ?stats ?jobs ?bloom catalog compiled
+        in
+        match execute () with
+        | value ->
+          let rendered = Fmt.str "%a" Cobj.Value.pp value in
+          let rows = rows_of value in
+          if results_on then
+            Lru.add t.results key
+              { r_value = value; r_rendered = rendered; r_rows = rows };
+          Ok
+            {
+              value;
+              rendered;
+              rows;
+              plan;
+              result = (if results_on then Miss else Bypass);
+            }
+        | exception Cobj.Value.Type_error msg ->
+          Error (Runtime ("runtime error: " ^ msg))
+        | exception Lang.Interp.Undefined msg ->
+          Error (Runtime ("undefined: " ^ msg))
+      end
+
+let invalidate_results t =
+  let dropped = Lru.clear t.results in
+  Mutex.lock t.m;
+  t.invalidations <- t.invalidations + dropped;
+  Mutex.unlock t.m;
+  if dropped > 0 then
+    Obs.Metrics.incr ~by:dropped "server.cache.result.invalidations";
+  dropped
+
+let plan_entries t = Lru.length t.plans
+let result_entries t = Lru.length t.results
+let result_bytes t = Lru.total_cost t.results
+let plan_hits t = Lru.hits t.plans
+let plan_misses t = Lru.misses t.plans
+let plan_evictions t = Lru.evictions t.plans
+let result_hits t = Lru.hits t.results
+let result_misses t = Lru.misses t.results
+let result_evictions t = Lru.evictions t.results
+
+let invalidations t =
+  Mutex.lock t.m;
+  let n = t.invalidations in
+  Mutex.unlock t.m;
+  n

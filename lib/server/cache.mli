@@ -1,0 +1,102 @@
+(** The server's amortization layer: a plan cache and an optional
+    byte-bounded result cache in front of [Core.Pipeline].
+
+    Both caches are keyed on {!Core.Pipeline.plan_key} — strategy ⊕
+    catalog statistics version ⊕ normalized AST — so a catalog change
+    (a new statistics version, {!Cobj.Stats.version}) makes every stale
+    entry unreachable; {!invalidate_results} additionally drops the
+    result entries eagerly so their memory is returned at the moment of
+    the change, not at eviction time.
+
+    Correctness contract (proven by the qcheck differential oracle in
+    [test/test_server.ml]): for any query, cached and uncached execution
+    produce byte-identical values, and executions reached through a
+    plan-cache hit fill [Engine.Stats] identically to a fresh compile —
+    only the cache counters (kept here and in [Obs.Metrics], never in
+    [Engine.Stats]) differ. A result-cache hit replays the stored value
+    without executing at all.
+
+    Metrics (when the registry is enabled): [server.cache.plan.hits /
+    misses / evictions] and [server.cache.result.hits / misses /
+    evictions / invalidations]. *)
+
+type outcome =
+  | Hit
+  | Miss
+  | Bypass  (** caching skipped: per-request opt-out, or cache disabled *)
+
+val outcome_name : outcome -> string
+(** ["hit"], ["miss"], ["bypass"]. *)
+
+type t
+
+val create :
+  ?plan_capacity:int ->
+  ?result_capacity:int ->
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  unit ->
+  t
+(** [plan_capacity] (default 128) is in plans; 0 disables plan caching.
+    [result_capacity] (default 0 — disabled) is in approximate bytes
+    ({!Cobj.Value.approx_bytes} plus the rendered text). [rewrite] /
+    [reorder] are baked into the key and passed to every compile. *)
+
+type reply = {
+  value : Cobj.Value.t;
+  rendered : string;  (** [Cobj.Value.pp], one line, newline-free *)
+  rows : int;  (** collection cardinality, 1 for scalar results *)
+  plan : outcome;
+  result : outcome;
+}
+
+type error =
+  | Parse of string
+  | Compile of string
+  | Runtime of string
+  | Timeout
+
+val query :
+  t ->
+  ?cache:bool ->
+  ?stats:Engine.Stats.t ->
+  ?jobs:int ->
+  ?bloom:bool ->
+  ?deadline_expired:(unit -> bool) ->
+  Core.Pipeline.strategy ->
+  Cobj.Catalog.t ->
+  string ->
+  (reply, error) result
+(** Parse, then serve from the result cache, else compile (through the
+    plan cache) and execute. [cache:false] bypasses both caches for this
+    request without touching them. [deadline_expired] is consulted at
+    the phase boundaries (before compile and before execute) — the
+    timeout is cooperative, a running operator is never interrupted.
+    [stats] is filled only when the query actually executes. *)
+
+val compile :
+  t ->
+  ?cache:bool ->
+  Core.Pipeline.strategy ->
+  Cobj.Catalog.t ->
+  string ->
+  (Core.Pipeline.compiled * outcome, error) result
+(** The plan-cache half of {!query} alone. *)
+
+val invalidate_results : t -> int
+(** Drop every cached result (the catalog changed); returns the number of
+    entries dropped and counts them as
+    [server.cache.result.invalidations]. *)
+
+(** {2 Introspection (tests, benches, the [metrics] op)} *)
+
+val plan_entries : t -> int
+val result_entries : t -> int
+val result_bytes : t -> int
+val plan_hits : t -> int
+val plan_misses : t -> int
+val plan_evictions : t -> int
+val result_hits : t -> int
+val result_misses : t -> int
+val result_evictions : t -> int
+val invalidations : t -> int

@@ -1,0 +1,60 @@
+module Json = Engine.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let sockaddr = function
+  | Daemon.Unix_socket path -> Unix.ADDR_UNIX path
+  | Daemon.Tcp port -> Unix.ADDR_INET (Unix.inet_addr_loopback, port)
+
+let connect_once bind =
+  let domain =
+    match bind with
+    | Daemon.Unix_socket _ -> Unix.PF_UNIX
+    | Daemon.Tcp _ -> Unix.PF_INET
+  in
+  let fd = Unix.socket ~cloexec:true domain Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (sockaddr bind) with
+  | () ->
+    Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (err, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unix.error_message err)
+
+let connect ?(wait_ms = 0) bind =
+  let deadline = Unix.gettimeofday () +. (float_of_int wait_ms /. 1000.) in
+  let rec go () =
+    match connect_once bind with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+      if Unix.gettimeofday () >= deadline then e
+      else begin
+        (try Unix.sleepf 0.05 with Unix.Unix_error _ -> ());
+        go ()
+      end
+  in
+  go ()
+
+let request t line =
+  match
+    output_string t.oc line;
+    output_char t.oc '\n';
+    flush t.oc;
+    input_line t.ic
+  with
+  | exception End_of_file -> Error "connection closed by server"
+  | exception Sys_error msg -> Error msg
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | reply -> (
+    match Protocol.parse_json reply with
+    | Ok json -> Ok json
+    | Error msg -> Error (Printf.sprintf "bad response (%s): %s" msg reply))
+
+let close t =
+  try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let obj ?id ~op fields =
+  let fields = ("op", Json.String op) :: fields in
+  let fields =
+    match id with Some i -> ("id", Json.Int i) :: fields | None -> fields
+  in
+  Json.to_string (Json.Obj fields)

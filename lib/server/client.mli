@@ -1,0 +1,24 @@
+(** Minimal blocking client for the {!Daemon} wire protocol — one
+    request line out, one response line back. Used by [nestql client]
+    and the CI session scripts; sessions are stateful server-side, so a
+    client holds its connection open across requests. *)
+
+type t
+
+val connect :
+  ?wait_ms:int -> Daemon.bind -> (t, string) result
+(** Connect to a server. [wait_ms] retries the connection (50 ms apart)
+    until it succeeds or the budget elapses — for scripts that race the
+    server's bind. *)
+
+val request : t -> string -> (Engine.Json.t, string) result
+(** Send one raw request line, read one response line, parse it. [Error]
+    is transport-level only (EOF, I/O failure, unparseable response);
+    protocol-level failures come back as [Ok] objects with
+    ["ok": false]. *)
+
+val close : t -> unit
+
+val obj :
+  ?id:int -> op:string -> (string * Engine.Json.t) list -> string
+(** Build a request line: [op], optional [id], extra fields. *)

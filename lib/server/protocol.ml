@@ -1,0 +1,338 @@
+(* Line-JSON wire protocol: a strict recursive-descent JSON parser (the
+   engine's Json module only prints) plus request decoding and response
+   building. Error messages are deterministic — the cram suite asserts
+   them verbatim. *)
+
+module Json = Engine.Json
+
+(* --- JSON parsing ------------------------------------------------------- *)
+
+exception Bad of string
+
+let parse_json s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some d when d = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail "invalid literal"
+  in
+  let hex4 () =
+    if !pos + 4 > n then fail "truncated \\u escape";
+    let v = int_of_string_opt ("0x" ^ String.sub s !pos 4) in
+    pos := !pos + 4;
+    match v with Some v -> v | None -> fail "invalid \\u escape"
+  in
+  let utf8 buf cp =
+    (* Minimal UTF-8 encoder for \uXXXX escapes (surrogate pairs are
+       rejoined by the caller before reaching here). *)
+    if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+        advance ();
+        match peek () with
+        | None -> fail "unterminated escape"
+        | Some c ->
+          advance ();
+          (match c with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '/' -> Buffer.add_char buf '/'
+          | 'b' -> Buffer.add_char buf '\b'
+          | 'f' -> Buffer.add_char buf '\012'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 'r' -> Buffer.add_char buf '\r'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+            let cp = hex4 () in
+            let cp =
+              if cp >= 0xD800 && cp <= 0xDBFF then begin
+                (* high surrogate: require the low half *)
+                expect '\\';
+                expect 'u';
+                let lo = hex4 () in
+                if lo < 0xDC00 || lo > 0xDFFF then fail "lone surrogate";
+                0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else if cp >= 0xDC00 && cp <= 0xDFFF then fail "lone surrogate"
+              else cp
+            in
+            utf8 buf cp
+          | _ -> fail "invalid escape");
+          loop ())
+      | Some c when Char.code c < 0x20 -> fail "control character in string"
+      | Some c ->
+        advance ();
+        Buffer.add_char buf c;
+        loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_int = ref true in
+    if peek () = Some '-' then advance ();
+    let digits () =
+      let had = ref false in
+      let rec go () =
+        match peek () with
+        | Some ('0' .. '9') ->
+          had := true;
+          advance ();
+          go ()
+        | _ -> ()
+      in
+      go ();
+      if not !had then fail "invalid number"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      is_int := false;
+      advance ();
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+      is_int := false;
+      advance ();
+      (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+      digits ()
+    | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_int then
+      match int_of_string_opt text with
+      | Some i -> Json.Int i
+      | None -> Json.Float (float_of_string text)
+    else Json.Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Json.Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev ((k, v) :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Json.Obj (fields [])
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Json.List []
+      end
+      else begin
+        let rec elts acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elts (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        Json.List (elts [])
+      end
+    | Some '"' -> Json.String (parse_string ())
+    | Some 't' -> literal "true" (Json.Bool true)
+    | Some 'f' -> literal "false" (Json.Bool false)
+    | Some 'n' -> literal "null" Json.Null
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character '%c'" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad msg -> Error msg
+
+let member key = function
+  | Json.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* --- request decoding --------------------------------------------------- *)
+
+type query_req = {
+  q : string;
+  strategy : Core.Pipeline.strategy option;
+  jobs : int option;
+  bloom : bool;
+  use_cache : bool;
+  timeout_ms : int option;
+}
+
+type catalog_req = {
+  name : string option;
+  file : string option;
+  seed : int option;
+  scale : int option;
+}
+
+type op = Query of query_req | Catalog of catalog_req | Metrics | Ping | Shutdown
+
+type request = { id : int option; op : op }
+
+exception Reject of string * string
+
+let reject code fmt = Printf.ksprintf (fun m -> raise (Reject (code, m))) fmt
+
+let as_string ~field = function
+  | Json.String s -> s
+  | _ -> reject "bad_request" "field %S must be a string" field
+
+let as_int ~field = function
+  | Json.Int i -> i
+  | _ -> reject "bad_request" "field %S must be an integer" field
+
+let as_bool ~field = function
+  | Json.Bool b -> b
+  | _ -> reject "bad_request" "field %S must be a boolean" field
+
+let opt f ~field doc = Option.map (f ~field) (member field doc)
+
+let strategy_of_name name =
+  List.find_opt
+    (fun st -> String.equal (Core.Pipeline.strategy_name st) name)
+    Core.Pipeline.all_strategies
+
+let request_of_line line =
+  match parse_json line with
+  | Error msg -> Error ("parse_error", msg)
+  | Ok (Json.Obj _ as doc) -> (
+    try
+      let id = opt as_int ~field:"id" doc in
+      let op =
+        match member "op" doc with
+        | None -> reject "bad_request" "missing field \"op\""
+        | Some op_json -> (
+          match as_string ~field:"op" op_json with
+          | "ping" -> Ping
+          | "metrics" -> Metrics
+          | "shutdown" -> Shutdown
+          | "query" ->
+            let q =
+              match member "q" doc with
+              | None -> reject "bad_request" "query needs field \"q\""
+              | Some v -> as_string ~field:"q" v
+            in
+            let strategy =
+              match opt as_string ~field:"strategy" doc with
+              | None -> None
+              | Some name -> (
+                match strategy_of_name name with
+                | Some s -> Some s
+                | None -> reject "bad_request" "unknown strategy %S" name)
+            in
+            Query
+              {
+                q;
+                strategy;
+                jobs = opt as_int ~field:"jobs" doc;
+                bloom =
+                  Option.value (opt as_bool ~field:"bloom" doc) ~default:true;
+                use_cache =
+                  Option.value (opt as_bool ~field:"cache" doc) ~default:true;
+                timeout_ms = opt as_int ~field:"timeout_ms" doc;
+              }
+          | "catalog" ->
+            Catalog
+              {
+                name = opt as_string ~field:"name" doc;
+                file = opt as_string ~field:"file" doc;
+                seed = opt as_int ~field:"seed" doc;
+                scale = opt as_int ~field:"scale" doc;
+              }
+          | other -> reject "bad_request" "unknown op %S" other)
+      in
+      Ok { id; op }
+    with Reject (code, msg) -> Error (code, msg))
+  | Ok _ -> Error ("parse_error", "request must be a JSON object")
+
+(* --- responses ---------------------------------------------------------- *)
+
+let with_id id fields =
+  match id with Some i -> ("id", Json.Int i) :: fields | None -> fields
+
+let ok ~id fields =
+  Json.to_string (Json.Obj (with_id id (("ok", Json.Bool true) :: fields)))
+
+let error ~id ~code ~message =
+  Json.to_string
+    (Json.Obj
+       (with_id id
+          [
+            ("ok", Json.Bool false);
+            ( "error",
+              Json.Obj
+                [
+                  ("code", Json.String code); ("message", Json.String message);
+                ] );
+          ]))

@@ -1,0 +1,58 @@
+(** The wire protocol of [nestql serve]: one JSON object per line in each
+    direction, UTF-8, '\n'-terminated. See docs/SERVER.md for the full
+    request/response schema and error-code catalog.
+
+    Requests: [{"op": "query" | "catalog" | "metrics" | "ping" |
+    "shutdown", "id": <int?>, ...op fields}]. Responses echo [id] and
+    carry ["ok": true] with op-specific payload, or ["ok": false] with
+    [{"error": {"code", "message"}}]. *)
+
+val parse_json : string -> (Engine.Json.t, string) result
+(** Strict parser for the protocol's JSON subset: objects, arrays,
+    strings (with \-escapes incl. \uXXXX), numbers, booleans, null.
+    Rejects trailing garbage. Numbers without fraction/exponent parse as
+    [Int], others as [Float]. *)
+
+val member : string -> Engine.Json.t -> Engine.Json.t option
+(** Object field lookup; [None] on absent field or non-object. *)
+
+(** {1 Requests} *)
+
+type query_req = {
+  q : string;
+  strategy : Core.Pipeline.strategy option;  (** [None]: session default *)
+  jobs : int option;
+  bloom : bool;
+  use_cache : bool;  (** [false] bypasses plan and result caches *)
+  timeout_ms : int option;  (** overrides the server default *)
+}
+
+type catalog_req = {
+  name : string option;  (** built-in generator name *)
+  file : string option;  (** server-side catalog definition file *)
+  seed : int option;
+  scale : int option;
+}
+
+type op =
+  | Query of query_req
+  | Catalog of catalog_req
+  | Metrics
+  | Ping
+  | Shutdown
+
+type request = { id : int option; op : op }
+
+val request_of_line : string -> (request, string * string) result
+(** Decode one request line. [Error (code, message)] uses the protocol
+    error codes: ["parse_error"] for malformed JSON or a non-object,
+    ["bad_request"] for an unknown op or ill-typed fields. *)
+
+(** {1 Responses} *)
+
+val ok : id:int option -> (string * Engine.Json.t) list -> string
+(** [{"id": .., "ok": true, <fields>}] — compact, single line, no
+    trailing newline. [id] is omitted when the request carried none. *)
+
+val error : id:int option -> code:string -> message:string -> string
+(** [{"id": .., "ok": false, "error": {"code", "message"}}]. *)

@@ -1,0 +1,60 @@
+type t = {
+  id : int;
+  mutable catalog : Cobj.Catalog.t;
+  mutable catalog_name : string;
+  mutable strategy : Core.Pipeline.strategy;
+  mutable jobs : int;
+  mutable requests : int;
+  mutable errors : int;
+}
+
+let create ~id ~catalog ~catalog_name ~strategy ~jobs =
+  { id; catalog; catalog_name; strategy; jobs; requests = 0; errors = 0 }
+
+let catalog_of_name ~name ~seed ~scale =
+  let xy =
+    { Workload.Gen.default_xy with
+      nx = scale;
+      ny = scale;
+      key_dom = max 1 (scale / 4);
+      seed }
+  in
+  match name with
+  | "xy" -> Ok (Workload.Gen.xy xy)
+  | "xyz" ->
+    Ok
+      (Workload.Gen.xyz
+         { base = xy; nz = scale; z_key_dom = max 1 (scale / 4) })
+  | "company" ->
+    Ok
+      (Workload.Gen.company
+         { Workload.Gen.default_company with
+           ndepts = max 1 (scale / 10);
+           company_seed = seed })
+  | "table1" -> Ok (Workload.Gen.table1 ())
+  | other ->
+    Error
+      (Printf.sprintf "unknown catalog %s (try: xy, xyz, company, table1)"
+         other)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let contents = really_input_string ic n in
+  close_in ic;
+  contents
+
+let load_catalog ?name ?file ~seed ~scale () =
+  match file with
+  | Some path -> (
+    match read_file path with
+    | contents -> (
+      match Lang.Schema.catalog contents with
+      | Ok catalog -> Ok (catalog, path)
+      | Error msg -> Error msg)
+    | exception Sys_error msg -> Error msg)
+  | None ->
+    let name = Option.value name ~default:"xy" in
+    Result.map
+      (fun catalog -> (catalog, name))
+      (catalog_of_name ~name ~seed ~scale)

@@ -1,0 +1,40 @@
+(** Per-connection session state. Each accepted connection gets one
+    session: its own catalog selection and execution defaults, mutated
+    only by its own connection thread (the daemon publishes nothing
+    session-local across threads), plus request counters for the
+    close-time log line. *)
+
+type t = {
+  id : int;
+  mutable catalog : Cobj.Catalog.t;
+  mutable catalog_name : string;
+  mutable strategy : Core.Pipeline.strategy;
+  mutable jobs : int;
+  mutable requests : int;  (** requests served, errors included *)
+  mutable errors : int;  (** requests answered with ["ok": false] *)
+}
+
+val create :
+  id:int ->
+  catalog:Cobj.Catalog.t ->
+  catalog_name:string ->
+  strategy:Core.Pipeline.strategy ->
+  jobs:int ->
+  t
+
+val catalog_of_name :
+  name:string -> seed:int -> scale:int -> (Cobj.Catalog.t, string) result
+(** The CLI's built-in generated catalogs ([xy], [xyz], [company],
+    [table1]) — shared by [bin/nestql.ml] and the [catalog] op so the
+    server offers exactly the catalogs the one-shot CLI does. *)
+
+val load_catalog :
+  ?name:string ->
+  ?file:string ->
+  seed:int ->
+  scale:int ->
+  unit ->
+  (Cobj.Catalog.t * string, string) result
+(** Resolve a catalog request: [file] (a catalog definition file, read
+    server-side) wins over [name]; the returned string names the choice
+    for logs and replies. *)

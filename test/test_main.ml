@@ -28,4 +28,5 @@ let () =
       ("verify", Test_verify.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("server", Test_server.suite);
     ]

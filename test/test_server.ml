@@ -1,0 +1,376 @@
+(* Server subsystem: LRU mechanics, the wire protocol, the plan/result
+   cache correctness contract (the qcheck differential oracle from
+   docs/SERVER.md), stats-version invalidation, cross-domain races, and
+   one in-process socket round trip through the real daemon. *)
+
+open Helpers
+
+module Lru = Server.Lru
+module Cache = Server.Cache
+module Protocol = Server.Protocol
+module Json = Engine.Json
+
+(* --- LRU ----------------------------------------------------------------- *)
+
+let count_lru capacity = Lru.create ~capacity ~cost:(fun _ _ -> 1) ()
+
+let test_lru_eviction_order () =
+  let l = count_lru 3 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "c" 3;
+  Alcotest.(check (list string)) "mru first" [ "c"; "b"; "a" ] (Lru.keys l);
+  (* A hit promotes: "a" is saved, "b" becomes the victim. *)
+  Alcotest.(check (option int)) "hit" (Some 1) (Lru.find l "a");
+  Lru.add l "d" 4;
+  Alcotest.(check (list string)) "b evicted" [ "d"; "a"; "c" ] (Lru.keys l);
+  Alcotest.(check (option int)) "b gone" None (Lru.find l "b");
+  Alcotest.(check int) "evictions" 1 (Lru.evictions l);
+  Alcotest.(check int) "hits" 1 (Lru.hits l);
+  Alcotest.(check int) "misses" 1 (Lru.misses l)
+
+let test_lru_cost_bound () =
+  let l = Lru.create ~capacity:10 ~cost:(fun _ v -> v) () in
+  Lru.add l "a" 4;
+  Lru.add l "b" 4;
+  Alcotest.(check int) "cost 8" 8 (Lru.total_cost l);
+  (* 4 more does not fit: the LRU tail ("a") goes. *)
+  Lru.add l "c" 4;
+  Alcotest.(check (list string)) "a evicted" [ "c"; "b" ] (Lru.keys l);
+  Alcotest.(check int) "cost still 8" 8 (Lru.total_cost l);
+  (* An entry larger than the whole cache is rejected, visibly. *)
+  Lru.add l "huge" 11;
+  Alcotest.(check bool) "huge rejected" false (Lru.mem l "huge");
+  Alcotest.(check int) "rejection counted" 2 (Lru.evictions l)
+
+let test_lru_replace () =
+  let l = count_lru 3 in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "a" 10;
+  Alcotest.(check int) "no duplicate" 2 (Lru.length l);
+  Alcotest.(check (list string)) "replaced entry is mru" [ "a"; "b" ]
+    (Lru.keys l);
+  Alcotest.(check (option int)) "new value" (Some 10) (Lru.find l "a")
+
+let test_lru_on_evict () =
+  let evicted = ref [] in
+  let l =
+    Lru.create
+      ~on_evict:(fun k _ -> evicted := k :: !evicted)
+      ~capacity:2
+      ~cost:(fun _ _ -> 1)
+      ()
+  in
+  Lru.add l "a" 1;
+  Lru.add l "b" 2;
+  Lru.add l "c" 3;
+  Lru.add l "d" 4;
+  Alcotest.(check (list string)) "evicted in lru order" [ "b"; "a" ]
+    !evicted;
+  (* remove does not fire the hook; clear does. *)
+  Lru.remove l "c";
+  Alcotest.(check int) "remove silent" 2 (List.length !evicted);
+  Alcotest.(check int) "clear count" 1 (Lru.clear l);
+  Alcotest.(check int) "clear fires hook" 3 (List.length !evicted)
+
+let test_lru_cross_domain () =
+  (* Four domains hammer one byte-bounded LRU; the invariants (bounded
+     cost, no crash, sane counters) must hold under the races. *)
+  let l = Lru.create ~capacity:64 ~cost:(fun _ v -> v) () in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to 5_000 do
+      let k = Random.State.int st 32 in
+      if Random.State.bool st then Lru.add l k (1 + Random.State.int st 8)
+      else ignore (Lru.find l k)
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (0x5eed + i))) in
+  List.iter Domain.join domains;
+  Alcotest.(check bool) "cost bounded" true (Lru.total_cost l <= 64);
+  Alcotest.(check bool) "length sane" true (Lru.length l <= 64);
+  Alcotest.(check bool) "lookups were accounted" true
+    (Lru.hits l + Lru.misses l > 0
+    && Lru.hits l + Lru.misses l <= 20_000)
+
+(* --- protocol ------------------------------------------------------------ *)
+
+let test_protocol_parse () =
+  let ok s = Result.get_ok (Protocol.parse_json s) in
+  Alcotest.(check bool) "object" true
+    (ok {|{"op":"query","q":"x","jobs":2}|}
+    = Json.Obj
+        [ ("op", Json.String "query"); ("q", Json.String "x");
+          ("jobs", Json.Int 2) ]);
+  Alcotest.(check bool) "nested + escapes" true
+    (ok {|{"a":[1,-2.5,true,null,"q\nxA"]}|}
+    = Json.Obj
+        [ ( "a",
+            Json.List
+              [ Json.Int 1; Json.Float (-2.5); Json.Bool true; Json.Null;
+                Json.String "q\nxA" ] ) ]);
+  let err s =
+    match Protocol.parse_json s with
+    | Error m -> m
+    | Ok _ -> Alcotest.failf "parsed %S" s
+  in
+  Alcotest.(check string) "junk" "invalid literal at offset 0" (err "nope");
+  Alcotest.(check string) "trailing" "trailing garbage at offset 3"
+    (err "{} x");
+  Alcotest.(check bool) "lone surrogate rejected" true
+    (Result.is_error (Protocol.parse_json {|"\udc00"|}))
+
+let test_protocol_requests () =
+  (match Protocol.request_of_line {|{"id":7,"op":"ping"}|} with
+  | Ok { Protocol.id = Some 7; op = Protocol.Ping } -> ()
+  | _ -> Alcotest.fail "ping decode");
+  (match
+     Protocol.request_of_line
+       {|{"op":"query","q":"SELECT 1","strategy":"kim","cache":false}|}
+   with
+  | Ok { Protocol.op = Protocol.Query q; _ } ->
+    Alcotest.(check string) "q" "SELECT 1" q.Protocol.q;
+    Alcotest.(check bool) "strategy" true
+      (q.Protocol.strategy = Some Core.Pipeline.Kim_baseline);
+    Alcotest.(check bool) "cache off" false q.Protocol.use_cache;
+    Alcotest.(check bool) "bloom defaults on" true q.Protocol.bloom
+  | _ -> Alcotest.fail "query decode");
+  let expect_error line code =
+    match Protocol.request_of_line line with
+    | Error (c, _) -> Alcotest.(check string) line code c
+    | Ok _ -> Alcotest.failf "accepted %s" line
+  in
+  expect_error "not json" "parse_error";
+  expect_error {|[1,2]|} "parse_error";
+  expect_error {|{"q":"x"}|} "bad_request";
+  expect_error {|{"op":"frobnicate"}|} "bad_request";
+  expect_error {|{"op":"query"}|} "bad_request";
+  expect_error {|{"op":"query","q":"x","strategy":"quantum"}|} "bad_request";
+  expect_error {|{"op":"query","q":"x","jobs":"many"}|} "bad_request";
+  Alcotest.(check string) "error shape"
+    {|{"id":3,"ok":false,"error":{"code":"timeout","message":"late"}}|}
+    (Protocol.error ~id:(Some 3) ~code:"timeout" ~message:"late")
+
+(* --- cache correctness --------------------------------------------------- *)
+
+let gen_catalog = Workload.Gen.xy Workload.Gen.default_xy
+let corpus = Array.of_list (Workload.Gen.queries ~count:60 ~seed:0x5eed ())
+
+let stats_of f =
+  let stats = Engine.Stats.create () in
+  let r = f stats in
+  (r, stats)
+
+(* The differential oracle: for any corpus query, (1) a cache-off run,
+   (2) the cache-miss run that fills the cache, and (3) the plan-hit run
+   agree on the value, the rendering, and the full Engine.Stats work
+   profile; (4) the result-cache hit replays the same value. *)
+let oracle_prop idx =
+  let src = corpus.(idx mod Array.length corpus) in
+  let strategy = Core.Pipeline.Decorrelated in
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:(1 lsl 20) () in
+  let run ?cache:(c = true) t =
+    stats_of (fun stats ->
+        Cache.query t ~cache:c ~stats ~jobs:1 strategy gen_catalog src)
+  in
+  let off, off_stats = run ~cache:false cache in
+  let miss, miss_stats = run cache in
+  let hit, hit_stats =
+    (* Drop only the result entry so this run re-executes through the
+       cached plan. *)
+    ignore (Cache.invalidate_results cache);
+    run cache
+  in
+  let replay, _ = run cache in
+  match (off, miss, hit, replay) with
+  | Ok off, Ok miss, Ok hit, Ok replay ->
+    Value.equal off.Cache.value miss.Cache.value
+    && Value.equal off.Cache.value hit.Cache.value
+    && Value.equal off.Cache.value replay.Cache.value
+    && String.equal off.Cache.rendered replay.Cache.rendered
+    && off_stats = miss_stats && off_stats = hit_stats
+    && off.Cache.plan = Cache.Bypass
+    && miss.Cache.plan = Cache.Miss
+    && hit.Cache.plan = Cache.Hit
+    && replay.Cache.result = Cache.Hit
+  | Error a, Error b, Error c, Error d ->
+    (* Failing queries must fail identically with and without caching. *)
+    a = b && a = c && a = d
+  | _ -> false
+
+let test_cache_outcomes () =
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:4096 () in
+  let q =
+    "SELECT x.id FROM X x WHERE x.id IN (SELECT y.id FROM Y y WHERE y.b = \
+     x.b)"
+  in
+  let run () =
+    Result.get_ok
+      (Cache.query cache Core.Pipeline.Decorrelated gen_catalog q)
+  in
+  let first = run () in
+  Alcotest.(check string) "first is a double miss" "miss/miss"
+    (Cache.outcome_name first.Cache.plan ^ "/"
+    ^ Cache.outcome_name first.Cache.result);
+  let second = run () in
+  Alcotest.(check string) "second is a double hit" "hit/hit"
+    (Cache.outcome_name second.Cache.plan ^ "/"
+    ^ Cache.outcome_name second.Cache.result);
+  Alcotest.check value "same value" first.Cache.value second.Cache.value;
+  (* Whitespace and comments normalize into the same plan key. *)
+  let third =
+    Result.get_ok
+      (Cache.query cache Core.Pipeline.Decorrelated gen_catalog
+         ("SELECT   x.id FROM X x\n  WHERE x.id IN (SELECT y.id FROM Y y \
+           WHERE y.b = x.b)"))
+  in
+  Alcotest.(check bool) "normalized plan key hits" true
+    (third.Cache.plan = Cache.Hit);
+  Alcotest.(check int) "result entries" 1 (Cache.result_entries cache);
+  Alcotest.(check bool) "result bytes accounted" true
+    (Cache.result_bytes cache > 0)
+
+let test_stats_version_invalidation () =
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:(1 lsl 20) () in
+  let q = "SELECT x.id FROM X x WHERE x.a > 0" in
+  let run catalog =
+    Result.get_ok (Cache.query cache Core.Pipeline.Decorrelated catalog q)
+  in
+  ignore (run gen_catalog);
+  let again = run gen_catalog in
+  Alcotest.(check bool) "same catalog hits" true
+    (again.Cache.plan = Cache.Hit && again.Cache.result = Cache.Hit);
+  (* A new catalog value — even with identical content — carries a new
+     statistics version, so every old key is unreachable. *)
+  let rebuilt = Workload.Gen.xy Workload.Gen.default_xy in
+  Alcotest.(check bool) "fresh stats version" true
+    (Cobj.Stats.version rebuilt <> Cobj.Stats.version gen_catalog);
+  let after = run rebuilt in
+  Alcotest.(check bool) "catalog change misses" true
+    (after.Cache.plan = Cache.Miss && after.Cache.result = Cache.Miss);
+  Alcotest.check value "but agrees" again.Cache.value after.Cache.value;
+  let dropped = Cache.invalidate_results cache in
+  Alcotest.(check int) "eager flush" 2 dropped;
+  Alcotest.(check int) "counted" 2 (Cache.invalidations cache);
+  Alcotest.(check int) "empty" 0 (Cache.result_entries cache)
+
+let test_cache_cross_domain () =
+  (* Concurrent sessions share one cache; hammer it from four domains
+     with a mix of queries and invalidations. *)
+  let cache = Cache.create ~plan_capacity:4 ~result_capacity:8192 () in
+  let queries =
+    [|
+      "SELECT x.id FROM X x WHERE x.a > 0";
+      "SELECT y.id FROM Y y WHERE y.b = 1";
+      "SELECT x.id FROM X x WHERE x.id IN (SELECT y.id FROM Y y WHERE y.b \
+       = x.b)";
+      "SELECT x.a FROM X x";
+      "SELECT x.id FROM X x WHERE COUNT(SELECT y.id FROM Y y WHERE y.b = \
+       x.b) = 0";
+    |]
+  in
+  let expected =
+    Array.map
+      (fun q ->
+        (Result.get_ok
+           (Cache.query cache ~cache:false Core.Pipeline.Decorrelated
+              gen_catalog q))
+          .Cache.value)
+      queries
+  in
+  let failures = Atomic.make 0 in
+  let worker seed () =
+    let st = Random.State.make [| seed |] in
+    for _ = 1 to 200 do
+      let i = Random.State.int st (Array.length queries) in
+      if Random.State.int st 20 = 0 then
+        ignore (Cache.invalidate_results cache)
+      else
+        match
+          Cache.query cache Core.Pipeline.Decorrelated gen_catalog
+            queries.(i)
+        with
+        | Ok r when Value.equal r.Cache.value expected.(i) -> ()
+        | _ -> Atomic.incr failures
+    done
+  in
+  let domains = List.init 4 (fun i -> Domain.spawn (worker (77 + i))) in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "all racing lookups agree" 0 (Atomic.get failures);
+  Alcotest.(check bool) "plan cache bounded" true
+    (Cache.plan_entries cache <= 4)
+
+(* --- daemon round trip --------------------------------------------------- *)
+
+let test_daemon_round_trip () =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nestql-test-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists path then Sys.remove path;
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.bind = Server.Daemon.Unix_socket path;
+      catalog = gen_catalog;
+      quiet = true;
+    }
+  in
+  let exit_code = ref (-1) in
+  let server = Thread.create (fun () -> exit_code := Server.Daemon.serve config) () in
+  match
+    Server.Client.connect ~wait_ms:5000 (Server.Daemon.Unix_socket path)
+  with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok conn ->
+    let ask line = Result.get_ok (Server.Client.request conn line) in
+    let field name reply =
+      match Protocol.member name reply with
+      | Some v -> v
+      | None -> Alcotest.failf "reply lacks %s" name
+    in
+    let pong = ask (Server.Client.obj ~op:"ping" []) in
+    Alcotest.(check bool) "pong" true
+      (field "result" pong = Json.String "pong");
+    let q = "SELECT x.id FROM X x WHERE x.a > 0" in
+    let r1 = ask (Server.Client.obj ~op:"query" [ ("q", Json.String q) ]) in
+    let r2 = ask (Server.Client.obj ~op:"query" [ ("q", Json.String q) ]) in
+    Alcotest.(check bool) "same result" true
+      (field "result" r1 = field "result" r2);
+    (match field "cache" r2 with
+    | Json.Obj c ->
+      Alcotest.(check bool) "second query hits" true
+        (List.assoc_opt "plan" c = Some (Json.String "hit"))
+    | _ -> Alcotest.fail "cache field");
+    let bye = ask (Server.Client.obj ~op:"shutdown" []) in
+    Alcotest.(check bool) "bye" true (field "result" bye = Json.String "bye");
+    Server.Client.close conn;
+    Thread.join server;
+    Alcotest.(check int) "graceful exit" 0 !exit_code;
+    Alcotest.(check bool) "socket removed" true (not (Sys.file_exists path));
+    (* The daemon enabled the global metrics registry; put it back so
+       later suites see the default-off state. *)
+    Obs.Metrics.disable ();
+    Obs.Metrics.reset ()
+
+let suite =
+  [
+    Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru cost bound" `Quick test_lru_cost_bound;
+    Alcotest.test_case "lru replace" `Quick test_lru_replace;
+    Alcotest.test_case "lru on_evict" `Quick test_lru_on_evict;
+    Alcotest.test_case "lru cross-domain races" `Quick test_lru_cross_domain;
+    Alcotest.test_case "protocol json parser" `Quick test_protocol_parse;
+    Alcotest.test_case "protocol requests" `Quick test_protocol_requests;
+    qcheck ~count:120 "cache differential oracle"
+      QCheck2.Gen.(int_range 0 (Array.length corpus - 1))
+      oracle_prop;
+    Alcotest.test_case "cache outcomes" `Quick test_cache_outcomes;
+    Alcotest.test_case "stats-version invalidation" `Quick
+      test_stats_version_invalidation;
+    Alcotest.test_case "cache cross-domain races" `Quick
+      test_cache_cross_domain;
+    Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
+  ]

@@ -2,6 +2,7 @@
 """Validate a Chrome trace-event file produced by `nestql run --trace`.
 
 Usage: check_trace.py TRACE.json [--min-domains N] [--require-phase NAME]...
+                      [--min-requests N]
 
 Checks, in order:
   - the document parses and has the {"traceEvents": [...]} shape;
@@ -9,6 +10,8 @@ Checks, in order:
   - every complete event (ph == "X") carries a non-negative dur;
   - phase spans exist, and each --require-phase NAME is present;
   - at least one operator span exists;
+  - with --min-requests N, at least N request spans (cat == "request",
+    emitted by `nestql serve`) exist, each naming its op in args;
   - spans cover >= --min-domains distinct tids (counting all categories;
     under --jobs N the morsel spans are what spread across domains).
 
@@ -34,6 +37,7 @@ def main():
     ap.add_argument("trace")
     ap.add_argument("--min-domains", type=int, default=1)
     ap.add_argument("--require-phase", action="append", default=[])
+    ap.add_argument("--min-requests", type=int, default=0)
     args = ap.parse_args()
 
     try:
@@ -49,6 +53,7 @@ def main():
     tids = set()
     phases = set()
     operators = set()
+    requests = []
     for i, e in enumerate(events):
         missing = REQUIRED_KEYS - set(e)
         if missing:
@@ -65,6 +70,13 @@ def main():
             phases.add(e["name"])
         if e["cat"] == "operator":
             operators.add(e["name"])
+        if e["cat"] == "request":
+            args_op = (e.get("args") or {}).get("op")
+            if args_op != e["name"]:
+                return fail(
+                    f"request span {i} args.op {args_op!r} != name {e['name']!r}"
+                )
+            requests.append(e["name"])
 
     if not phases:
         return fail("no phase spans")
@@ -73,6 +85,10 @@ def main():
             return fail(f"required phase {name!r} absent (have {sorted(phases)})")
     if not operators:
         return fail("no operator spans")
+    if len(requests) < args.min_requests:
+        return fail(
+            f"only {len(requests)} request span(s), need >= {args.min_requests}"
+        )
     if len(tids) < args.min_domains:
         return fail(
             f"only {len(tids)} distinct domain tid(s), need >= {args.min_domains}"
@@ -82,6 +98,7 @@ def main():
         f"ok: {len(events)} events, cats {dict(sorted(cats.items()))}, "
         f"{len(tids)} domain(s), phases {sorted(phases)}, "
         f"operators {sorted(operators)}"
+        + (f", {len(requests)} request span(s)" if requests else "")
     )
     return 0
 
