@@ -79,6 +79,40 @@ def validate_bloom(doc):
     return ok
 
 
+def validate_shred(doc):
+    """Structural invariants of the nest-join vs shredding case: the
+    query must genuinely have shredded (a fallback would time the nest
+    join against itself), the flat-query count must be the bounded
+    decomposition the backend promises, and the shredded run must not be
+    pathologically slower than the nest join — true on any hardware."""
+    shred = doc.get("shred")
+    if not shred:
+        print("FAIL: artifact has no shred section")
+        return False
+    ok = True
+    if not shred.get("shredded"):
+        print("FAIL: shred: bench query fell back to nest-join execution")
+        ok = False
+    if shred.get("flat_queries", 0) < 2:
+        print(f"FAIL: shred: flat_queries = {shred.get('flat_queries')} < 2")
+        ok = False
+    nest, sh = shred.get("nest_ms"), shred.get("shred_ms")
+    if usable(nest) and usable(sh):
+        if sh > 25 * nest:
+            print(
+                f"FAIL: shred: {sh:.2f} ms is more than 25x the nest join"
+                f" ({nest:.2f} ms)"
+            )
+            ok = False
+        else:
+            print(
+                f"ok: shred: nest join {nest:.2f} ms, shredding {sh:.2f} ms"
+                f" over {shred.get('flat_queries')} flat queries"
+                f" ({shred.get('ratio', float('nan')):.2f}x)"
+            )
+    return ok
+
+
 def validate_server(doc):
     """Structural invariants of the server cache tiers: the warm tiers
     must actually have hit their caches, and a result-cache hit (a
@@ -151,6 +185,14 @@ def compare(current, baseline, advisory=False):
         print(f"{verdict}: server.{field}: {b:.3f} -> {c:.3f} ms ({ratio:.2f}x)")
         if ratio > THRESHOLD and not advisory:
             ok = False
+    cur_sh, base_sh = current.get("shred") or {}, baseline.get("shred") or {}
+    c, b = cur_sh.get("shred_ms"), base_sh.get("shred_ms")
+    if usable(c) and usable(b):
+        ratio = c / b
+        verdict = bad if ratio > THRESHOLD else "ok"
+        print(f"{verdict}: shred.shred_ms: {b:.2f} -> {c:.2f} ms ({ratio:.2f}x)")
+        if ratio > THRESHOLD and not advisory:
+            ok = False
     return ok
 
 
@@ -167,6 +209,7 @@ def main():
         print(f"skip: no current artifact at {argv[0]}; nothing to check")
         return 0
     ok = validate_bloom(current)
+    ok = validate_shred(current) and ok
     ok = validate_server(current) and ok
     if len(argv) > 1:
         try:

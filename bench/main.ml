@@ -342,6 +342,66 @@ let bloom_case ~suite =
     (List.rev !rows);
   Json.List (List.rev !entries)
 
+(* Nest-join vs query shredding on the canonical SELECT-clause nesting
+   query: the same logical plan executed through the hash nest-join and
+   through the shredding backend's flat-queries-plus-stitch pipeline.
+   The two values are asserted identical before anything is timed, and
+   the artifact records whether the query genuinely shredded (a fallback
+   would silently time the nest join twice — the regression gate checks
+   the flag structurally). *)
+let shred_case ~suite =
+  let scale = if suite = "smoke" then 400 else 2000 in
+  let catalog =
+    Workload.Gen.xy
+      { Workload.Gen.default_xy with
+        nx = scale; ny = scale; key_dom = scale / 4; dangling = 0.1; seed = 77 }
+  in
+  let q =
+    "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x"
+  in
+  let nest_c = compiled Pipeline.Decorrelated catalog q in
+  let shred_c = compiled Pipeline.Shredded catalog q in
+  let flat_queries =
+    match shred_c.Pipeline.shredded with
+    | Some exe -> Core.Shred.executable_flat_count exe
+    | None -> 0
+  in
+  let nest_v = Pipeline.execute catalog nest_c in
+  let shred_v = Pipeline.execute catalog shred_c in
+  if not (Cobj.Value.equal nest_v shred_v) then
+    failwith "shredding diverged from the nest join";
+  let timed c =
+    Harness.measure_ms ~budget_ns:2.5e8 (fun () ->
+        ignore (Pipeline.execute catalog c))
+  in
+  (* interleaved, per-backend minimum — same heap-drift reasoning as the
+     bloom bench *)
+  let n1 = timed nest_c in
+  let s1 = timed shred_c in
+  let n2 = timed nest_c in
+  let s2 = timed shred_c in
+  let nest_ms = Float.min n1 n2 in
+  let shred_ms = Float.min s1 s2 in
+  let ratio = nest_ms /. shred_ms in
+  Harness.print_table
+    ~title:(Printf.sprintf "nest join vs query shredding (n=%d)" scale)
+    ~header:[ "backend"; "ms"; "vs nest join" ]
+    [
+      [ "nest join"; Harness.fms nest_ms; "1.0x" ];
+      [ Printf.sprintf "shred (%d flat queries)" flat_queries;
+        Harness.fms shred_ms; Harness.fratio ratio ];
+    ];
+  Json.Obj
+    [
+      ("experiment", Json.String "E2-nestjoin-vs-shredding");
+      ("scale", Json.Int scale);
+      ("shredded", Json.Bool (shred_c.Pipeline.shredded <> None));
+      ("flat_queries", Json.Int flat_queries);
+      ("nest_ms", Json.Float nest_ms);
+      ("shred_ms", Json.Float shred_ms);
+      ("ratio", Json.Float ratio);
+    ]
+
 (* Server-mode request latency through the daemon's cache layer (the
    Cache module in-process — exactly what [nestql serve] runs under its
    executor lock, minus socket I/O): a cold request pays parse + compile
@@ -449,6 +509,7 @@ let headline ~suite ~limit ~quota () =
       cases
   in
   let parallel = parallel_case ~suite in
+  let shred = shred_case ~suite in
   let bloom = bloom_case ~suite in
   let server = server_case ~suite in
   Harness.write_json_artifact ~suite
@@ -459,6 +520,7 @@ let headline ~suite ~limit ~quota () =
          ("jobs", Json.Int (Pipeline.default_jobs ()));
          ("experiments", Json.List experiments);
          ("parallel", parallel);
+         ("shred", shred);
          ("bloom", bloom);
          ("server", server);
          ("metrics", Engine.Obs_json.metrics ());
@@ -482,6 +544,7 @@ let () =
         match name with
         | "headline" | "smoke" -> run_suite name
         | "bloom" -> ignore (bloom_case ~suite:"headline")
+        | "shred" -> ignore (shred_case ~suite:"headline")
         | "server" -> ignore (server_case ~suite:"headline")
         | _ -> (
           match List.assoc_opt name Experiments.all with

@@ -68,7 +68,8 @@ let strategy_arg =
     & info [ "s"; "strategy" ] ~docv:"STRATEGY"
         ~doc:
           "Execution strategy: interp, naive, decorrelated, \
-           decorrelated-outerjoin, kim, ganski-wong or muralikrishna.")
+           decorrelated-outerjoin, kim, ganski-wong, muralikrishna or \
+           shred.")
 
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY")
@@ -353,68 +354,133 @@ let explain_cmd =
       $ strategy_arg $ verbose_arg $ query_arg)
 
 let check_cmd =
-  let check name file seed scale strict verify gen query =
-    with_catalog ?file name seed scale (fun catalog ->
-        let sources =
-          match (gen, query) with
-          | Some n, _ -> Ok (Workload.Gen.queries ~count:n ~seed ())
-          | None, Some q when Sys.file_exists q -> Ok [ load_query_file q ]
-          | None, Some q -> Ok [ q ]
-          | None, None ->
-            Error "check expects a query (or a query file, or --gen N)"
-        in
-        match sources with
-        | Error msg ->
-          Fmt.epr "error: %s@." msg;
-          1
-        | Ok sources ->
-          let many = List.length sources > 1 in
-          let status = ref 0 in
-          let fail code msg =
-            Fmt.epr "error: %s@." msg;
-            status := max !status code
+  let check name file seed scale strict verify diff jobs gen strategy_names
+      query =
+    (* The strategy filter takes plain names so a typo is a clean usage
+       error (exit 2 with the valid names), not a cmdliner parse abort. *)
+    let lookup s =
+      List.find_opt
+        (fun st -> String.equal (Core.Pipeline.strategy_name st) s)
+        Core.Pipeline.all_strategies
+    in
+    match List.filter (fun s -> lookup s = None) strategy_names with
+    | _ :: _ as unknown ->
+      Fmt.epr "nestql: unknown strateg%s %s (try: %s)@."
+        (if List.length unknown > 1 then "ies" else "y")
+        (String.concat ", " unknown)
+        (String.concat ", "
+           (List.map Core.Pipeline.strategy_name Core.Pipeline.all_strategies));
+      2
+    | [] ->
+      let chosen =
+        match strategy_names with
+        | [] -> Core.Pipeline.all_strategies
+        | names -> List.filter_map lookup names
+      in
+      with_catalog ?file name seed scale (fun catalog ->
+          let sources =
+            match (gen, query) with
+            | Some n, _ -> Ok (Workload.Gen.queries ~count:n ~seed ())
+            | None, Some q when Sys.file_exists q -> Ok [ load_query_file q ]
+            | None, Some q -> Ok [ q ]
+            | None, None ->
+              Error "check expects a query (or a query file, or --gen N)"
           in
-          let nwarnings = ref 0 in
-          List.iter
-            (fun src ->
-              if many then Fmt.pr "-- %s@." src;
-              match Analysis.Lint.query_string catalog src with
-              | Error msg -> fail 1 msg
-              | Ok (t, diags) ->
-                Fmt.pr "type: %a@." Cobj.Ctype.pp t;
-                (match diags with
-                | [] -> ()
-                | _ :: _ -> Fmt.pr "%s@." (Analysis.Lint.render diags));
-                nwarnings := !nwarnings + List.length (Analysis.Lint.warnings diags);
-                if verify then
-                  List.iter
-                    (fun strategy ->
-                      match
-                        Core.Pipeline.compile_string ~verify:true strategy
-                          catalog src
-                      with
-                      | Ok _ -> ()
-                      | Error msg ->
+          match sources with
+          | Error msg ->
+            Fmt.epr "error: %s@." msg;
+            1
+          | Ok sources ->
+            let many = List.length sources > 1 in
+            let status = ref 0 in
+            let fail code msg =
+              Fmt.epr "error: %s@." msg;
+              status := max !status code
+            in
+            let nwarnings = ref 0 in
+            let nshredded = ref 0 and nfallbacks = ref 0 in
+            (* --diff: the cross-backend differential oracle — the
+               reference interpreter, the nest-join backend and the
+               shredding backend must agree value-for-value. *)
+            let differential src =
+              match Core.Pipeline.run Core.Pipeline.Interp catalog src with
+              | Error msg -> fail 1 (Printf.sprintf "interp: %s" msg)
+              | Ok reference ->
+                List.iter
+                  (fun strategy ->
+                    match
+                      Core.Pipeline.compile_string strategy catalog src
+                    with
+                    | Error msg ->
+                      fail 1
+                        (Printf.sprintf "strategy %s: %s"
+                           (Core.Pipeline.strategy_name strategy)
+                           msg)
+                    | Ok compiled ->
+                      (if strategy = Core.Pipeline.Shredded then
+                         if compiled.Core.Pipeline.shredded <> None then
+                           incr nshredded
+                         else incr nfallbacks);
+                      let v =
+                        Core.Pipeline.execute ?jobs catalog compiled
+                      in
+                      if not (Cobj.Value.equal reference v) then
                         fail 1
-                          (Printf.sprintf "strategy %s: %s"
+                          (Printf.sprintf
+                             "strategy %s disagrees with interp on %s"
                              (Core.Pipeline.strategy_name strategy)
-                             msg))
-                    Core.Pipeline.all_strategies;
-                if many then Fmt.pr "@.")
-            sources;
-          if verify && !status = 0 then
-            Fmt.pr "phases verified: %d quer%s under %d strategies@."
-              (List.length sources)
-              (if many then "ies" else "y")
-              (List.length Core.Pipeline.all_strategies);
-          if strict && !nwarnings > 0 then begin
-            Fmt.epr
-              "strict: %d grouping-required correlated predicate(s) — \
-               COUNT-bug risk under flattening baselines@."
-              !nwarnings;
-            status := max !status 2
-          end;
-          !status)
+                             src))
+                  [ Core.Pipeline.Decorrelated; Core.Pipeline.Shredded ]
+            in
+            List.iter
+              (fun src ->
+                if many then Fmt.pr "-- %s@." src;
+                match Analysis.Lint.query_string catalog src with
+                | Error msg -> fail 1 msg
+                | Ok (t, diags) ->
+                  Fmt.pr "type: %a@." Cobj.Ctype.pp t;
+                  (match diags with
+                  | [] -> ()
+                  | _ :: _ -> Fmt.pr "%s@." (Analysis.Lint.render diags));
+                  nwarnings :=
+                    !nwarnings + List.length (Analysis.Lint.warnings diags);
+                  if verify then
+                    List.iter
+                      (fun strategy ->
+                        match
+                          Core.Pipeline.compile_string ~verify:true strategy
+                            catalog src
+                        with
+                        | Ok _ -> ()
+                        | Error msg ->
+                          fail 1
+                            (Printf.sprintf "strategy %s: %s"
+                               (Core.Pipeline.strategy_name strategy)
+                               msg))
+                      chosen;
+                  if diff then differential src;
+                  if many then Fmt.pr "@.")
+              sources;
+            if verify && !status = 0 then
+              Fmt.pr "phases verified: %d quer%s under %d strategies@."
+                (List.length sources)
+                (if many then "ies" else "y")
+                (List.length chosen);
+            if diff && !status = 0 then
+              Fmt.pr
+                "differential: %d quer%s agree under interp, decorrelated, \
+                 shred (%d shredded, %d nest-join fallbacks)@."
+                (List.length sources)
+                (if many then "ies" else "y")
+                !nshredded !nfallbacks;
+            if strict && !nwarnings > 0 then begin
+              Fmt.epr
+                "strict: %d grouping-required correlated predicate(s) — \
+                 COUNT-bug risk under flattening baselines@."
+                !nwarnings;
+              status := max !status 2
+            end;
+            !status)
   in
   let strict_arg =
     Arg.(
@@ -439,16 +505,39 @@ let check_cmd =
       value & pos 0 (some string) None
       & info [] ~docv:"QUERY" ~doc:"A query, or a path to a query file.")
   in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Differentially execute every query under the reference \
+             interpreter, the nest-join backend and the shredding backend \
+             (honouring $(b,--jobs)) and fail unless all three agree \
+             value-for-value. Reports how many queries genuinely shredded \
+             vs. fell back to nest joins.")
+  in
+  let strategy_filter_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+          ~doc:
+            "With $(b,--verify), restrict phase verification to the named \
+             strategies (repeatable). Unknown names are a usage error \
+             (exit 2).")
+  in
   Cmd.v
     (Cmd.info "check"
        ~doc:
          "Type-check and lint a query: classify every subquery predicate \
           (semijoin-rewritable / antijoin-rewritable / grouping-required, \
           Theorem 1) and flag COUNT-bug risks; with --verify, additionally \
-          compile it under every strategy with phase verification.")
+          compile it under every strategy with phase verification; with \
+          --diff, cross-check the nest-join and shredding backends against \
+          the interpreter.")
     Term.(
       const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strict_arg
-      $ verify_arg $ gen_arg $ query_opt_arg)
+      $ verify_arg $ diff_arg $ jobs_arg $ gen_arg $ strategy_filter_arg
+      $ query_opt_arg)
 
 let stats_cmd =
   let show name file seed scale =

@@ -67,21 +67,31 @@ A generated corpus lints and phase-verifies under every strategy:
     verdict: semijoin-rewritable — EXISTS v IN q (v = y.a)
   2 subqueries; 1 grouping-required, 1 with COUNT-bug risk under flattening
   
-  -- SELECT x.id FROM X x WHERE x.s SUPSETEQ (SELECT y.a + y.b FROM Y y WHERE y.b = 3 AND y.a IN (SELECT w.a FROM Y w WHERE w.b = y.b)) AND x.s SUBSETEQ (SELECT y.a FROM Y y WHERE x.b + 1 = y.b)
-  type: P INT
-  subquery q'' (WHERE clause, uncorrelated, over Y w, over Y y):
-    predicate: x.s SUPSETEQ q''
-    verdict: antijoin-rewritable — NOT EXISTS v IN q'' (NOT v IN x.s)
-  subquery q' (WHERE clause, correlated, over Y w):
-    predicate: y.a IN q'
-    verdict: semijoin-rewritable — EXISTS v IN q' (v = y.a)
-  subquery q (WHERE clause, correlated, over Y y):
-    predicate: x.s SUBSETEQ q
-    verdict: grouping-required — Theorem 1: no ∃/¬∃ rewrite (e ⊆ z requires the whole subquery result)
-    note: COUNT-bug risk — the predicate holds on an empty subquery result, so dangling outer rows contribute to the answer; Kim-style join flattening silently drops them
-  3 subqueries; 1 grouping-required, 1 with COUNT-bug risk under flattening
+  -- SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b AND y.a < 0)) FROM X x
+  type: P (i : INT, zs : P INT)
+  subquery q (SELECT clause, correlated, over Y y):
+    verdict: grouping-required — SELECT-clause nesting: the subquery value itself is the result attribute (§5: always grouped — nest join)
+    note: COUNT-bug risk — a dangling outer row still contributes a tuple (with an empty group); join-based flattening would drop it
+  1 subquery; 1 grouping-required, 1 with COUNT-bug risk under flattening
   
-  phases verified: 2 queries under 7 strategies
+  phases verified: 2 queries under 8 strategies
+
+--verify can be restricted to named strategies; an unknown name is a
+clean usage error (exit 2) listing the valid ones:
+
+  $ ../bin/nestql.exe check -s shred -s interp --verify "SELECT x.a FROM X x"
+  type: P INT
+  phases verified: 1 query under 2 strategies
+
+  $ ../bin/nestql.exe check -s quantum --verify "SELECT x.a FROM X x"
+  nestql: unknown strategy quantum (try: interp, naive, decorrelated, decorrelated-outerjoin, kim, ganski-wong, muralikrishna, shred)
+  [2]
+
+--diff cross-checks the nest-join and shredding backends against the
+reference interpreter, reporting shred coverage:
+
+  $ ../bin/nestql.exe check --gen 5 --seed 11 --diff 2>/dev/null | tail -1
+  differential: 5 queries agree under interp, decorrelated, shred (5 shredded, 0 nest-join fallbacks)
 
 Phase verification is also available on run:
 

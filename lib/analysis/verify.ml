@@ -595,12 +595,76 @@ let check_physical_query ~phase ?(ambient = []) catalog (pq : P.query) =
   | () -> Ok ()
   | exception Violation v -> Error v
 
+(* --- the flat fragment (query shredding) --------------------------------- *)
+
+(* Rule [shred-flat]: the flat queries a shredded program executes must not
+   contain any nesting operator — no nest join, no ν, no Apply. Nesting is
+   reintroduced only by the stitch phase, outside the algebra. Checked for
+   every plan verified under a phase named ["shred"] or ["shred-plan"]. *)
+let shred_phase phase =
+  String.length phase >= 5 && String.sub phase 0 5 = "shred"
+
+let check_flat_logical ctx (q : Plan.query) =
+  Plan.fold
+    (fun () node ->
+      match node with
+      | Plan.Nestjoin { label; _ } ->
+        viol ctx "shred-flat"
+          (fun () -> Plan.to_string node)
+          "nest join (label %s) inside a shredded flat query" label
+      | Plan.Nest { label; _ } ->
+        viol ctx "shred-flat"
+          (fun () -> Plan.to_string node)
+          "nest operator (label %s) inside a shredded flat query" label
+      | Plan.Apply { var; _ } ->
+        viol ctx "shred-flat"
+          (fun () -> Plan.to_string node)
+          "apply (variable %s) inside a shredded flat query" var
+      | _ -> ())
+    () q.Plan.plan
+
+let check_flat_physical ctx (pq : P.query) =
+  let rec go plan =
+    (match plan with
+    | P.Nl_nestjoin { label; _ }
+    | P.Hash_nestjoin { label; _ }
+    | P.Hash_nestjoin_left { label; _ }
+    | P.Merge_nestjoin { label; _ }
+    | P.Index_nestjoin { label; _ } ->
+      viol ctx "shred-flat"
+        (fun () -> P.to_string plan)
+        "nest join (label %s) inside a shredded flat plan" label
+    | P.Nest_op { label; _ } ->
+      viol ctx "shred-flat"
+        (fun () -> P.to_string plan)
+        "nest operator (label %s) inside a shredded flat plan" label
+    | P.Apply_op { var; _ } ->
+      viol ctx "shred-flat"
+        (fun () -> P.to_string plan)
+        "apply (variable %s) inside a shredded flat plan" var
+    | _ -> ());
+    List.iter go (Engine.Analyze.children plan)
+  in
+  go pq.P.plan
+
 let verifier : Core.Pipeline.verifier =
  fun ~phase catalog plan ->
   let checked =
     match plan with
-    | Core.Pipeline.Logical q -> check_query ~phase catalog q
-    | Core.Pipeline.Physical pq -> check_physical_query ~phase catalog pq
+    | Core.Pipeline.Logical q -> (
+      match
+        if shred_phase phase then
+          check_flat_logical { phase; catalog } q
+      with
+      | () -> check_query ~phase catalog q
+      | exception Violation v -> Error v)
+    | Core.Pipeline.Physical pq -> (
+      match
+        if shred_phase phase then
+          check_flat_physical { phase; catalog } pq
+      with
+      | () -> check_physical_query ~phase catalog pq
+      | exception Violation v -> Error v)
   in
   Result.map_error to_string checked
 

@@ -13,6 +13,7 @@ type strategy =
   | Kim_baseline
   | Ganski_wong
   | Muralikrishna
+  | Shredded
 
 let strategy_name = function
   | Interp -> "interp"
@@ -22,17 +23,21 @@ let strategy_name = function
   | Kim_baseline -> "kim"
   | Ganski_wong -> "ganski-wong"
   | Muralikrishna -> "muralikrishna"
+  | Shredded -> "shred"
 
 let all_strategies =
   [
     Interp; Naive; Decorrelated; Decorrelated_outerjoin; Kim_baseline;
-    Ganski_wong; Muralikrishna;
+    Ganski_wong; Muralikrishna; Shredded;
   ]
 
 type compiled = {
   source : Ast.expr;
   logical : Plan.query option;
   physical : Engine.Physical.query option;
+  shredded : Shred.executable option;
+      (** [Shredded] only, and only when the decorrelated plan fits the
+          flat fragment; [None] there means nest-join fallback *)
   strategy : strategy;
 }
 
@@ -89,7 +94,7 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
     let* q = translate () in
     let* () = check ~phase:"translate" (Logical q) in
     Ok (Some q)
-  | Decorrelated | Decorrelated_outerjoin ->
+  | Decorrelated | Decorrelated_outerjoin | Shredded ->
     let* naive = translate () in
     let* () = check ~phase:"translate" (Logical naive) in
     (* Iterate decorrelation and rewriting to a fixpoint: pushing a
@@ -163,7 +168,7 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
   let options =
     match options, strategy with
     | Some options, _ -> options
-    | None, (Decorrelated | Decorrelated_outerjoin) ->
+    | None, (Decorrelated | Decorrelated_outerjoin | Shredded) ->
       (* a residual Apply after decorrelation (deep / non-neighbour
          correlation, set-valued operands) is at least memoized: the cache
          key is the correlation columns, so duplicate outer values share
@@ -198,7 +203,43 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
           | Some pq -> check ~phase:"plan" (Physical pq)
           | None -> Ok ()
         in
-        Ok { source = resolved; logical; physical; strategy })
+        let* shredded =
+          match strategy, logical with
+          | Shredded, Some lq -> (
+            match phase "shred" (fun () -> Shred.of_query lq) with
+            | Error reason ->
+              (* Outside the flat fragment: execute the nest-join physical
+                 plan instead — correct either way, and visible in
+                 metrics and EXPLAIN output. *)
+              Obs.Metrics.incr "shred.fallbacks";
+              Log.info (fun m ->
+                  m "shredding fell back to nest join: %s" reason);
+              Ok None
+            | Ok program ->
+              let rec all_ok ~phase:ph mk = function
+                | [] -> Ok ()
+                | q :: qs ->
+                  let* () = check ~phase:ph (mk q) in
+                  all_ok ~phase:ph mk qs
+              in
+              let* () =
+                all_ok ~phase:"shred"
+                  (fun q -> Logical q)
+                  (Shred.flat_queries program)
+              in
+              let exe =
+                phase "shred-plan" (fun () ->
+                    Shred.plan ~options catalog program)
+              in
+              let* () =
+                all_ok ~phase:"shred-plan"
+                  (fun q -> Physical q)
+                  (Shred.physical_queries exe)
+              in
+              Ok (Some exe))
+          | _ -> Ok None
+        in
+        Ok { source = resolved; logical; physical; shredded; strategy })
 
 let compile_string ?options ?rewrite ?reorder ?verify strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
@@ -260,9 +301,10 @@ let execute ?stats ?jobs ?bloom catalog compiled =
   in
   let v =
     phase "execute" (fun () ->
-        match compiled.physical with
-        | Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
-        | None -> Lang.Interp.run catalog compiled.source)
+        match compiled.shredded, compiled.physical with
+        | Some exe, _ -> Shred.run ?stats ~jobs ?bloom catalog exe
+        | None, Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
+        | None, None -> Lang.Interp.run catalog compiled.source)
   in
   (match stats with
   | Some s when Obs.Metrics.enabled () -> record_exec_metrics s
@@ -280,14 +322,28 @@ let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom strategy
   | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
 
 let analyze ?jobs ?bloom catalog compiled =
-  match compiled.physical with
-  | None ->
+  match compiled.shredded, compiled.physical with
+  | Some exe, _ -> (
+    let jobs = match jobs with Some j -> j | None -> default_jobs () in
+    let before = Obs.Memory.snapshot () in
+    match
+      phase "execute" (fun () -> Shred.analyze ~jobs ?bloom catalog exe)
+    with
+    | v, tree ->
+      tree.Engine.Stats.gc <-
+        Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
+      if Obs.Metrics.enabled () then
+        record_exec_metrics (Engine.Stats.totals tree);
+      Ok (v, tree)
+    | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
+    | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
+  | None, None ->
     Error
       (Printf.sprintf
          "explain-analyze needs a physical plan (strategy %s executes in \
           the reference interpreter)"
          (strategy_name compiled.strategy))
-  | Some pq -> (
+  | None, Some pq -> (
     let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let tree = Engine.Analyze.tree_of_query pq in
     Cost.annotate catalog pq.Engine.Physical.plan tree;
@@ -314,8 +370,10 @@ let analyze ?jobs ?bloom catalog compiled =
 
 let render_analysis ?(json = false) ?(timing = true) ?catalog compiled tree =
   let misest =
-    match catalog, compiled.physical with
-    | Some cat, Some pq -> Some (Misest.of_query cat pq tree)
+    (* The shredded annotation tree mirrors the flat queries, not the
+       nest-join physical plan — misestimation pairing does not apply. *)
+    match catalog, compiled.physical, compiled.shredded with
+    | Some cat, Some pq, None -> Some (Misest.of_query cat pq tree)
     | _ -> None
   in
   if json then
@@ -361,13 +419,22 @@ let explain ?(costs = false) catalog compiled =
   (match compiled.logical with
   | Some lq -> Fmt.pf ppf "@.logical plan:@.%a@." Plan.pp_query lq
   | None -> Fmt.pf ppf "@.(no algebraic plan: reference interpreter)@.");
+  (if compiled.strategy = Shredded && compiled.shredded = None then
+     Fmt.pf ppf
+       "@.(outside the flat fragment: falling back to nest-join \
+        execution)@.");
+  (match compiled.shredded with
+  | Some exe ->
+    Fmt.pf ppf "@.shredded program:@.%a@." Shred.pp_program
+      (Shred.program_of exe)
+  | None -> ());
   (match compiled.physical with
-  | Some pq ->
+  | Some pq when compiled.shredded = None ->
     Fmt.pf ppf "@.physical plan:@.%a@." Engine.Physical.pp_query pq;
     if costs then
       Fmt.pf ppf
         "@.estimated: %.0f result rows, %.0f cost units (see Core.Cost)@."
         (Cost.query_card catalog pq) (Cost.query_cost catalog pq)
-  | None -> ());
+  | Some _ | None -> ());
   Format.pp_print_flush ppf ();
   Buffer.contents buf

@@ -16,7 +16,11 @@
     - [Ganski_wong] — outerjoin + ν* fix (falls back likewise);
     - [Muralikrishna] — group-first plan with an antijoin predicate for the
       dangling tuples, expressed as a union of a matched and a dangling
-      branch (falls back likewise). *)
+      branch (falls back likewise);
+    - [Shredded] — query shredding ({!Shred}): the decorrelated plan is
+      flattened into a bounded set of flat queries (no nest join, no Apply)
+      whose results are stitched back into the nested value by group keys;
+      plans outside the flat fragment fall back to nest-join execution. *)
 
 type strategy =
   | Interp
@@ -26,6 +30,7 @@ type strategy =
   | Kim_baseline
   | Ganski_wong
   | Muralikrishna
+  | Shredded
 
 val strategy_name : strategy -> string
 val all_strategies : strategy list
@@ -34,6 +39,10 @@ type compiled = {
   source : Lang.Ast.expr;        (** resolved input expression *)
   logical : Algebra.Plan.query option;  (** [None] for [Interp] *)
   physical : Engine.Physical.query option;
+  shredded : Shred.executable option;
+      (** [Shredded] only, and only when the decorrelated plan fits the
+          flat fragment; [None] there means nest-join fallback (counted by
+          the [shred.fallbacks] metric) *)
   strategy : strategy;
 }
 
@@ -55,7 +64,10 @@ type verifier =
 (** Phase names: ["translate"], ["decorrelate"], ["simplify"], ["rewrite"],
     ["reorder"] (per fixpoint round), ["nestjoin-as-outerjoin"], the
     baseline strategy names (["kim"], ["ganski-wong"], ["muralikrishna"]),
-    and ["plan"] (the only [Physical] phase). *)
+    ["shred"] (once per flat query of a shredded program, [Logical]), and
+    ["plan"] / ["shred-plan"] (the [Physical] phases). Under the
+    ["shred"]-prefixed phases the verifier additionally rejects any
+    nesting operator — the flat fragment must stay flat. *)
 
 val set_verifier : verifier option -> unit
 (** Register (or clear) the global verification hook. *)
@@ -155,9 +167,11 @@ val run :
     only the [bloom_*] counters differ. *)
 
 val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
-(** Logical and physical plans, pretty-printed. With [costs] (default
-    false), each physical operator is annotated with the cost model's
-    estimated output cardinality and cumulative cost. *)
+(** Logical and physical plans, pretty-printed. For a shredded query the
+    physical-plan section is replaced by the shredded program (flat
+    queries + stitch recipe). With [costs] (default false), each physical
+    operator is annotated with the cost model's estimated output
+    cardinality and cumulative cost. *)
 
 val analyze :
   ?jobs:int ->
@@ -167,8 +181,10 @@ val analyze :
   (Cobj.Value.t * Engine.Stats.node, string) result
 (** EXPLAIN ANALYZE: run the physical plan once under per-operator
     instrumentation, with [est_rows] annotated from {!Cost}, and return the
-    result value together with the filled annotation tree. Errors when the
-    strategy has no physical plan ([Interp]). *)
+    result value together with the filled annotation tree. For a shredded
+    query the tree has a synthetic [stitch] root over the per-flat-query
+    operator trees ({!Shred.analyze}). Errors when the strategy has no
+    physical plan ([Interp]). *)
 
 val render_analysis :
   ?json:bool ->

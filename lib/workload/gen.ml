@@ -402,9 +402,62 @@ let queries ?(count = 50) ~seed () =
   let unnest_query () =
     Printf.sprintf "UNNEST(SELECT (%s) FROM X x)" (subquery ())
   in
+  let nested_select_query () =
+    (* nested-in-nested SELECT: each outer tuple carries a set of tuples
+       each holding its own inner set — two stitch levels when shredded *)
+    let inner2 =
+      Prng.pick rng
+        [
+          "SELECT w.a FROM Y w WHERE w.b = y.b";
+          "SELECT w.id FROM Y w WHERE w.b = y.b AND w.a > 1";
+          "SELECT w.a + w.b FROM Y w WHERE w.a = y.a";
+        ]
+    in
+    Printf.sprintf
+      "SELECT (i = x.id, ys = (SELECT (a = y.a, ws = (%s)) FROM Y y WHERE \
+       %s)) FROM X x"
+      inner2 (inner_pred ())
+  in
+  let quantified_nested_query () =
+    (* quantifier ranging over a set of sets built by a nested SELECT *)
+    let shape =
+      Prng.pick rng
+        [
+          Printf.sprintf "EXISTS s IN (%s) (x.a IN s)";
+          Printf.sprintf "EXISTS s IN (%s) (COUNT(s) = 0)";
+          Printf.sprintf "FORALL s IN (%s) (COUNT(s) <= x.a)";
+          Printf.sprintf "FORALL s IN (%s) (x.a NOT IN s)";
+        ]
+    in
+    let sets =
+      Printf.sprintf
+        "SELECT (SELECT w.a FROM Y w WHERE w.b = y.b) FROM Y y WHERE %s"
+        (inner_pred ())
+    in
+    Printf.sprintf "SELECT %s FROM X x WHERE %s" (select_clause ())
+      (shape sets)
+  in
+  let empty_inner_query () =
+    (* inner collections empty for many (or all) outer rows — the exact
+       rows the COUNT bug loses and the shredding stitch must preserve *)
+    Prng.pick rng
+      [
+        "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b AND \
+         y.a < 0)) FROM X x";
+        "SELECT (i = x.id, n = COUNT(SELECT y.id FROM Y y WHERE y.b = \
+         x.b)) FROM X x";
+        "SELECT x.id FROM X x WHERE COUNT(SELECT y.a FROM Y y WHERE y.b = \
+         x.b AND y.b < 0) = 0";
+        "SELECT (i = x.id, zs = (SELECT (SELECT w.id FROM Y w WHERE w.b = \
+         y.b AND w.a < 0) FROM Y y WHERE y.b = x.b)) FROM X x";
+      ]
+  in
   List.init count (fun _ ->
-      match Prng.int rng 10 with
+      match Prng.int rng 13 with
       | 0 | 1 | 2 | 3 | 4 -> where_query ()
       | 5 | 6 -> double_where_query ()
       | 7 | 8 -> select_query ()
+      | 9 -> nested_select_query ()
+      | 10 -> quantified_nested_query ()
+      | 11 -> empty_inner_query ()
       | _ -> unnest_query ())

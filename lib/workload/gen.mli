@@ -84,6 +84,10 @@ val shop : shop_spec -> Cobj.Catalog.t
 val queries : ?count:int -> seed:int -> unit -> string list
 (** A deterministic corpus of random nested queries over the {!xy} schema
     (WHERE-clause nesting under every Table 2 predicate family, extra
-    z-free conjuncts, double subqueries, SELECT-clause nesting, UNNEST) —
-    equal seeds give equal corpora. Used by the phase-verification property
-    tests and by [nestql check --gen]. [count] defaults to 50. *)
+    z-free conjuncts, double subqueries, SELECT-clause nesting, UNNEST,
+    nested-in-nested SELECT, quantified predicates ranging over nested
+    sets, and empty-inner-collection witnesses — the rows the COUNT bug
+    loses and the shredding stitch must preserve) — equal seeds give equal
+    corpora. Used by the phase-verification property tests, the
+    cross-backend differential oracle and [nestql check --gen]. [count]
+    defaults to 50. *)

@@ -68,7 +68,7 @@ let strategies_agree ?(catalog = xy_catalog ()) src =
         reference got)
     Core.Pipeline.
       [ Naive; Decorrelated; Decorrelated_outerjoin; Ganski_wong;
-        Muralikrishna ]
+        Muralikrishna; Shredded ]
 
 (* qcheck plumbing: a deterministic generator for small complex values. *)
 let value_gen =

@@ -28,5 +28,6 @@ let () =
       ("verify", Test_verify.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("shred", Test_shred.suite);
       ("server", Test_server.suite);
     ]

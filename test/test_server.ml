@@ -255,6 +255,37 @@ let test_stats_version_invalidation () =
   Alcotest.(check int) "counted" 2 (Cache.invalidations cache);
   Alcotest.(check int) "empty" 0 (Cache.result_entries cache)
 
+let test_strategy_cache_keying () =
+  (* The plan key includes the strategy, so the same query text under the
+     nest-join and shredding backends must occupy distinct slots — a hit
+     must never replay a plan compiled for the other backend. *)
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:(1 lsl 20) () in
+  let q =
+    "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM X x"
+  in
+  let run strategy =
+    Result.get_ok (Cache.query cache strategy gen_catalog q)
+  in
+  let nest = run Core.Pipeline.Decorrelated in
+  Alcotest.(check string) "nest-join first run misses" "miss"
+    (Cache.outcome_name nest.Cache.plan);
+  let shred = run Core.Pipeline.Shredded in
+  Alcotest.(check string) "shredding misses despite the warm cache" "miss"
+    (Cache.outcome_name shred.Cache.plan);
+  Alcotest.(check int) "one plan slot per backend" 2
+    (Cache.plan_entries cache);
+  Alcotest.check value "backends agree" nest.Cache.value shred.Cache.value;
+  let nest2 = run Core.Pipeline.Decorrelated in
+  let shred2 = run Core.Pipeline.Shredded in
+  Alcotest.(check string) "nest-join replays its own plan" "hit"
+    (Cache.outcome_name nest2.Cache.plan);
+  Alcotest.(check string) "shredding replays its own plan" "hit"
+    (Cache.outcome_name shred2.Cache.plan);
+  Alcotest.(check int) "no extra slots on replay" 2
+    (Cache.plan_entries cache);
+  Alcotest.check value "replayed values agree" nest2.Cache.value
+    shred2.Cache.value
+
 let test_cache_cross_domain () =
   (* Concurrent sessions share one cache; hammer it from four domains
      with a mix of queries and invalidations. *)
@@ -370,6 +401,8 @@ let suite =
     Alcotest.test_case "cache outcomes" `Quick test_cache_outcomes;
     Alcotest.test_case "stats-version invalidation" `Quick
       test_stats_version_invalidation;
+    Alcotest.test_case "strategy-keyed plan cache" `Quick
+      test_strategy_cache_keying;
     Alcotest.test_case "cache cross-domain races" `Quick
       test_cache_cross_domain;
     Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
