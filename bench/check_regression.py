@@ -147,6 +147,50 @@ def validate_server(doc):
     return ok
 
 
+def validate_vector(doc):
+    """Structural invariants of the row-vs-vector case: every benched
+    plan must actually run vectorized (a silently row-bound plan would
+    still "pass" on timings alone), batch-size sensitivity must have
+    been recorded, and at least one filter/join-heavy query must show
+    the columnar engine ahead. The >= 1.5x headline speedup itself is
+    hardware-dependent and therefore advisory: it prints WARN, never
+    fails the gate."""
+    rows = doc.get("vector")
+    if not rows:
+        print("FAIL: artifact has no vector section")
+        return False
+    ok = True
+    best = 0.0
+    for e in rows:
+        where = f"vector[{e['query']}]"
+        frac = e.get("vectorized_fraction")
+        if not usable(frac):
+            print(f"FAIL: {where}: plan has no vectorized operators")
+            ok = False
+            continue
+        widths = e.get("batch_sensitivity") or []
+        if len(widths) < 3:
+            print(f"FAIL: {where}: batch-size sensitivity sweep missing")
+            ok = False
+            continue
+        speedup = e.get("speedup")
+        if usable(speedup):
+            best = max(best, speedup)
+        print(
+            f"ok: {where}: {e['row_ms']:.2f} ms row, {e['vector_ms']:.2f} ms"
+            f" vector ({speedup:.2f}x), {frac:.0%} of operators vectorized,"
+            f" widths {[w['batch'] for w in widths]}"
+        )
+    if best <= 1.0:
+        print("FAIL: vector: columnar engine ahead on no query at all")
+        ok = False
+    elif best < 1.5:
+        print(f"WARN: vector: best speedup {best:.2f}x below the 1.5x target")
+    else:
+        print(f"ok: vector: best speedup {best:.2f}x (target 1.5x)")
+    return ok
+
+
 def compare(current, baseline, advisory=False):
     ok = True
     bad = "WARN" if advisory else "FAIL"
@@ -185,6 +229,20 @@ def compare(current, baseline, advisory=False):
         print(f"{verdict}: server.{field}: {b:.3f} -> {c:.3f} ms ({ratio:.2f}x)")
         if ratio > THRESHOLD and not advisory:
             ok = False
+    cur_vec = {e["query"]: e for e in current.get("vector") or []}
+    base_vec = {e["query"]: e for e in baseline.get("vector") or []}
+    for qname, base_e in base_vec.items():
+        cur_e = cur_vec.get(qname)
+        if cur_e is None:
+            continue
+        c, b = cur_e.get("vector_ms"), base_e.get("vector_ms")
+        if not usable(c) or not usable(b):
+            continue
+        ratio = c / b
+        verdict = bad if ratio > THRESHOLD else "ok"
+        print(f"{verdict}: vector[{qname}]: {b:.1f} -> {c:.1f} ms ({ratio:.2f}x)")
+        if ratio > THRESHOLD and not advisory:
+            ok = False
     cur_sh, base_sh = current.get("shred") or {}, baseline.get("shred") or {}
     c, b = cur_sh.get("shred_ms"), base_sh.get("shred_ms")
     if usable(c) and usable(b):
@@ -210,6 +268,7 @@ def main():
         return 0
     ok = validate_bloom(current)
     ok = validate_shred(current) and ok
+    ok = validate_vector(current) and ok
     ok = validate_server(current) and ok
     if len(argv) > 1:
         try:

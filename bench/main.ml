@@ -402,6 +402,126 @@ let shred_case ~suite =
       ("ratio", Json.Float ratio);
     ]
 
+(* Row engine vs the columnar batch engine on filter/join-heavy queries,
+   single-domain (jobs=1 isolates the vectorization win from partition
+   parallelism). The two values are asserted identical before anything
+   is timed; timings are interleaved min-of-2 rounds per engine (same
+   heap-drift reasoning as the bloom bench). The artifact also records
+   the vectorized fraction of the annotation tree (the regression gate
+   checks it structurally — a silently row-bound plan would otherwise
+   still "pass" on a fast machine) and a batch-width sensitivity sweep
+   (NESTQL_BATCH ∈ {64, 1024, 4096}). *)
+let vector_case ~suite =
+  let scale = if suite = "smoke" then 10_000 else 100_000 in
+  let catalog =
+    Workload.Gen.xy
+      { Workload.Gen.default_xy with
+        nx = scale; ny = scale / 4; key_dom = scale / 8; dangling = 0.3;
+        seed = 77 }
+  in
+  let opts =
+    { Core.Planner.default_options with
+      Core.Planner.force = Core.Planner.Force_hash }
+  in
+  let queries =
+    [
+      ( "filter",
+        "SELECT x.id FROM X x WHERE (x.a * 13 + x.b * 7) MOD 97 + x.a * x.a \
+         < (x.b MOD 11) * 9 + 40" );
+      ("semijoin", "SELECT x.id FROM X x WHERE x.b IN (SELECT y.b FROM Y y)");
+      ( "nestjoin",
+        "SELECT (i = x.id, zs = (SELECT y.a FROM Y y WHERE y.b = x.b)) FROM \
+         X x" );
+    ]
+  in
+  let vectorized_fraction c =
+    match Pipeline.analyze ~jobs:1 ~vector:true catalog c with
+    | Error msg -> failwith msg
+    | Ok (_, tree) ->
+      let module Stats = Engine.Stats in
+      let total = ref 0 and vec = ref 0 in
+      let rec walk (n : Stats.node) =
+        incr total;
+        if n.Stats.vectorized then incr vec;
+        List.iter walk n.Stats.children
+      in
+      walk tree;
+      float_of_int !vec /. float_of_int !total
+  in
+  let rows = ref [] in
+  let entries = ref [] in
+  List.iter
+    (fun (qname, q) ->
+      let c = compiled ~options:opts Pipeline.Decorrelated catalog q in
+      let row_v = Pipeline.execute ~jobs:1 ~vector:false catalog c in
+      let vec_v = Pipeline.execute ~jobs:1 ~vector:true catalog c in
+      if not (Cobj.Value.equal row_v vec_v) then
+        failwith (qname ^ ": vectorized execution changed the result");
+      (* Compact before every measurement so no configuration inherits
+         the previous one's major-heap debt; interleaved min-of-3 rounds
+         on top (the run times here are long enough that [measure_ms]
+         only fits a few samples per call). *)
+      let timed ?batch vector =
+        Gc.compact ();
+        Harness.measure_ms ~budget_ns:2.5e8 (fun () ->
+            ignore (Pipeline.execute ~jobs:1 ~vector ?batch catalog c))
+      in
+      let v1 = timed true in
+      let r1 = timed false in
+      let v2 = timed true in
+      let r2 = timed false in
+      let v3 = timed true in
+      let r3 = timed false in
+      let vector_ms = Float.min v1 (Float.min v2 v3) in
+      let row_ms = Float.min r1 (Float.min r2 r3) in
+      let speedup = row_ms /. vector_ms in
+      let fraction = vectorized_fraction c in
+      let widths =
+        List.map
+          (fun batch ->
+            let a = timed ~batch true in
+            let b = timed ~batch true in
+            let c = timed ~batch true in
+            (batch, Float.min a (Float.min b c)))
+          [ 64; 1024; 4096 ]
+      in
+      rows :=
+        ([
+           qname;
+           Harness.fms row_ms; Harness.fms vector_ms; Harness.fratio speedup;
+           Printf.sprintf "%.2f" fraction;
+         ]
+        @ List.map (fun (_, ms) -> Harness.fms ms) widths)
+        :: !rows;
+      entries :=
+        Json.Obj
+          [
+            ("query", Json.String qname);
+            ("scale", Json.Int scale);
+            ("jobs", Json.Int 1);
+            ("row_ms", Json.Float row_ms);
+            ("vector_ms", Json.Float vector_ms);
+            ("speedup", Json.Float speedup);
+            ("vectorized_fraction", Json.Float fraction);
+            ( "batch_sensitivity",
+              Json.List
+                (List.map
+                   (fun (batch, ms) ->
+                     Json.Obj
+                       [ ("batch", Json.Int batch); ("vector_ms", Json.Float ms) ])
+                   widths) );
+          ]
+        :: !entries)
+    queries;
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "row vs columnar batch engine, jobs=1 (n=%d)" scale)
+    ~header:
+      [ "query"; "row ms"; "vector ms"; "speedup"; "vec-frac"; "b=64";
+        "b=1024"; "b=4096" ]
+    (List.rev !rows);
+  Json.List (List.rev !entries)
+
 (* Server-mode request latency through the daemon's cache layer (the
    Cache module in-process — exactly what [nestql serve] runs under its
    executor lock, minus socket I/O): a cold request pays parse + compile
@@ -511,6 +631,7 @@ let headline ~suite ~limit ~quota () =
   let parallel = parallel_case ~suite in
   let shred = shred_case ~suite in
   let bloom = bloom_case ~suite in
+  let vector = vector_case ~suite in
   let server = server_case ~suite in
   Harness.write_json_artifact ~suite
     (Json.Obj
@@ -522,6 +643,7 @@ let headline ~suite ~limit ~quota () =
          ("parallel", parallel);
          ("shred", shred);
          ("bloom", bloom);
+         ("vector", vector);
          ("server", server);
          ("metrics", Engine.Obs_json.metrics ());
        ])
@@ -545,6 +667,7 @@ let () =
         | "headline" | "smoke" -> run_suite name
         | "bloom" -> ignore (bloom_case ~suite:"headline")
         | "shred" -> ignore (shred_case ~suite:"headline")
+        | "vector" -> ignore (vector_case ~suite:"headline")
         | "server" -> ignore (server_case ~suite:"headline")
         | _ -> (
           match List.assoc_opt name Experiments.all with

@@ -122,6 +122,35 @@ let jobs_arg =
            and hash joins). Results are identical to serial execution. \
            Defaults to $(b,NESTQL_JOBS) when set, else 1.")
 
+let no_vector_arg =
+  Arg.(
+    value & flag
+    & info [ "no-vector" ]
+        ~doc:
+          "Disable the columnar batch engine and run every operator on the \
+           row-at-a-time engine. Results, row order and all work counters \
+           are identical either way (the differential tests enforce it); \
+           only wall-clock changes. Also disabled by $(b,NESTQL_VECTOR=0).")
+
+let batch_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Columnar batch width in rows for the vector engine. Defaults to \
+           $(b,NESTQL_BATCH) when it parses as a positive integer, else \
+           1024.")
+
+let misest_floor_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "misest-floor" ] ~docv:"F"
+        ~doc:
+          "Noise floor for the misestimation report: operators within \
+           $(docv)× of their estimate are summarized in one line instead \
+           of listed. Defaults to 1.5; must be at least 1.0 (divergence \
+           factors are never smaller).")
+
 let verify_arg =
   Arg.(
     value & flag
@@ -195,14 +224,24 @@ let misest_arg =
 
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing jobs no_bloom verify verbose trace misest query =
+      no_timing jobs no_bloom no_vector batch misest_floor verify verbose
+      trace misest query =
     setup_logs verbose;
     let verify = if verify then Some true else None in
-    match jobs with
-    | Some n when n < 1 ->
+    match (jobs, batch, misest_floor) with
+    | Some n, _, _ when n < 1 ->
       Fmt.epr "nestql: --jobs expects a positive domain count, got %d@." n;
       1
+    | _, Some b, _ when b < 1 ->
+      Fmt.epr "nestql: --batch expects a positive row count, got %d@." b;
+      1
+    | _, _, Some f when f < 1.0 ->
+      Fmt.epr "nestql: --misest-floor expects a factor >= 1.0, got %g@." f;
+      1
     | _ ->
+      (* --no-vector forces the row engine; otherwise leave the choice to
+         the library default (NESTQL_VECTOR). *)
+      let vector = if no_vector then Some false else None in
       with_catalog ?file name seed scale (fun catalog ->
           let query =
             if Sys.file_exists query then load_query_file query else query
@@ -241,11 +280,12 @@ let run_cmd =
                   if instrument then
                     Result.map
                       (fun (v, tree) -> (v, Some tree))
-                      (Core.Pipeline.analyze ?jobs ~bloom catalog compiled)
+                      (Core.Pipeline.analyze ?jobs ~bloom ?vector ?batch
+                         catalog compiled)
                   else
                     match
-                      Core.Pipeline.execute ~stats ?jobs ~bloom catalog
-                        compiled
+                      Core.Pipeline.execute ~stats ?jobs ~bloom ?vector
+                        ?batch catalog compiled
                     with
                     | v -> Ok (v, None)
                     | exception Cobj.Value.Type_error msg ->
@@ -274,7 +314,8 @@ let run_cmd =
                   | Some t when explain_analyze ->
                     let rendered =
                       Core.Pipeline.render_analysis ~json
-                        ~timing:(not no_timing) ~catalog compiled t
+                        ~timing:(not no_timing) ?misest_floor ~catalog
+                        compiled t
                     in
                     if json then print_endline rendered
                     else print_string rendered
@@ -283,7 +324,9 @@ let run_cmd =
                     if show_stats then
                       Fmt.pr "-- %a@." Engine.Stats.pp stats);
                   if misest && not explain_analyze then
-                    Fmt.pr "%a@." Core.Misest.pp entries;
+                    Fmt.pr "%a@."
+                      (Core.Misest.pp ?floor:misest_floor)
+                      entries;
                   Obs.Qlog.emit
                     ([
                        ("event", Obs.Trace.Str "query");
@@ -323,8 +366,8 @@ let run_cmd =
     Term.(
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
-      $ no_bloom_arg $ verify_arg $ verbose_arg $ trace_arg $ misest_arg
-      $ query_arg)
+      $ no_bloom_arg $ no_vector_arg $ batch_arg $ misest_floor_arg
+      $ verify_arg $ verbose_arg $ trace_arg $ misest_arg $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =

@@ -63,10 +63,11 @@ let max_factor = function [] -> 1.0 | e :: _ -> e.factor
 
 (* Entries within this ratio are "fine"; the report lists only the ones
    above it and summarizes the rest, so well-estimated plans stay
-   one line. *)
+   one line. Overridable per report (CLI: --misest-floor). *)
 let noise = 1.5
 
-let pp ppf entries =
+let pp ?(floor = noise) ppf entries =
+  let noise = Float.max 1.0 floor in
   let bad = List.filter (fun e -> e.factor >= noise) entries in
   let ok = List.length entries - List.length bad in
   Fmt.pf ppf "@[<v>misestimation (worst est-vs-actual first):";

@@ -28,8 +28,13 @@ val of_query :
 val max_factor : entry list -> float
 (** Divergence of the worst operator (1.0 for an empty report). *)
 
-val pp : entry list Fmt.t
-(** Ranked text report; operators within 1.5× of their estimate are
-    summarized in one line rather than listed. *)
+val noise : float
+(** Default noise floor (1.5): entries within this divergence of their
+    estimate are considered well-estimated. *)
+
+val pp : ?floor:float -> entry list Fmt.t
+(** Ranked text report; operators within [floor] (default {!noise}) of
+    their estimate are summarized in one line rather than listed. Floors
+    below 1.0 are clamped to 1.0 (a divergence factor is never smaller). *)
 
 val to_json : entry list -> Engine.Json.t

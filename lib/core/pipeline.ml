@@ -290,7 +290,7 @@ let record_exec_metrics (s : Engine.Stats.t) =
     Obs.Metrics.observe "par.partition_max_rows"
       s.Engine.Stats.partition_max_rows
 
-let execute ?stats ?jobs ?bloom catalog compiled =
+let execute ?stats ?jobs ?bloom ?vector ?batch catalog compiled =
   let jobs = match jobs with Some j -> j | None -> default_jobs () in
   let stats =
     match stats with
@@ -302,8 +302,10 @@ let execute ?stats ?jobs ?bloom catalog compiled =
   let v =
     phase "execute" (fun () ->
         match compiled.shredded, compiled.physical with
-        | Some exe, _ -> Shred.run ?stats ~jobs ?bloom catalog exe
-        | None, Some pq -> Engine.Exec.run ?stats ~jobs ?bloom catalog pq
+        | Some exe, _ ->
+          Shred.run ?stats ~jobs ?bloom ?vector ?batch catalog exe
+        | None, Some pq ->
+          Engine.Exec.run ?stats ~jobs ?bloom ?vector ?batch catalog pq
         | None, None -> Lang.Interp.run catalog compiled.source)
   in
   (match stats with
@@ -311,29 +313,50 @@ let execute ?stats ?jobs ?bloom catalog compiled =
   | _ -> ());
   v
 
-let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom strategy
-    catalog src =
+let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom ?vector ?batch
+    strategy catalog src =
   let* compiled =
     compile_string ?options ?rewrite ?reorder ?verify strategy catalog src
   in
-  match execute ?stats ?jobs ?bloom catalog compiled with
+  match execute ?stats ?jobs ?bloom ?vector ?batch catalog compiled with
   | v -> Ok v
   | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
   | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg)
 
-let analyze ?jobs ?bloom catalog compiled =
+(* How much of the annotation tree the columnar engine handled, as a
+   fraction of operator nodes — the headline observability signal for the
+   vector layer (CI's structural gate asserts it is positive on the smoke
+   suite). Jobs-invariant: the vector layer covers the same operators at
+   every [jobs]. *)
+let record_vectorized_fraction tree =
+  if Obs.Metrics.enabled () then begin
+    let total = ref 0 and vec = ref 0 in
+    let rec walk n =
+      incr total;
+      if n.Engine.Stats.vectorized then incr vec;
+      List.iter walk n.Engine.Stats.children
+    in
+    walk tree;
+    if !total > 0 then
+      Obs.Metrics.set_gauge "exec.vectorized_fraction"
+        (float_of_int !vec /. float_of_int !total)
+  end
+
+let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
   match compiled.shredded, compiled.physical with
   | Some exe, _ -> (
     let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let before = Obs.Memory.snapshot () in
     match
-      phase "execute" (fun () -> Shred.analyze ~jobs ?bloom catalog exe)
+      phase "execute" (fun () ->
+          Shred.analyze ~jobs ?bloom ?vector ?batch catalog exe)
     with
     | v, tree ->
       tree.Engine.Stats.gc <-
         Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
       if Obs.Metrics.enabled () then
         record_exec_metrics (Engine.Stats.totals tree);
+      record_vectorized_fraction tree;
       Ok (v, tree)
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
     | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
@@ -350,8 +373,8 @@ let analyze ?jobs ?bloom catalog compiled =
     let before = Obs.Memory.snapshot () in
     match
       phase "execute" (fun () ->
-          Engine.Exec.rows_instrumented ~jobs ?bloom tree catalog
-            Cobj.Env.empty pq.Engine.Physical.plan)
+          Engine.Exec.rows_instrumented ~jobs ?bloom ?vector ?batch tree
+            catalog Cobj.Env.empty pq.Engine.Physical.plan)
     with
     | produced ->
       (* Whole-run Gc delta on the root node: per-operator deltas would
@@ -361,6 +384,7 @@ let analyze ?jobs ?bloom catalog compiled =
         Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
       if Obs.Metrics.enabled () then
         record_exec_metrics (Engine.Stats.totals tree);
+      record_vectorized_fraction tree;
       let resultfn =
         Engine.Compile.expr catalog pq.Engine.Physical.result
       in
@@ -368,7 +392,8 @@ let analyze ?jobs ?bloom catalog compiled =
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
     | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
 
-let render_analysis ?(json = false) ?(timing = true) ?catalog compiled tree =
+let render_analysis ?(json = false) ?(timing = true) ?misest_floor ?catalog
+    compiled tree =
   let misest =
     (* The shredded annotation tree mirrors the flat queries, not the
        nest-join physical plan — misestimation pairing does not apply. *)
@@ -398,7 +423,8 @@ let render_analysis ?(json = false) ?(timing = true) ?catalog compiled tree =
       (Engine.Analyze.pp ~timing)
       tree;
     (match misest with
-    | Some entries -> Fmt.pf ppf "@.%a@." Misest.pp entries
+    | Some entries ->
+      Fmt.pf ppf "@.%a@." (Misest.pp ?floor:misest_floor) entries
     | None -> ());
     (match tree.Engine.Stats.gc with
     | Some d when timing ->

@@ -143,6 +143,8 @@ val execute :
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   compiled ->
   Cobj.Value.t
@@ -155,6 +157,8 @@ val run :
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   strategy ->
   Cobj.Catalog.t ->
   string ->
@@ -164,7 +168,11 @@ val run :
     statistics are identical for every value, see {!Engine.Exec.rows}.
     [bloom] (default true) toggles Bloom-filter sideways information
     passing in the hash-join family; results are identical either way and
-    only the [bloom_*] counters differ. *)
+    only the [bloom_*] counters differ. [vector] (default
+    {!Engine.Exec.default_vector}) and [batch] (default
+    {!Engine.Exec.default_batch}) control the columnar batch engine —
+    results and statistics are identical with the vector layer on or
+    off. *)
 
 val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 (** Logical and physical plans, pretty-printed. For a shredded query the
@@ -176,6 +184,8 @@ val explain : ?costs:bool -> Cobj.Catalog.t -> compiled -> string
 val analyze :
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   compiled ->
   (Cobj.Value.t * Engine.Stats.node, string) result
@@ -189,6 +199,7 @@ val analyze :
 val render_analysis :
   ?json:bool ->
   ?timing:bool ->
+  ?misest_floor:float ->
   ?catalog:Cobj.Catalog.t ->
   compiled ->
   Engine.Stats.node ->
@@ -199,4 +210,6 @@ val render_analysis :
     wall-clock and the other jobs/load-dependent fields ([time=] in text
     mode; [time_ns], partition and [gc] fields in JSON) for deterministic
     output. With [catalog], a {!Misest} report is appended (text) or
-    included under a ["misest"] key (JSON). *)
+    included under a ["misest"] key (JSON); [misest_floor] (default
+    {!Misest.noise}, 1.5) sets the divergence ratio under which operators
+    are summarized rather than listed in the text report. *)

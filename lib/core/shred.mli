@@ -75,18 +75,22 @@ val run_under :
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   executable ->
   Cobj.Value.t
-(** Execute every flat query ([jobs]/[bloom] apply to each), stitch, and
-    build the result set — the exact value [Exec.run_under] produces for
-    the nest-join plan of the same query. *)
+(** Execute every flat query ([jobs]/[bloom]/[vector]/[batch] apply to
+    each), stitch, and build the result set — the exact value
+    [Exec.run_under] produces for the nest-join plan of the same query. *)
 
 val run :
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   executable ->
   Cobj.Value.t
@@ -94,6 +98,8 @@ val run :
 val analyze :
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   executable ->
   Cobj.Value.t * Engine.Stats.node

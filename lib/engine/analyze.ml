@@ -143,8 +143,13 @@ let pp_counters ~timing ppf (c : Stats.t) =
 let pp_annot ~timing ppf (n : Stats.node) =
   Fmt.pf ppf "(est=%a actual=%d loops=%d" pp_est n.Stats.est_rows
     n.Stats.counters.Stats.rows_out n.Stats.loops;
-  if timing then
+  if timing then begin
     Fmt.pf ppf " time=%.3fms" (Int64.to_float n.Stats.time_ns /. 1e6);
+    (* Like the partition counters, the engine marker hides behind
+       --no-timing, whose output is promised identical between the row
+       and vector engines. *)
+    if n.Stats.vectorized then Fmt.string ppf " vectorized"
+  end;
   Fmt.pf ppf "%a)" (pp_counters ~timing) n.Stats.counters
 
 let rec pp_node ~timing ppf (n : Stats.node) =
@@ -188,6 +193,7 @@ let rec to_json ?(timing = true) (n : Stats.node) =
          (if timing then
             [
               ("time_ns", Json.Int64 n.Stats.time_ns);
+              ("vectorized", Json.Bool n.Stats.vectorized);
               ("partitions", Json.Int c.Stats.partitions);
               ("partition_max_rows", Json.Int c.Stats.partition_max_rows);
             ]

@@ -232,8 +232,12 @@ let correlation_key_exprs corr query =
    populate a Bloom filter consulted before each probe. Pruned probes still
    count in [hash_probes], so disabling bloom changes only the bloom
    counters, never the rest of a Stats tree. *)
+(* [vector] flips the hot operators onto the columnar batch engine
+   ([exec_batches]); it is forced off when [Compile] is disabled, since
+   the kernels mirror the compiled closures, not the interpreter.
+   [batch] is the physical batch width. *)
 type frame = { sink : Stats.t; node : Stats.node option; jobs : int;
-               bloom : bool }
+               bloom : bool; vector : bool; batch : int }
 
 let child_frame fr i =
   match fr.node with
@@ -246,6 +250,55 @@ let child_frame fr i =
 let c0 fr = child_frame fr 0
 let c1 fr = child_frame fr 1
 let clock = Monotonic_clock.now
+
+(* --- columnar batch engine ------------------------------------------------ *)
+
+let default_batch_size = 1024
+
+let default_vector () =
+  match Sys.getenv_opt "NESTQL_VECTOR" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | _ -> true
+
+let default_batch () =
+  match Sys.getenv_opt "NESTQL_BATCH" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n > 0 -> n
+    | _ -> default_batch_size)
+  | None -> default_batch_size
+
+(* The vectorizable fragment: operators [exec_batches] implements.
+   Everything else transparently falls back to the row engine, with
+   batches materialized at the boundary. *)
+let vectorizable = function
+  | P.Scan _ | P.Filter _ | P.Extend_op _ | P.Project_op _ | P.Hash_join _
+  | P.Hash_semijoin _ | P.Hash_outerjoin _ | P.Hash_nestjoin _ ->
+    true
+  | _ -> false
+
+(* Kernel fallbacks are only recorded by operators that never delegate
+   on [jobs] (filter, extend), keeping every [exec.batch.*] counter
+   invariant under the domain count. *)
+let note_fallback () =
+  if Obs.Metrics.enabled () then Obs.Metrics.incr "exec.batch.kernel_fallbacks"
+
+(* Evaluate a key expression over a batch: kernel when possible, row
+   closure otherwise.  A kernel that raises is discarded before any
+   probe ran, so replaying row-at-a-time reproduces the row engine's
+   counters and first error exactly. *)
+let key_col kern b =
+  match kern with
+  | Some k when Batch.is_cols b -> (
+    match k b with
+    | c -> `Col c
+    | exception (Value.Type_error _ | Interp.Undefined _) -> `RowWise)
+  | _ -> `RowWise
+
+let key_at keyv keyfn b i =
+  match keyv with
+  | `Col c -> Batch.get c i
+  | `RowWise -> keyfn (Batch.env_at b i)
 
 (* --- partition-parallel helpers ------------------------------------------ *)
 
@@ -428,27 +481,406 @@ let par_hash_partitioned ~jobs ~bloom ~stats ~lkeyfn ~rkeyfn ~emit lrows rrows
   List.concat (Array.to_list out)
 
 let rec rows_fr fr catalog env plan =
-  match fr.node with
-  | None -> exec_rows fr catalog env plan
-  | Some n ->
-    let t0 = clock () in
-    let out = exec_rows fr catalog env plan in
-    let t1 = clock () in
-    n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub t1 t0);
-    n.Stats.loops <- n.Stats.loops + 1;
-    (* Instrumented operators double as trace spans — same clock readings,
-       so the timeline agrees with EXPLAIN ANALYZE to the nanosecond. *)
-    if Obs.Trace.enabled () then
-      Obs.Trace.complete ~cat:"operator" ~start_ns:t0 ~stop_ns:t1
-        ~args:(fun () ->
-          [
-            ("detail", Obs.Trace.Str n.Stats.detail);
-            ("rows_out", Obs.Trace.Int (List.length out));
-            ("loop", Obs.Trace.Int n.Stats.loops);
-            ("est_rows", Obs.Trace.Num n.Stats.est_rows);
-          ])
-        n.Stats.op;
+  if fr.vector && vectorizable plan then
+    (* The vectorized operator already timed and traced itself inside
+       [batches_fr]; materialization at the boundary is not charged. *)
+    Batch.rows_of_batches (batches_fr fr catalog env plan)
+  else
+    match fr.node with
+    | None -> exec_rows fr catalog env plan
+    | Some n ->
+      let t0 = clock () in
+      let out = exec_rows fr catalog env plan in
+      let t1 = clock () in
+      n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub t1 t0);
+      n.Stats.loops <- n.Stats.loops + 1;
+      (* Instrumented operators double as trace spans — same clock readings,
+         so the timeline agrees with EXPLAIN ANALYZE to the nanosecond. *)
+      if Obs.Trace.enabled () then
+        Obs.Trace.complete ~cat:"operator" ~start_ns:t0 ~stop_ns:t1
+          ~args:(fun () ->
+            [
+              ("detail", Obs.Trace.Str n.Stats.detail);
+              ("rows_out", Obs.Trace.Int (List.length out));
+              ("loop", Obs.Trace.Int n.Stats.loops);
+              ("est_rows", Obs.Trace.Num n.Stats.est_rows);
+            ])
+          n.Stats.op;
+      out
+
+(* Batch-flow entry: vectorizable operators produce batches natively;
+   anything else runs on the row engine and is chunked at the boundary.
+   Timing, loop counts and trace spans attach here for vectorized
+   operators, symmetrically with [rows_fr] for row operators. *)
+and batches_fr fr catalog env plan =
+  if fr.vector && vectorizable plan then begin
+    let out =
+      match fr.node with
+      | None -> exec_batches fr catalog env plan
+      | Some n ->
+        let t0 = clock () in
+        let out = exec_batches fr catalog env plan in
+        let t1 = clock () in
+        n.Stats.time_ns <- Int64.add n.Stats.time_ns (Int64.sub t1 t0);
+        n.Stats.loops <- n.Stats.loops + 1;
+        n.Stats.vectorized <- true;
+        if Obs.Trace.enabled () then
+          Obs.Trace.complete ~cat:"operator" ~start_ns:t0 ~stop_ns:t1
+            ~args:(fun () ->
+              [
+                ("detail", Obs.Trace.Str n.Stats.detail);
+                ("rows_out", Obs.Trace.Int (Batch.live_total out));
+                ("loop", Obs.Trace.Int n.Stats.loops);
+                ("est_rows", Obs.Trace.Num n.Stats.est_rows);
+              ])
+            n.Stats.op;
+        out
+    in
+    if Obs.Metrics.enabled () then begin
+      Obs.Metrics.incr ~by:(List.length out) "exec.batch.batches";
+      Obs.Metrics.incr ~by:(Batch.live_total out) "exec.batch.rows"
+    end;
     out
+  end
+  else Batch.of_rows ~size:fr.batch (rows_fr fr catalog env plan)
+
+(* The columnar engine proper.  Contract with the row engine: for every
+   operator below, the produced rows (in order) and every [Stats]
+   counter are identical to [exec_rows] at any [jobs] — the qcheck
+   differential oracle in [test_batch] enforces this.  Expression
+   kernels that miss or raise fall back to the row-compiled closures,
+   replayed in row order. *)
+and exec_batches fr catalog env plan =
+  let stats = fr.sink in
+  let out, nout =
+    match plan with
+    | P.Scan { table; var } ->
+      let t = Cobj.Catalog.find_exn table catalog in
+      let trows = Cobj.Table.rows t in
+      (Batch.of_values ~size:fr.batch var env trows, List.length trows)
+    | P.Filter { pred; input } ->
+      let predfn = Compile.pred catalog pred in
+      let kern = Vexpr.compile catalog pred in
+      let inb = batches_fr (c0 fr) catalog env input in
+      let n = ref 0 in
+      let out =
+        List.filter_map
+          (fun b ->
+            let row_sel () =
+              note_fallback ();
+              let acc = ref [] in
+              Batch.iter_live b (fun i ->
+                  stats.Stats.predicate_evals <-
+                    stats.Stats.predicate_evals + 1;
+                  if predfn (Batch.env_at b i) then acc := i :: !acc);
+              Array.of_list (List.rev !acc)
+            in
+            let sel =
+              match kern with
+              | Some k when Batch.is_cols b -> (
+                match Vexpr.truth_sel k b with
+                | sel ->
+                  stats.Stats.predicate_evals <-
+                    stats.Stats.predicate_evals + Batch.live b;
+                  sel
+                | exception (Value.Type_error _ | Interp.Undefined _) ->
+                  row_sel ())
+              | _ -> row_sel ()
+            in
+            n := !n + Array.length sel;
+            if Array.length sel = 0 then None else Some (Batch.narrow b sel))
+          inb
+      in
+      (out, !n)
+    | P.Extend_op { var; expr; input } ->
+      let exprfn = Compile.expr catalog expr in
+      let kern = Vexpr.compile catalog expr in
+      let inb = batches_fr (c0 fr) catalog env input in
+      let n = ref 0 in
+      let out =
+        List.map
+          (fun b ->
+            n := !n + Batch.live b;
+            let row_ext () =
+              note_fallback ();
+              let acc = ref [] in
+              Batch.iter_live b (fun i ->
+                  let r = Batch.env_at b i in
+                  acc := Env.bind var (exprfn r) r :: !acc);
+              Batch.of_rows_array (Array.of_list (List.rev !acc))
+            in
+            match kern with
+            | Some k when Batch.is_cols b -> (
+              match k b with
+              | c -> Batch.add_col b var c
+              | exception (Value.Type_error _ | Interp.Undefined _) ->
+                row_ext ())
+            | _ -> row_ext ())
+          inb
+      in
+      (out, !n)
+    | P.Project_op { vars; input } ->
+      let inb = batches_fr (c0 fr) catalog env input in
+      let acc = ref [] in
+      List.iter
+        (fun b ->
+          Batch.iter_live b (fun i ->
+              acc :=
+                Env.append (Env.project vars (Batch.env_at b i)) env :: !acc))
+        inb;
+      let rows = List.sort_uniq Env.compare (List.rev !acc) in
+      (Batch.of_rows ~size:fr.batch rows, List.length rows)
+    | P.Hash_join { lkey; rkey; residual; left; right } ->
+      let lb = batches_fr (c0 fr) catalog env left in
+      let rb = batches_fr (c1 fr) catalog env right in
+      let nl = Batch.live_total lb and nr = Batch.live_total rb in
+      let swap = nr > nl in
+      if swap then
+        stats.Stats.build_side_swaps <- stats.Stats.build_side_swaps + 1;
+      let probe_b, build_b, probe_key, build_key =
+        if swap then (rb, lb, rkey, lkey) else (lb, rb, lkey, rkey)
+      in
+      let merged_of p m = if swap then Env.append p m else Env.append m p in
+      let pkeyfn = Compile.expr catalog probe_key in
+      let nprobe = if swap then nr else nl in
+      let out_rows =
+        if fr.jobs > 1 && nprobe >= join_min then
+          let bkeyfn = Compile.expr catalog build_key in
+          let rokfn = residual_fn catalog residual in
+          par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats
+            ~lkeyfn:pkeyfn ~rkeyfn:bkeyfn
+            ~emit:(fun st p matches ->
+              List.filter_map
+                (fun m ->
+                  let merged = merged_of p m in
+                  if rok_part st rokfn merged then Some merged else None)
+                matches)
+            (Batch.rows_of_batches probe_b)
+            (Batch.rows_of_batches build_b)
+        else begin
+          let rok = compile_residual ~stats catalog residual in
+          let table =
+            build_rows_table ~stats ~bloom:fr.bloom
+              (Compile.expr catalog build_key)
+              (Batch.rows_of_batches build_b)
+          in
+          let kern = Vexpr.compile catalog probe_key in
+          let acc = ref [] in
+          List.iter
+            (fun b ->
+              let keyv = key_col kern b in
+              Batch.iter_live b (fun i ->
+                  let kv = key_at keyv pkeyfn b i in
+                  match probe ~stats table (hkey kv) with
+                  | [] -> ()
+                  | ms ->
+                    (* Late materialization: the probe env is only built
+                       once the Bloom screen and table lookup found
+                       matches. *)
+                    let p = Batch.env_at b i in
+                    List.iter
+                      (fun m ->
+                        let merged = merged_of p m in
+                        if rok merged then acc := merged :: !acc)
+                      ms))
+            probe_b;
+          List.rev !acc
+        end
+      in
+      (Batch.of_rows ~size:fr.batch out_rows, List.length out_rows)
+    | P.Hash_semijoin { lkey; rkey; residual; anti; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let lb = batches_fr (c0 fr) catalog env left in
+      let nl = Batch.live_total lb in
+      if fr.jobs > 1 && nl >= join_min then begin
+        (* Delegate to the partitioned core over (batch, slot) pairs so
+           the output keeps the serial shape — narrowed input batches —
+           and the batch metrics stay jobs-invariant. *)
+        let pairs =
+          List.concat_map
+            (fun b ->
+              let acc = ref [] in
+              Batch.iter_live b (fun i -> acc := (b, i) :: !acc);
+              List.rev !acc)
+            lb
+        in
+        let kept =
+          par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats
+            ~lkeyfn:(fun (b, i) -> lkeyfn (Batch.env_at b i))
+            ~rkeyfn:(Compile.expr catalog rkey)
+            ~emit:
+              (let rokfn = residual_fn catalog residual in
+               fun st (b, i) matches ->
+                 let found =
+                   match matches with
+                   | [] -> false
+                   | _ ->
+                     let l = Batch.env_at b i in
+                     List.exists
+                       (fun r -> rok_part st rokfn (Env.append r l))
+                       matches
+                 in
+                 if (if anti then not found else found) then [ (b, i) ]
+                 else [])
+            pairs
+            (rows_fr (c1 fr) catalog env right)
+        in
+        (* [kept] preserves input order: split it back per source batch. *)
+        let rem = ref kept in
+        let out =
+          List.filter_map
+            (fun b ->
+              let rec take acc = function
+                | (b', i) :: tl when b' == b -> take (i :: acc) tl
+                | tl -> (Array.of_list (List.rev acc), tl)
+              in
+              let sel, tl = take [] !rem in
+              rem := tl;
+              if Array.length sel = 0 then None else Some (Batch.narrow b sel))
+            lb
+        in
+        (out, List.length kept)
+      end
+      else begin
+        let rok = compile_residual ~stats catalog residual in
+        let table =
+          build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey
+        in
+        let kern = Vexpr.compile catalog lkey in
+        let n = ref 0 in
+        let out =
+          List.filter_map
+            (fun b ->
+              let keyv = key_col kern b in
+              let acc = ref [] in
+              Batch.iter_live b (fun i ->
+                  let kv = key_at keyv lkeyfn b i in
+                  let ms = probe ~stats table (hkey kv) in
+                  let found =
+                    match residual with
+                    | None -> ms <> []
+                    | Some _ ->
+                      let l = Batch.env_at b i in
+                      List.exists (fun r -> rok (Env.append r l)) ms
+                  in
+                  if (if anti then not found else found) then acc := i :: !acc);
+              let sel = Array.of_list (List.rev !acc) in
+              n := !n + Array.length sel;
+              if Array.length sel = 0 then None else Some (Batch.narrow b sel))
+            lb
+        in
+        (out, !n)
+      end
+    | P.Hash_outerjoin { lkey; rkey; residual; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let rvars = P.vars_of right in
+      let lb = batches_fr (c0 fr) catalog env left in
+      let nl = Batch.live_total lb in
+      let out_rows =
+        if fr.jobs > 1 && nl >= join_min then
+          par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats ~lkeyfn
+            ~rkeyfn:(Compile.expr catalog rkey)
+            ~emit:
+              (let rokfn = residual_fn catalog residual in
+               fun st l matches ->
+                 let kept =
+                   List.filter_map
+                     (fun r ->
+                       let merged = Env.append r l in
+                       if rok_part st rokfn merged then Some merged else None)
+                     matches
+                 in
+                 match kept with
+                 | [] -> [ pad_nulls rvars l ]
+                 | _ :: _ -> kept)
+            (Batch.rows_of_batches lb)
+            (rows_fr (c1 fr) catalog env right)
+        else begin
+          let rok = compile_residual ~stats catalog residual in
+          let table =
+            build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey
+          in
+          let kern = Vexpr.compile catalog lkey in
+          let acc = ref [] in
+          List.iter
+            (fun b ->
+              let keyv = key_col kern b in
+              Batch.iter_live b (fun i ->
+                  let kv = key_at keyv lkeyfn b i in
+                  let ms = probe ~stats table (hkey kv) in
+                  let l = Batch.env_at b i in
+                  let matches =
+                    List.filter_map
+                      (fun r ->
+                        let merged = Env.append r l in
+                        if rok merged then Some merged else None)
+                      ms
+                  in
+                  match matches with
+                  | [] -> acc := pad_nulls rvars l :: !acc
+                  | _ :: _ ->
+                    List.iter (fun m -> acc := m :: !acc) matches))
+            lb;
+          List.rev !acc
+        end
+      in
+      (Batch.of_rows ~size:fr.batch out_rows, List.length out_rows)
+    | P.Hash_nestjoin { lkey; rkey; residual; func; label; left; right } ->
+      let lkeyfn = Compile.expr catalog lkey in
+      let funcfn = Compile.expr catalog func in
+      let lb = batches_fr (c0 fr) catalog env left in
+      let nl = Batch.live_total lb in
+      let out_rows =
+        if fr.jobs > 1 && nl >= join_min then
+          par_hash_partitioned ~jobs:fr.jobs ~bloom:fr.bloom ~stats ~lkeyfn
+            ~rkeyfn:(Compile.expr catalog rkey)
+            ~emit:
+              (let rokfn = residual_fn catalog residual in
+               fun st l matches ->
+                 let members =
+                   List.filter_map
+                     (fun r ->
+                       let merged = Env.append r l in
+                       if rok_part st rokfn merged then Some (funcfn merged)
+                       else None)
+                     matches
+                 in
+                 [ Env.bind label (Value.set members) l ])
+            (Batch.rows_of_batches lb)
+            (rows_fr (c1 fr) catalog env right)
+        else begin
+          let rok = compile_residual ~stats catalog residual in
+          let table =
+            build ~stats ~bloom:fr.bloom (c1 fr) catalog env right rkey
+          in
+          let kern = Vexpr.compile catalog lkey in
+          let acc = ref [] in
+          List.iter
+            (fun b ->
+              let keyv = key_col kern b in
+              Batch.iter_live b (fun i ->
+                  let kv = key_at keyv lkeyfn b i in
+                  let ms = probe ~stats table (hkey kv) in
+                  let l = Batch.env_at b i in
+                  let members =
+                    List.filter_map
+                      (fun r ->
+                        let merged = Env.append r l in
+                        if rok merged then Some (funcfn merged) else None)
+                      ms
+                  in
+                  acc := Env.bind label (Value.set members) l :: !acc))
+            lb;
+          List.rev !acc
+        end
+      in
+      (Batch.of_rows ~size:fr.batch out_rows, List.length out_rows)
+    | _ ->
+      (* [vectorizable] gates every entry into this function. *)
+      assert false
+  in
+  stats.Stats.rows_out <- stats.Stats.rows_out + nout;
+  out
 
 and exec_rows fr catalog env plan =
   let stats = fr.sink in
@@ -1079,31 +1511,48 @@ and run_under_fr fr catalog env { P.plan; result } =
 
 let clamp_jobs jobs = max 1 (min jobs Pool.max_jobs)
 
-let frame_of_stats ~jobs ~bloom stats =
-  { sink = stats; node = None; jobs; bloom }
+(* The kernels mirror [Compile]'s semantics; when compilation is
+   globally disabled (interpreted mode) the vector layer shuts off with
+   it rather than diverge. *)
+let opts ~vector ~batch =
+  let vector = Option.value vector ~default:(default_vector ()) in
+  let batch = Option.value batch ~default:(default_batch ()) in
+  (vector && !Compile.enabled, max 1 batch)
 
-let frame_of_node ~jobs ~bloom node =
-  { sink = node.Stats.counters; node = Some node; jobs; bloom }
+let frame_of_stats ~jobs ~bloom ~vector ~batch stats =
+  { sink = stats; node = None; jobs; bloom; vector; batch }
 
-let rows ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) catalog env plan =
+let frame_of_node ~jobs ~bloom ~vector ~batch node =
+  { sink = node.Stats.counters; node = Some node; jobs; bloom; vector; batch }
+
+let rows ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) ?vector ?batch
+    catalog env plan =
+  let vector, batch = opts ~vector ~batch in
   rows_fr
-    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom stats)
+    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom ~vector ~batch stats)
     catalog env plan
 
-let rows_instrumented ?(jobs = 1) ?(bloom = true) node catalog env plan =
-  rows_fr (frame_of_node ~jobs:(clamp_jobs jobs) ~bloom node) catalog env plan
+let rows_instrumented ?(jobs = 1) ?(bloom = true) ?vector ?batch node catalog
+    env plan =
+  let vector, batch = opts ~vector ~batch in
+  rows_fr
+    (frame_of_node ~jobs:(clamp_jobs jobs) ~bloom ~vector ~batch node)
+    catalog env plan
 
-let run_under ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) catalog env
-    query =
+let run_under ?(stats = no_stats) ?(jobs = 1) ?(bloom = true) ?vector ?batch
+    catalog env query =
+  let vector, batch = opts ~vector ~batch in
   run_under_fr
-    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom stats)
+    (frame_of_stats ~jobs:(clamp_jobs jobs) ~bloom ~vector ~batch stats)
     catalog env query
 
-let run ?stats ?jobs ?bloom catalog query =
-  run_under ?stats ?jobs ?bloom catalog Env.empty query
+let run ?stats ?jobs ?bloom ?vector ?batch catalog query =
+  run_under ?stats ?jobs ?bloom ?vector ?batch catalog Env.empty query
 
-let run_instrumented ?(jobs = 1) ?(bloom = true) catalog query =
+let run_instrumented ?(jobs = 1) ?(bloom = true) ?vector ?batch catalog query
+    =
+  let vector, batch = opts ~vector ~batch in
   let tree = Analyze.tree_of_query query in
-  let fr = frame_of_node ~jobs:(clamp_jobs jobs) ~bloom tree in
+  let fr = frame_of_node ~jobs:(clamp_jobs jobs) ~bloom ~vector ~batch tree in
   let v = run_under_fr fr catalog Env.empty query in
   (v, tree)

@@ -16,6 +16,8 @@ val rows :
   ?stats:Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.t ->
@@ -46,11 +48,28 @@ val rows :
     [hash_probes]). The commutative [Hash_join] additionally builds on the
     smaller operand at runtime ([build_side_swaps]); the one-sided
     operators — semijoin, antijoin, outerjoin, nest join — never swap (§7:
-    their left operand is preserved and must stay on the probe side). *)
+    their left operand is preserved and must stay on the probe side).
+
+    [vector] (default {!default_vector}, i.e. on unless [NESTQL_VECTOR]
+    disables it) runs the {!vectorizable} operators on the columnar
+    batch engine: scans emit typed column batches, filters narrow
+    selection vectors, and the hash-join family probes per batch with
+    late materialization. Operators outside the fragment transparently
+    execute on the row engine with batches (re)built at the boundary.
+    Results, row order and every [Stats] counter are identical to the
+    row engine at any [jobs] — the vector layer is a pure constant-
+    factor optimization, enforced by the differential oracle in
+    [test_batch]. Forced off when [Compile.enabled] is false (the
+    kernels mirror the compiled closures, not the interpreter).
+
+    [batch] (default {!default_batch}, i.e. [NESTQL_BATCH] or 1024) is
+    the physical batch width; values below 1 are clamped to 1. *)
 
 val rows_instrumented :
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Stats.node ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
@@ -67,6 +86,8 @@ val rows_instrumented :
 val run_instrumented :
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   Physical.query ->
   Cobj.Value.t * Stats.node
@@ -78,6 +99,8 @@ val run :
   ?stats:Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   Physical.query ->
   Cobj.Value.t
@@ -87,6 +110,8 @@ val run_under :
   ?stats:Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
+  ?vector:bool ->
+  ?batch:int ->
   Cobj.Catalog.t ->
   Cobj.Env.t ->
   Physical.query ->
@@ -95,3 +120,17 @@ val run_under :
 val query_free_vars : Physical.query -> Lang.Ast.String_set.t
 (** Correlation variables a physical query needs from its enclosing scope
     (used for apply memoization). *)
+
+val vectorizable : Physical.t -> bool
+(** Whether the operator (shallowly — operands not considered) runs on
+    the columnar batch engine when the vector layer is enabled. The
+    verifier's [vector-fragment] rule cross-checks this against an
+    independent list. *)
+
+val default_vector : unit -> bool
+(** Vector layer default: on, unless [NESTQL_VECTOR] is set to [0],
+    [false], [no] or [off]. *)
+
+val default_batch : unit -> int
+(** Batch width default: [NESTQL_BATCH] when it parses as a positive
+    integer, else 1024. *)

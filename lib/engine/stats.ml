@@ -85,6 +85,7 @@ type node = {
   mutable time_ns : int64;
   mutable est_rows : float;
   mutable gc : Obs.Memory.delta option;
+  mutable vectorized : bool;
   children : node list;
 }
 
@@ -97,6 +98,7 @@ let node ~op ~detail children =
     time_ns = 0L;
     est_rows = Float.nan;
     gc = None;
+    vectorized = false;
     children;
   }
 
@@ -105,6 +107,7 @@ let rec reset_node n =
   n.loops <- 0;
   n.time_ns <- 0L;
   n.gc <- None;
+  n.vectorized <- false;
   List.iter reset_node n.children
 
 let rec sum_into acc n =

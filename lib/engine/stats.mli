@@ -62,6 +62,11 @@ type node = {
       (** Gc delta over this node's execution; only the root is filled
           in (by [Core.Pipeline.analyze]) — per-operator deltas would
           double-count children *)
+  mutable vectorized : bool;
+      (** the operator ran on the columnar batch engine (set by
+          [Exec] when the vector layer handled it); rendered only in
+          timing-class EXPLAIN ANALYZE output so the flat annotation
+          line stays identical between the row and vector engines *)
   children : node list; (** same order as the physical operands *)
 }
 

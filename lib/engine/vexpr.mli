@@ -1,0 +1,21 @@
+(** Vectorized expression kernels over {!Batch} columns.
+
+    [compile] covers the scalar / comparison / arithmetic fragment of
+    [Lang.Ast]; anything else yields [None] and callers fall back to
+    the row-compiled closure.  On the live rows of a batch a kernel
+    computes exactly the values — and raises exactly the exceptions —
+    the corresponding {!Compile} closure would, though cross-row
+    evaluation order may differ; callers catch kernel exceptions and
+    replay row-at-a-time to reproduce the row engine's first error and
+    counter state. *)
+
+type kernel = Batch.t -> Batch.col
+(** Evaluates over the live slots of a batch; dead slots of the result
+    are unspecified. *)
+
+val compile : Cobj.Catalog.t -> Lang.Ast.expr -> kernel option
+(** [None] when [e] falls outside the vectorizable fragment. *)
+
+val truth_sel : kernel -> Batch.t -> int array
+(** Live physical indices (ascending) where the kernel's result is
+    true under [Value.as_bool] — the vectorized [Compile.pred]. *)

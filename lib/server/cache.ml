@@ -14,6 +14,7 @@ type cached_result = { r_value : Cobj.Value.t; r_rendered : string; r_rows : int
 type t = {
   plans : (string, Pipeline.compiled) Lru.t;
   results : (string, cached_result) Lru.t;
+  admit_fraction : float;
   rewrite : bool;
   reorder : bool;
   m : Mutex.t;
@@ -22,8 +23,15 @@ type t = {
 
 let metric name = Obs.Metrics.incr name
 
-let create ?(plan_capacity = 128) ?(result_capacity = 0) ?(rewrite = true)
-    ?(reorder = true) () =
+(* One cost formula, shared between the LRU's accounting and the
+   admission check — the two must agree or the admission bound drifts
+   from what the cache actually charges. *)
+let result_cost key r =
+  Cobj.Value.approx_bytes r.r_value
+  + String.length r.r_rendered + String.length key
+
+let create ?(plan_capacity = 128) ?(result_capacity = 0)
+    ?(admit_fraction = 0.25) ?(rewrite = true) ?(reorder = true) () =
   {
     plans =
       Lru.create ~capacity:plan_capacity
@@ -31,12 +39,10 @@ let create ?(plan_capacity = 128) ?(result_capacity = 0) ?(rewrite = true)
         ~on_evict:(fun _ _ -> metric "server.cache.plan.evictions")
         ();
     results =
-      Lru.create ~capacity:result_capacity
-        ~cost:(fun key r ->
-          Cobj.Value.approx_bytes r.r_value
-          + String.length r.r_rendered + String.length key)
+      Lru.create ~capacity:result_capacity ~cost:result_cost
         ~on_evict:(fun _ _ -> metric "server.cache.result.evictions")
         ();
+    admit_fraction;
     rewrite;
     reorder;
     m = Mutex.create ();
@@ -150,9 +156,19 @@ let query t ?(cache = true) ?stats ?jobs ?bloom
         | value ->
           let rendered = Fmt.str "%a" Cobj.Value.pp value in
           let rows = rows_of value in
-          if results_on then
-            Lru.add t.results key
-              { r_value = value; r_rendered = rendered; r_rows = rows };
+          (* Admission policy: a result costing more than admit_fraction
+             of the byte budget would evict most of the working set for
+             one entry of dubious reuse value — serve it uncached. *)
+          (if results_on then
+             let entry =
+               { r_value = value; r_rendered = rendered; r_rows = rows }
+             in
+             let budget =
+               t.admit_fraction *. float_of_int (Lru.capacity t.results)
+             in
+             if float_of_int (result_cost key entry) > budget then
+               metric "server.result_cache.skipped_large"
+             else Lru.add t.results key entry);
           Ok
             {
               value;

@@ -17,8 +17,9 @@
     without executing at all.
 
     Metrics (when the registry is enabled): [server.cache.plan.hits /
-    misses / evictions] and [server.cache.result.hits / misses /
-    evictions / invalidations]. *)
+    misses / evictions], [server.cache.result.hits / misses /
+    evictions / invalidations] and [server.result_cache.skipped_large]
+    (results denied admission by the size policy). *)
 
 type outcome =
   | Hit
@@ -33,14 +34,19 @@ type t
 val create :
   ?plan_capacity:int ->
   ?result_capacity:int ->
+  ?admit_fraction:float ->
   ?rewrite:bool ->
   ?reorder:bool ->
   unit ->
   t
 (** [plan_capacity] (default 128) is in plans; 0 disables plan caching.
     [result_capacity] (default 0 — disabled) is in approximate bytes
-    ({!Cobj.Value.approx_bytes} plus the rendered text). [rewrite] /
-    [reorder] are baked into the key and passed to every compile. *)
+    ({!Cobj.Value.approx_bytes} plus the rendered text).
+    [admit_fraction] (default 0.25) is the admission policy: a result
+    whose cost exceeds this fraction of [result_capacity] is served but
+    never cached (it would evict most of the working set for one entry),
+    counted by the [server.result_cache.skipped_large] metric. [rewrite]
+    / [reorder] are baked into the key and passed to every compile. *)
 
 type reply = {
   value : Cobj.Value.t;

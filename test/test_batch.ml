@@ -1,0 +1,232 @@
+(* The columnar batch engine (Engine.Batch / Engine.Vexpr / the vector
+   paths in Engine.Exec).
+
+   Two layers of evidence:
+   - unit tests pinning the batch representation itself — chunking at the
+     batch boundary, selection-vector narrowing, late-materialized
+     environments — on the edge cases (empty batch, all-selected,
+     singleton, rows straddling a batch boundary);
+   - the differential oracle: for random nested queries over the mixed
+     and the all-dangling catalogs, the vector engine must produce the
+     same value AND the same Engine.Stats work profile as the row engine,
+     serially and at 4 domains. The vector layer is a pure constant-
+     factor optimization; any observable difference is a bug. *)
+
+open Helpers
+module Batch = Engine.Batch
+module Exec = Engine.Exec
+module Stats = Engine.Stats
+
+(* --- batch representation ------------------------------------------------ *)
+
+let values_of batches =
+  List.map (Env.find "v") (Batch.rows_of_batches batches)
+
+let test_batch_chunking () =
+  (* A scan constructor splits at the batch boundary and preserves row
+     order; the last batch straddles nothing and is short. *)
+  let vals = List.init 5 (fun i -> Value.Int i) in
+  let bs = Batch.of_values ~size:2 "v" Env.empty vals in
+  Alcotest.(check (list int)) "chunk lengths" [ 2; 2; 1 ]
+    (List.map Batch.live bs);
+  Alcotest.(check int) "live total" 5 (Batch.live_total bs);
+  Alcotest.(check (list value)) "row order preserved" vals (values_of bs);
+  (* the empty input produces no batches at all *)
+  Alcotest.(check int) "empty: no batches" 0
+    (List.length (Batch.of_values ~size:2 "v" Env.empty []));
+  Alcotest.(check int) "empty rows: no batches" 0
+    (List.length (Batch.of_rows ~size:4 []));
+  (* a singleton input is one short batch *)
+  let one = Batch.of_values ~size:1024 "v" Env.empty [ Value.Int 7 ] in
+  Alcotest.(check (list int)) "singleton" [ 1 ] (List.map Batch.live one)
+
+let test_selection_vectors () =
+  let vals = List.init 4 (fun i -> Value.Int i) in
+  let b = List.hd (Batch.of_values ~size:8 "v" Env.empty vals) in
+  (* all-selected: an explicit full selection behaves like none at all *)
+  let full = Batch.narrow b [| 0; 1; 2; 3 |] in
+  Alcotest.(check int) "all selected" 4 (Batch.live full);
+  Alcotest.(check (list value)) "all rows" vals (values_of [ full ]);
+  (* a sparse selection keeps ascending live order *)
+  let odd = Batch.narrow b [| 1; 3 |] in
+  Alcotest.(check (list value)) "narrowed"
+    [ Value.Int 1; Value.Int 3 ]
+    (values_of [ odd ]);
+  (* the empty selection is a live batch of zero rows *)
+  let none = Batch.narrow b [||] in
+  Alcotest.(check int) "none selected" 0 (Batch.live none);
+  Alcotest.(check int) "no rows materialized" 0
+    (List.length (Batch.to_rows none));
+  (* a singleton selection *)
+  let one = Batch.narrow b [| 2 |] in
+  Alcotest.(check (list value)) "singleton selection" [ Value.Int 2 ]
+    (values_of [ one ])
+
+let test_late_materialization () =
+  (* env_at layers columns over the shared tail exactly like the row
+     engine's Env.bind nesting: newest column found first. *)
+  let tail = Env.bind "outer" (Value.Int 99) Env.empty in
+  let b = List.hd (Batch.of_values ~size:8 "v" tail [ Value.Int 0 ]) in
+  let b = Batch.add_col b "w" (Batch.Const (Value.Int 5)) in
+  let env = Batch.env_at b 0 in
+  Alcotest.check value "new column" (Value.Int 5) (Env.find "w" env);
+  Alcotest.check value "scan column" (Value.Int 0) (Env.find "v" env);
+  Alcotest.check value "ambient tail" (Value.Int 99) (Env.find "outer" env)
+
+(* --- executor edge cases -------------------------------------------------- *)
+
+(* Compare the vector engine against the row engine on one query at
+   several batch widths: identical value and identical full Stats
+   (partition counters included — same jobs on both sides). *)
+let differential ?(jobs = 1) ?(batches = [ 1; 2; 3; 64 ]) catalog src =
+  match
+    Core.Pipeline.compile_string Core.Pipeline.Decorrelated catalog src
+  with
+  | Error msg -> Alcotest.failf "compile failed on %s: %s" src msg
+  | Ok { Core.Pipeline.physical = None; _ } ->
+    Alcotest.failf "no physical plan for %s" src
+  | Ok { Core.Pipeline.physical = Some pq; _ } ->
+    let run ~vector ~batch =
+      let stats = Stats.create () in
+      let v = Exec.run_under ~stats ~jobs ~vector ~batch catalog Env.empty pq in
+      (v, stats)
+    in
+    let vref, sref = run ~vector:false ~batch:1024 in
+    List.iter
+      (fun batch ->
+        let v, s = run ~vector:true ~batch in
+        Alcotest.check value
+          (Printf.sprintf "value (batch=%d) on %s" batch src)
+          vref v;
+        Alcotest.(check bool)
+          (Printf.sprintf "stats (batch=%d) on %s" batch src)
+          true (s = sref))
+      batches
+
+let test_filter_edges () =
+  let catalog = xy_catalog () in
+  (* all five X rows pass: every batch fully selected *)
+  differential catalog "SELECT x.a FROM X x WHERE x.a >= 0";
+  (* none pass: every batch narrows to empty and is dropped *)
+  differential catalog "SELECT x.a FROM X x WHERE x.a > 100";
+  (* exactly one passes (the dangling b = 5 row): singleton selection *)
+  differential catalog "SELECT x.a FROM X x WHERE x.b = 5";
+  (* a predicate whose matching rows straddle the batch-2 boundary *)
+  differential catalog "SELECT x.b FROM X x WHERE x.a = 2"
+
+let test_join_edges () =
+  let catalog = xy_catalog () in
+  differential catalog
+    "SELECT x.a FROM X x WHERE x.a IN (SELECT y.c FROM Y y WHERE y.d = x.b)";
+  differential catalog
+    "SELECT (a = x.a, cs = (SELECT y.c FROM Y y WHERE y.d = x.b)) FROM X x";
+  differential catalog
+    "SELECT x.a FROM X x WHERE COUNT(SELECT y.c FROM Y y WHERE y.d = x.b) \
+     = 0";
+  (* arithmetic + comparison kernels in the extend/filter fragment *)
+  differential catalog
+    "SELECT x.a + x.b FROM X x WHERE x.a * 2 < x.b + 10 AND x.a MOD 2 = 0"
+
+(* --- the differential oracle --------------------------------------------- *)
+
+(* For random queries: at each jobs value, the vector run must match the
+   row run on the value (or fail with the identical error) and on the
+   complete Stats record — partitions included, since both sides run at
+   the same jobs. *)
+let prop_vector_oracle =
+  qcheck ~count:120 "vector engine ≡ row engine (value + stats, jobs 1/4)"
+    Test_random_queries.query_gen
+    (fun src ->
+      List.for_all
+        (fun (cname, cat) ->
+          match
+            Core.Pipeline.compile_string Core.Pipeline.Decorrelated cat src
+          with
+          | Error msg ->
+            QCheck2.Test.fail_reportf "compile failed on %s: %s" src msg
+          | Ok { Core.Pipeline.physical = None; _ } -> true
+          | Ok { Core.Pipeline.physical = Some pq; _ } ->
+            let run ~vector ~jobs =
+              let stats = Stats.create () in
+              let outcome =
+                match Exec.run_under ~stats ~jobs ~vector cat Env.empty pq with
+                | v -> Ok v
+                | exception Cobj.Value.Type_error m -> Error ("type: " ^ m)
+                | exception Lang.Interp.Undefined m -> Error ("undefined: " ^ m)
+              in
+              (outcome, stats)
+            in
+            List.for_all
+              (fun jobs ->
+                let rv, rs = run ~vector:false ~jobs in
+                let vv, vs = run ~vector:true ~jobs in
+                let same_outcome =
+                  match (rv, vv) with
+                  | Ok a, Ok b -> Value.equal a b
+                  | Error a, Error b -> String.equal a b
+                  | _ -> false
+                in
+                (same_outcome
+                || QCheck2.Test.fail_reportf
+                     "value differs at jobs=%d on %s (%s)" jobs src cname)
+                && (vs = rs
+                   || QCheck2.Test.fail_reportf
+                        "stats differ at jobs=%d on %s (%s):@.row    %a@.\
+                         vector %a"
+                        jobs src cname Stats.pp rs Stats.pp vs))
+              [ 1; 4 ])
+        [
+          ("mixed", Test_random_queries.catalog);
+          ("all-dangling", Test_random_queries.all_dangling_catalog);
+        ])
+
+(* Batch-width sensitivity on random queries: the width is physical
+   layout only, never semantics. *)
+let prop_batch_width_invariant =
+  qcheck ~count:60 "batch width never changes value or stats"
+    Test_random_queries.query_gen
+    (fun src ->
+      let cat = Test_random_queries.catalog in
+      match
+        Core.Pipeline.compile_string Core.Pipeline.Decorrelated cat src
+      with
+      | Error msg ->
+        QCheck2.Test.fail_reportf "compile failed on %s: %s" src msg
+      | Ok { Core.Pipeline.physical = None; _ } -> true
+      | Ok { Core.Pipeline.physical = Some pq; _ } ->
+        let run ~vector ~batch =
+          let stats = Stats.create () in
+          let outcome =
+            match
+              Exec.run_under ~stats ~jobs:1 ~vector ~batch cat Env.empty pq
+            with
+            | v -> Ok v
+            | exception Cobj.Value.Type_error m -> Error m
+            | exception Lang.Interp.Undefined m -> Error m
+          in
+          (outcome, stats)
+        in
+        let rv, rs = run ~vector:false ~batch:1024 in
+        List.for_all
+          (fun batch ->
+            let vv, vs = run ~vector:true ~batch in
+            let same =
+              match (rv, vv) with
+              | Ok a, Ok b -> Value.equal a b
+              | Error a, Error b -> String.equal a b
+              | _ -> false
+            in
+            (same && vs = rs)
+            || QCheck2.Test.fail_reportf "batch=%d differs on %s" batch src)
+          [ 1; 7; 1024 ])
+
+let suite =
+  [
+    Alcotest.test_case "batch chunking" `Quick test_batch_chunking;
+    Alcotest.test_case "selection vectors" `Quick test_selection_vectors;
+    Alcotest.test_case "late materialization" `Quick test_late_materialization;
+    Alcotest.test_case "filter edge cases" `Quick test_filter_edges;
+    Alcotest.test_case "join edge cases" `Quick test_join_edges;
+    prop_vector_oracle;
+    prop_batch_width_invariant;
+  ]

@@ -25,6 +25,7 @@ let () =
       ("variants", Test_variants.suite);
       ("stats", Test_stats.suite);
       ("bloom", Test_bloom.suite);
+      ("batch", Test_batch.suite);
       ("verify", Test_verify.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);

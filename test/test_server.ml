@@ -231,6 +231,40 @@ let test_cache_outcomes () =
   Alcotest.(check bool) "result bytes accounted" true
     (Cache.result_bytes cache > 0)
 
+let test_result_admission_policy () =
+  (* The admission policy: a result costing more than admit_fraction
+     (default 1/4) of the byte budget is served but never cached — the
+     second identical query re-executes (result miss through a plan
+     hit) instead of replaying, and each denial is counted. *)
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:4096 () in
+  let big = "SELECT x FROM X x" in
+  let small = "SELECT x.id FROM X x WHERE x.id = 1" in
+  let run q =
+    Result.get_ok (Cache.query cache Core.Pipeline.Decorrelated gen_catalog q)
+  in
+  let first = run big in
+  Alcotest.(check int) "oversized result not admitted" 0
+    (Cache.result_entries cache);
+  let second = run big in
+  Alcotest.(check string) "re-executes: plan hit, result miss" "hit/miss"
+    (Cache.outcome_name second.Cache.plan ^ "/"
+    ^ Cache.outcome_name second.Cache.result);
+  Alcotest.check value "served identically" first.Cache.value
+    second.Cache.value;
+  Alcotest.(check int) "denials counted" 2
+    (Obs.Metrics.counter "server.result_cache.skipped_large");
+  let s1 = run small in
+  let s2 = run small in
+  Alcotest.(check int) "small result admitted" 1 (Cache.result_entries cache);
+  Alcotest.(check bool) "and replayed" true (s2.Cache.result = Cache.Hit);
+  Alcotest.check value "replay agrees" s1.Cache.value s2.Cache.value;
+  Alcotest.(check int) "no further denials" 2
+    (Obs.Metrics.counter "server.result_cache.skipped_large");
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ()
+
 let test_stats_version_invalidation () =
   let cache = Cache.create ~plan_capacity:8 ~result_capacity:(1 lsl 20) () in
   let q = "SELECT x.id FROM X x WHERE x.a > 0" in
@@ -399,6 +433,8 @@ let suite =
       QCheck2.Gen.(int_range 0 (Array.length corpus - 1))
       oracle_prop;
     Alcotest.test_case "cache outcomes" `Quick test_cache_outcomes;
+    Alcotest.test_case "result-cache admission policy" `Quick
+      test_result_admission_policy;
     Alcotest.test_case "stats-version invalidation" `Quick
       test_stats_version_invalidation;
     Alcotest.test_case "strategy-keyed plan cache" `Quick
