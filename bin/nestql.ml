@@ -12,6 +12,14 @@
    phase (on by default under dune / NESTQL_VERIFY, forced by --verify). *)
 let () = Analysis.Verify.install ()
 
+(* Register the step certifier, the property annotator and the proven-key
+   cost oracle: every compile can then certify each recorded rewrite step
+   (on by default under dune / NESTQL_VERIFY / NESTQL_CERTIFY, forced by
+   --certify), EXPLAIN ANALYZE trees carry proven bounds=/keys= annotations
+   cross-checked against actual row counts, and the cost model consults
+   proven keys where statistics fall short. *)
+let () = Analysis.Certify.install ()
+
 let strategies = Core.Pipeline.all_strategies
 
 let strategy_conv =
@@ -162,6 +170,20 @@ let verify_arg =
            phase, rule and offending subplan. Also enabled by \
            $(b,NESTQL_VERIFY).")
 
+let certify_arg =
+  Arg.(
+    value & flag
+    & info [ "certify" ]
+        ~doc:
+          "Record every rewrite the optimizer applies as a (rule, before, \
+           after) step and discharge each rule's proof obligation \
+           (translation validation), plus whole-phase type / free-variable \
+           / cardinality-bound preservation and the property-backed §6 \
+           build-side check on the physical plan; a violation aborts with \
+           the phase, rule and step index. Also enabled by \
+           $(b,NESTQL_CERTIFY) (and by default wherever the verifier \
+           defaults on).")
+
 let verbose_arg =
   Arg.(
     value & flag
@@ -224,10 +246,11 @@ let misest_arg =
 
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
-      no_timing jobs no_bloom no_vector batch misest_floor verify verbose
-      trace misest query =
+      no_timing jobs no_bloom no_vector batch misest_floor verify certify
+      verbose trace misest query =
     setup_logs verbose;
     let verify = if verify then Some true else None in
+    let certify = if certify then Some true else None in
     match (jobs, batch, misest_floor) with
     | Some n, _, _ when n < 1 ->
       Fmt.epr "nestql: --jobs expects a positive domain count, got %d@." n;
@@ -260,7 +283,8 @@ let run_cmd =
           in
           with_trace (fun () ->
               match
-                Core.Pipeline.compile_string ?verify strategy catalog query
+                Core.Pipeline.compile_string ?verify ?certify strategy catalog
+                  query
               with
               | Error msg ->
                 Fmt.epr "error: %s@." msg;
@@ -367,7 +391,8 @@ let run_cmd =
       const run $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strategy_arg
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
       $ no_bloom_arg $ no_vector_arg $ batch_arg $ misest_floor_arg
-      $ verify_arg $ verbose_arg $ trace_arg $ misest_arg $ query_arg)
+      $ verify_arg $ certify_arg $ verbose_arg $ trace_arg $ misest_arg
+      $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =
@@ -397,8 +422,8 @@ let explain_cmd =
       $ strategy_arg $ verbose_arg $ query_arg)
 
 let check_cmd =
-  let check name file seed scale strict verify diff jobs gen strategy_names
-      query =
+  let check name file seed scale strict verify certify diff jobs gen json
+      strategy_names query =
     (* The strategy filter takes plain names so a typo is a clean usage
        error (exit 2 with the valid names), not a cmdliner parse abort. *)
     let lookup s =
@@ -442,6 +467,21 @@ let check_cmd =
             in
             let nwarnings = ref 0 in
             let nshredded = ref 0 and nfallbacks = ref 0 in
+            let verify_opt = if verify then Some true else None in
+            let certify_opt = if certify then Some true else None in
+            (* Compile a query under every chosen strategy with the
+               requested verification/certification, collecting per-strategy
+               outcomes (shared by the text and JSON paths). *)
+            let compile_strategies src =
+              List.map
+                (fun strategy ->
+                  ( Core.Pipeline.strategy_name strategy,
+                    Result.map
+                      (fun _ -> ())
+                      (Core.Pipeline.compile_string ?verify:verify_opt
+                         ?certify:certify_opt strategy catalog src) ))
+                chosen
+            in
             (* --diff: the cross-backend differential oracle — the
                reference interpreter, the nest-join backend and the
                shredding backend must agree value-for-value. *)
@@ -475,55 +515,209 @@ let check_cmd =
                              src))
                   [ Core.Pipeline.Decorrelated; Core.Pipeline.Shredded ]
             in
-            List.iter
-              (fun src ->
-                if many then Fmt.pr "-- %s@." src;
+            let strict_gate () =
+              if strict && !nwarnings > 0 then begin
+                Fmt.epr
+                  "strict: %d grouping-required correlated predicate(s) — \
+                   COUNT-bug risk under flattening baselines@."
+                  !nwarnings;
+                status := max !status 2
+              end
+            in
+            if json then begin
+              let module J = Engine.Json in
+              let clause_name = function
+                | Analysis.Lint.Where -> "where"
+                | Analysis.Lint.Select_clause -> "select"
+              in
+              (* Inferred properties per subquery: the naive translation
+                 keeps one Apply node per subquery (the binders the lint
+                 diagnostics name), so each subquery plan gets its own
+                 property summary. *)
+              let subquery_props src =
+                match
+                  Core.Pipeline.compile_string ~verify:false ~certify:false
+                    Core.Pipeline.Naive catalog src
+                with
+                | Ok { Core.Pipeline.logical = Some q; _ } ->
+                  List.rev
+                    (Algebra.Plan.fold
+                       (fun acc p ->
+                         match p with
+                         | Algebra.Plan.Apply { var; subquery; _ } ->
+                           ( var,
+                             Analysis.Props.of_plan catalog
+                               subquery.Algebra.Plan.plan )
+                           :: acc
+                         | _ -> acc)
+                       [] q.Algebra.Plan.plan)
+                | Ok _ | Error _ -> []
+              in
+              let plan_props src =
+                match
+                  Core.Pipeline.compile_string ~verify:false ~certify:false
+                    Core.Pipeline.Decorrelated catalog src
+                with
+                | Ok { Core.Pipeline.logical = Some q; _ } ->
+                  Some (Analysis.Props.of_plan catalog q.Algebra.Plan.plan)
+                | Ok _ | Error _ -> None
+              in
+              let query_json src =
+                let strat =
+                  if verify || certify then compile_strategies src else []
+                in
+                List.iter
+                  (fun (sname, r) ->
+                    match r with
+                    | Ok () -> ()
+                    | Error msg ->
+                      fail 1 (Printf.sprintf "strategy %s: %s" sname msg))
+                  strat;
+                if diff then differential src;
                 match Analysis.Lint.query_string catalog src with
-                | Error msg -> fail 1 msg
+                | Error msg ->
+                  status := max !status 1;
+                  J.Obj [ ("query", J.String src); ("error", J.String msg) ]
                 | Ok (t, diags) ->
-                  Fmt.pr "type: %a@." Cobj.Ctype.pp t;
-                  (match diags with
-                  | [] -> ()
-                  | _ :: _ -> Fmt.pr "%s@." (Analysis.Lint.render diags));
                   nwarnings :=
                     !nwarnings + List.length (Analysis.Lint.warnings diags);
-                  if verify then
-                    List.iter
-                      (fun strategy ->
-                        match
-                          Core.Pipeline.compile_string ~verify:true strategy
-                            catalog src
-                        with
-                        | Ok _ -> ()
-                        | Error msg ->
-                          fail 1
-                            (Printf.sprintf "strategy %s: %s"
-                               (Core.Pipeline.strategy_name strategy)
-                               msg))
-                      chosen;
-                  if diff then differential src;
-                  if many then Fmt.pr "@.")
-              sources;
-            if verify && !status = 0 then
-              Fmt.pr "phases verified: %d quer%s under %d strategies@."
-                (List.length sources)
-                (if many then "ies" else "y")
-                (List.length chosen);
-            if diff && !status = 0 then
-              Fmt.pr
-                "differential: %d quer%s agree under interp, decorrelated, \
-                 shred (%d shredded, %d nest-join fallbacks)@."
-                (List.length sources)
-                (if many then "ies" else "y")
-                !nshredded !nfallbacks;
-            if strict && !nwarnings > 0 then begin
-              Fmt.epr
-                "strict: %d grouping-required correlated predicate(s) — \
-                 COUNT-bug risk under flattening baselines@."
-                !nwarnings;
-              status := max !status 2
-            end;
-            !status)
+                  let sprops = subquery_props src in
+                  let diag_json (d : Analysis.Lint.diagnostic) =
+                    J.Obj
+                      ([
+                         ("subquery", J.String d.z);
+                         ("clause", J.String (clause_name d.clause));
+                         ("correlated", J.Bool d.correlated);
+                         ( "verdict",
+                           J.String (Analysis.Lint.kind_name d.kind) );
+                         ("kim_risk", J.Bool d.kim_risk);
+                         ( "tables",
+                           J.List
+                             (List.map
+                                (fun (n, v) -> J.String (n ^ " " ^ v))
+                                d.tables) );
+                       ]
+                      @
+                      match List.assoc_opt d.z sprops with
+                      | Some p -> [ ("props", Analysis.Props.to_json p) ]
+                      | None -> [])
+                  in
+                  J.Obj
+                    ([
+                       ("query", J.String src);
+                       ("type", J.String (Fmt.str "%a" Cobj.Ctype.pp t));
+                       ("subqueries", J.List (List.map diag_json diags));
+                     ]
+                    @ (match plan_props src with
+                      | Some p ->
+                        [ ("plan_props", Analysis.Props.to_json p) ]
+                      | None -> [])
+                    @
+                    if strat = [] then []
+                    else
+                      [
+                        ( "strategies",
+                          J.List
+                            (List.map
+                               (fun (sname, r) ->
+                                 J.Obj
+                                   [
+                                     ("strategy", J.String sname);
+                                     ("ok", J.Bool (Result.is_ok r));
+                                     ( "error",
+                                       match r with
+                                       | Ok () -> J.Null
+                                       | Error e -> J.String e );
+                                   ])
+                               strat) );
+                      ])
+              in
+              let queries = List.map query_json sources in
+              strict_gate ();
+              let doc =
+                J.Obj
+                  [
+                    ("catalog", J.String name);
+                    ("seed", J.Int seed);
+                    ("scale", J.Int scale);
+                    ("gen", match gen with Some n -> J.Int n | None -> J.Null);
+                    ("verify", J.Bool verify);
+                    ("certify", J.Bool certify);
+                    ("diff", J.Bool diff);
+                    ("strict", J.Bool strict);
+                    ( "strategies",
+                      J.List
+                        (List.map
+                           (fun st ->
+                             J.String (Core.Pipeline.strategy_name st))
+                           chosen) );
+                    ("queries", J.List queries);
+                    ( "summary",
+                      J.Obj
+                        [
+                          ("queries", J.Int (List.length sources));
+                          ("warnings", J.Int !nwarnings);
+                          ( "shredded",
+                            if diff then J.Int !nshredded else J.Null );
+                          ( "fallbacks",
+                            if diff then J.Int !nfallbacks else J.Null );
+                          ("status", J.Int !status);
+                        ] );
+                  ]
+              in
+              print_endline (J.to_pretty_string doc);
+              !status
+            end
+            else begin
+              (* With --gen, lead with the corpus parameters so any failure
+                 in a CI log is reproducible from the output alone. *)
+              (match gen with
+              | Some n -> Fmt.pr "-- corpus: %d queries, seed %d@." n seed
+              | None -> ());
+              List.iter
+                (fun src ->
+                  if many then Fmt.pr "-- %s@." src;
+                  match Analysis.Lint.query_string catalog src with
+                  | Error msg -> fail 1 msg
+                  | Ok (t, diags) ->
+                    Fmt.pr "type: %a@." Cobj.Ctype.pp t;
+                    (match diags with
+                    | [] -> ()
+                    | _ :: _ -> Fmt.pr "%s@." (Analysis.Lint.render diags));
+                    nwarnings :=
+                      !nwarnings + List.length (Analysis.Lint.warnings diags);
+                    if verify || certify then
+                      List.iter
+                        (fun (sname, r) ->
+                          match r with
+                          | Ok () -> ()
+                          | Error msg ->
+                            fail 1
+                              (Printf.sprintf "strategy %s: %s" sname msg))
+                        (compile_strategies src);
+                    if diff then differential src;
+                    if many then Fmt.pr "@.")
+                sources;
+              if verify && !status = 0 then
+                Fmt.pr "phases verified: %d quer%s under %d strategies@."
+                  (List.length sources)
+                  (if many then "ies" else "y")
+                  (List.length chosen);
+              if certify && !status = 0 then
+                Fmt.pr "rewrites certified: %d quer%s under %d strategies@."
+                  (List.length sources)
+                  (if many then "ies" else "y")
+                  (List.length chosen);
+              if diff && !status = 0 then
+                Fmt.pr
+                  "differential: %d quer%s agree under interp, decorrelated, \
+                   shred (%d shredded, %d nest-join fallbacks)@."
+                  (List.length sources)
+                  (if many then "ies" else "y")
+                  !nshredded !nfallbacks;
+              strict_gate ();
+              !status
+            end)
   in
   let strict_arg =
     Arg.(
@@ -564,9 +758,22 @@ let check_cmd =
       value & opt_all string []
       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
           ~doc:
-            "With $(b,--verify), restrict phase verification to the named \
-             strategies (repeatable). Unknown names are a usage error \
-             (exit 2).")
+            "With $(b,--verify) or $(b,--certify), restrict phase \
+             verification/certification to the named strategies \
+             (repeatable). Unknown names are a usage error (exit 2).")
+  in
+  let check_json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a machine-readable report instead of text: per query the \
+             type, the per-subquery classification verdicts with inferred \
+             plan properties (proven keys, null-free/non-empty paths, \
+             cardinality bounds), and — with $(b,--verify)/$(b,--certify) \
+             — the per-strategy verifier/certifier outcomes; plus the \
+             corpus parameters (gen, seed, catalog, scale) and a summary. \
+             The exit status is unchanged.")
   in
   Cmd.v
     (Cmd.info "check"
@@ -575,12 +782,14 @@ let check_cmd =
           (semijoin-rewritable / antijoin-rewritable / grouping-required, \
           Theorem 1) and flag COUNT-bug risks; with --verify, additionally \
           compile it under every strategy with phase verification; with \
-          --diff, cross-check the nest-join and shredding backends against \
-          the interpreter.")
+          --certify, certify every recorded rewrite step (translation \
+          validation); with --diff, cross-check the nest-join and shredding \
+          backends against the interpreter; with --json, emit the whole \
+          report machine-readably.")
     Term.(
       const check $ catalog_arg $ file_arg $ seed_arg $ scale_arg $ strict_arg
-      $ verify_arg $ diff_arg $ jobs_arg $ gen_arg $ strategy_filter_arg
-      $ query_opt_arg)
+      $ verify_arg $ certify_arg $ diff_arg $ jobs_arg $ gen_arg
+      $ check_json_arg $ strategy_filter_arg $ query_opt_arg)
 
 let stats_cmd =
   let show name file seed scale =

@@ -31,9 +31,9 @@ owns the filter:
          FROM X x
          WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)
   
-  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]  (est=40 actual=7 loops=1 builds=40 probes=40 bloom-checks=40 bloom-prunes=33)
-  ├─ scan X x  (est=40 actual=40 loops=1)
-  └─ scan Y y  (est=40 actual=40 loops=1)
+  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]  (est=40 actual=7 loops=1 bounds=[0,40] keys={x}|{x.id} builds=40 probes=40 bloom-checks=40 bloom-prunes=33)
+  ├─ scan X x  (est=40 actual=40 loops=1 bounds=[40,40] keys={x}|{x.id})
+  └─ scan Y y  (est=40 actual=40 loops=1 bounds=[40,40] keys={y}|{y.id})
   
   misestimation (worst est-vs-actual first):
     5.7× over  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]: est=40 actual=7

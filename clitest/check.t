@@ -56,6 +56,7 @@ Without --strict the same file is only a diagnostic:
 A generated corpus lints and phase-verifies under every strategy:
 
   $ ../bin/nestql.exe check --gen 2 --seed 7 --verify
+  -- corpus: 2 queries, seed 7
   -- SELECT (i = x.id, a = x.a) FROM X x WHERE x.a >= MAX(SELECT y.a FROM Y y WHERE x.b = y.b AND y.a IN (SELECT w.a FROM Y w WHERE w.b = y.b))
   type: P (a : INT, i : INT)
   subquery q' (WHERE clause, correlated, over Y w, over Y y):

@@ -21,7 +21,7 @@ domain on the serial path:
 
   $ ../bin/nestql.exe run -n 40 --jobs 1 --trace trace.json "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)" > /dev/null
   $ python3 ../tools/check_trace.py trace.json --require-phase typecheck --require-phase decorrelate --require-phase plan --require-phase execute
-  ok: 28 events, cats {'__metadata': 2, 'operator': 3, 'phase': 23}, 1 domain(s), phases ['compile', 'decorrelate', 'execute', 'plan', 'reorder', 'rewrite', 'simplify', 'translate', 'typecheck', 'verify.decorrelate', 'verify.plan', 'verify.reorder', 'verify.rewrite', 'verify.simplify', 'verify.translate'], operators ['hash-semijoin', 'scan']
+  ok: 37 events, cats {'__metadata': 2, 'operator': 3, 'phase': 32}, 1 domain(s), phases ['certify.decorrelate', 'certify.plan', 'certify.reorder', 'certify.rewrite', 'certify.simplify', 'compile', 'decorrelate', 'execute', 'plan', 'reorder', 'rewrite', 'simplify', 'translate', 'typecheck', 'verify.decorrelate', 'verify.plan', 'verify.reorder', 'verify.rewrite', 'verify.simplify', 'verify.translate'], operators ['hash-semijoin', 'scan']
 
 Tracing must not change the query result:
 

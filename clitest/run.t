@@ -47,8 +47,8 @@ cardinality and work counters (--no-timing keeps the output stable):
   strategy: decorrelated
   query: SELECT (e = x.e, s = (SELECT y FROM Y y WHERE y.b = x.d)) FROM X x
   
-  index-nestjoin [x.d → y.b] on Y y func=y label=q  (est=3 actual=3 loops=1 probes=3)
-  └─ scan X x  (est=3 actual=3 loops=1)
+  index-nestjoin [x.d → y.b] on Y y func=y label=q  (est=3 actual=3 loops=1 bounds=[3,3] keys={x} probes=3)
+  └─ scan X x  (est=3 actual=3 loops=1 bounds=[3,3] keys={x})
   
   misestimation (worst est-vs-actual first):
     all 2 operators within 1.5× of estimate

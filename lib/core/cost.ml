@@ -198,13 +198,36 @@ and lsemi_frac catalog pred left right =
 
 let log2 x = if x < 2.0 then 1.0 else Float.log x /. Float.log 2.0
 
+(* --- proven-key oracle --------------------------------------------------- *)
+
+(* When catalog statistics cannot resolve a key expression (computed keys,
+   intermediate operands), a proven candidate key of the operand still gives
+   an exact answer: a key has one row per distinct value, so
+   ndv(key) = |operand|. The oracle lives in the [analysis] library
+   ([Analysis.Certify.install] registers [Analysis.Props.key_of]); the hook
+   keeps the dependency one-way, like the pipeline's verifier hook. *)
+let key_hint : (Cobj.Catalog.t -> P.t -> Ast.expr -> bool) option ref =
+  ref None
+
+let set_key_hint h = key_hint := h
+
+let proven_key catalog side key =
+  match !key_hint with Some f -> f catalog side key | None -> false
+
 (* --- physical cardinalities (mirrors [card]) ----------------------------- *)
 
 let rec pcard catalog plan =
   let side_ndv side key =
-    capped_ndv
-      (key_ndv catalog (pvar_table side) key)
-      (pcard catalog side)
+    let ndv =
+      match key_ndv catalog (pvar_table side) key with
+      | Some _ as d -> d
+      | None ->
+        (* statistics failed — fall back to the proven-key oracle, which
+           turns the estimate exact instead of the [sel_*] constants *)
+        if proven_key catalog side key then Some (pcard catalog side)
+        else None
+    in
+    capped_ndv ndv (pcard catalog side)
   in
   let equi left right lkey rkey =
     match equi_sel (side_ndv left lkey) (side_ndv right rkey) with

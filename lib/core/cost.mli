@@ -12,6 +12,17 @@
     probe side, so the cheaper orientation of a commutative [Hash_join]
     builds on the (estimated) smaller operand. *)
 
+val set_key_hint :
+  (Cobj.Catalog.t -> Engine.Physical.t -> Lang.Ast.expr -> bool) option ->
+  unit
+(** Register a proven-key oracle: [f catalog operand key] answers whether
+    [key] covers a proven candidate key of [operand]'s output. When
+    statistics cannot resolve a join key's NDV, a proven key makes the
+    estimate exact (ndv = operand cardinality) instead of the fallback
+    constants. Registered by [Analysis.Certify.install] with
+    [Analysis.Props.key_of]; the hook keeps [core] → [analysis]
+    dependency-free. *)
+
 val card : Cobj.Catalog.t -> Algebra.Plan.plan -> float
 (** Estimated output cardinality of a logical plan. *)
 

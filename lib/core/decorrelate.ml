@@ -214,13 +214,19 @@ let rec rewrite live plan =
     begin
       match split_subquery outer subquery with
       | Some (base, corr, result) ->
-        rewrite_children live
-          (Plan.Extend
-             {
-               var = v;
-               expr = result;
-               input = Plan.Join { pred = corr; left = input; right = base };
-             })
+        let after =
+          Plan.Extend
+            {
+              var = v;
+              expr = result;
+              input = Plan.Join { pred = corr; left = input; right = base };
+            }
+        in
+        if Steps.recording () then
+          Steps.record ~rule:"unnest-apply-to-join"
+            ~meta:[ ("label", z) ]
+            ~before:plan ~after ();
+        rewrite_children live after
       | None -> rewrite_children live plan
     end
   | Plan.Apply { var = z; subquery; input } ->
@@ -232,9 +238,15 @@ let rec rewrite live plan =
     else begin
       match split_subquery outer subquery with
       | Some (base, corr, result) ->
-        rewrite_children live
-          (Plan.Nestjoin
-             { pred = corr; func = result; label = z; left = input; right = base })
+        let after =
+          Plan.Nestjoin
+            { pred = corr; func = result; label = z; left = input; right = base }
+        in
+        if Steps.recording () then
+          Steps.record ~rule:"apply-to-nestjoin"
+            ~meta:[ ("label", z) ]
+            ~before:plan ~after ();
+        rewrite_children live after
       | None -> rewrite_children live plan
     end
   | _ -> rewrite_children live plan
@@ -256,10 +268,17 @@ and consume live conjs plan =
       match split_result with
       | Some (base, corr, result) ->
         let inner, leftover = consume live rest input in
-        ( Plan.Nestjoin
+        let nj =
+          Plan.Nestjoin
             { pred = corr; func = result; label = z; left = inner;
-              right = base },
-          z_conjs @ leftover )
+              right = base }
+        in
+        if Steps.recording () then
+          Steps.record ~rule:"apply-to-nestjoin"
+            ~meta:[ ("label", z) ]
+            ~before:(Plan.Apply { var = z; subquery; input })
+            ~after:nj ();
+        (nj, z_conjs @ leftover)
       | None ->
         let inner, leftover = consume live rest input in
         (Plan.Apply { var = z; subquery; input = inner }, z_conjs @ leftover)
@@ -269,19 +288,21 @@ and consume live conjs plan =
          unless its predicate still flattens it into a join below *)
       match z_conjs, split_subquery outer subquery with
       | [ zpred ], (Some _ as split_result) when not (Sset.mem z live) ->
-        flatten_one live z zpred rest input split_result grouping_form
+        flatten_one live z ~subquery zpred rest input split_result
+          grouping_form
       | _, _ ->
         let inner, leftover = consume live rest input in
         (Plan.Apply { var = z; subquery; input = inner }, z_conjs @ leftover)
     else begin
       match z_conjs, split_subquery outer subquery with
       | [ zpred ], (Some _ as split_result) when not (Sset.mem z live) ->
-        flatten_one live z zpred rest input split_result grouping_form
+        flatten_one live z ~subquery zpred rest input split_result
+          grouping_form
       | _, split_result -> grouping_form split_result
     end
   | _ -> (rewrite live plan, conjs)
 
-and flatten_one live z zpred rest input split_result grouping_form =
+and flatten_one live z ~subquery zpred rest input split_result grouping_form =
   match split_result with
   | None -> grouping_form None
   | Some (base, corr, result) -> begin
@@ -304,6 +325,20 @@ and flatten_one live z zpred rest input split_result grouping_form =
           Plan.Antijoin { pred = joinpred; left = inner; right = base }
         | Classify.Needs_grouping _ -> assert false
       in
+      if Steps.recording () then
+        Steps.record
+          ~rule:
+            (match verdict with
+            | Classify.Exists _ -> "apply-to-semijoin"
+            | _ -> "apply-to-antijoin")
+          ~meta:[ ("label", z) ]
+          ~before:
+            (Plan.Select
+               {
+                 pred = zpred;
+                 input = Plan.Apply { var = z; subquery; input };
+               })
+          ~after:join ();
       (join, leftover)
   end
 

@@ -63,6 +63,40 @@ let verify_default () =
        plan in the test suite is phase-verified *)
     Sys.getenv_opt "INSIDE_DUNE" <> None
 
+(* --- translation validation (the certifier hook) ------------------------ *)
+
+type cert_target =
+  | Cert_logical of {
+      before : Plan.query;
+      after : Plan.query;
+      steps : Steps.step list;
+    }
+  | Cert_physical of Engine.Physical.query
+
+type certifier =
+  phase:string -> Cobj.Catalog.t -> cert_target -> (unit, string) result
+
+(* Like the verifier: an optional hook so [core] stays independent of the
+   analysis library. [Analysis.Certify.install] registers the real
+   certifier; without a registration certification is a no-op. *)
+let certifier_hook : certifier option ref = ref None
+let set_certifier c = certifier_hook := c
+
+let certify_default () =
+  match Sys.getenv_opt "NESTQL_CERTIFY" with
+  | Some ("0" | "false" | "no" | "off") -> false
+  | Some _ -> true
+  | None -> verify_default ()
+
+(* Fills property annotations (cardinality bounds, proven keys) into an
+   EXPLAIN ANALYZE tree; registered by [Analysis.Certify.install] alongside
+   the certifier. *)
+type annotator =
+  Cobj.Catalog.t -> Engine.Physical.query -> Engine.Stats.node -> unit
+
+let annotator_hook : annotator option ref = ref None
+let set_annotator a = annotator_hook := a
+
 let ( let* ) = Result.bind
 
 (* Every pipeline phase goes through this wrapper: a trace span (with Gc
@@ -86,8 +120,22 @@ let phase name f =
     v
   end
 
-let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
+let logical_of ~check ~cert ~cert_on ~rewrite ~reorder strategy catalog
+    resolved =
   let translate () = phase "translate" (fun () -> Translate.query catalog resolved) in
+  (* Run one optimizer phase with rewrite-step recording (when certifying),
+     then verify the phase output and certify the recorded steps. *)
+  let run_phase name f q0 =
+    let q, steps =
+      if cert_on then Steps.collect (fun () -> phase name (fun () -> f q0))
+      else (phase name (fun () -> f q0), [])
+    in
+    let* () = check ~phase:name (Logical q) in
+    let* () =
+      cert ~phase:name (Cert_logical { before = q0; after = q; steps })
+    in
+    Ok q
+  in
   match strategy with
   | Interp -> Ok None
   | Naive ->
@@ -103,23 +151,16 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
        block — listed as future work in the paper, handled here). *)
     let step q =
       Obs.Metrics.incr "optimizer.decorrelate.rounds";
-      let q = phase "decorrelate" (fun () -> Decorrelate.query q) in
-      let* () = check ~phase:"decorrelate" (Logical q) in
+      let* q = run_phase "decorrelate" Decorrelate.query q in
       let* q =
         if rewrite then begin
-          let q = phase "simplify" (fun () -> Simplify.query catalog q) in
-          let* () = check ~phase:"simplify" (Logical q) in
-          let q = phase "rewrite" (fun () -> Rewrite.query q) in
-          let* () = check ~phase:"rewrite" (Logical q) in
+          let* q = run_phase "simplify" (Simplify.query catalog) q in
+          let* q = run_phase "rewrite" Rewrite.query q in
           Ok q
         end
         else Ok q
       in
-      if reorder then begin
-        let q = phase "reorder" (fun () -> Reorder.query catalog q) in
-        let* () = check ~phase:"reorder" (Logical q) in
-        Ok q
-      end
+      if reorder then run_phase "reorder" (Reorder.query catalog) q
       else Ok q
     in
     let rec fixpoint n q =
@@ -136,14 +177,10 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
     Log.debug (fun m -> m "naive translation:@.%a" Plan.pp_query naive);
     let* q = fixpoint 5 naive in
     let* q =
-      if strategy = Decorrelated_outerjoin then begin
-        let q =
-          phase "nestjoin-as-outerjoin" (fun () ->
-              { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan })
-        in
-        let* () = check ~phase:"nestjoin-as-outerjoin" (Logical q) in
-        Ok q
-      end
+      if strategy = Decorrelated_outerjoin then
+        run_phase "nestjoin-as-outerjoin"
+          (fun q -> { q with Plan.plan = Kim.nestjoin_as_outerjoin q.Plan.plan })
+          q
       else Ok q
     in
     Ok (Some q)
@@ -163,8 +200,8 @@ let logical_of ~check ~rewrite ~reorder strategy catalog resolved =
     let* () = check ~phase:(strategy_name strategy) (Logical q) in
     Ok (Some q)
 
-let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
-    catalog expr =
+let compile ?options ?(rewrite = true) ?(reorder = true) ?verify ?certify
+    strategy catalog expr =
   let options =
     match options, strategy with
     | Some options, _ -> options
@@ -179,6 +216,9 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
   let verify =
     match verify with Some v -> v | None -> verify_default ()
   in
+  let certify =
+    match certify with Some c -> c | None -> certify_default ()
+  in
   let check ~phase:ph plan =
     if not verify then Ok ()
     else
@@ -186,12 +226,21 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
       | None -> Ok ()
       | Some f -> phase ("verify." ^ ph) (fun () -> f ~phase:ph catalog plan)
   in
+  let cert_on = certify && !certifier_hook <> None in
+  let cert ~phase:ph target =
+    if not cert_on then Ok ()
+    else
+      match !certifier_hook with
+      | None -> Ok ()
+      | Some f -> phase ("certify." ^ ph) (fun () -> f ~phase:ph catalog target)
+  in
   phase "compile" (fun () ->
       match phase "typecheck" (fun () -> Lang.Types.check_query catalog expr) with
       | Error err -> Error (Fmt.str "%a" Lang.Types.pp_error err)
       | Ok (resolved, _ty) ->
         let* logical =
-          logical_of ~check ~rewrite ~reorder strategy catalog resolved
+          logical_of ~check ~cert ~cert_on ~rewrite ~reorder strategy catalog
+            resolved
         in
         let physical =
           Option.map
@@ -200,7 +249,9 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
         in
         let* () =
           match physical with
-          | Some pq -> check ~phase:"plan" (Physical pq)
+          | Some pq ->
+            let* () = check ~phase:"plan" (Physical pq) in
+            cert ~phase:"plan" (Cert_physical pq)
           | None -> Ok ()
         in
         let* shredded =
@@ -241,9 +292,10 @@ let compile ?options ?(rewrite = true) ?(reorder = true) ?verify strategy
         in
         Ok { source = resolved; logical; physical; shredded; strategy })
 
-let compile_string ?options ?rewrite ?reorder ?verify strategy catalog src =
+let compile_string ?options ?rewrite ?reorder ?verify ?certify strategy
+    catalog src =
   let* expr = Lang.Parser.expr_result src in
-  compile ?options ?rewrite ?reorder ?verify strategy catalog expr
+  compile ?options ?rewrite ?reorder ?verify ?certify strategy catalog expr
 
 (* Cache keys. The normalized form is the canonical pretty-print of the
    parsed AST, so texts differing only in whitespace, comments or
@@ -313,10 +365,11 @@ let execute ?stats ?jobs ?bloom ?vector ?batch catalog compiled =
   | _ -> ());
   v
 
-let run ?options ?rewrite ?reorder ?verify ?stats ?jobs ?bloom ?vector ?batch
-    strategy catalog src =
+let run ?options ?rewrite ?reorder ?verify ?certify ?stats ?jobs ?bloom
+    ?vector ?batch strategy catalog src =
   let* compiled =
-    compile_string ?options ?rewrite ?reorder ?verify strategy catalog src
+    compile_string ?options ?rewrite ?reorder ?verify ?certify strategy
+      catalog src
   in
   match execute ?stats ?jobs ?bloom ?vector ?batch catalog compiled with
   | v -> Ok v
@@ -341,6 +394,34 @@ let record_vectorized_fraction tree =
       Obs.Metrics.set_gauge "exec.vectorized_fraction"
         (float_of_int !vec /. float_of_int !total)
   end
+
+(* Cross-check the certifier's proven [lo, hi] per-loop cardinality bounds
+   against the rows each operator actually produced: a violated bound means
+   the property inference was unsound — surfaced as a hard error, exactly
+   like a verifier violation. Only nodes the annotator stamped (bounds =
+   Some) and that actually ran (loops > 0) are checked; counters accumulate
+   across loops, so the interval scales by the loop count. *)
+let bounds_violation tree =
+  let fin f = if Float.is_finite f then Printf.sprintf "%.0f" f else "inf" in
+  let rec walk (n : Engine.Stats.node) =
+    let deeper () = List.find_map walk n.Engine.Stats.children in
+    match n.Engine.Stats.bounds with
+    | Some (lo, hi) when n.Engine.Stats.loops > 0 ->
+      let loops = float_of_int n.Engine.Stats.loops in
+      let actual =
+        float_of_int n.Engine.Stats.counters.Engine.Stats.rows_out
+      in
+      if actual < (lo *. loops) -. 0.5 || actual > (hi *. loops) +. 0.5 then
+        Some
+          (Printf.sprintf
+             "certified cardinality bound violated at %s %s: actual rows %.0f \
+              outside [%s, %s] × %d loops"
+             n.Engine.Stats.op n.Engine.Stats.detail actual (fin lo) (fin hi)
+             n.Engine.Stats.loops)
+      else deeper ()
+    | _ -> deeper ()
+  in
+  walk tree
 
 let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
   match compiled.shredded, compiled.physical with
@@ -370,6 +451,9 @@ let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
     let jobs = match jobs with Some j -> j | None -> default_jobs () in
     let tree = Engine.Analyze.tree_of_query pq in
     Cost.annotate catalog pq.Engine.Physical.plan tree;
+    (match !annotator_hook with
+    | Some f -> f catalog pq tree
+    | None -> ());
     let before = Obs.Memory.snapshot () in
     match
       phase "execute" (fun () ->
@@ -385,10 +469,15 @@ let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
       if Obs.Metrics.enabled () then
         record_exec_metrics (Engine.Stats.totals tree);
       record_vectorized_fraction tree;
-      let resultfn =
-        Engine.Compile.expr catalog pq.Engine.Physical.result
-      in
-      Ok (Cobj.Value.set (List.map resultfn produced), tree)
+      begin
+        match bounds_violation tree with
+        | Some msg -> Error msg
+        | None ->
+          let resultfn =
+            Engine.Compile.expr catalog pq.Engine.Physical.result
+          in
+          Ok (Cobj.Value.set (List.map resultfn produced), tree)
+      end
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
     | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
 

@@ -78,11 +78,58 @@ val verify_default : unit -> bool
     dune ([INSIDE_DUNE] — so [dune runtest] and the cram suite verify every
     phase by default). *)
 
+(** {1 Per-step certification (translation validation)}
+
+    Beyond phase-output verification, each optimizer phase can be
+    {e certified}: while the phase runs, every applied rewrite is recorded
+    as a [(rule, before, after)] step ({!Steps}), and the registered
+    certifier discharges per-rule proof obligations over the steps plus
+    whole-phase obligations over the before/after queries. Physical plans
+    are certified against inferred plan properties (the §6 nest-join
+    build-side legality via proven keys). Like the verifier, the certifier
+    lives in [analysis] ([Analysis.Certify.install]) and [core] only
+    defines the hook. *)
+
+type cert_target =
+  | Cert_logical of {
+      before : Algebra.Plan.query;  (** phase input *)
+      after : Algebra.Plan.query;   (** phase output *)
+      steps : Steps.step list;      (** rewrites applied, in order *)
+    }
+  | Cert_physical of Engine.Physical.query
+
+type certifier =
+  phase:string -> Cobj.Catalog.t -> cert_target -> (unit, string) result
+(** Certified phases: ["decorrelate"], ["simplify"], ["rewrite"],
+    ["reorder"] (per fixpoint round), ["nestjoin-as-outerjoin"]
+    ([Cert_logical]), and ["plan"] ([Cert_physical]). The intentionally
+    COUNT-buggy baselines (kim / ganski-wong / muralikrishna) are verified
+    but not certified. A certification failure aborts compilation with the
+    hook's message. *)
+
+val set_certifier : certifier option -> unit
+(** Register (or clear) the global certification hook. *)
+
+val certify_default : unit -> bool
+(** Default for [?certify]: [NESTQL_CERTIFY] when set (same spelling as
+    [NESTQL_VERIFY]), else {!verify_default} — so certification is on
+    under dune and under [NESTQL_VERIFY] exactly like the verifier. *)
+
+type annotator =
+  Cobj.Catalog.t -> Engine.Physical.query -> Engine.Stats.node -> unit
+(** Fills {!Engine.Stats.node.bounds} / [keys] property annotations into an
+    EXPLAIN ANALYZE tree before execution; {!analyze} then cross-checks the
+    actual row counts against the proven bounds and errors on any
+    violation. Registered by [Analysis.Certify.install]. *)
+
+val set_annotator : annotator option -> unit
+
 val compile :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
   ?verify:bool ->
+  ?certify:bool ->
   strategy ->
   Cobj.Catalog.t ->
   Lang.Ast.expr ->
@@ -91,13 +138,16 @@ val compile :
     after each decorrelation round; [reorder] (default true) additionally
     applies the §6 join-reordering equivalences. Both exist for the
     ablation benches. [verify] (default {!verify_default}) runs the
-    registered phase verifier after every optimizer phase. *)
+    registered phase verifier after every optimizer phase. [certify]
+    (default {!certify_default}) additionally records each rewrite step and
+    runs the registered certifier per phase. *)
 
 val compile_string :
   ?options:Planner.options ->
   ?rewrite:bool ->
   ?reorder:bool ->
   ?verify:bool ->
+  ?certify:bool ->
   strategy ->
   Cobj.Catalog.t ->
   string ->
@@ -154,6 +204,7 @@ val run :
   ?rewrite:bool ->
   ?reorder:bool ->
   ?verify:bool ->
+  ?certify:bool ->
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->

@@ -36,6 +36,10 @@ let sink catalog op label jp a b z =
       (Plan.Join { pred = jp; left = a; right = rebuild (op, label) b z })
   else None
 
+let record_sink before after =
+  if Steps.recording () then
+    Steps.record ~rule:"sink-below-join" ~before ~after ()
+
 let rec pass catalog plan =
   let plan = Plan.map_children (pass catalog) plan in
   match plan with
@@ -43,21 +47,27 @@ let rec pass catalog plan =
       { pred; func; label; left = Plan.Join { pred = jp; left = a; right = b };
         right = z } -> begin
     match sink catalog (`Nestjoin (pred, func)) (Some label) jp a b z with
-    | Some p -> pass catalog p
+    | Some p ->
+      record_sink plan p;
+      pass catalog p
     | None -> plan
   end
   | Plan.Semijoin
       { pred; left = Plan.Join { pred = jp; left = a; right = b }; right = z }
     -> begin
     match sink catalog (`Semi pred) None jp a b z with
-    | Some p -> pass catalog p
+    | Some p ->
+      record_sink plan p;
+      pass catalog p
     | None -> plan
   end
   | Plan.Antijoin
       { pred; left = Plan.Join { pred = jp; left = a; right = b }; right = z }
     -> begin
     match sink catalog (`Anti pred) None jp a b z with
-    | Some p -> pass catalog p
+    | Some p ->
+      record_sink plan p;
+      pass catalog p
     | None -> plan
   end
   | _ -> plan

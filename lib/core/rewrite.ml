@@ -35,54 +35,77 @@ let select pred input =
   | [] -> input
   | conjs -> Plan.Select { pred = Ast.conj conjs; input }
 
+let step rule ?meta before after =
+  if Steps.recording () then Steps.record ~rule ?meta ~before ~after ()
+
 (* One bottom-up pass; [live] = variables referenced above this node. *)
 let rec pass live plan =
   let plan = pass_children live plan in
   match plan with
   (* selection fusion *)
   | Plan.Select { pred = p; input = Plan.Select { pred = q; input } } ->
-    pass live (Plan.Select { pred = Ast.Binop (Ast.And, q, p); input })
+    let after = Plan.Select { pred = Ast.Binop (Ast.And, q, p); input } in
+    step "select-fuse" plan after;
+    pass live after
   (* selection pushdown *)
   | Plan.Select { pred; input = Plan.Join { pred = jp; left; right } } ->
     let ls, rs, both =
       partition_pred (Plan.vars_of left) (Plan.vars_of right) pred
     in
-    if ls = [] && rs = [] && both = [] then
-      Plan.Join { pred = jp; left; right }
-    else if ls = [] && rs = [] then
+    if ls = [] && rs = [] && both = [] then begin
+      let after = Plan.Join { pred = jp; left; right } in
+      step "select-true-elim" plan after;
+      after
+    end
+    else if ls = [] && rs = [] then begin
       (* merge two-sided conjuncts into the join predicate *)
-      Plan.Join { pred = Ast.conj (split_conjuncts jp @ both); left; right }
-    else
-      pass live
-        (Plan.Select
-           {
-             pred = Ast.conj both;
-             input =
-               Plan.Join
-                 { pred = jp; left = select (Ast.conj ls) left;
-                   right = select (Ast.conj rs) right };
-           })
+      let after =
+        Plan.Join { pred = Ast.conj (split_conjuncts jp @ both); left; right }
+      in
+      step "select-merge-into-join" plan after;
+      after
+    end
+    else begin
+      let after =
+        Plan.Select
+          {
+            pred = Ast.conj both;
+            input =
+              Plan.Join
+                { pred = jp; left = select (Ast.conj ls) left;
+                  right = select (Ast.conj rs) right };
+          }
+      in
+      step "select-pushdown-join" plan after;
+      pass live after
+    end
   | Plan.Select { pred; input = Plan.Semijoin jr }
     when pushable_left pred jr.left ->
-    push_into_left live pred (fun left -> Plan.Semijoin { jr with left })
+    push_into_left live plan pred (fun left -> Plan.Semijoin { jr with left })
       jr.left
   | Plan.Select { pred; input = Plan.Antijoin jr }
     when pushable_left pred jr.left ->
-    push_into_left live pred (fun left -> Plan.Antijoin { jr with left })
+    push_into_left live plan pred (fun left -> Plan.Antijoin { jr with left })
       jr.left
   | Plan.Select { pred; input = Plan.Outerjoin jr }
     when pushable_left pred jr.left ->
-    push_into_left live pred (fun left -> Plan.Outerjoin { jr with left })
+    push_into_left live plan pred (fun left -> Plan.Outerjoin { jr with left })
       jr.left
   | Plan.Select { pred; input = Plan.Nestjoin jr }
     when pushable_left pred jr.left ->
-    push_into_left live pred (fun left -> Plan.Nestjoin { jr with left })
+    push_into_left live plan pred (fun left -> Plan.Nestjoin { jr with left })
       jr.left
   (* dead nest join elimination: π_X (X Δ Y) = X *)
-  | Plan.Nestjoin { label; left; _ } when not (Sset.mem label live) -> left
+  | Plan.Nestjoin { label; left; _ } when not (Sset.mem label live) ->
+    step "dead-nestjoin-elim" ~meta:[ ("label", label) ] plan left;
+    left
   (* unit elimination *)
-  | Plan.Join { pred; left = Plan.Unit; right } when is_true pred -> right
-  | Plan.Join { pred; left; right = Plan.Unit } when is_true pred -> left
+  | Plan.Join { pred; left = Plan.Unit; right } when is_true pred ->
+    step "unit-elim" plan right;
+    right
+  | Plan.Join { pred; left; right = Plan.Unit } when is_true pred ->
+    step "unit-elim" plan left;
+    left
   | _ -> plan
 
 and pushable_left pred left =
@@ -92,13 +115,15 @@ and pushable_left pred left =
     (fun c -> Sset.subset (Ast.free_vars c) lset)
     (split_conjuncts pred)
 
-and push_into_left live pred rebuild left =
+and push_into_left live before pred rebuild left =
   let lset = Sset.of_list (Plan.vars_of left) in
   let ls, rest =
     List.partition
       (fun c -> Sset.subset (Ast.free_vars c) lset)
       (split_conjuncts pred)
   in
+  step "select-pushdown-left" before
+    (select (Ast.conj rest) (rebuild (select (Ast.conj ls) left)));
   let pushed = rebuild (pass live (select (Ast.conj ls) left)) in
   select (Ast.conj rest) pushed
 

@@ -168,7 +168,12 @@ let rec plan catalog p =
   match p with
   | Plan.Select { pred; input } -> begin
     match expr catalog pred with
-    | Ast.Const (Value.Bool true) -> input
+    | Ast.Const (Value.Bool true) ->
+      if Steps.recording () then
+        Steps.record ~rule:"select-true-elim"
+          ~before:(Plan.Select { pred; input })
+          ~after:input ();
+      input
     | pred -> Plan.Select { pred; input }
   end
   | Plan.Join r -> Plan.Join { r with pred = expr catalog r.pred }

@@ -1,0 +1,38 @@
+module Plan = Algebra.Plan
+
+type step = {
+  rule : string;
+  before : Plan.plan;
+  after : Plan.plan;
+  meta : (string * string) list;
+}
+
+(* The buffer is a plain global: compilation is single-domain (see
+   Pipeline.phase), and [collect] additionally serializes concurrent
+   compilers (server sessions) behind a mutex so one phase's steps never
+   interleave with another's. *)
+let lock = Mutex.create ()
+let buffer : step list ref option ref = ref None
+
+let recording () = !buffer <> None
+
+let record ~rule ?(meta = []) ~before ~after () =
+  match !buffer with
+  | None -> ()
+  | Some b -> b := { rule; before; after; meta } :: !b
+
+let collect f =
+  Mutex.lock lock;
+  buffer := Some (ref []);
+  match f () with
+  | v ->
+    let steps =
+      match !buffer with Some b -> List.rev !b | None -> []
+    in
+    buffer := None;
+    Mutex.unlock lock;
+    (v, steps)
+  | exception e ->
+    buffer := None;
+    Mutex.unlock lock;
+    raise e

@@ -1,0 +1,44 @@
+(** Rewrite-step recording for translation validation.
+
+    Each optimizer pass ([Decorrelate], [Simplify], [Rewrite], [Reorder])
+    records every applied rewrite as a [(rule, before, after)] triple while
+    a {!collect} scope is active; outside a scope {!record} is free (one
+    pointer test). The certifier ([Analysis.Certify]) replays the recorded
+    steps and discharges per-rule proof obligations — see
+    [docs/VERIFIER.md].
+
+    [before]/[after] are the local subplans around the rewrite site. For
+    the local algebraic identities (selection fusion and pushdown, dead
+    nest-join elimination, unit elimination, join reordering) the pair is
+    an exact equivalence: both sides denote the same row set. For the
+    decorrelation steps [before] is the original Select-over-Apply (resp.
+    Apply) shape and [after] the flattened join whose left operand has
+    already consumed the remaining conjuncts — the per-rule obligations
+    account for that (they check the classification side conditions rather
+    than row-set equality of the operands). *)
+
+type step = {
+  rule : string;  (** rule identifier, e.g. ["apply-to-semijoin"] *)
+  before : Algebra.Plan.plan;
+  after : Algebra.Plan.plan;
+  meta : (string * string) list;
+      (** rule-specific payload (e.g. [("label", z)]) *)
+}
+
+val recording : unit -> bool
+(** Whether a {!collect} scope is active (so callers can skip building the
+    [before]/[after] witnesses entirely when not). *)
+
+val record :
+  rule:string ->
+  ?meta:(string * string) list ->
+  before:Algebra.Plan.plan ->
+  after:Algebra.Plan.plan ->
+  unit ->
+  unit
+(** Append a step to the active scope; no-op outside one. *)
+
+val collect : (unit -> 'a) -> 'a * step list
+(** Run [f] with an empty step buffer and return its result together with
+    the steps recorded, in application order. Scopes are serialized by a
+    mutex (concurrent server compilations do not interleave steps). *)

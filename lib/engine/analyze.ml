@@ -140,9 +140,22 @@ let pp_counters ~timing ppf (c : Stats.t) =
   in
   List.iter (fun (name, v) -> Fmt.pf ppf " %s=%d" name v) fields
 
+let pp_bound ppf b =
+  if Float.is_finite b then Fmt.pf ppf "%.0f" b else Fmt.string ppf "∞"
+
 let pp_annot ~timing ppf (n : Stats.node) =
   Fmt.pf ppf "(est=%a actual=%d loops=%d" pp_est n.Stats.est_rows
     n.Stats.counters.Stats.rows_out n.Stats.loops;
+  (* Property annotations appear only when an annotator stamped them
+     ([Analysis.Certify]), so un-certified output is unchanged. *)
+  (match n.Stats.bounds with
+  | Some (lo, hi) -> Fmt.pf ppf " bounds=[%a,%a]" pp_bound lo pp_bound hi
+  | None -> ());
+  (match n.Stats.keys with
+  | [] -> ()
+  | keys ->
+    Fmt.pf ppf " keys=%s"
+      (String.concat "|" (List.map (Printf.sprintf "{%s}") keys)));
   if timing then begin
     Fmt.pf ppf " time=%.3fms" (Int64.to_float n.Stats.time_ns /. 1e6);
     (* Like the partition counters, the engine marker hides behind
@@ -187,6 +200,20 @@ let rec to_json ?(timing = true) (n : Stats.node) =
            ("rows_out", Json.Int c.Stats.rows_out);
            ("loops", Json.Int n.Stats.loops);
          ];
+         (* Property annotations, present only when a certifying annotator
+            stamped the tree. An unbounded hi renders as null (valid JSON
+            stands in for ∞ — see Json.float_repr). *)
+         (match n.Stats.bounds with
+         | Some (lo, hi) ->
+           [
+             ("bounds_lo", Json.Float lo);
+             ("bounds_hi", if Float.is_finite hi then Json.Float hi else Json.Null);
+           ]
+         | None -> []);
+         (match n.Stats.keys with
+         | [] -> []
+         | keys ->
+           [ ("keys", Json.List (List.map (fun k -> Json.String k) keys)) ]);
          (* Partition and Gc fields ride under the [timing] flag: like
             wall-clock they are jobs/load-dependent, and --no-timing is the
             documented way to get jobs-invariant, diffable JSON. *)

@@ -84,6 +84,8 @@ type node = {
   mutable loops : int;
   mutable time_ns : int64;
   mutable est_rows : float;
+  mutable bounds : (float * float) option;
+  mutable keys : string list;
   mutable gc : Obs.Memory.delta option;
   mutable vectorized : bool;
   children : node list;
@@ -97,6 +99,8 @@ let node ~op ~detail children =
     loops = 0;
     time_ns = 0L;
     est_rows = Float.nan;
+    bounds = None;
+    keys = [];
     gc = None;
     vectorized = false;
     children;

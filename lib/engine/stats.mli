@@ -58,6 +58,13 @@ type node = {
       (** inclusive wall-clock (children included), summed over loops *)
   mutable est_rows : float;
       (** cost-model estimate; [nan] until annotated (see [Core.Cost]) *)
+  mutable bounds : (float * float) option;
+      (** proven [lo, hi] output-cardinality bounds per invocation;
+          [None] until a property annotator fills them in
+          ([Analysis.Certify] via [Core.Pipeline.set_annotator]) *)
+  mutable keys : string list;
+      (** proven candidate keys of the output rows, pretty-printed
+          (e.g. ["x.a"]; [[]] until annotated) *)
   mutable gc : Obs.Memory.delta option;
       (** Gc delta over this node's execution; only the root is filled
           in (by [Core.Pipeline.analyze]) — per-operator deltas would
@@ -75,7 +82,7 @@ val node : op:string -> detail:string -> node list -> node
 
 val reset_node : node -> unit
 (** Zero counters, loops and timings over the whole tree (keeps
-    [est_rows]). *)
+    [est_rows], [bounds] and [keys]). *)
 
 val sum_into : t -> node -> unit
 (** Accumulate every node's counters of the tree into a flat total. *)

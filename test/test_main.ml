@@ -27,6 +27,7 @@ let () =
       ("bloom", Test_bloom.suite);
       ("batch", Test_batch.suite);
       ("verify", Test_verify.suite);
+      ("certify", Test_certify.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
       ("shred", Test_shred.suite);
