@@ -144,6 +144,34 @@ def validate_server(doc):
                 f" {warm_result:.3f} ms"
                 f" ({srv.get('result_speedup', float('nan')):.1f}x)"
             )
+    # Tail-latency fields are newer than some committed baselines, so
+    # their absence is tolerated; when present they must be internally
+    # consistent — quantiles ordered and the instrumented run attributed
+    # to a real operator — which holds on any hardware.
+    p50, p95, p99 = (
+        srv.get("request_p50_us"),
+        srv.get("request_p95_us"),
+        srv.get("request_p99_us"),
+    )
+    if usable(p50) or usable(p95) or usable(p99):
+        if not (usable(p50) and usable(p95) and usable(p99)):
+            print(f"FAIL: server: partial latency quantiles (p50={p50} p95={p95} p99={p99})")
+            ok = False
+        elif not (p50 <= p95 <= p99):
+            print(
+                f"FAIL: server: quantiles out of order: p50 {p50:.0f} us,"
+                f" p95 {p95:.0f} us, p99 {p99:.0f} us"
+            )
+            ok = False
+        elif not srv.get("hot_op"):
+            print("FAIL: server: instrumented run attributed no hot operator")
+            ok = False
+        else:
+            print(
+                f"ok: server: warm-plan p50 {p50:.0f} us, p95 {p95:.0f} us,"
+                f" p99 {p99:.0f} us over {srv.get('latency_samples')} requests,"
+                f" hottest operator {srv.get('hot_op')}"
+            )
     return ok
 
 
@@ -229,6 +257,18 @@ def compare(current, baseline, advisory=False):
         print(f"{verdict}: server.{field}: {b:.3f} -> {c:.3f} ms ({ratio:.2f}x)")
         if ratio > THRESHOLD and not advisory:
             ok = False
+    # Tail-latency watch: always advisory. p95 is a single-order
+    # statistic over a couple hundred requests, so one scheduler hiccup
+    # moves it — worth a WARN in the log, never a gate. Absent on older
+    # baselines, in which case there is nothing to compare.
+    c, b = cur_srv.get("request_p95_us"), base_srv.get("request_p95_us")
+    if usable(c) and usable(b):
+        ratio = c / b
+        verdict = "WARN" if ratio > THRESHOLD else "ok"
+        print(
+            f"{verdict}: server.request_p95_us: {b:.0f} -> {c:.0f} us"
+            f" ({ratio:.2f}x, advisory)"
+        )
     cur_vec = {e["query"]: e for e in current.get("vector") or []}
     base_vec = {e["query"]: e for e in baseline.get("vector") or []}
     for qname, base_e in base_vec.items():

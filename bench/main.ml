@@ -574,6 +574,53 @@ let server_case ~suite =
   let cold_ms = timed (fun () -> ignore (ask ~cache:false cold_cache)) in
   let warm_plan_ms = timed (fun () -> ignore (ask plan_cache)) in
   let warm_result_ms = timed (fun () -> ignore (ask result_cache)) in
+  (* Tail latency on the warm-plan tier, through the same log-scaled
+     histogram geometry the live scrape endpoint serves: each request is
+     timed individually and observed in microseconds, and the quantiles
+     come from [Obs.Metrics.quantile] — so a regression here is exactly
+     what a production p95 alert on nestql_server_request_us would see. *)
+  let hist = "bench.server.request.us" in
+  Obs.Metrics.enable ();
+  let reqs = if suite = "smoke" then 64 else 256 in
+  for _ = 1 to reqs do
+    let ns, _ = Harness.time_once (fun () -> ask plan_cache) in
+    Obs.Metrics.observe hist (int_of_float (ns /. 1e3))
+  done;
+  let p50_us = Obs.Metrics.quantile hist 0.50 in
+  let p95_us = Obs.Metrics.quantile hist 0.95 in
+  let p99_us = Obs.Metrics.quantile hist 0.99 in
+  (* One instrumented cold execution attributes the request to its
+     hottest operator, the same way a slow-query log line would. *)
+  let hot =
+    match
+      Server.Cache.query cold_cache ~cache:false ~instrument:true strategy
+        catalog q
+    with
+    | Error _ -> failwith "server bench: instrumented query failed"
+    | Ok r -> (
+      match r.Server.Cache.tree with
+      | None -> None
+      | Some tree -> (
+        match Engine.Profile.top ~k:1 (Engine.Profile.of_node tree) with
+        | row :: _ -> Some row
+        | [] -> None))
+  in
+  let hot_op = match hot with Some r -> r.Engine.Profile.op | None -> "" in
+  let hot_self_ms =
+    match hot with
+    | Some r -> Int64.to_float r.Engine.Profile.self_ns /. 1e6
+    | None -> 0.
+  in
+  Harness.print_table
+    ~title:
+      (Printf.sprintf "server warm-plan latency distribution (%d requests)"
+         reqs)
+    ~header:[ "p50 us"; "p95 us"; "p99 us"; "hottest operator" ]
+    [
+      [ Printf.sprintf "%.0f" p50_us; Printf.sprintf "%.0f" p95_us;
+        Printf.sprintf "%.0f" p99_us;
+        Printf.sprintf "%s (%.3f self-ms)" hot_op hot_self_ms ];
+    ];
   Harness.print_table
     ~title:
       (Printf.sprintf "server request latency, cache tiers (n=%d)" scale)
@@ -595,6 +642,12 @@ let server_case ~suite =
       ("result_speedup", Json.Float (cold_ms /. warm_result_ms));
       ("plan_hits", Json.Int (Server.Cache.plan_hits plan_cache));
       ("result_hits", Json.Int (Server.Cache.result_hits result_cache));
+      ("latency_samples", Json.Int reqs);
+      ("request_p50_us", Json.Float p50_us);
+      ("request_p95_us", Json.Float p95_us);
+      ("request_p99_us", Json.Float p99_us);
+      ("hot_op", Json.String hot_op);
+      ("hot_self_ms", Json.Float hot_self_ms);
     ]
 
 let headline ~suite ~limit ~quota () =

@@ -244,10 +244,35 @@ let misest_arg =
            responsible catalog statistic (or fallback constant) named. \
            Included automatically in $(b,--explain-analyze) output.")
 
+let profile_arg =
+  Arg.(
+    value & flag
+    & info [ "profile" ]
+        ~doc:
+          "Execute under per-operator instrumentation and print the \
+           self-time profile: exclusive wall-clock per physical operator \
+           (inclusive time minus the children's), hottest first, with \
+           rows/self-ms and vectorized / bloom / partition annotations, \
+           followed by an inclusive flame view of the plan tree. With \
+           $(b,--explain-analyze) the profile is embedded in the analysis \
+           output; with $(b,--json) it is emitted as a JSON document. \
+           Timing-class output — suppressed by $(b,--no-timing).")
+
+let slow_ms_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "slow-ms" ] ~docv:"MS"
+        ~doc:
+          "Slow-query log threshold: when execution takes at least $(docv) \
+           milliseconds, append one structured \"slow.query\" line to the \
+           query log ($(b,NESTQL_QUERY_LOG)) carrying the plan digest, the \
+           top self-time operators and the worst misestimates. 0 logs \
+           every query.")
+
 let run_cmd =
   let run name file seed scale strategy show_stats explain_analyze json
       no_timing jobs no_bloom no_vector batch misest_floor verify certify
-      verbose trace misest query =
+      verbose trace misest profile slow_ms query =
     setup_logs verbose;
     let verify = if verify then Some true else None in
     let certify = if certify then Some true else None in
@@ -294,8 +319,9 @@ let run_cmd =
                    the instrumented executor (operator spans, actual row
                    counts); the result value is identical either way. *)
                 let instrument =
-                  explain_analyze || misest
-                  || ((trace <> None || Obs.Qlog.enabled ())
+                  explain_analyze || misest || profile
+                  || ((trace <> None || slow_ms <> None
+                      || Obs.Qlog.enabled ())
                      && compiled.Core.Pipeline.physical <> None)
                 in
                 let stats = Engine.Stats.create () in
@@ -338,11 +364,27 @@ let run_cmd =
                   | Some t when explain_analyze ->
                     let rendered =
                       Core.Pipeline.render_analysis ~json
-                        ~timing:(not no_timing) ?misest_floor ~catalog
-                        compiled t
+                        ~timing:(not no_timing) ~profile ?misest_floor
+                        ~catalog compiled t
                     in
                     if json then print_endline rendered
                     else print_string rendered
+                  | Some t when profile ->
+                    if json then
+                      print_endline
+                        (Engine.Json.to_string
+                           (Engine.Profile.to_json
+                              (Engine.Profile.of_node t)))
+                    else begin
+                      Fmt.pr "%a@." Cobj.Value.pp v;
+                      if show_stats then
+                        Fmt.pr "-- %a@." Engine.Stats.pp stats;
+                      if not no_timing then begin
+                        Fmt.pr "%a@." Engine.Profile.pp
+                          (Engine.Profile.of_node t);
+                        Fmt.pr "flame:@.%a" Engine.Profile.pp_flame t
+                      end
+                    end
                   | _ ->
                     Fmt.pr "%a@." Cobj.Value.pp v;
                     if show_stats then
@@ -380,6 +422,64 @@ let run_cmd =
                     match trace with
                     | Some path -> [ ("trace", Obs.Trace.Str path) ]
                     | None -> []);
+                  (* Slow-query log: one structured line per offending
+                     query, greppable by plan digest. Mirrors the serve
+                     daemon's slow.query schema minus the cache fields. *)
+                  (match slow_ms with
+                  | Some threshold_ms when ms >= float_of_int threshold_ms
+                    ->
+                    let hot =
+                      match tree with
+                      | None -> ""
+                      | Some t ->
+                        String.concat ","
+                          (List.map
+                             (fun (r : Engine.Profile.row) ->
+                               Printf.sprintf "%s=%.3fms" r.Engine.Profile.op
+                                 (Int64.to_float r.Engine.Profile.self_ns
+                                 /. 1e6))
+                             (Engine.Profile.top ~k:5
+                                (Engine.Profile.of_node t)))
+                    in
+                    let misest_s =
+                      String.concat ";"
+                        (List.filteri (fun i _ -> i < 3) entries
+                        |> List.map (fun (e : Core.Misest.entry) ->
+                               Printf.sprintf "%.1fx-%s %s"
+                                 e.Core.Misest.factor
+                                 (if e.Core.Misest.under then "under"
+                                  else "over")
+                                 e.Core.Misest.op))
+                    in
+                    Obs.Qlog.emit
+                      [
+                        ("event", Obs.Trace.Str "slow.query");
+                        ( "strategy",
+                          Obs.Trace.Str
+                            (Core.Pipeline.strategy_name
+                               compiled.Core.Pipeline.strategy) );
+                        ( "jobs",
+                          Obs.Trace.Int
+                            (match jobs with
+                            | Some j -> j
+                            | None -> Core.Pipeline.default_jobs ()) );
+                        ( "rows",
+                          Obs.Trace.Int
+                            (match v with
+                            | Cobj.Value.Set l | Cobj.Value.List l ->
+                              List.length l
+                            | _ -> 1) );
+                        ("ms", Obs.Trace.Num ms);
+                        ("threshold_ms", Obs.Trace.Int threshold_ms);
+                        ( "plan_digest",
+                          Obs.Trace.Str
+                            (Core.Pipeline.plan_digest
+                               compiled.Core.Pipeline.strategy catalog
+                               compiled.Core.Pipeline.source) );
+                        ("hot", Obs.Trace.Str hot);
+                        ("misest", Obs.Trace.Str misest_s);
+                      ]
+                  | _ -> ());
                   0)))
   in
   Cmd.v
@@ -392,7 +492,7 @@ let run_cmd =
       $ stats_arg $ explain_analyze_arg $ json_arg $ no_timing_arg $ jobs_arg
       $ no_bloom_arg $ no_vector_arg $ batch_arg $ misest_floor_arg
       $ verify_arg $ certify_arg $ verbose_arg $ trace_arg $ misest_arg
-      $ query_arg)
+      $ profile_arg $ slow_ms_arg $ query_arg)
 
 let explain_cmd =
   let explain name file seed scale strategy verbose query =
@@ -991,7 +1091,7 @@ let timeout_arg =
 
 let serve_cmd =
   let serve socket port name file seed scale strategy jobs plan_cache
-      result_cache timeout_ms trace quiet =
+      result_cache timeout_ms slow_ms http_metrics trace quiet =
     setup_logs false;
     match jobs with
     | Some n when n < 1 ->
@@ -1017,6 +1117,8 @@ let serve_cmd =
               plan_capacity = plan_cache;
               result_capacity = result_cache;
               timeout_ms;
+              slow_ms;
+              http_port = http_metrics;
               quiet;
             }
           in
@@ -1053,6 +1155,29 @@ let serve_cmd =
       value & flag
       & info [ "quiet" ] ~doc:"Suppress the stderr lifecycle lines.")
   in
+  let serve_slow_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-query log threshold: queries at or over $(docv) \
+             milliseconds emit one structured \"slow.query\" line to the \
+             query log ($(b,NESTQL_QUERY_LOG)) with the plan digest, \
+             cache outcomes, top self-time operators and worst \
+             misestimates. Queries run instrumented when set; results \
+             are identical. 0 logs every query.")
+  in
+  let http_metrics_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "http-metrics" ] ~docv:"PORT"
+          ~doc:
+            "Serve the metrics registry over HTTP on \
+             localhost:$(docv): $(b,GET /metrics) answers Prometheus \
+             exposition text, $(b,GET /healthz) the readiness probe \
+             (503 once shutdown begins). 0 picks an ephemeral port \
+             (logged on stderr).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1062,7 +1187,8 @@ let serve_cmd =
     Term.(
       const serve $ socket_arg $ port_arg $ catalog_arg $ file_arg $ seed_arg
       $ scale_arg $ strategy_arg $ jobs_arg $ plan_cache_arg
-      $ result_cache_arg $ timeout_arg $ trace_arg $ quiet_arg)
+      $ result_cache_arg $ timeout_arg $ serve_slow_arg $ http_metrics_arg
+      $ trace_arg $ quiet_arg)
 
 let client_cmd =
   let module Json = Engine.Json in
@@ -1102,6 +1228,8 @@ let client_cmd =
       | true, line, _ -> Ok (List.init repeat (fun _ -> line))
       | false, "ping", _ -> Ok [ Server.Client.obj ~op:"ping" [] ]
       | false, "metrics", _ -> Ok [ Server.Client.obj ~op:"metrics" [] ]
+      | false, ("metrics-prom" | "metrics_prom"), _ ->
+        Ok [ Server.Client.obj ~op:"metrics_prom" [] ]
       | false, "shutdown", _ -> Ok [ Server.Client.obj ~op:"shutdown" [] ]
       | false, "query", Some q ->
         let q = if Sys.file_exists q then load_query_file q else q in
@@ -1141,7 +1269,8 @@ let client_cmd =
       | false, other, _ ->
         Error
           (Printf.sprintf
-             "unknown op %s (try: ping, query, catalog, metrics, shutdown)"
+             "unknown op %s (try: ping, query, catalog, metrics, \
+              metrics-prom, shutdown)"
              other)
     in
     match lines with
@@ -1166,12 +1295,15 @@ let client_cmd =
                   else
                     match Server.Protocol.member "ok" reply with
                     | Some (Json.Bool true) ->
-                      (match Server.Protocol.member "metrics" reply with
-                      | Some m -> render_metrics m
-                      | None -> (
-                        match Server.Protocol.member "result" reply with
-                        | Some (Json.String s) -> print_endline s
-                        | _ -> print_endline (Json.to_string reply)));
+                      (match Server.Protocol.member "prom" reply with
+                      | Some (Json.String page) -> print_string page
+                      | _ -> (
+                        match Server.Protocol.member "metrics" reply with
+                        | Some m -> render_metrics m
+                        | None -> (
+                          match Server.Protocol.member "result" reply with
+                          | Some (Json.String s) -> print_endline s
+                          | _ -> print_endline (Json.to_string reply))));
                       send rest
                     | _ ->
                       let code, message =
@@ -1236,8 +1368,9 @@ let client_cmd =
     Arg.(
       required & pos 0 (some string) None
       & info [] ~docv:"OP"
-          ~doc:"ping, query, catalog, metrics or shutdown (or a raw line \
-                with $(b,--raw)).")
+          ~doc:"ping, query, catalog, metrics, metrics-prom (Prometheus \
+                exposition text) or shutdown (or a raw line with \
+                $(b,--raw)).")
   in
   let arg_arg =
     Arg.(
@@ -1257,9 +1390,241 @@ let client_cmd =
       $ raw_arg $ client_json_arg $ file_arg $ seed_arg $ scale_arg $ op_arg
       $ arg_arg)
 
+(* nestql top — a live monitor over a running serve: polls the [metrics]
+   op and renders qps, latency quantiles, cache hit rates, queue depth
+   and the hottest operators from deltas between successive dumps. All
+   derivation is client-side; the server only ever serves its registry. *)
+let top_cmd =
+  let module Json = Engine.Json in
+  (* Decode one [metrics] reply into scalars (counters + gauges) and
+     sparse histogram buckets, both keyed by metric name. *)
+  let decode_sample reply =
+    match Server.Protocol.member "metrics" reply with
+    | Some (Json.Obj fields) ->
+      let scalars = ref [] and hists = ref [] in
+      List.iter
+        (fun (name, v) ->
+          match v with
+          | Json.Obj props -> (
+            match List.assoc_opt "type" props with
+            | Some (Json.String "counter") -> (
+              match List.assoc_opt "value" props with
+              | Some (Json.Int n) ->
+                scalars := (name, float_of_int n) :: !scalars
+              | _ -> ())
+            | Some (Json.String "gauge") -> (
+              match List.assoc_opt "value" props with
+              | Some (Json.Float g) -> scalars := (name, g) :: !scalars
+              | _ -> ())
+            | Some (Json.String "histogram") ->
+              let buckets =
+                match List.assoc_opt "buckets" props with
+                | Some (Json.List bs) ->
+                  List.filter_map
+                    (function
+                      | Json.Obj p -> (
+                        match
+                          ( List.assoc_opt "bucket" p,
+                            List.assoc_opt "count" p )
+                        with
+                        | Some (Json.Int i), Some (Json.Int c) ->
+                          Some (i, c)
+                        | _ -> None)
+                      | _ -> None)
+                    bs
+                | _ -> []
+              in
+              hists := (name, buckets) :: !hists
+            | _ -> ())
+          | _ -> ())
+        fields;
+      Some (!scalars, !hists)
+    | _ -> None
+  in
+  let scalar s name =
+    match List.assoc_opt name s with Some v -> v | None -> 0.
+  in
+  (* Quantile over delta'd buckets: same log-scaled geometry and linear
+     interpolation as Obs.Metrics.quantile, but client-side, over the
+     window between two scrapes rather than the whole process life. *)
+  let quantile_of q buckets =
+    let buckets =
+      List.sort compare (List.filter (fun (_, c) -> c > 0) buckets)
+    in
+    let total = List.fold_left (fun a (_, c) -> a + c) 0 buckets in
+    if total = 0 then None
+    else begin
+      let target = q *. float_of_int total in
+      let rec go cum = function
+        | [] -> None
+        | (i, c) :: rest ->
+          let cum' = cum + c in
+          if float_of_int cum' >= target then begin
+            let lo = float_of_int (Obs.Metrics.bucket_lo i)
+            and hi = float_of_int (Obs.Metrics.bucket_hi i) in
+            let frac = (target -. float_of_int cum) /. float_of_int c in
+            Some (lo +. ((hi -. lo) *. Float.max 0. frac))
+          end
+          else go cum' rest
+      in
+      go 0 buckets
+    end
+  in
+  let hist_delta prev cur name =
+    let get h =
+      match List.assoc_opt name h with Some b -> b | None -> []
+    in
+    let pb = get prev in
+    List.filter_map
+      (fun (i, c) ->
+        let p = match List.assoc_opt i pb with Some n -> n | None -> 0 in
+        if c - p > 0 then Some (i, c - p) else None)
+      (get cur)
+  in
+  let pct hits misses =
+    let t = hits +. misses in
+    if t <= 0. then "-" else Printf.sprintf "%.1f%%" (100. *. hits /. t)
+  in
+  let render ~clear ~n ~dt (ps, ph) (cs, ch) =
+    if clear then Fmt.pr "\027[2J\027[H";
+    let d name = Float.max 0. (scalar cs name -. scalar ps name) in
+    Fmt.pr "nestql top — sample %d, %.1fs window@." n dt;
+    let requests = d "server.requests" in
+    Fmt.pr "  requests      %.0f total, %.0f in window (%.1f qps)@."
+      (scalar cs "server.requests") requests
+      (if dt > 0. then requests /. dt else 0.);
+    let lat = hist_delta ph ch "server.request.us" in
+    let p q =
+      match quantile_of q lat with
+      | Some us -> Printf.sprintf "%.2fms" (us /. 1000.)
+      | None -> "-"
+    in
+    Fmt.pr "  latency       p50 %s  p95 %s  p99 %s@." (p 0.5) (p 0.95)
+      (p 0.99);
+    Fmt.pr "  plan cache    hit %s (%.0f hits / %.0f misses in window)@."
+      (pct (d "server.cache.plan.hits") (d "server.cache.plan.misses"))
+      (d "server.cache.plan.hits")
+      (d "server.cache.plan.misses");
+    Fmt.pr "  result cache  hit %s (%.0f hits / %.0f misses in window)@."
+      (pct (d "server.cache.result.hits") (d "server.cache.result.misses"))
+      (d "server.cache.result.hits")
+      (d "server.cache.result.misses");
+    Fmt.pr
+      "  sessions      %.0f active, queue depth %.0f, slow %.0f, errors \
+       %.0f@."
+      (scalar cs "server.sessions.active")
+      (scalar cs "server.queue.depth")
+      (scalar cs "server.slow_queries")
+      (scalar cs "server.request.errors");
+    let prefix = "profile.self_us." in
+    let plen = String.length prefix in
+    let hot =
+      List.filter_map
+        (fun (name, v) ->
+          if String.length name > plen && String.sub name 0 plen = prefix
+          then begin
+            let dv = v -. scalar ps name in
+            if dv > 0. then
+              Some (String.sub name plen (String.length name - plen), dv)
+            else None
+          end
+          else None)
+        cs
+      |> List.sort (fun (_, a) (_, b) -> compare b a)
+    in
+    match hot with
+    | [] -> ()
+    | hot ->
+      Fmt.pr "  hot operators (self-time in window):@.";
+      List.iteri
+        (fun i (op, us) ->
+          if i < 5 then Fmt.pr "    %-24s %8.2fms@." op (us /. 1000.))
+        hot
+  in
+  let top socket port wait_ms interval iterations no_clear =
+    setup_logs false;
+    match Server.Client.connect ~wait_ms (bind_of ~socket ~port) with
+    | Error msg ->
+      Fmt.epr "nestql: cannot connect: %s@." msg;
+      1
+    | Ok conn ->
+      Fun.protect
+        ~finally:(fun () -> Server.Client.close conn)
+        (fun () ->
+          let sample () =
+            match
+              Server.Client.request conn (Server.Client.obj ~op:"metrics" [])
+            with
+            | Error msg ->
+              Fmt.epr "nestql: %s@." msg;
+              None
+            | Ok reply -> (
+              match decode_sample reply with
+              | Some s -> Some (Unix.gettimeofday (), s)
+              | None ->
+                Fmt.epr "nestql: malformed metrics reply@.";
+                None)
+          in
+          let rec loop n prev =
+            match sample () with
+            | None -> 1
+            | Some (at, cur) ->
+              let pat, prev_sample =
+                match prev with Some p -> p | None -> (at, ([], []))
+              in
+              render ~clear:(not no_clear) ~n ~dt:(at -. pat) prev_sample
+                cur;
+              if iterations > 0 && n >= iterations then 0
+              else begin
+                Unix.sleepf interval;
+                loop (n + 1) (Some (at, cur))
+              end
+          in
+          loop 1 None)
+  in
+  let wait_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "wait" ] ~docv:"MS"
+          ~doc:"Retry the connection for up to $(docv) milliseconds.")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "interval" ] ~docv:"SECS"
+          ~doc:"Seconds between samples.")
+  in
+  let iterations_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "iterations" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) samples (0: run until interrupted). The \
+             first sample has an empty window — rates and quantiles show \
+             from the second on.")
+  in
+  let no_clear_arg =
+    Arg.(
+      value & flag
+      & info [ "no-clear" ]
+          ~doc:
+            "Do not clear the screen between samples; append them — for \
+             piping and tests.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live monitor of a running $(b,nestql serve): polls the metrics \
+          op and shows qps, latency quantiles, cache hit rates, queue \
+          depth and the hottest operators, derived from deltas between \
+          successive samples.")
+    Term.(
+      const top $ socket_arg $ port_arg $ wait_arg $ interval_arg
+      $ iterations_arg $ no_clear_arg)
+
 let () =
   let doc = "nested-query optimization in a complex object model" in
   let info = Cmd.info "nestql" ~version:"1.0.0" ~doc in
   exit (Cmd.eval' (Cmd.group info
        [ run_cmd; explain_cmd; check_cmd; stats_cmd; table2_cmd; catalog_cmd;
-         repl_cmd; demo_cmd; serve_cmd; client_cmd ]))
+         repl_cmd; demo_cmd; serve_cmd; client_cmd; top_cmd ]))

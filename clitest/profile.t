@@ -1,0 +1,98 @@
+Production telemetry surfaces: `--profile` prints per-operator
+self-time attribution, `--slow-ms` writes a structured slow-query log
+line, `client metrics-prom` serves the Prometheus exposition, and
+`nestql top` renders a live view over a server's metrics dump. Times
+and rates are masked; operator structure, row counts, digests and
+Prometheus families are deterministic (fixed seed and scale, --jobs 1).
+
+  $ Q="SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y WHERE x.b = y.b)"
+
+The standalone profile prints the result, the self-time table and a
+flame view. The flame view is plan preorder, so it is structurally
+deterministic; the table's hottest-first order is timing-dependent, so
+only its shape is asserted:
+
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --profile "$Q" > prof.out
+  $ head -1 prof.out
+  {16, 20, 22, 25, 35, 37, 38}
+  $ sed -n '2p' prof.out | sed -E 's/[0-9.]+//g'
+  profile: wall ms,  operators (self-time order)
+  $ grep -Ec '^ +[0-9.]+ +[0-9.]+% ' prof.out
+  3
+  $ sed -n '/^flame:/,$p' prof.out | sed -E 's/[0-9]+\.[0-9]+/_/g'
+  flame:
+  hash-semijoin [(k0 = x.b, k1 = x.a) = (k0 = y.b, k1 = y.a)]  self=_ms total=_ms
+    scan X x  self=_ms total=_ms
+    scan Y y  self=_ms total=_ms
+
+The JSON profile carries the telescoping-sum contract: per-operator
+exclusive times never exceed the root's wall time, serial or parallel:
+
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --profile --json "$Q" | python3 -c "
+  > import json, sys
+  > doc = json.load(sys.stdin)
+  > ops = doc['operators']
+  > assert sum(o['self_ns'] for o in ops) <= doc['wall_ns']
+  > assert all(o['self_ns'] <= o['total_ns'] for o in ops)
+  > print(sorted((o['op'], o['rows_out']) for o in ops))"
+  [('hash-semijoin', 7), ('scan', 40), ('scan', 40)]
+  $ ../bin/nestql.exe run -n 40 --jobs 4 --profile --json "$Q" | python3 -c "
+  > import json, sys
+  > doc = json.load(sys.stdin)
+  > ops = doc['operators']
+  > assert sum(o['self_ns'] for o in ops) <= doc['wall_ns']
+  > print(sorted((o['op'], o['rows_out']) for o in ops))"
+  [('hash-semijoin', 7), ('scan', 40), ('scan', 40)]
+
+With --explain-analyze the profile is embedded in the analysis output;
+--no-timing suppresses it together with the other wall-clock fields:
+
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --explain-analyze --profile "$Q" | grep -c '^profile:'
+  1
+  $ ../bin/nestql.exe run -n 40 --jobs 1 --explain-analyze --profile --no-timing "$Q" | grep -c '^profile:'
+  0
+  [1]
+
+A query at or over the --slow-ms threshold appends one slow.query line
+to the query log with the plan digest, hot operators and worst
+misestimates (threshold 0 forces it); under the threshold the log
+stays quiet:
+
+  $ NESTQL_QUERY_LOG=- ../bin/nestql.exe run -n 40 --jobs 1 --slow-ms 0 "$Q" 2>&1 >/dev/null | grep slow.query | sed -E 's/"ms":[0-9.e+-]+/"ms":_/; s/"hot":"[^"]*"/"hot":"..."/'
+  {"event":"slow.query","strategy":"decorrelated","jobs":1,"rows":7,"ms":_,"threshold_ms":0,"plan_digest":"9defdfad1310b4e8bb0ec0b720a0a2d5","hot":"...","misest":"5.7x-over hash-semijoin;1.0x-over scan;1.0x-over scan"}
+  $ NESTQL_QUERY_LOG=- ../bin/nestql.exe run -n 40 --jobs 1 --slow-ms 60000 "$Q" 2>&1 >/dev/null | grep -c slow.query
+  0
+  [1]
+
+The slow line's hot field names the top self-time operators:
+
+  $ NESTQL_QUERY_LOG=- ../bin/nestql.exe run -n 40 --jobs 1 --slow-ms 0 "$Q" 2>&1 >/dev/null | grep slow.query | grep -c 'hash-semijoin=[0-9.]*ms'
+  1
+
+Server mode: metrics-prom returns the same registry as the HTTP scrape
+endpoint, in Prometheus text exposition format. The checker validates
+the format, the family catalog and the strategy/cache labels on the
+query-duration histogram:
+
+  $ ../bin/nestql.exe serve --socket prof.sock -n 40 --quiet 2> server.log &
+  $ ../bin/nestql.exe client --socket prof.sock --wait 5000 --repeat 2 query "$Q"
+  {16, 20, 22, 25, 35, 37, 38}
+  {16, 20, 22, 25, 35, 37, 38}
+  $ ../bin/nestql.exe client --socket prof.sock metrics-prom | python3 ../tools/check_prom.py - --require-family nestql_server_requests --require-family nestql_server_request_us --require-family nestql_server_query_duration_us --require-label 'nestql_server_query_duration_us:strategy=decorrelated' --require-label 'nestql_server_query_duration_us:plan_cache=hit' | sed -E 's/[0-9]+/_/g'
+  ok: _ samples across _ families (_ counter, _ gauge, _ histogram)
+
+nestql top polls the metrics op and derives qps, latency quantiles and
+cache hit rates client-side; one iteration with --no-clear is plain
+text (numbers masked — they are counts and wall-clock):
+
+  $ ../bin/nestql.exe top --socket prof.sock --iterations 1 --no-clear | sed -E 's/[0-9]+(\.[0-9]+)?/_/g'
+  nestql top — sample _, _s window
+    requests      _ total, _ in window (_ qps)
+    latency       p_ _ms  p_ _ms  p_ _ms
+    plan cache    hit _% (_ hits / _ misses in window)
+    result cache  hit _% (_ hits / _ misses in window)
+    sessions      _ active, queue depth _, slow _, errors _
+
+  $ ../bin/nestql.exe client --socket prof.sock shutdown
+  bye
+  $ wait

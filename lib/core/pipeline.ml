@@ -314,6 +314,14 @@ let plan_key_string ?rewrite ?reorder strategy catalog src =
   let* expr = Lang.Parser.expr_result src in
   Ok (plan_key ?rewrite ?reorder strategy catalog expr)
 
+(* Short stable identifier of a plan-cache key for logs (the slow-query
+   log carries it so "same plan, different constants" is visible without
+   shipping the normalized AST in every line). *)
+let digest_of_key key = Digest.to_hex (Digest.string key)
+
+let plan_digest ?rewrite ?reorder strategy catalog expr =
+  digest_of_key (plan_key ?rewrite ?reorder strategy catalog expr)
+
 let default_jobs () =
   match Sys.getenv_opt "NESTQL_JOBS" with
   | None -> 1
@@ -435,8 +443,10 @@ let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
     | v, tree ->
       tree.Engine.Stats.gc <-
         Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
-      if Obs.Metrics.enabled () then
+      if Obs.Metrics.enabled () then begin
         record_exec_metrics (Engine.Stats.totals tree);
+        Engine.Profile.record_metrics (Engine.Profile.of_node tree)
+      end;
       record_vectorized_fraction tree;
       Ok (v, tree)
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
@@ -466,8 +476,10 @@ let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
          is not attributable to one operator anyway. *)
       tree.Engine.Stats.gc <-
         Some (Obs.Memory.delta ~before ~after:(Obs.Memory.snapshot ()));
-      if Obs.Metrics.enabled () then
+      if Obs.Metrics.enabled () then begin
         record_exec_metrics (Engine.Stats.totals tree);
+        Engine.Profile.record_metrics (Engine.Profile.of_node tree)
+      end;
       record_vectorized_fraction tree;
       begin
         match bounds_violation tree with
@@ -481,8 +493,12 @@ let analyze ?jobs ?bloom ?vector ?batch catalog compiled =
     | exception Cobj.Value.Type_error msg -> Error ("runtime error: " ^ msg)
     | exception Lang.Interp.Undefined msg -> Error ("undefined: " ^ msg))
 
-let render_analysis ?(json = false) ?(timing = true) ?misest_floor ?catalog
-    compiled tree =
+let render_analysis ?(json = false) ?(timing = true) ?(profile = false)
+    ?misest_floor ?catalog compiled tree =
+  (* Self-time attribution is wall-clock and therefore timing-class: the
+     --no-timing promise of jobs- and engine-invariant output silently
+     wins over --profile. *)
+  let profile = profile && timing in
   let misest =
     (* The shredded annotation tree mirrors the flat queries, not the
        nest-join physical plan — misestimation pairing does not apply. *)
@@ -500,6 +516,12 @@ let render_analysis ?(json = false) ?(timing = true) ?misest_floor ?catalog
             );
             ("plan", Engine.Analyze.to_json ~timing tree);
           ]
+         @ (if profile then
+              [
+                ( "profile",
+                  Engine.Profile.to_json (Engine.Profile.of_node tree) );
+              ]
+            else [])
          @ (match misest with
            | Some entries -> [ ("misest", Misest.to_json entries) ]
            | None -> [])))
@@ -515,6 +537,11 @@ let render_analysis ?(json = false) ?(timing = true) ?misest_floor ?catalog
     | Some entries ->
       Fmt.pf ppf "@.%a@." (Misest.pp ?floor:misest_floor) entries
     | None -> ());
+    if profile then begin
+      Fmt.pf ppf "@.%a" Engine.Profile.pp
+        (Engine.Profile.of_node tree);
+      Fmt.pf ppf "@.flame:@.%a" Engine.Profile.pp_flame tree
+    end;
     (match tree.Engine.Stats.gc with
     | Some d when timing ->
       Fmt.pf ppf

@@ -184,6 +184,20 @@ val plan_key_string :
   (string, string) result
 (** {!plan_key} from query text ([Error] on a parse failure). *)
 
+val digest_of_key : string -> string
+(** Short stable hex digest of a plan-cache key — the [plan_digest]
+    field of the slow-query log, so "same plan, different run" is
+    greppable without shipping the normalized AST in every line. *)
+
+val plan_digest :
+  ?rewrite:bool ->
+  ?reorder:bool ->
+  strategy ->
+  Cobj.Catalog.t ->
+  Lang.Ast.expr ->
+  string
+(** [digest_of_key ∘ plan_key]. *)
+
 val default_jobs : unit -> int
 (** Partition-parallel width used when [?jobs] is omitted: the value of the
     [NESTQL_JOBS] environment variable when it parses as a positive
@@ -250,6 +264,7 @@ val analyze :
 val render_analysis :
   ?json:bool ->
   ?timing:bool ->
+  ?profile:bool ->
   ?misest_floor:float ->
   ?catalog:Cobj.Catalog.t ->
   compiled ->
@@ -260,7 +275,9 @@ val render_analysis :
     [{rows_out, est_rows, time_ns, ...}] objects. [~timing:false] omits
     wall-clock and the other jobs/load-dependent fields ([time=] in text
     mode; [time_ns], partition and [gc] fields in JSON) for deterministic
-    output. With [catalog], a {!Misest} report is appended (text) or
+    output. [~profile:true] appends the {!Engine.Profile} self-time
+    report (top table + flame view in text, a ["profile"] key in JSON);
+    profile output is timing-class, so [~timing:false] suppresses it. With [catalog], a {!Misest} report is appended (text) or
     included under a ["misest"] key (JSON); [misest_floor] (default
     {!Misest.noise}, 1.5) sets the divergence ratio under which operators
     are summarized rather than listed in the text report. *)

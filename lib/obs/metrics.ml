@@ -2,18 +2,22 @@
    histograms keyed by dotted names ("optimizer.rewrite.passes",
    "par.partition_build_rows", ...). Off by default; every recording
    entry point checks one atomic flag and returns, so instrumented code
-   costs nothing unless a consumer (--trace, bench) enabled the
-   registry. The table is mutex-guarded: worker domains record partition
-   histograms concurrently. *)
+   costs nothing unless a consumer (--trace, bench, the server) enabled
+   the registry.
+
+   Concurrency: counters and histograms are sharded by the recording
+   domain's id — each shard owns a mutex and a table, so worker domains
+   recording partition histograms under --jobs never contend on a global
+   lock (a shard's mutex only serializes systhreads of the same domain,
+   which cannot run concurrently anyway). Gauges keep one global locked
+   table: set_gauge is last-write-wins, and summing per-shard values
+   would be wrong. dump/counter/quantile merge the shards. *)
 
 type hist = { mutable count : int; mutable sum : float; buckets : int array }
 
 type value = Counter of int | Gauge of float | Histogram of hist
 
-type cell =
-  | Ccell of int ref
-  | Gcell of float ref
-  | Hcell of hist
+type cell = Ccell of int ref | Hcell of hist
 
 (* Power-of-two buckets: index = bit length of the observed value, so
    0 (and negatives) land in bucket 0, 1 in bucket 1, 2..3 in bucket 2,
@@ -29,24 +33,32 @@ let bucket_of v =
 
 let bucket_lo i = if i <= 0 then 0 else 1 lsl (i - 1)
 
+let bucket_hi i = if i <= 0 then 0 else (1 lsl i) - 1
+
 let on = Atomic.make false
-let m = Mutex.create ()
-let tbl : (string, cell) Hashtbl.t = Hashtbl.create 64
+
+let nshards = 8
+
+type shard = { lock : Mutex.t; tbl : (string, cell) Hashtbl.t }
+
+let shards =
+  Array.init nshards (fun _ ->
+      { lock = Mutex.create (); tbl = Hashtbl.create 64 })
+
+let gauges_lock = Mutex.create ()
+let gauges : (string, float ref) Hashtbl.t = Hashtbl.create 32
+
+let my_shard () = shards.((Domain.self () :> int) land (nshards - 1))
 
 let enabled () = Atomic.get on
 let enable () = Atomic.set on true
 let disable () = Atomic.set on false
 
-let reset () =
-  Mutex.lock m;
-  Hashtbl.reset tbl;
-  Mutex.unlock m
+let locked l f =
+  Mutex.lock l;
+  Fun.protect ~finally:(fun () -> Mutex.unlock l) f
 
-let locked f =
-  Mutex.lock m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
-
-let cell name mk =
+let cell tbl name mk =
   match Hashtbl.find_opt tbl name with
   | Some c -> c
   | None ->
@@ -55,31 +67,34 @@ let cell name mk =
     c
 
 let incr ?(by = 1) name =
-  if Atomic.get on then
-    locked (fun () ->
-        match cell name (fun () -> Ccell (ref 0)) with
+  if Atomic.get on then begin
+    let s = my_shard () in
+    locked s.lock (fun () ->
+        match cell s.tbl name (fun () -> Ccell (ref 0)) with
         | Ccell r -> r := !r + by
-        | _ -> invalid_arg (name ^ " is not a counter"))
+        | Hcell _ -> invalid_arg (name ^ " is not a counter"))
+  end
 
 let set_gauge name v =
   if Atomic.get on then
-    locked (fun () ->
-        match cell name (fun () -> Gcell (ref 0.)) with
-        | Gcell r -> r := v
-        | _ -> invalid_arg (name ^ " is not a gauge"))
+    locked gauges_lock (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some r -> r := v
+        | None -> Hashtbl.add gauges name (ref v))
 
 let add_gauge name v =
   if Atomic.get on then
-    locked (fun () ->
-        match cell name (fun () -> Gcell (ref 0.)) with
-        | Gcell r -> r := !r +. v
-        | _ -> invalid_arg (name ^ " is not a gauge"))
+    locked gauges_lock (fun () ->
+        match Hashtbl.find_opt gauges name with
+        | Some r -> r := !r +. v
+        | None -> Hashtbl.add gauges name (ref v))
 
 let observe name v =
-  if Atomic.get on then
-    locked (fun () ->
+  if Atomic.get on then begin
+    let s = my_shard () in
+    locked s.lock (fun () ->
         match
-          cell name (fun () ->
+          cell s.tbl name (fun () ->
               Hcell { count = 0; sum = 0.; buckets = Array.make nbuckets 0 })
         with
         | Hcell h ->
@@ -87,32 +102,220 @@ let observe name v =
           h.sum <- h.sum +. float_of_int v;
           let b = bucket_of v in
           h.buckets.(b) <- h.buckets.(b) + 1
-        | _ -> invalid_arg (name ^ " is not a histogram"))
+        | Ccell _ -> invalid_arg (name ^ " is not a histogram"))
+  end
 
 let dump () =
-  locked (fun () ->
-      Hashtbl.fold
-        (fun name c acc ->
-          let v =
-            match c with
-            | Ccell r -> Counter !r
-            | Gcell r -> Gauge !r
-            | Hcell h ->
-              Histogram
-                { count = h.count; sum = h.sum; buckets = Array.copy h.buckets }
-          in
-          (name, v) :: acc)
-        tbl [])
+  let acc : (string, value) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun s ->
+      locked s.lock (fun () ->
+          Hashtbl.iter
+            (fun name c ->
+              match (c, Hashtbl.find_opt acc name) with
+              | Ccell r, None -> Hashtbl.replace acc name (Counter !r)
+              | Ccell r, Some (Counter n) ->
+                Hashtbl.replace acc name (Counter (n + !r))
+              | Hcell h, None ->
+                Hashtbl.replace acc name
+                  (Histogram
+                     {
+                       count = h.count;
+                       sum = h.sum;
+                       buckets = Array.copy h.buckets;
+                     })
+              | Hcell h, Some (Histogram g) ->
+                g.count <- g.count + h.count;
+                g.sum <- g.sum +. h.sum;
+                Array.iteri
+                  (fun i v -> g.buckets.(i) <- g.buckets.(i) + v)
+                  h.buckets
+              | _, Some _ -> ())
+            s.tbl))
+    shards;
+  locked gauges_lock (fun () ->
+      Hashtbl.iter
+        (fun name r ->
+          if not (Hashtbl.mem acc name) then
+            Hashtbl.replace acc name (Gauge !r))
+        gauges);
+  Hashtbl.fold (fun n v l -> (n, v) :: l) acc []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter name =
-  locked (fun () ->
-      match Hashtbl.find_opt tbl name with
-      | Some (Ccell r) -> !r
-      | Some _ | None -> 0)
+  Array.fold_left
+    (fun total s ->
+      locked s.lock (fun () ->
+          match Hashtbl.find_opt s.tbl name with
+          | Some (Ccell r) -> total + !r
+          | Some (Hcell _) | None -> total))
+    0 shards
 
 let gauge name =
-  locked (fun () ->
-      match Hashtbl.find_opt tbl name with
-      | Some (Gcell r) -> !r
-      | Some _ | None -> 0.)
+  locked gauges_lock (fun () ->
+      match Hashtbl.find_opt gauges name with Some r -> !r | None -> 0.)
+
+let merged_hist name =
+  let out = { count = 0; sum = 0.; buckets = Array.make nbuckets 0 } in
+  Array.iter
+    (fun s ->
+      locked s.lock (fun () ->
+          match Hashtbl.find_opt s.tbl name with
+          | Some (Hcell h) ->
+            out.count <- out.count + h.count;
+            out.sum <- out.sum +. h.sum;
+            Array.iteri
+              (fun i v -> out.buckets.(i) <- out.buckets.(i) + v)
+              h.buckets
+          | Some (Ccell _) | None -> ()))
+    shards;
+  if out.count = 0 then None else Some out
+
+(* Quantile from bucket geometry: find the bucket holding the q·count-th
+   observation and interpolate linearly between the bucket's bounds.
+   Exact for bucket 0 (all zeros); within one power of two otherwise. *)
+let quantile_of_hist h q =
+  let q = if q < 0. then 0. else if q > 1. then 1. else q in
+  let target = q *. float_of_int h.count in
+  let rec go i cum =
+    if i >= nbuckets then float_of_int (bucket_hi (nbuckets - 1))
+    else begin
+      let c = h.buckets.(i) in
+      let cum' = cum + c in
+      if c > 0 && float_of_int cum' >= target then begin
+        let lo = float_of_int (bucket_lo i)
+        and hi = float_of_int (bucket_hi i) in
+        let frac = (target -. float_of_int cum) /. float_of_int c in
+        lo +. ((hi -. lo) *. max 0. frac)
+      end
+      else go (i + 1) cum'
+    end
+  in
+  go 0 0
+
+let quantile name q =
+  match merged_hist name with None -> 0. | Some h -> quantile_of_hist h q
+
+(* Canonical labeled metric key: name{k="v",...} with keys sorted and
+   values escaped Prometheus-style (backslash, quote, newline). The Prom
+   renderer passes the label block through verbatim. *)
+let labeled name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+    let esc v =
+      let buf = Buffer.create (String.length v) in
+      String.iter
+        (fun c ->
+          match c with
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c -> Buffer.add_char buf c)
+        v;
+      Buffer.contents buf
+    in
+    let labels =
+      List.sort (fun (a, _) (b, _) -> String.compare a b) labels
+    in
+    name ^ "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> k ^ "=\"" ^ esc v ^ "\"") labels)
+    ^ "}"
+
+(* Sliding-window ring: periodic scalar snapshots (counter values and
+   histogram counts — gauges are instantaneous and excluded) against
+   which delta / rate queries answer "what happened over the last N
+   seconds". The daemon records one snapshot per minute; tests drive
+   the clock explicitly. *)
+
+let window_capacity = 64
+
+type snap = { at_s : float; vals : (string, int) Hashtbl.t }
+
+let window_lock = Mutex.create ()
+let window_ring : snap option array = Array.make window_capacity None
+let window_next = ref 0
+
+let scalar_of = function
+  | Counter n -> Some n
+  | Histogram h -> Some h.count
+  | Gauge _ -> None
+
+let window_record ~at_s =
+  let vals = Hashtbl.create 64 in
+  List.iter
+    (fun (name, v) ->
+      match scalar_of v with
+      | Some n -> Hashtbl.replace vals name n
+      | None -> ())
+    (dump ());
+  locked window_lock (fun () ->
+      window_ring.(!window_next mod window_capacity) <- Some { at_s; vals };
+      window_next := !window_next + 1)
+
+let oldest_within ~now_s ~span_s =
+  locked window_lock (fun () ->
+      let best = ref None in
+      Array.iter
+        (function
+          | Some s when s.at_s >= now_s -. span_s && s.at_s <= now_s -> (
+            match !best with
+            | Some b when b.at_s <= s.at_s -> ()
+            | _ -> best := Some s)
+          | _ -> ())
+        window_ring;
+      !best)
+
+let current_scalar name =
+  let total = ref 0 and found = ref false in
+  Array.iter
+    (fun s ->
+      locked s.lock (fun () ->
+          match Hashtbl.find_opt s.tbl name with
+          | Some (Ccell r) ->
+            found := true;
+            total := !total + !r
+          | Some (Hcell h) ->
+            found := true;
+            total := !total + h.count
+          | None -> ()))
+    shards;
+  if !found then Some !total else None
+
+let window_delta name ~now_s ~span_s =
+  match oldest_within ~now_s ~span_s with
+  | None -> None
+  | Some snap ->
+    let now_v = Option.value ~default:0 (current_scalar name) in
+    let then_v =
+      match Hashtbl.find_opt snap.vals name with Some n -> n | None -> 0
+    in
+    Some (now_v - then_v)
+
+let window_rate name ~now_s ~span_s =
+  match oldest_within ~now_s ~span_s with
+  | None -> None
+  | Some snap ->
+    let dt = now_s -. snap.at_s in
+    if dt <= 0. then None
+    else begin
+      let now_v = Option.value ~default:0 (current_scalar name) in
+      let then_v =
+        match Hashtbl.find_opt snap.vals name with Some n -> n | None -> 0
+      in
+      Some (float_of_int (now_v - then_v) /. dt)
+    end
+
+let window_times () =
+  locked window_lock (fun () ->
+      Array.to_list window_ring
+      |> List.filter_map (Option.map (fun s -> s.at_s))
+      |> List.sort compare)
+
+let reset () =
+  Array.iter (fun s -> locked s.lock (fun () -> Hashtbl.reset s.tbl)) shards;
+  locked gauges_lock (fun () -> Hashtbl.reset gauges);
+  locked window_lock (fun () ->
+      Array.fill window_ring 0 window_capacity None;
+      window_next := 0)

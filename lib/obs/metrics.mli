@@ -3,11 +3,18 @@
 
     Off by default — every recording call checks one atomic flag first,
     so instrumentation left in hot paths is free until a consumer
-    ([--trace], the bench harness) calls {!enable}.
+    ([--trace], the bench harness, [nestql serve]) calls {!enable}.
+
+    Domain safety: counters and histograms are sharded by the recording
+    domain's id (each shard has its own lock), so concurrent worker
+    domains never lose updates and never contend on a global mutex;
+    {!dump}, {!counter} and {!quantile} merge the shards. Gauges are a
+    single locked table ([set_gauge] is last-write-wins).
 
     Naming convention (see docs/OBSERVABILITY.md): metrics under the
-    [par.] and [gc.] prefixes are jobs- or allocation-dependent; all
-    other metrics are invariant in the domain count. *)
+    [par.], [gc.] and [profile.] prefixes are jobs-, allocation- or
+    wall-clock-dependent; all other metrics are invariant in the domain
+    count. *)
 
 type hist = { mutable count : int; mutable sum : float; buckets : int array }
 type value = Counter of int | Gauge of float | Histogram of hist
@@ -17,7 +24,8 @@ val disable : unit -> unit
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Drop all recorded metrics (the enabled flag is unchanged). *)
+(** Drop all recorded metrics and window snapshots (the enabled flag is
+    unchanged). *)
 
 val incr : ?by:int -> string -> unit
 val set_gauge : string -> float -> unit
@@ -29,8 +37,9 @@ val observe : string -> int -> unit
     1 in bucket 1, 2..3 in bucket 2, ..., [max_int] in bucket 62. *)
 
 val dump : unit -> (string * value) list
-(** Snapshot of all metrics, sorted by name. Histogram buckets are
-    copied; mutating the result does not affect the registry. *)
+(** Snapshot of all metrics, sorted by name; per-domain shards are
+    merged (counters and histogram buckets summed). Histogram buckets
+    are copied; mutating the result does not affect the registry. *)
 
 val bucket_of : int -> int
 (** The histogram bucket an observation lands in (exposed for tests). *)
@@ -38,12 +47,62 @@ val bucket_of : int -> int
 val bucket_lo : int -> int
 (** Smallest value mapping to the given bucket (0 for bucket 0). *)
 
+val bucket_hi : int -> int
+(** Largest value mapping to the given bucket (0 for bucket 0). *)
+
 val nbuckets : int
 
 val counter : string -> int
-(** Current value of a counter, 0 when absent (or not a counter). Reads
-    work even while the registry is disabled — tests and the server's
-    cache assertions read back what instrumentation recorded. *)
+(** Current value of a counter summed across shards, 0 when absent (or
+    not a counter). Reads work even while the registry is disabled —
+    tests and the server's cache assertions read back what
+    instrumentation recorded. *)
 
 val gauge : string -> float
 (** Current value of a gauge, 0.0 when absent (or not a gauge). *)
+
+val quantile : string -> float -> float
+(** [quantile name q] estimates the [q]-quantile (q in [0,1]) of the
+    named histogram from its bucket geometry: the bucket holding the
+    [q·count]-th observation is found and the value interpolated
+    linearly between {!bucket_lo} and {!bucket_hi} — exact for bucket 0,
+    within one power of two otherwise. 0.0 for an absent or empty
+    histogram. [q] outside [0,1] is clamped. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled name [("k","v");…]] builds the canonical labeled metric key
+    [name{k="v",…}]: keys sorted, values escaped Prometheus-style
+    (backslash, double quote, newline). The same label set always
+    produces the same key, so labeled series aggregate correctly; the
+    {!Prom} renderer emits the label block verbatim. [labeled name []]
+    is [name]. *)
+
+(** {1 Sliding window}
+
+    A fixed-capacity ring of scalar snapshots (counter values and
+    histogram counts; gauges are instantaneous and excluded). A producer
+    — the server daemon, once a minute — calls {!window_record}; readers
+    ask for the delta or rate of a metric over the last [span_s]
+    seconds, measured against the oldest snapshot inside the span.
+    Timestamps are supplied by the caller so tests can drive the
+    clock. *)
+
+val window_capacity : int
+(** Ring capacity (64 snapshots — a bit over an hour at one per
+    minute); older snapshots are overwritten. *)
+
+val window_record : at_s:float -> unit
+(** Snapshot all counters and histogram counts at time [at_s]
+    (seconds, any monotonic origin shared with the query calls). *)
+
+val window_delta : string -> now_s:float -> span_s:float -> int option
+(** Increase of a counter (or histogram count) since the oldest
+    snapshot within [[now_s - span_s, now_s]]; [None] when no snapshot
+    falls in the span. A metric absent from the snapshot counts as 0. *)
+
+val window_rate : string -> now_s:float -> span_s:float -> float option
+(** {!window_delta} divided by the actual snapshot age in seconds. *)
+
+val window_times : unit -> float list
+(** Timestamps of the retained snapshots, oldest first (for tests and
+    the [top] client). *)

@@ -1,0 +1,112 @@
+(* Prometheus text exposition (text/plain; version=0.0.4) over a
+   Metrics dump. Dotted registry names are mangled to a metric family
+   name (dots and other illegal characters become underscores) under the
+   nestql_ prefix; a label block produced by Metrics.labeled is split
+   off the key and passed through verbatim. Histograms render as
+   cumulative le-buckets derived from the registry's power-of-two bucket
+   geometry, plus _sum and _count. *)
+
+let family_prefix = "nestql_"
+
+let legal_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let mangle name =
+  family_prefix
+  ^ String.map (fun c -> if legal_char c then c else '_') name
+
+(* "name{k=\"v\"}" -> ("name", Some "k=\"v\""); plain names pass
+   through. Only the first '{' can open a label block — names from the
+   registry never contain one otherwise. *)
+let split_key key =
+  match String.index_opt key '{' with
+  | None -> (key, None)
+  | Some i ->
+    let name = String.sub key 0 i in
+    let rest = String.sub key (i + 1) (String.length key - i - 1) in
+    let labels =
+      match String.rindex_opt rest '}' with
+      | Some j -> String.sub rest 0 j
+      | None -> rest
+    in
+    (name, if labels = "" then None else Some labels)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let type_name = function
+  | Metrics.Counter _ -> "counter"
+  | Metrics.Gauge _ -> "gauge"
+  | Metrics.Histogram _ -> "histogram"
+
+let add_sample buf family labels suffix extra value =
+  Buffer.add_string buf (family ^ suffix);
+  let label_block =
+    match (labels, extra) with
+    | None, None -> ""
+    | Some l, None -> "{" ^ l ^ "}"
+    | None, Some e -> "{" ^ e ^ "}"
+    | Some l, Some e -> "{" ^ l ^ "," ^ e ^ "}"
+  in
+  Buffer.add_string buf label_block;
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let render_hist buf family labels (h : Metrics.hist) =
+  (* Cumulative buckets up to the highest populated one; le bounds come
+     from the power-of-two geometry (bucket i covers up to bucket_hi i). *)
+  let top = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then top := i) h.buckets;
+  let cum = ref 0 in
+  for i = 0 to !top do
+    cum := !cum + h.buckets.(i);
+    add_sample buf family labels "_bucket"
+      (Some (Printf.sprintf "le=\"%d\"" (Metrics.bucket_hi i)))
+      (string_of_int !cum)
+  done;
+  add_sample buf family labels "_bucket" (Some "le=\"+Inf\"")
+    (string_of_int h.count);
+  add_sample buf family labels "_sum" None (float_repr h.sum);
+  add_sample buf family labels "_count" None (string_of_int h.count)
+
+let render dump =
+  let buf = Buffer.create 4096 in
+  (* Group label variants of a family into one TYPE block even when an
+     unrelated key ("name.x" sorts between "name" and "name{…") would
+     otherwise split them. *)
+  let dump =
+    List.stable_sort
+      (fun (a, _) (b, _) ->
+        let fa = mangle (fst (split_key a))
+        and fb = mangle (fst (split_key b)) in
+        match String.compare fa fb with
+        | 0 -> String.compare a b
+        | c -> c)
+      dump
+  in
+  let last_family = ref "" in
+  List.iter
+    (fun (key, v) ->
+      let name, labels = split_key key in
+      let family = mangle name in
+      if family <> !last_family then begin
+        Buffer.add_string buf
+          (Printf.sprintf "# TYPE %s %s\n" family (type_name v));
+        last_family := family
+      end;
+      match v with
+      | Metrics.Counter n -> add_sample buf family labels "" None (string_of_int n)
+      | Metrics.Gauge g -> add_sample buf family labels "" None (float_repr g)
+      | Metrics.Histogram h -> render_hist buf family labels h)
+    dump;
+  Buffer.contents buf
+
+let page () = render (Metrics.dump ())
+
+let content_type = "text/plain; version=0.0.4; charset=utf-8"

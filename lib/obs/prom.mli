@@ -1,0 +1,28 @@
+(** Prometheus text exposition (format version 0.0.4) for the
+    {!Metrics} registry.
+
+    Registry names are mangled into metric family names: every
+    character outside [[a-zA-Z0-9_:]] becomes an underscore and the
+    [nestql_] prefix is prepended, so ["server.cache.plan.hits"]
+    exposes as [nestql_server_cache_plan_hits]. A label block attached
+    by {!Metrics.labeled} ([name{k="v"}]) is split off the registry key
+    and emitted verbatim; label variants of one family share a single
+    [# TYPE] block.
+
+    Histograms render as cumulative [_bucket{le="…"}] samples derived
+    from the registry's power-of-two bucket geometry (bucket [i] covers
+    values up to {!Metrics.bucket_hi}[ i]), closed by [le="+Inf"],
+    [_sum] and [_count]. *)
+
+val render : (string * Metrics.value) list -> string
+(** Render a {!Metrics.dump} as Prometheus exposition text. *)
+
+val page : unit -> string
+(** [render (Metrics.dump ())]. *)
+
+val content_type : string
+(** The exposition content type:
+    ["text/plain; version=0.0.4; charset=utf-8"]. *)
+
+val mangle : string -> string
+(** The family-name mangling, exposed for tests and the checker. *)

@@ -55,6 +55,9 @@ type reply = {
   rows : int;
   plan : outcome;
   result : outcome;
+  digest : string;
+  tree : Engine.Stats.node option;
+  misest : Core.Misest.entry list;
 }
 
 type error = Parse of string | Compile of string | Runtime of string | Timeout
@@ -102,7 +105,7 @@ let rows_of = function
 
 let never_expired () = false
 
-let query t ?(cache = true) ?stats ?jobs ?bloom
+let query t ?(cache = true) ?(instrument = false) ?stats ?jobs ?bloom
     ?(deadline_expired = never_expired) strategy catalog src =
   let* expr =
     match Lang.Parser.expr_result src with
@@ -111,6 +114,7 @@ let query t ?(cache = true) ?stats ?jobs ?bloom
   in
   let results_on = cache && Lru.capacity t.results > 0 in
   let key = key_of t strategy catalog expr in
+  let digest = Pipeline.digest_of_key key in
   let cached =
     if results_on then Lru.find t.results key else None
   in
@@ -130,6 +134,9 @@ let query t ?(cache = true) ?stats ?jobs ?bloom
         rows = r.r_rows;
         plan = Hit;
         result = Hit;
+        digest;
+        tree = None;
+        misest = [];
       }
   | None ->
     if results_on then metric "server.cache.result.misses";
@@ -138,22 +145,36 @@ let query t ?(cache = true) ?stats ?jobs ?bloom
       let* compiled, plan = compile_expr t ~cache strategy catalog expr in
       if deadline_expired () then Error Timeout
       else begin
-        (* When a tracer is attached, run instrumented (like `nestql run
-           --trace`) so the timeline carries operator spans; the value is
-           identical and [stats] is filled from the annotated tree. *)
+        (* When a tracer is attached — or the caller asked for
+           instrumentation (the daemon's slow-query log needs the
+           annotated tree for self-time attribution) — run instrumented
+           like `nestql run --trace`; the value is identical and [stats]
+           is filled from the annotated tree. *)
         let execute () =
-          if Obs.Trace.enabled () && compiled.Pipeline.physical <> None then
+          if
+            (instrument || Obs.Trace.enabled ())
+            && compiled.Pipeline.physical <> None
+          then
             match Pipeline.analyze ?jobs ?bloom catalog compiled with
             | Ok (value, tree) ->
               (match stats with
               | Some s -> Engine.Stats.sum_into s tree
               | None -> ());
-              value
+              (value, Some tree)
             | Error msg -> raise (Cobj.Value.Type_error msg)
-          else Pipeline.execute ?stats ?jobs ?bloom catalog compiled
+          else (Pipeline.execute ?stats ?jobs ?bloom catalog compiled, None)
         in
         match execute () with
-        | value ->
+        | value, tree ->
+          let misest =
+            (* Shredded annotation trees mirror the flat queries, not
+               the nest-join plan — misestimation pairing does not
+               apply (same rule as Pipeline.render_analysis). *)
+            match tree, compiled.Pipeline.physical, compiled.Pipeline.shredded
+            with
+            | Some tr, Some pq, None -> Core.Misest.of_query catalog pq tr
+            | _ -> []
+          in
           let rendered = Fmt.str "%a" Cobj.Value.pp value in
           let rows = rows_of value in
           (* Admission policy: a result costing more than admit_fraction
@@ -176,6 +197,9 @@ let query t ?(cache = true) ?stats ?jobs ?bloom
               rows;
               plan;
               result = (if results_on then Miss else Bypass);
+              digest;
+              tree;
+              misest;
             }
         | exception Cobj.Value.Type_error msg ->
           Error (Runtime ("runtime error: " ^ msg))

@@ -54,6 +54,16 @@ type reply = {
   rows : int;  (** collection cardinality, 1 for scalar results *)
   plan : outcome;
   result : outcome;
+  digest : string;
+      (** {!Core.Pipeline.digest_of_key} of the cache key — the
+          slow-query log's plan identifier *)
+  tree : Engine.Stats.node option;
+      (** the filled EXPLAIN ANALYZE tree when the query ran
+          instrumented ([instrument:true] or a tracer attached); [None]
+          on a result-cache replay or a plain execution *)
+  misest : Core.Misest.entry list;
+      (** misestimation report (worst first) when [tree] was paired
+          with a nest-join physical plan; [[]] otherwise *)
 }
 
 type error =
@@ -65,6 +75,7 @@ type error =
 val query :
   t ->
   ?cache:bool ->
+  ?instrument:bool ->
   ?stats:Engine.Stats.t ->
   ?jobs:int ->
   ?bloom:bool ->
@@ -75,10 +86,14 @@ val query :
   (reply, error) result
 (** Parse, then serve from the result cache, else compile (through the
     plan cache) and execute. [cache:false] bypasses both caches for this
-    request without touching them. [deadline_expired] is consulted at
-    the phase boundaries (before compile and before execute) — the
-    timeout is cooperative, a running operator is never interrupted.
-    [stats] is filled only when the query actually executes. *)
+    request without touching them. [instrument:true] (default false)
+    forces the EXPLAIN ANALYZE execution path when a physical plan
+    exists, filling [reply.tree] and [reply.misest] — the daemon's
+    slow-query log runs this way; the result value is identical.
+    [deadline_expired] is consulted at the phase boundaries (before
+    compile and before execute) — the timeout is cooperative, a running
+    operator is never interrupted. [stats] is filled only when the
+    query actually executes. *)
 
 val compile :
   t ->

@@ -18,6 +18,8 @@ type config = {
   plan_capacity : int;
   result_capacity : int;
   timeout_ms : int option;
+  slow_ms : int option;
+  http_port : int option;
   quiet : bool;
 }
 
@@ -31,6 +33,8 @@ let default_config =
     plan_capacity = 128;
     result_capacity = 4 * 1024 * 1024;
     timeout_ms = None;
+    slow_ms = None;
+    http_port = None;
     quiet = false;
   }
 
@@ -68,6 +72,53 @@ let cache_json reply =
       ("result", Json.String (Cache.outcome_name reply.Cache.result));
     ]
 
+(* Compact single-field summaries for the slow-query log: the top-5
+   self-time operators and the top-3 misestimates, each one greppable
+   string rather than nested JSON (Qlog lines are flat). *)
+let hot_summary = function
+  | None -> ""
+  | Some tree ->
+    Engine.Profile.top ~k:5 (Engine.Profile.of_node tree)
+    |> List.map (fun (r : Engine.Profile.row) ->
+           Printf.sprintf "%s=%.3fms" r.Engine.Profile.op
+             (Int64.to_float r.Engine.Profile.self_ns /. 1e6))
+    |> String.concat ","
+
+let misest_summary entries =
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: tl -> x :: take (n - 1) tl
+  in
+  take 3 entries
+  |> List.map (fun (e : Core.Misest.entry) ->
+         Printf.sprintf "%.1fx-%s %s" e.Core.Misest.factor
+           (if e.Core.Misest.under then "under" else "over")
+           e.Core.Misest.op)
+  |> String.concat ";"
+
+(* One structured line per offending query — enough to diagnose it from
+   the log alone: which plan (digest), how it was served (cache
+   outcomes), where the time went (hot), and whether the optimizer was
+   working from bad estimates (misest). *)
+let emit_slow_line (session : Session.t) ~strategy ~jobs ~threshold_ms ~ms
+    (reply : Cache.reply) =
+  Obs.Qlog.emit
+    [
+      ("event", Obs.Trace.Str "slow.query");
+      ("session", Obs.Trace.Int session.id);
+      ("strategy", Obs.Trace.Str (Pipeline.strategy_name strategy));
+      ("jobs", Obs.Trace.Int jobs);
+      ("rows", Obs.Trace.Int reply.Cache.rows);
+      ("ms", Obs.Trace.Num ms);
+      ("threshold_ms", Obs.Trace.Int threshold_ms);
+      ("plan_digest", Obs.Trace.Str reply.Cache.digest);
+      ("plan_cache", Obs.Trace.Str (Cache.outcome_name reply.Cache.plan));
+      ("result_cache", Obs.Trace.Str (Cache.outcome_name reply.Cache.result));
+      ("hot", Obs.Trace.Str (hot_summary reply.Cache.tree));
+      ("misest", Obs.Trace.Str (misest_summary reply.Cache.misest));
+    ]
+
 let do_query state (session : Session.t) ~id (q : Protocol.query_req) =
   let strategy = Option.value q.Protocol.strategy ~default:session.strategy in
   let jobs = Option.value q.Protocol.jobs ~default:session.jobs in
@@ -89,14 +140,29 @@ let do_query state (session : Session.t) ~id (q : Protocol.query_req) =
     Fun.protect
       ~finally:(fun () -> Mutex.unlock state.exec)
       (fun () ->
-        Cache.query state.cache ~cache:q.Protocol.use_cache ~jobs
-          ~bloom:q.Protocol.bloom ~deadline_expired strategy session.catalog
-          q.Protocol.q)
+        (* With a slow-query threshold configured, run instrumented so a
+           line over the threshold can carry self-time attribution (the
+           result value is identical either way). *)
+        Cache.query state.cache ~cache:q.Protocol.use_cache
+          ~instrument:(state.config.slow_ms <> None)
+          ~jobs ~bloom:q.Protocol.bloom ~deadline_expired strategy
+          session.catalog q.Protocol.q)
   in
   let ms = ms_since t0 in
   Obs.Metrics.observe "server.request.us" (int_of_float (ms *. 1000.));
   (match outcome with
   | Ok reply ->
+    (* The scrape endpoint's latency histogram, labeled by strategy and
+       how the caches served the request (errors are counted separately
+       by server.request.errors). *)
+    Obs.Metrics.observe
+      (Obs.Metrics.labeled "server.query.duration_us"
+         [
+           ("strategy", Pipeline.strategy_name strategy);
+           ("plan_cache", Cache.outcome_name reply.Cache.plan);
+           ("result_cache", Cache.outcome_name reply.Cache.result);
+         ])
+      (int_of_float (ms *. 1000.));
     Obs.Qlog.emit
       [
         ("event", Obs.Trace.Str "serve.query");
@@ -108,7 +174,12 @@ let do_query state (session : Session.t) ~id (q : Protocol.query_req) =
         ("plan_cache", Obs.Trace.Str (Cache.outcome_name reply.Cache.plan));
         ( "result_cache",
           Obs.Trace.Str (Cache.outcome_name reply.Cache.result) )
-      ]
+      ];
+    (match state.config.slow_ms with
+    | Some threshold_ms when ms >= float_of_int threshold_ms ->
+      Obs.Metrics.incr "server.slow_queries";
+      emit_slow_line session ~strategy ~jobs ~threshold_ms ~ms reply
+    | _ -> ())
   | Error _ -> ());
   match outcome with
   | Ok reply ->
@@ -155,6 +226,9 @@ let do_catalog state (session : Session.t) ~id (c : Protocol.catalog_req) =
 let do_metrics ~id =
   Ok (Protocol.ok ~id [ ("metrics", Engine.Obs_json.metrics ()) ])
 
+let do_metrics_prom ~id =
+  Ok (Protocol.ok ~id [ ("prom", Json.String (Obs.Prom.page ())) ])
+
 (* --- shutdown ----------------------------------------------------------- *)
 
 let request_stop state =
@@ -177,6 +251,7 @@ let request_stop state =
 let op_name = function
   | Protocol.Ping -> "ping"
   | Protocol.Metrics -> "metrics"
+  | Protocol.Metrics_prom -> "metrics_prom"
   | Protocol.Shutdown -> "shutdown"
   | Protocol.Query _ -> "query"
   | Protocol.Catalog _ -> "catalog"
@@ -189,6 +264,7 @@ let process state (session : Session.t) decoded =
     | Protocol.Ping ->
       (id, Ok (Protocol.ok ~id [ ("result", Json.String "pong") ]))
     | Protocol.Metrics -> (id, do_metrics ~id)
+    | Protocol.Metrics_prom -> (id, do_metrics_prom ~id)
     | Protocol.Shutdown ->
       (id, Ok (Protocol.ok ~id [ ("result", Json.String "bye") ]))
     | Protocol.Query q -> (id, do_query state session ~id q)
@@ -293,6 +369,27 @@ let serve config =
     1
   | listener ->
     Unix.listen listener 64;
+    let stop_flag = Atomic.make false in
+    let http =
+      match config.http_port with
+      | None -> Ok None
+      | Some port -> (
+        match
+          Http.start ~port ~healthy:(fun () -> not (Atomic.get stop_flag))
+        with
+        | Ok h -> Ok (Some h)
+        | Error msg -> Error msg)
+    in
+    match http with
+    | Error msg ->
+      Printf.eprintf "nestql: %s\n%!" msg;
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      (match config.bind with
+      | Unix_socket path -> (
+        try Unix.unlink path with Unix.Unix_error _ -> ())
+      | Tcp _ -> ());
+      1
+    | Ok http ->
     let state =
       {
         config;
@@ -300,7 +397,7 @@ let serve config =
           Cache.create ~plan_capacity:config.plan_capacity
             ~result_capacity:config.result_capacity ();
         exec = Mutex.create ();
-        stop = Atomic.make false;
+        stop = stop_flag;
         listener;
         sessions = Hashtbl.create 16;
         sessions_m = Mutex.create ();
@@ -317,8 +414,23 @@ let serve config =
                cache=%dB)\n%!"
       (bind_name config.bind) config.jobs config.plan_capacity
       config.result_capacity;
+    (match http with
+    | Some h -> log state "nestql: http metrics on localhost:%d\n%!" (Http.port h)
+    | None -> ());
+    (* Time-series snapshots for the sliding-window rate queries: one
+       per minute, taken from the accept loop (its select timeout makes
+       it the natural low-frequency ticker), plus a baseline at start. *)
+    let last_window = ref neg_infinity in
+    let window_tick () =
+      let now = Unix.gettimeofday () in
+      if now -. !last_window >= 60. then begin
+        Obs.Metrics.window_record ~at_s:now;
+        last_window := now
+      end
+    in
     let rec accept_loop () =
       if not (Atomic.get state.stop) then begin
+        window_tick ();
         (match Unix.select [ listener ] [] [] 0.2 with
         | [], _, _ -> ()
         | _ :: _, _, _ -> (
@@ -342,5 +454,6 @@ let serve config =
     (* Sessions were nudged by [request_stop]; wait for every connection
        thread to unwind so their replies are fully flushed. *)
     List.iter Thread.join !(state.threads);
+    (match http with Some h -> Http.stop h | None -> ());
     log state "nestql: shutdown complete\n%!";
     0

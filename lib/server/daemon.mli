@@ -35,13 +35,23 @@ type config = {
   plan_capacity : int;  (** plans; 0 disables the plan cache *)
   result_capacity : int;  (** approximate bytes; 0 disables *)
   timeout_ms : int option;  (** default per-request deadline *)
+  slow_ms : int option;
+      (** slow-query log threshold: queries at or over this many
+          milliseconds emit one ["slow.query"] {!Obs.Qlog} line with
+          plan digest, cache outcomes, top self-time operators and the
+          worst misestimates. Queries run instrumented when set (the
+          log needs the annotated tree); results are identical. *)
+  http_port : int option;
+      (** start an {!Http} scrape listener on loopback at this port
+          ([GET /metrics], [GET /healthz]); 0 picks an ephemeral
+          port *)
   quiet : bool;  (** suppress the stderr lifecycle lines *)
 }
 
 val default_config : config
 (** [xy] catalog (seed 42, scale 100), strategy [Decorrelated], jobs 1,
-    128-plan cache, 4 MiB result cache, no timeout, binds
-    ["nestql.sock"]. *)
+    128-plan cache, 4 MiB result cache, no timeout, no slow-query log,
+    no http listener, binds ["nestql.sock"]. *)
 
 val serve : config -> int
 (** Run until shutdown; returns the process exit code (0 on graceful

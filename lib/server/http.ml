@@ -1,0 +1,154 @@
+(* Minimal HTTP listener for the scrape endpoint: GET /metrics serves
+   the Prometheus exposition of the Obs.Metrics registry, GET /healthz
+   answers the readiness probe, everything else is 404. HTTP/1.0
+   semantics — one request per connection, Connection: close — which is
+   all a scraper needs and keeps the loop free of keep-alive state.
+
+   Same shape as the daemon's listener: a select loop with a short
+   timeout polling the stop flag, one short-lived thread per accepted
+   connection (a stalled scraper must not block the next one). Binds
+   loopback only: the metrics page is operational data, not a public
+   endpoint. *)
+
+type t = {
+  sock : Unix.file_descr;
+  port : int;
+  stop : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let crlf = "\r\n"
+
+let response ~status ~content_type body =
+  String.concat ""
+    [
+      "HTTP/1.0 ";
+      status;
+      crlf;
+      "Content-Type: ";
+      content_type;
+      crlf;
+      "Content-Length: ";
+      string_of_int (String.length body);
+      crlf;
+      "Connection: close";
+      crlf;
+      crlf;
+      body;
+    ]
+
+let write_all fd s =
+  let n = String.length s in
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < n then begin
+      let w = Unix.write fd b off (n - off) in
+      if w > 0 then go (off + w)
+    end
+  in
+  try go 0 with Unix.Unix_error _ -> ()
+
+(* Read the request head (through the blank line, 8 KiB cap) and return
+   the request line. A client that trickles bytes is bounded by the
+   socket receive timeout set by the acceptor. *)
+let read_request_line fd =
+  let buf = Buffer.create 256 in
+  let chunk = Bytes.create 1024 in
+  let rec go () =
+    if Buffer.length buf > 8192 then None
+    else begin
+      let seen = Buffer.contents buf in
+      if
+        String.length seen >= 4
+        && (String.index_opt seen '\n' <> None)
+        && (let l = String.length seen in
+            String.sub seen (l - 4) 4 = "\r\n\r\n"
+            || String.sub seen (l - 2) 2 = "\n\n")
+      then Some seen
+      else begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> if Buffer.length buf = 0 then None else Some (Buffer.contents buf)
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          go ()
+        | exception Unix.Unix_error _ -> None
+      end
+    end
+  in
+  match go () with
+  | None -> None
+  | Some head -> (
+    match String.index_opt head '\r' with
+    | Some i -> Some (String.sub head 0 i)
+    | None -> (
+      match String.index_opt head '\n' with
+      | Some i -> Some (String.sub head 0 i)
+      | None -> Some head))
+
+let handle ~healthy fd =
+  let reply =
+    match read_request_line fd with
+    | None -> response ~status:"400 Bad Request" ~content_type:"text/plain" ""
+    | Some line -> (
+      match String.split_on_char ' ' line with
+      | [ "GET"; "/metrics"; _ ] | [ "GET"; "/metrics" ] ->
+        response ~status:"200 OK" ~content_type:Obs.Prom.content_type
+          (Obs.Prom.page ())
+      | [ "GET"; "/healthz"; _ ] | [ "GET"; "/healthz" ] ->
+        if healthy () then
+          response ~status:"200 OK" ~content_type:"text/plain" "ok\n"
+        else
+          response ~status:"503 Service Unavailable"
+            ~content_type:"text/plain" "shutting down\n"
+      | "GET" :: _ ->
+        response ~status:"404 Not Found" ~content_type:"text/plain"
+          "not found\n"
+      | _ ->
+        response ~status:"405 Method Not Allowed" ~content_type:"text/plain"
+          "")
+  in
+  write_all fd reply;
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t ~healthy =
+  while not (Atomic.get t.stop) do
+    match Unix.select [ t.sock ] [] [] 0.2 with
+    | [], _, _ -> ()
+    | _ :: _, _, _ -> (
+      match Unix.accept t.sock with
+      | fd, _ ->
+        (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0
+         with Unix.Unix_error _ -> ());
+        ignore (Thread.create (fun () -> handle ~healthy fd) ())
+      | exception Unix.Unix_error _ -> ())
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done;
+  try Unix.close t.sock with Unix.Unix_error _ -> ()
+
+let start ~port ~healthy =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  match
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 16;
+    Unix.getsockname sock
+  with
+  | Unix.ADDR_INET (_, bound_port) ->
+    let t = { sock; port = bound_port; stop = Atomic.make false; thread = None } in
+    t.thread <- Some (Thread.create (fun () -> accept_loop t ~healthy) ());
+    Ok t
+  | Unix.ADDR_UNIX _ ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error "unexpected socket domain"
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close sock with Unix.Unix_error _ -> ());
+    Error
+      (Printf.sprintf "cannot bind http metrics port %d: %s" port
+         (Unix.error_message e))
+
+let port t = t.port
+
+let stop t =
+  Atomic.set t.stop true;
+  match t.thread with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,28 @@
+(** Minimal HTTP listener for the server's scrape endpoint
+    ([--http-metrics PORT]).
+
+    Serves exactly two routes on loopback, HTTP/1.0, one request per
+    connection:
+    - [GET /metrics] — Prometheus exposition text of the {!Obs.Metrics}
+      registry ({!Obs.Prom.page}), content type
+      {!Obs.Prom.content_type};
+    - [GET /healthz] — readiness probe: [200 ok] while [healthy ()]
+      holds, [503] once shutdown begins.
+
+    Unknown paths answer 404, non-GET methods 405. The accept loop runs
+    on its own systhread (one more per in-flight connection) and polls
+    a stop flag every 200 ms, mirroring the daemon's listener. *)
+
+type t
+
+val start : port:int -> healthy:(unit -> bool) -> (t, string) result
+(** Bind loopback:[port] (0 picks an ephemeral port) and start the
+    accept thread. [Error] with a diagnostic when the port cannot be
+    bound. *)
+
+val port : t -> int
+(** The actually bound port (useful with [port:0] in tests). *)
+
+val stop : t -> unit
+(** Stop accepting, join the accept thread, close the listening
+    socket. In-flight connection threads finish on their own. *)

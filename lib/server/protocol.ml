@@ -236,7 +236,13 @@ type catalog_req = {
   scale : int option;
 }
 
-type op = Query of query_req | Catalog of catalog_req | Metrics | Ping | Shutdown
+type op =
+  | Query of query_req
+  | Catalog of catalog_req
+  | Metrics
+  | Metrics_prom
+  | Ping
+  | Shutdown
 
 type request = { id : int option; op : op }
 
@@ -276,6 +282,7 @@ let request_of_line line =
           match as_string ~field:"op" op_json with
           | "ping" -> Ping
           | "metrics" -> Metrics
+          | "metrics_prom" -> Metrics_prom
           | "shutdown" -> Shutdown
           | "query" ->
             let q =

@@ -2,10 +2,10 @@
     direction, UTF-8, '\n'-terminated. See docs/SERVER.md for the full
     request/response schema and error-code catalog.
 
-    Requests: [{"op": "query" | "catalog" | "metrics" | "ping" |
-    "shutdown", "id": <int?>, ...op fields}]. Responses echo [id] and
-    carry ["ok": true] with op-specific payload, or ["ok": false] with
-    [{"error": {"code", "message"}}]. *)
+    Requests: [{"op": "query" | "catalog" | "metrics" | "metrics_prom"
+    | "ping" | "shutdown", "id": <int?>, ...op fields}]. Responses echo
+    [id] and carry ["ok": true] with op-specific payload, or
+    ["ok": false] with [{"error": {"code", "message"}}]. *)
 
 val parse_json : string -> (Engine.Json.t, string) result
 (** Strict parser for the protocol's JSON subset: objects, arrays,
@@ -38,6 +38,7 @@ type op =
   | Query of query_req
   | Catalog of catalog_req
   | Metrics
+  | Metrics_prom  (** Prometheus exposition text of the registry *)
   | Ping
   | Shutdown
 

@@ -30,6 +30,7 @@ let () =
       ("certify", Test_certify.suite);
       ("lint", Test_lint.suite);
       ("obs", Test_obs.suite);
+      ("profile", Test_profile.suite);
       ("shred", Test_shred.suite);
       ("server", Test_server.suite);
     ]

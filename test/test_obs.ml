@@ -80,6 +80,205 @@ let test_counters_gauges () =
   Metrics.reset ();
   Metrics.disable ()
 
+(* --- quantile estimation ------------------------------------------------- *)
+
+let test_quantile () =
+  Metrics.enable ();
+  Metrics.reset ();
+  (* 100 observations of 1000 all land in bucket 10 ([512, 1023]):
+     linear interpolation inside the bucket is pinned exactly. *)
+  for _ = 1 to 100 do
+    Metrics.observe "q" 1000
+  done;
+  Alcotest.(check (float 1e-9)) "p50 interpolates" 767.5
+    (Metrics.quantile "q" 0.5);
+  Alcotest.(check (float 1e-9)) "p95 interpolates" 997.45
+    (Metrics.quantile "q" 0.95);
+  Alcotest.(check (float 1e-9)) "p100 is the bucket hi" 1023.
+    (Metrics.quantile "q" 1.0);
+  Alcotest.(check (float 1e-9)) "q clamps above 1" 1023.
+    (Metrics.quantile "q" 7.0);
+  Alcotest.(check (float 1e-9)) "q clamps below 0" 512.
+    (Metrics.quantile "q" (-1.0));
+  (* bucket 0 is exact: lo = hi = 0 *)
+  for _ = 1 to 10 do
+    Metrics.observe "z" 0
+  done;
+  Alcotest.(check (float 1e-9)) "all-zero p99" 0. (Metrics.quantile "z" 0.99);
+  (* two populated buckets: the target walks the cumulative counts *)
+  for _ = 1 to 50 do
+    Metrics.observe "m" 1
+  done;
+  for _ = 1 to 50 do
+    Metrics.observe "m" 6
+  done;
+  Alcotest.(check (float 1e-9)) "p50 exhausts bucket 1" 1.
+    (Metrics.quantile "m" 0.5);
+  Alcotest.(check (float 1e-9)) "p75 interpolates bucket 3 [4,7]" 5.5
+    (Metrics.quantile "m" 0.75);
+  Alcotest.(check (float 1e-9)) "missing histogram" 0.
+    (Metrics.quantile "absent" 0.5);
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- labeled keys -------------------------------------------------------- *)
+
+let test_labeled () =
+  Alcotest.(check string) "no labels is the bare name" "m" (Metrics.labeled "m" []);
+  Alcotest.(check string) "keys sorted, values escaped"
+    "m{a=\"x\\\"y\\n\",b=\"2\"}"
+    (Metrics.labeled "m" [ ("b", "2"); ("a", "x\"y\n") ]);
+  Alcotest.(check string) "backslash escaped" "m{p=\"a\\\\b\"}"
+    (Metrics.labeled "m" [ ("p", "a\\b") ]);
+  (* label variants are distinct registry keys *)
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.incr (Metrics.labeled "lab" [ ("k", "a") ]);
+  Metrics.incr ~by:2 (Metrics.labeled "lab" [ ("k", "b") ]);
+  Alcotest.(check int) "variant a" 1
+    (Metrics.counter (Metrics.labeled "lab" [ ("k", "a") ]));
+  Alcotest.(check int) "variant b" 2
+    (Metrics.counter (Metrics.labeled "lab" [ ("k", "b") ]));
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- sliding window ------------------------------------------------------ *)
+
+let test_window () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Alcotest.(check (option int)) "empty ring" None
+    (Metrics.window_delta "w.c" ~now_s:100. ~span_s:60.);
+  Metrics.incr ~by:5 "w.c";
+  Metrics.observe "w.h" 3;
+  Metrics.window_record ~at_s:100.;
+  Metrics.incr ~by:7 "w.c";
+  Metrics.observe "w.h" 9;
+  Metrics.observe "w.h" 10;
+  Alcotest.(check (option int)) "counter delta vs snapshot" (Some 7)
+    (Metrics.window_delta "w.c" ~now_s:130. ~span_s:60.);
+  Alcotest.(check (option int)) "histogram delta counts observations"
+    (Some 2)
+    (Metrics.window_delta "w.h" ~now_s:130. ~span_s:60.);
+  (match Metrics.window_rate "w.c" ~now_s:130. ~span_s:60. with
+  | Some r -> Alcotest.(check (float 1e-9)) "rate over 30s" (7. /. 30.) r
+  | None -> Alcotest.fail "rate expected");
+  (* a narrower span excludes the snapshot *)
+  Alcotest.(check (option int)) "span too narrow" None
+    (Metrics.window_delta "w.c" ~now_s:130. ~span_s:10.);
+  (* delta measures against the OLDEST snapshot inside the span *)
+  Metrics.window_record ~at_s:160.;
+  Metrics.incr ~by:100 "w.c";
+  Alcotest.(check (option int)) "oldest snapshot wins" (Some 107)
+    (Metrics.window_delta "w.c" ~now_s:170. ~span_s:100.);
+  Alcotest.(check (option int)) "newer snapshot when span narrows"
+    (Some 100)
+    (Metrics.window_delta "w.c" ~now_s:170. ~span_s:30.);
+  Alcotest.(check (list (float 1e-9))) "ring times" [ 100.; 160. ]
+    (Metrics.window_times ());
+  (* the ring wraps at capacity without growing *)
+  for i = 1 to Metrics.window_capacity + 5 do
+    Metrics.window_record ~at_s:(200. +. float_of_int i)
+  done;
+  Alcotest.(check int) "ring bounded" Metrics.window_capacity
+    (List.length (Metrics.window_times ()));
+  Metrics.reset ();
+  Alcotest.(check (list (float 1e-9))) "reset clears the ring" []
+    (Metrics.window_times ());
+  Metrics.disable ()
+
+(* --- domain safety ------------------------------------------------------- *)
+
+(* Four domains hammer one counter and one histogram concurrently while
+   the main domain dumps; totals must be exact (no lost updates) and the
+   dump internally consistent. *)
+let test_domain_hammer () =
+  Metrics.enable ();
+  Metrics.reset ();
+  let domains = 4 and iters = 5_000 in
+  let spawned =
+    List.init domains (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to iters do
+              Metrics.incr "ham.c";
+              Metrics.observe "ham.h" ((d * iters) + i)
+            done))
+  in
+  (* concurrent dumps must not deadlock or tear *)
+  for _ = 1 to 20 do
+    ignore (Metrics.dump ())
+  done;
+  List.iter Domain.join spawned;
+  let expect = domains * iters in
+  Alcotest.(check int) "counter exact" expect (Metrics.counter "ham.c");
+  (match List.assoc_opt "ham.c" (Metrics.dump ()) with
+  | Some (Metrics.Counter n) ->
+    Alcotest.(check int) "dump agrees with counter" expect n
+  | _ -> Alcotest.fail "hammered counter missing from dump");
+  (match List.assoc_opt "ham.h" (Metrics.dump ()) with
+  | Some (Metrics.Histogram h) ->
+    Alcotest.(check int) "histogram count exact" expect h.Metrics.count;
+    Alcotest.(check int) "buckets sum to count" expect
+      (Array.fold_left ( + ) 0 h.Metrics.buckets);
+    (* Σ i over all domains: d*iters + i for d in 0..3, i in 1..iters *)
+    let expect_sum =
+      float_of_int
+        (List.fold_left ( + ) 0
+           (List.concat_map
+              (fun d -> List.init iters (fun i -> (d * iters) + i + 1))
+              [ 0; 1; 2; 3 ]))
+    in
+    Alcotest.(check (float 1e-3)) "sum exact" expect_sum h.Metrics.sum
+  | _ -> Alcotest.fail "hammered histogram missing from dump");
+  Metrics.reset ();
+  Metrics.disable ()
+
+(* --- Prometheus exposition ----------------------------------------------- *)
+
+let test_prom_render () =
+  Metrics.enable ();
+  Metrics.reset ();
+  Metrics.incr ~by:3 "t.requests";
+  Metrics.set_gauge "t.depth" 2.5;
+  Metrics.observe (Metrics.labeled "t.lat" [ ("s", "a") ]) 0;
+  Metrics.observe (Metrics.labeled "t.lat" [ ("s", "a") ]) 5;
+  Metrics.observe (Metrics.labeled "t.lat" [ ("s", "b") ]) 5;
+  let page = Obs.Prom.page () in
+  Metrics.reset ();
+  Metrics.disable ();
+  let has affix = Astring.String.is_infix ~affix page in
+  Alcotest.(check bool) "counter family" true
+    (has "# TYPE nestql_t_requests counter");
+  Alcotest.(check bool) "counter sample" true (has "nestql_t_requests 3");
+  Alcotest.(check bool) "gauge sample" true (has "nestql_t_depth 2.5");
+  Alcotest.(check bool) "histogram family" true
+    (has "# TYPE nestql_t_lat histogram");
+  Alcotest.(check bool) "bucket 0 cumulative, labeled" true
+    (has "nestql_t_lat_bucket{s=\"a\",le=\"0\"} 1");
+  Alcotest.(check bool) "bucket for 5 cumulative" true
+    (has "nestql_t_lat_bucket{s=\"a\",le=\"7\"} 2");
+  Alcotest.(check bool) "+Inf bucket" true
+    (has "nestql_t_lat_bucket{s=\"a\",le=\"+Inf\"} 2");
+  Alcotest.(check bool) "sum and count" true
+    (has "nestql_t_lat_sum{s=\"a\"} 5" && has "nestql_t_lat_count{s=\"a\"} 2");
+  Alcotest.(check bool) "second label variant shares the family" true
+    (has "nestql_t_lat_count{s=\"b\"} 1");
+  (* TYPE is declared once per family even with two label variants *)
+  let occurrences affix =
+    let n = String.length page and m = String.length affix in
+    let rec go i acc =
+      if i + m > n then acc
+      else if String.sub page i m = affix then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "TYPE once per family" 1
+    (occurrences "# TYPE nestql_t_lat histogram");
+  Alcotest.(check string) "mangle prefixes and maps dots and dashes"
+    "nestql_a_b_c"
+    (Obs.Prom.mangle "a.b-c")
+
 (* --- span discipline ----------------------------------------------------- *)
 
 exception Boom
@@ -147,12 +346,14 @@ let structural_events () =
     (Trace.events ())
 
 (* Metrics outside the documented jobs/load-dependent namespaces ("par."
-   and "gc." prefixes) must be exact counters, identical across jobs. *)
+   and "gc." counters/histograms, "profile." wall-clock self-time
+   gauges) must be exact counters, identical across jobs. *)
 let invariant_metrics () =
   List.filter_map
     (fun (name, v) ->
       if String.starts_with ~prefix:"par." name
          || String.starts_with ~prefix:"gc." name
+         || String.starts_with ~prefix:"profile." name
       then None
       else
         match v with
@@ -240,6 +441,12 @@ let suite =
       test_observe_roundtrip;
     Alcotest.test_case "disabled registry is a no-op" `Quick test_disabled_noop;
     Alcotest.test_case "counters and gauges" `Quick test_counters_gauges;
+    Alcotest.test_case "quantile estimation" `Quick test_quantile;
+    Alcotest.test_case "labeled metric keys" `Quick test_labeled;
+    Alcotest.test_case "sliding window ring" `Quick test_window;
+    Alcotest.test_case "4-domain hammer: no lost updates" `Quick
+      test_domain_hammer;
+    Alcotest.test_case "prometheus exposition" `Quick test_prom_render;
     Alcotest.test_case "span balance under exceptions" `Quick
       test_span_balance_exn;
     Alcotest.test_case "span is identity when disabled" `Quick

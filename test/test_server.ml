@@ -420,6 +420,244 @@ let test_daemon_round_trip () =
     Obs.Metrics.disable ();
     Obs.Metrics.reset ()
 
+(* --- instrumented replies ------------------------------------------------ *)
+
+(* instrument:true must change only the observability payload of the
+   reply (tree, misest, digest), never the result. *)
+let test_instrument_identity () =
+  let cache = Cache.create ~plan_capacity:8 ~result_capacity:0 () in
+  let q = "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y)" in
+  let ask instrument =
+    match
+      Cache.query cache ~instrument Core.Pipeline.Decorrelated gen_catalog q
+    with
+    | Ok r -> r
+    | Error _ -> Alcotest.fail "query failed"
+  in
+  let plain = ask false and instrumented = ask true in
+  Alcotest.(check string) "rendered results byte-identical"
+    plain.Cache.rendered instrumented.Cache.rendered;
+  Alcotest.(check int) "row counts equal" plain.Cache.rows
+    instrumented.Cache.rows;
+  Alcotest.(check bool) "plain run has no tree" true
+    (plain.Cache.tree = None);
+  Alcotest.(check bool) "instrumented run has a tree" true
+    (instrumented.Cache.tree <> None);
+  Alcotest.(check bool) "digest is stable" true
+    (String.length plain.Cache.digest = 32
+    && plain.Cache.digest = instrumented.Cache.digest)
+
+(* --- slow-query accounting ----------------------------------------------- *)
+
+(* One daemon with slow_ms = Some 0 (every query is slow) and one with a
+   huge threshold: slow.query lines and the server.slow_queries counter
+   appear iff duration >= threshold. The qlog sink is routed to a temp
+   file through the environment, as in production. *)
+let daemon_qlog ~slow_ms ~queries =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nestql-slow-%d-%d.sock" (Unix.getpid ())
+         (Option.value slow_ms ~default:(-1)))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let qlog = Filename.temp_file "nestql" ".qlog.jsonl" in
+  let saved = Sys.getenv_opt "NESTQL_QUERY_LOG" in
+  Unix.putenv "NESTQL_QUERY_LOG" qlog;
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.bind = Server.Daemon.Unix_socket sock;
+      catalog = gen_catalog;
+      slow_ms;
+      quiet = true;
+    }
+  in
+  let server = Thread.create (fun () -> ignore (Server.Daemon.serve config)) () in
+  let lines =
+    match
+      Server.Client.connect ~wait_ms:5000 (Server.Daemon.Unix_socket sock)
+    with
+    | Error msg -> Alcotest.failf "connect: %s" msg
+    | Ok conn ->
+      List.iter
+        (fun q ->
+          ignore
+            (Result.get_ok
+               (Server.Client.request conn
+                  (Server.Client.obj ~op:"query" [ ("q", Json.String q) ]))))
+        queries;
+      let slow_counter = Obs.Metrics.counter "server.slow_queries" in
+      ignore
+        (Result.get_ok
+           (Server.Client.request conn (Server.Client.obj ~op:"shutdown" [])));
+      Server.Client.close conn;
+      Thread.join server;
+      let ic = open_in qlog in
+      let rec read acc =
+        match input_line ic with
+        | line -> read (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      let lines = read [] in
+      close_in ic;
+      (lines, slow_counter)
+  in
+  Sys.remove qlog;
+  (* There is no unsetenv; /dev/null keeps a stray later emit harmless
+     when the variable was not set before the test. *)
+  Unix.putenv "NESTQL_QUERY_LOG" (Option.value saved ~default:"/dev/null");
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ();
+  lines
+
+let test_slow_query_log () =
+  let q = "SELECT x.id FROM X x WHERE x.a IN (SELECT y.a FROM Y y)" in
+  let has affix line = Astring.String.is_infix ~affix line in
+  (* threshold 0: every query is slow *)
+  let lines, slow_counter = daemon_qlog ~slow_ms:(Some 0) ~queries:[ q; q ] in
+  let serve_lines = List.filter (has "\"event\":\"serve.query\"") lines in
+  let slow_lines = List.filter (has "\"event\":\"slow.query\"") lines in
+  Alcotest.(check int) "one serve.query per query" 2
+    (List.length serve_lines);
+  Alcotest.(check int) "every query over a 0ms threshold is slow" 2
+    (List.length slow_lines);
+  Alcotest.(check int) "server.slow_queries counts them" 2 slow_counter;
+  List.iter
+    (fun line ->
+      Alcotest.(check bool) "serve.query carries cache outcomes" true
+        (has "\"plan_cache\":" line && has "\"result_cache\":" line))
+    serve_lines;
+  (match slow_lines with
+  | first :: _ ->
+    Alcotest.(check bool) "slow line carries the plan digest" true
+      (has "\"plan_digest\":" first);
+    Alcotest.(check bool) "slow line carries the threshold" true
+      (has "\"threshold_ms\":0" first);
+    Alcotest.(check bool) "slow line carries cache outcomes" true
+      (has "\"plan_cache\":" first);
+    (* the first execution is uncached and instrumented: hot operators
+       and misestimates are populated *)
+    Alcotest.(check bool) "slow line names hot operators" true
+      (has "\"hot\":\"" first && not (has "\"hot\":\"\"" first))
+  | [] -> Alcotest.fail "no slow line");
+  (* a threshold no real query reaches: nothing is slow *)
+  let lines, slow_counter =
+    daemon_qlog ~slow_ms:(Some 3_600_000) ~queries:[ q ]
+  in
+  Alcotest.(check int) "serve.query still logged" 1
+    (List.length (List.filter (has "\"event\":\"serve.query\"") lines));
+  Alcotest.(check int) "no slow lines under threshold" 0
+    (List.length (List.filter (has "\"event\":\"slow.query\"") lines));
+  Alcotest.(check int) "counter untouched" 0 slow_counter
+
+(* --- prometheus endpoint ------------------------------------------------- *)
+
+let http_get port path =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req = Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path in
+      ignore (Unix.write_substring sock req 0 (String.length req));
+      let buf = Buffer.create 1024 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+      in
+      drain ();
+      Buffer.contents buf)
+
+let test_http_metrics_endpoint () =
+  Obs.Metrics.enable ();
+  Obs.Metrics.reset ();
+  Obs.Metrics.incr ~by:7 "http.test.counter";
+  let healthy = Atomic.make true in
+  match Server.Http.start ~port:0 ~healthy:(fun () -> Atomic.get healthy) with
+  | Error msg -> Alcotest.failf "http start: %s" msg
+  | Ok listener ->
+    let port = Server.Http.port listener in
+    let page = http_get port "/metrics" in
+    Alcotest.(check bool) "200 with prometheus content type" true
+      (Astring.String.is_prefix ~affix:"HTTP/1.0 200 OK" page
+      && Astring.String.is_infix ~affix:Obs.Prom.content_type page);
+    Alcotest.(check bool) "registry rendered" true
+      (Astring.String.is_infix
+         ~affix:"# TYPE nestql_http_test_counter counter" page
+      && Astring.String.is_infix ~affix:"nestql_http_test_counter 7" page);
+    Alcotest.(check bool) "healthz ok" true
+      (Astring.String.is_prefix ~affix:"HTTP/1.0 200 OK"
+         (http_get port "/healthz"));
+    Atomic.set healthy false;
+    Alcotest.(check bool) "healthz 503 once draining" true
+      (Astring.String.is_prefix ~affix:"HTTP/1.0 503"
+         (http_get port "/healthz"));
+    Alcotest.(check bool) "unknown path 404" true
+      (Astring.String.is_prefix ~affix:"HTTP/1.0 404"
+         (http_get port "/nope"));
+    Server.Http.stop listener;
+    Obs.Metrics.reset ();
+    Obs.Metrics.disable ();
+    (* the listener socket is closed: a fresh connect must fail *)
+    Alcotest.(check bool) "listener closed after stop" true
+      (match http_get port "/metrics" with
+      | _ -> false
+      | exception Unix.Unix_error _ -> true)
+
+(* --- metrics_prom protocol op -------------------------------------------- *)
+
+let test_metrics_prom_op () =
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "nestql-prom-%d.sock" (Unix.getpid ()))
+  in
+  if Sys.file_exists sock then Sys.remove sock;
+  let config =
+    {
+      Server.Daemon.default_config with
+      Server.Daemon.bind = Server.Daemon.Unix_socket sock;
+      catalog = gen_catalog;
+      quiet = true;
+    }
+  in
+  let server =
+    Thread.create (fun () -> ignore (Server.Daemon.serve config)) ()
+  in
+  (match
+     Server.Client.connect ~wait_ms:5000 (Server.Daemon.Unix_socket sock)
+   with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok conn ->
+    let ask line = Result.get_ok (Server.Client.request conn line) in
+    ignore
+      (ask
+         (Server.Client.obj ~op:"query"
+            [ ("q", Json.String "SELECT x.id FROM X x WHERE x.a > 0") ]));
+    let reply = ask (Server.Client.obj ~op:"metrics_prom" []) in
+    (match Protocol.member "prom" reply with
+    | Some (Json.String page) ->
+      Alcotest.(check bool) "page has the requests family" true
+        (Astring.String.is_infix
+           ~affix:"# TYPE nestql_server_requests counter" page);
+      Alcotest.(check bool) "page has the latency histogram" true
+        (Astring.String.is_infix
+           ~affix:"# TYPE nestql_server_request_us histogram" page);
+      Alcotest.(check bool) "labeled duration histogram present" true
+        (Astring.String.is_infix ~affix:"nestql_server_query_duration_us"
+           page)
+    | _ -> Alcotest.fail "metrics_prom reply lacks prom text");
+    ignore (ask (Server.Client.obj ~op:"shutdown" []));
+    Server.Client.close conn);
+  Thread.join server;
+  Obs.Metrics.disable ();
+  Obs.Metrics.reset ()
+
 let suite =
   [
     Alcotest.test_case "lru eviction order" `Quick test_lru_eviction_order;
@@ -442,4 +680,11 @@ let suite =
     Alcotest.test_case "cache cross-domain races" `Quick
       test_cache_cross_domain;
     Alcotest.test_case "daemon round trip" `Quick test_daemon_round_trip;
+    Alcotest.test_case "instrumented replies are identical" `Quick
+      test_instrument_identity;
+    Alcotest.test_case "slow-query log iff threshold" `Quick
+      test_slow_query_log;
+    Alcotest.test_case "http metrics endpoint" `Quick
+      test_http_metrics_endpoint;
+    Alcotest.test_case "metrics_prom protocol op" `Quick test_metrics_prom_op;
   ]

@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Validate a Prometheus text-exposition page produced by `nestql`.
+
+Usage: check_prom.py PAGE.txt [--require-family NAME]...
+                     [--require-label FAMILY:KEY=VALUE]...
+                     [--min-families N]
+
+PAGE.txt holds the body of `GET /metrics` (or the output of
+`nestql client metrics-prom`). Use `-` to read stdin.
+
+Checks, in order:
+  - every non-comment line parses as `name{labels} value`, with a
+    metric name matching [a-zA-Z_:][a-zA-Z0-9_:]* and a float value;
+  - every sample's family is declared by exactly one preceding
+    `# TYPE family counter|gauge|histogram` line (TYPE-once-per-family);
+  - sample names match their family (the name is the family, or for
+    histograms family_bucket / family_sum / family_count);
+  - histogram families carry _sum, _count and at least one _bucket per
+    label set, buckets end with le="+Inf", cumulative counts are
+    non-decreasing, and the +Inf bucket equals _count;
+  - counter and gauge samples are never negative for counters;
+  - each --require-family NAME is present (NAME is the full family,
+    e.g. nestql_server_requests);
+  - each --require-label FAMILY:KEY=VALUE names a sample of FAMILY
+    carrying that label pair.
+
+Exit 0 when the page is well-formed, 1 with a FAIL line otherwise.
+Values vary per host; structure must not.
+"""
+
+import argparse
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$"
+)
+LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def fail(msg):
+    print(f"FAIL: {msg}")
+    return 1
+
+
+def parse_labels(text):
+    """Label block text -> dict, or None when it does not re-serialize
+    cleanly (catches malformed escapes and stray separators)."""
+    if not text:
+        return {}
+    out = {}
+    rest = text
+    while rest:
+        m = LABEL_RE.match(rest)
+        if not m:
+            return None
+        out[m.group(1)] = m.group(2)
+        rest = rest[m.end() :]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            return None
+    return out
+
+
+def family_of(name, types):
+    """The declared family a sample name belongs to."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("page")
+    ap.add_argument("--require-family", action="append", default=[])
+    ap.add_argument("--require-label", action="append", default=[])
+    ap.add_argument("--min-families", type=int, default=1)
+    args = ap.parse_args()
+
+    try:
+        text = (
+            sys.stdin.read() if args.page == "-" else open(args.page).read()
+        )
+    except OSError as e:
+        return fail(f"{args.page}: {e}")
+
+    types = {}  # family -> counter|gauge|histogram
+    samples = []  # (family, name, labels-dict, value)
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+            ):
+                return fail(f"line {lineno}: malformed TYPE line: {line!r}")
+            family = parts[2]
+            if not NAME_RE.match(family):
+                return fail(f"line {lineno}: bad family name {family!r}")
+            if family in types:
+                return fail(f"line {lineno}: duplicate TYPE for {family}")
+            types[family] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # HELP or other comments
+        m = SAMPLE_RE.match(line)
+        if not m:
+            return fail(f"line {lineno}: unparsable sample: {line!r}")
+        labels = parse_labels(m.group("labels") or "")
+        if labels is None:
+            return fail(f"line {lineno}: malformed label block: {line!r}")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            return fail(f"line {lineno}: non-float value: {line!r}")
+        family = family_of(m.group("name"), types)
+        if family is None:
+            return fail(
+                f"line {lineno}: sample {m.group('name')!r} has no "
+                f"preceding TYPE declaration"
+            )
+        samples.append((family, m.group("name"), labels, value))
+
+    if not samples:
+        return fail("no samples")
+    if len(types) < args.min_families:
+        return fail(f"only {len(types)} families, need >= {args.min_families}")
+
+    by_family = {}
+    for family, name, labels, value in samples:
+        by_family.setdefault(family, []).append((name, labels, value))
+
+    for family, kind in types.items():
+        rows = by_family.get(family, [])
+        if not rows:
+            return fail(f"family {family} declared but has no samples")
+        if kind == "counter":
+            for name, labels, value in rows:
+                if value < 0:
+                    return fail(f"counter {name} negative: {value}")
+        if kind == "histogram":
+            # Group by the label set minus le.
+            series = {}
+            for name, labels, value in rows:
+                key = tuple(
+                    sorted((k, v) for k, v in labels.items() if k != "le")
+                )
+                series.setdefault(key, {})[
+                    (name[len(family) :], labels.get("le"))
+                ] = value
+            for key, parts in series.items():
+                buckets = [
+                    (le, v) for (suf, le), v in parts.items() if suf == "_bucket"
+                ]
+                if not buckets:
+                    return fail(f"histogram {family}{dict(key)}: no buckets")
+                if ("_sum", None) not in parts or ("_count", None) not in parts:
+                    return fail(f"histogram {family}{dict(key)}: missing _sum/_count")
+                if all(le != "+Inf" for le, _ in buckets):
+                    return fail(f"histogram {family}{dict(key)}: no +Inf bucket")
+
+                def edge(le):
+                    return float("inf") if le == "+Inf" else float(le)
+
+                buckets.sort(key=lambda b: edge(b[0]))
+                prev = -1.0
+                for le, v in buckets:
+                    if v < prev:
+                        return fail(
+                            f"histogram {family}{dict(key)}: bucket le={le} "
+                            f"not cumulative ({v} < {prev})"
+                        )
+                    prev = v
+                if buckets[-1][1] != parts[("_count", None)]:
+                    return fail(
+                        f"histogram {family}{dict(key)}: +Inf bucket "
+                        f"{buckets[-1][1]} != _count {parts[('_count', None)]}"
+                    )
+
+    for family in args.require_family:
+        if family not in types:
+            return fail(
+                f"required family {family!r} absent "
+                f"(have {sorted(types)[:10]}...)"
+            )
+    for spec in args.require_label:
+        try:
+            family, pair = spec.split(":", 1)
+            key, value = pair.split("=", 1)
+        except ValueError:
+            return fail(f"bad --require-label spec {spec!r}")
+        rows = by_family.get(family, [])
+        if not any(labels.get(key) == value for _, labels, _ in rows):
+            return fail(
+                f"family {family}: no sample with label {key}={value!r}"
+            )
+
+    kinds = {}
+    for kind in types.values():
+        kinds[kind] = kinds.get(kind, 0) + 1
+    print(
+        f"ok: {len(samples)} samples across {len(types)} families "
+        f"({', '.join(f'{n} {k}' for k, n in sorted(kinds.items()))})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
